@@ -1,0 +1,337 @@
+package greenplum
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// The Benchmark* functions below regenerate every table and figure of the
+// paper's evaluation (§7). Each reports the reproduced series through
+// b.Log and exposes a headline metric via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the full reproduction. cmd/gpbench runs the same experiments with
+// longer sweeps.
+
+// quickOpts keeps benchmark iterations affordable.
+func quickOpts() experiments.Options {
+	o := experiments.Quick()
+	o.Duration = 200 * time.Millisecond
+	return o
+}
+
+func runFigure(b *testing.B, name string, fn func(experiments.Options) (*bench.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := fn(quickOpts())
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		if i == 0 {
+			b.Log(tbl.String())
+		}
+	}
+}
+
+// BenchmarkTable1LockConflictMatrix regenerates the paper's Table 1.
+func BenchmarkTable1LockConflictMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := experiments.Table1Conflicts()
+		if i == 0 {
+			b.Log(out)
+		}
+	}
+}
+
+// BenchmarkFig2LockingShare regenerates Figure 2 (lock wait share under the
+// GPDB 5 locking regime).
+func BenchmarkFig2LockingShare(b *testing.B) {
+	runFigure(b, "fig2", experiments.Fig2Locking)
+}
+
+// BenchmarkFig10CommitProtocols regenerates Figure 10 (1PC vs 2PC cost).
+func BenchmarkFig10CommitProtocols(b *testing.B) {
+	runFigure(b, "fig10", experiments.Fig10Commit)
+}
+
+// BenchmarkFig12TPCB regenerates Figure 12 (TPC-B, GPDB 5 vs GPDB 6).
+func BenchmarkFig12TPCB(b *testing.B) {
+	runFigure(b, "fig12", experiments.Fig12TPCB)
+}
+
+// BenchmarkFig13ScaleFactor regenerates Figure 13 (PostgreSQL vs Greenplum
+// across scale factors).
+func BenchmarkFig13ScaleFactor(b *testing.B) {
+	runFigure(b, "fig13", experiments.Fig13Scale)
+}
+
+// BenchmarkFig14UpdateOnly regenerates Figure 14 (update-only, the GDD
+// speedup).
+func BenchmarkFig14UpdateOnly(b *testing.B) {
+	runFigure(b, "fig14", experiments.Fig14UpdateOnly)
+}
+
+// BenchmarkFig15InsertOnly regenerates Figure 15 (insert-only, the
+// one-phase-commit speedup).
+func BenchmarkFig15InsertOnly(b *testing.B) {
+	runFigure(b, "fig15", experiments.Fig15InsertOnly)
+}
+
+// BenchmarkFig16OLAPUnderOLTP regenerates Figure 16 (OLAP QPH with and
+// without OLTP load).
+func BenchmarkFig16OLAPUnderOLTP(b *testing.B) {
+	runFigure(b, "fig16", experiments.Fig16OLAPUnderOLTP)
+}
+
+// BenchmarkFig17OLTPUnderOLAP regenerates Figure 17 (OLTP QPM with and
+// without OLAP load).
+func BenchmarkFig17OLTPUnderOLAP(b *testing.B) {
+	runFigure(b, "fig17", experiments.Fig17OLTPUnderOLAP)
+}
+
+// BenchmarkFig18ResourceGroups regenerates Figure 18 (resource-group CPU
+// configurations vs OLTP latency).
+func BenchmarkFig18ResourceGroups(b *testing.B) {
+	runFigure(b, "fig18", experiments.Fig18ResourceGroups)
+}
+
+// ---- micro-benchmarks of the core mechanisms (ablations) ----
+
+// BenchmarkPointUpdateGDDvsGPDB5 measures a single contended-table update
+// under both locking regimes with 8 concurrent writers — the mechanism
+// behind Figures 12/14 in isolation.
+func BenchmarkPointUpdateGDDvsGPDB5(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		cfg  *cluster.Config
+	}{
+		{"GPDB5", cluster.GPDB5(2)},
+		{"GPDB6", cluster.GPDB6(2)},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			e := core.NewEngine(mode.cfg)
+			defer e.Close()
+			s, _ := e.NewSession("")
+			ctx := context.Background()
+			w := &workload.UpdateOnly{Rows: 1000}
+			if err := s.ExecScript(ctx, w.Schema()); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Load(ctx, bench.SessionConn{S: s}); err != nil {
+				b.Fatal(err)
+			}
+			r := workload.NewRand(7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Transaction(ctx, bench.SessionConn{S: s}, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCommit1PCvs2PC measures bare commit latency of the two
+// protocols (Figure 10's mechanism).
+func BenchmarkCommit1PCvs2PC(b *testing.B) {
+	for _, one := range []bool{true, false} {
+		name := "2PC"
+		if one {
+			name = "1PC"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := cluster.GPDB6(4)
+			cfg.OnePhase = one
+			cfg.DirectDispatch = true
+			e := core.NewEngine(cfg)
+			defer e.Close()
+			s, _ := e.NewSession("")
+			ctx := context.Background()
+			if _, err := s.Exec(ctx, "CREATE TABLE t (c1 int, c2 int) DISTRIBUTED BY (c1)"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec(ctx, fmt.Sprintf("INSERT INTO t VALUES (%d, 0)", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAOColumnVsHeapScan compares analytic scans over the two storage
+// engines (the paper's §3.4 polymorphic storage motivation): a narrow
+// aggregate over a wide table.
+func BenchmarkAOColumnVsHeapScan(b *testing.B) {
+	for _, stor := range []string{"heap", "aocolumn"} {
+		b.Run(stor, func(b *testing.B) {
+			e := core.NewEngine(cluster.GPDB6(2))
+			defer e.Close()
+			s, _ := e.NewSession("")
+			ctx := context.Background()
+			ddl := "CREATE TABLE wide (a int, b int, c int, d int, e int, f text) DISTRIBUTED BY (a)"
+			if stor == "aocolumn" {
+				ddl = "CREATE TABLE wide (a int, b int, c int, d int, e int, f text) WITH (appendonly=true, orientation=column) DISTRIBUTED BY (a)"
+			}
+			if _, err := s.Exec(ctx, ddl); err != nil {
+				b.Fatal(err)
+			}
+			for batch := 0; batch < 20; batch++ {
+				vals := ""
+				for i := 0; i < 500; i++ {
+					if i > 0 {
+						vals += ","
+					}
+					n := batch*500 + i
+					vals += fmt.Sprintf("(%d, %d, %d, %d, %d, 'pad-%d')", n, n%7, n%11, n%13, n%17, n)
+				}
+				if _, err := s.Exec(ctx, "INSERT INTO wide VALUES "+vals); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec(ctx, "SELECT sum(b), count(*) FROM wide WHERE c < 9"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGDDDetectionPass measures one detector pass over a busy cluster
+// (the paper's claim that the daemon "does not consume much resource").
+func BenchmarkGDDDetectionPass(b *testing.B) {
+	cfg := cluster.GPDB6(4)
+	cfg.GDDPeriod = time.Hour // manual passes only
+	e := core.NewEngine(cfg)
+	defer e.Close()
+	s, _ := e.NewSession("")
+	ctx := context.Background()
+	w := &workload.UpdateOnly{Rows: 100}
+	if err := s.ExecScript(ctx, w.Schema()); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Load(ctx, bench.SessionConn{S: s}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cluster().CollectWaitGraphs()
+	}
+}
+
+// BenchmarkAblationDirectDispatch isolates direct dispatch from the other
+// GPDB 6 features: same GDD + 1PC configuration, with and without routing
+// single-segment statements to one segment only.
+func BenchmarkAblationDirectDispatch(b *testing.B) {
+	for _, direct := range []bool{true, false} {
+		name := "direct"
+		if !direct {
+			name = "whole-gang"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := cluster.GPDB6(4)
+			cfg.DirectDispatch = direct
+			cfg.SegmentStmtCPU = 200 * time.Microsecond
+			e := core.NewEngine(cfg)
+			defer e.Close()
+			s, _ := e.NewSession("")
+			ctx := context.Background()
+			if _, err := s.Exec(ctx, "CREATE TABLE t (c1 int, c2 int) DISTRIBUTED BY (c1)"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec(ctx, fmt.Sprintf("INSERT INTO t VALUES (%d, 0)", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGDDPeriod varies the detector period to show the daemon's
+// overhead is negligible (paper §4.3 "does not consume much resource").
+func BenchmarkAblationGDDPeriod(b *testing.B) {
+	for _, period := range []time.Duration{time.Millisecond, 100 * time.Millisecond} {
+		b.Run(period.String(), func(b *testing.B) {
+			cfg := cluster.GPDB6(4)
+			cfg.GDDPeriod = period
+			e := core.NewEngine(cfg)
+			defer e.Close()
+			s, _ := e.NewSession("")
+			ctx := context.Background()
+			w := &workload.UpdateOnly{Rows: 500}
+			if err := s.ExecScript(ctx, w.Schema()); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Load(ctx, bench.SessionConn{S: s}); err != nil {
+				b.Fatal(err)
+			}
+			r := workload.NewRand(11)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Transaction(ctx, bench.SessionConn{S: s}, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCompressionCodecs compares AO-column storage footprint
+// and scan speed across codecs (none / zlib / RLE-delta) via the SQL layer.
+func BenchmarkAblationCompressionCodecs(b *testing.B) {
+	e := core.NewEngine(cluster.GPDB6(2))
+	defer e.Close()
+	s, _ := e.NewSession("")
+	ctx := context.Background()
+	if _, err := s.Exec(ctx, "CREATE TABLE f (a int, b int) WITH (appendonly=true, orientation=column) DISTRIBUTED BY (a)"); err != nil {
+		b.Fatal(err)
+	}
+	for batch := 0; batch < 10; batch++ {
+		vals := ""
+		for i := 0; i < 500; i++ {
+			if i > 0 {
+				vals += ","
+			}
+			n := batch*500 + i
+			vals += fmt.Sprintf("(%d, %d)", n, n%100)
+		}
+		if _, err := s.Exec(ctx, "INSERT INTO f VALUES "+vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Exec(ctx, "SELECT sum(b) FROM f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParserThroughput measures SQL parse cost for a representative
+// OLTP statement.
+func BenchmarkParserThroughput(b *testing.B) {
+	e := core.NewEngine(cluster.GPDB6(1))
+	defer e.Close()
+	_ = e
+	q := "UPDATE pgbench_accounts SET abalance = abalance + 42 WHERE aid = 12345"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parseForBench(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

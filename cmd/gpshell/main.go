@@ -1,0 +1,166 @@
+// Command gpshell is an interactive SQL shell over an in-process cluster —
+// a tiny psql for exploring the engine.
+//
+//	gpshell [-segments 4] [-mode gpdb6|gpdb5] [-f script.sql]
+//
+// Shell commands: \d (list tables), \dg (resource groups), \locks (lock
+// tables), \stats (cluster counters), \timing, \q.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	greenplum "repro"
+)
+
+func main() {
+	var (
+		segments = flag.Int("segments", 4, "number of segments")
+		mode     = flag.String("mode", "gpdb6", "gpdb6 (HTAP features) or gpdb5 (baseline)")
+		file     = flag.String("f", "", "run a SQL script and exit")
+	)
+	flag.Parse()
+
+	opts := greenplum.Options{Segments: *segments}
+	if strings.EqualFold(*mode, "gpdb5") {
+		opts.Mode = greenplum.ModeGPDB5
+	}
+	db, err := greenplum.Open(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	conn, err := db.Connect("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ctx := context.Background()
+
+	if *file != "" {
+		script, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := conn.ExecScript(ctx, string(script)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("gpshell: %d segments, %s mode. \\q quits, \\d lists tables.\n", *segments, *mode)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	timing := false
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("gp> ")
+		} else {
+			fmt.Print("..> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !metaCommand(ctx, db, conn, trimmed, &timing) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		t0 := time.Now()
+		res, err := conn.Exec(ctx, strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
+		elapsed := time.Since(t0)
+		if err != nil {
+			fmt.Println("ERROR:", err)
+		} else {
+			printResult(res)
+			if timing {
+				fmt.Printf("Time: %.3f ms\n", float64(elapsed.Microseconds())/1000)
+			}
+		}
+		prompt()
+	}
+}
+
+func metaCommand(ctx context.Context, db *greenplum.DB, conn *greenplum.Conn, cmd string, timing *bool) bool {
+	switch {
+	case cmd == "\\q":
+		return false
+	case cmd == "\\d":
+		for _, t := range db.Engine().Cluster().Catalog().Tables() {
+			kind := t.Storage.String()
+			extra := ""
+			if t.IsPartitioned() {
+				extra = fmt.Sprintf(", %d partitions", len(t.Partitions))
+			}
+			fmt.Printf("  %-24s %s, distributed %s%s\n", t.Name, kind, t.Distribution, extra)
+		}
+	case cmd == "\\dg":
+		for _, g := range db.Engine().Cluster().Catalog().ResourceGroups() {
+			fmt.Printf("  %-16s concurrency=%d cpu=%d%% cpuset=%q memory=%d%%\n",
+				g.Name, g.Concurrency, g.CPURateLimit, g.CPUSet, g.MemoryLimit)
+		}
+	case cmd == "\\locks":
+		fmt.Println("coordinator:")
+		for _, l := range db.Engine().Cluster().CoordinatorLocks().Dump() {
+			fmt.Println("  ", l)
+		}
+		for _, seg := range db.Engine().Cluster().Segments() {
+			fmt.Printf("segment %d:\n", seg.ID())
+			for _, l := range seg.Locks().Dump() {
+				fmt.Println("  ", l)
+			}
+		}
+	case cmd == "\\stats":
+		st := db.Stats()
+		fmt.Printf("  one-phase commits: %d\n  two-phase commits: %d\n  read-only commits: %d\n  aborts: %d\n  deadlock victims: %d\n  lock waits: %d (%.1f ms total)\n",
+			st.OnePhaseCommits, st.TwoPhaseCommits, st.ReadOnlyCommits, st.Aborts,
+			st.DeadlockVictims, st.LockWaits, float64(st.LockWaitTime.Microseconds())/1000)
+	case cmd == "\\timing":
+		*timing = !*timing
+		fmt.Println("timing:", *timing)
+	default:
+		fmt.Println("unknown command; try \\d \\dg \\locks \\stats \\timing \\q")
+	}
+	_ = ctx
+	_ = conn
+	return true
+}
+
+func printResult(res *greenplum.Result) {
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, " | "))
+		fmt.Println(strings.Repeat("-", len(strings.Join(res.Columns, " | "))))
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, d := range row {
+				parts[i] = d.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+		return
+	}
+	fmt.Println(res.Tag)
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// TestCHBenchAllQueriesExecute loads the CH-benCHmark schema and runs every
+// analytical query plus both transaction types, expecting zero errors — the
+// HTAP experiments count errors silently, so this pins query validity.
+func TestCHBenchAllQueriesExecute(t *testing.T) {
+	_, admin := newEngine(t, cluster.GPDB6(3))
+	ctx := context.Background()
+	w := &workload.CHBench{Warehouses: 2, Items: 100, InitialOrders: 2}
+	if err := admin.ExecScript(ctx, w.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Load(ctx, SessionConn{S: admin}); err != nil {
+		t.Fatal(err)
+	}
+	conn := SessionConn{S: admin}
+	for i, q := range w.AnalyticalQueries() {
+		if _, _, err := conn.Exec(ctx, q); err != nil {
+			t.Errorf("analytical query %d failed: %v\n%s", i, err, q)
+		}
+	}
+	r := workload.NewRand(3)
+	for i := 0; i < 10; i++ {
+		if err := w.NewOrder(ctx, conn, r); err != nil {
+			t.Fatalf("NewOrder: %v", err)
+		}
+		if err := w.Payment(ctx, conn, r); err != nil {
+			t.Fatalf("Payment: %v", err)
+		}
+	}
+	// The order counter and stored orders must agree.
+	_, rows, err := conn.Exec(ctx, "SELECT count(*) FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial: 2 warehouses × 10 districts × 2 orders = 40, plus 10 NewOrders.
+	if rows[0][0].Int() != 50 {
+		t.Fatalf("orders = %d, want 50", rows[0][0].Int())
+	}
+	// Analytical results reflect the OLTP writes immediately (the HTAP
+	// property): Q1-style aggregate over order lines sees 50×5 lines.
+	_, rows, err = conn.Exec(ctx, "SELECT count(*) FROM order_line")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].Int() != 250 {
+		t.Fatalf("order lines = %d, want 250", rows[0][0].Int())
+	}
+}
+
+// TestCHBenchMixedConcurrency runs transactions and analytics together
+// briefly and requires zero errors end to end.
+func TestCHBenchMixedConcurrency(t *testing.T) {
+	cfg := cluster.GPDB6(3)
+	cfg.GDDPeriod = 5 * time.Millisecond
+	e, admin := newEngine(t, cfg)
+	ctx := context.Background()
+	w := &workload.CHBench{Warehouses: 2, Items: 100, InitialOrders: 2}
+	if err := admin.ExecScript(ctx, w.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Load(ctx, SessionConn{S: admin}); err != nil {
+		t.Fatal(err)
+	}
+	conns := make([]SessionConn, 6)
+	for i := range conns {
+		s, _ := e.NewSession("")
+		conns[i] = SessionConn{S: s}
+	}
+	res := RunConcurrent(6, 400*time.Millisecond, func(ctx context.Context, id int) error {
+		r := workload.NewRand(uint64(id + 17))
+		if id < 4 {
+			return w.OLTPMix(ctx, conns[id], r)
+		}
+		return w.OLAPQuery(ctx, conns[id], r)
+	})
+	if res.Errors != 0 {
+		t.Fatalf("mixed run produced %d errors (%d ops)", res.Errors, res.Ops)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+}

@@ -1,0 +1,336 @@
+// Package catalog maintains the cluster-wide metadata: table definitions with
+// Greenplum-style distribution policies and range partitions, roles, and
+// resource-group bindings. The catalog lives on the coordinator and is
+// replicated (by value) to segments at dispatch time.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// TableID uniquely identifies a table (or leaf partition).
+type TableID uint32
+
+// Distribution mirrors Greenplum's three distribution policies.
+type Distribution uint8
+
+// Distribution policies.
+const (
+	// DistHash routes each row by the hash of its distribution-key columns.
+	DistHash Distribution = iota
+	// DistRandom round-robins rows across segments.
+	DistRandom
+	// DistReplicated stores a full copy on every segment.
+	DistReplicated
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case DistHash:
+		return "hash"
+	case DistRandom:
+		return "random"
+	default:
+		return "replicated"
+	}
+}
+
+// Storage selects a storage engine for a table or partition (paper §3.4).
+type Storage uint8
+
+// Storage engines.
+const (
+	// Heap is row-oriented MVCC storage suited to frequent updates/deletes.
+	Heap Storage = iota
+	// AORow is append-optimized row-oriented storage for bulk loads.
+	AORow
+	// AOColumn is append-optimized column-oriented storage with per-column
+	// compression, for wide analytical scans.
+	AOColumn
+)
+
+func (s Storage) String() string {
+	switch s {
+	case AORow:
+		return "ao_row"
+	case AOColumn:
+		return "ao_column"
+	default:
+		return "heap"
+	}
+}
+
+// Partition describes one leaf of a range-partitioned table. The partition
+// holds rows with Start <= key < End.
+type Partition struct {
+	ID      TableID
+	Name    string
+	Start   types.Datum
+	End     types.Datum
+	Storage Storage
+}
+
+// Table is the full description of a user table.
+type Table struct {
+	ID           TableID
+	Name         string
+	Schema       *types.Schema
+	Distribution Distribution
+	DistKeyCols  []int // schema offsets of the distribution keys (DistHash)
+	Storage      Storage
+	PartitionCol int // schema offset of the range-partition key, -1 if none
+	Partitions   []Partition
+	Indexes      []*Index
+}
+
+// Index describes a secondary index.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []int // schema offsets
+}
+
+// IsPartitioned reports whether the table has range partitions.
+func (t *Table) IsPartitioned() bool { return t.PartitionCol >= 0 }
+
+// PartitionFor returns the leaf partition owning key, or nil when no
+// partition's range covers it.
+func (t *Table) PartitionFor(key types.Datum) *Partition {
+	for i := range t.Partitions {
+		p := &t.Partitions[i]
+		if types.Compare(key, p.Start) >= 0 && types.Compare(key, p.End) < 0 {
+			return p
+		}
+	}
+	return nil
+}
+
+// Role is a database user bound to a resource group.
+type Role struct {
+	Name          string
+	ResourceGroup string
+}
+
+// ResourceGroupDef captures the WITH(...) options of CREATE RESOURCE GROUP.
+type ResourceGroupDef struct {
+	Name           string
+	Concurrency    int    // max concurrent queries admitted
+	CPURateLimit   int    // percentage share of CPU (soft); 0 = unset
+	CPUSet         string // "0-3" style hard core assignment; "" = unset
+	MemoryLimit    int    // percentage of global memory for the group
+	MemSharedQuota int    // percentage of group memory shared between slots
+	MemSpillRatio  int    // accepted, unused in the model
+}
+
+// Catalog is the metadata store. All methods are safe for concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	nextID TableID
+	tables map[string]*Table
+	roles  map[string]*Role
+	groups map[string]*ResourceGroupDef
+}
+
+// New returns an empty catalog with the two built-in resource groups
+// (default_group, admin_group) that Greenplum ships with.
+func New() *Catalog {
+	c := &Catalog{
+		nextID: 1,
+		tables: make(map[string]*Table),
+		roles:  make(map[string]*Role),
+		groups: make(map[string]*ResourceGroupDef),
+	}
+	c.groups["default_group"] = &ResourceGroupDef{
+		Name: "default_group", Concurrency: 20, CPURateLimit: 30,
+		MemoryLimit: 30, MemSharedQuota: 50,
+	}
+	c.groups["admin_group"] = &ResourceGroupDef{
+		Name: "admin_group", Concurrency: 10, CPURateLimit: 10,
+		MemoryLimit: 10, MemSharedQuota: 50,
+	}
+	c.roles["gpadmin"] = &Role{Name: "gpadmin", ResourceGroup: "admin_group"}
+	return c
+}
+
+// CreateTable registers a table; leaf partitions get their own TableIDs.
+func (c *Catalog) CreateTable(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(t.Name)
+	if _, ok := c.tables[key]; ok {
+		return fmt.Errorf("catalog: table %q already exists", t.Name)
+	}
+	t.ID = c.nextID
+	c.nextID++
+	for i := range t.Partitions {
+		t.Partitions[i].ID = c.nextID
+		c.nextID++
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// DropTable removes a table.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// HasTable reports table existence.
+func (c *Catalog) HasTable(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[strings.ToLower(name)]
+	return ok
+}
+
+// Tables returns all tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AddIndex registers a secondary index on a table.
+func (c *Catalog) AddIndex(table string, idx *Index) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[strings.ToLower(table)]
+	if !ok {
+		return fmt.Errorf("catalog: table %q does not exist", table)
+	}
+	for _, existing := range t.Indexes {
+		if existing.Name == idx.Name {
+			return fmt.Errorf("catalog: index %q already exists", idx.Name)
+		}
+	}
+	idx.Table = t.Name
+	t.Indexes = append(t.Indexes, idx)
+	return nil
+}
+
+// CreateResourceGroup registers a resource group definition.
+func (c *Catalog) CreateResourceGroup(def *ResourceGroupDef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(def.Name)
+	if _, ok := c.groups[key]; ok {
+		return fmt.Errorf("catalog: resource group %q already exists", def.Name)
+	}
+	c.groups[key] = def
+	return nil
+}
+
+// DropResourceGroup removes a group; built-in groups cannot be dropped.
+func (c *Catalog) DropResourceGroup(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if key == "default_group" || key == "admin_group" {
+		return fmt.Errorf("catalog: cannot drop built-in resource group %q", name)
+	}
+	if _, ok := c.groups[key]; !ok {
+		return fmt.Errorf("catalog: resource group %q does not exist", name)
+	}
+	for _, r := range c.roles {
+		if strings.EqualFold(r.ResourceGroup, name) {
+			return fmt.Errorf("catalog: resource group %q is assigned to role %q", name, r.Name)
+		}
+	}
+	delete(c.groups, key)
+	return nil
+}
+
+// ResourceGroup looks up a group definition.
+func (c *Catalog) ResourceGroup(name string) (*ResourceGroupDef, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	g, ok := c.groups[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: resource group %q does not exist", name)
+	}
+	return g, nil
+}
+
+// ResourceGroups returns all groups sorted by name.
+func (c *Catalog) ResourceGroups() []*ResourceGroupDef {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*ResourceGroupDef, 0, len(c.groups))
+	for _, g := range c.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CreateRole registers a role; an empty group binds to default_group.
+func (c *Catalog) CreateRole(name, group string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.roles[key]; ok {
+		return fmt.Errorf("catalog: role %q already exists", name)
+	}
+	if group == "" {
+		group = "default_group"
+	}
+	if _, ok := c.groups[strings.ToLower(group)]; !ok {
+		return fmt.Errorf("catalog: resource group %q does not exist", group)
+	}
+	c.roles[key] = &Role{Name: name, ResourceGroup: group}
+	return nil
+}
+
+// AlterRole rebinds a role to a resource group.
+func (c *Catalog) AlterRole(name, group string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.roles[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("catalog: role %q does not exist", name)
+	}
+	if _, ok := c.groups[strings.ToLower(group)]; !ok {
+		return fmt.Errorf("catalog: resource group %q does not exist", group)
+	}
+	r.ResourceGroup = group
+	return nil
+}
+
+// Role looks up a role.
+func (c *Catalog) Role(name string) (*Role, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.roles[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: role %q does not exist", name)
+	}
+	return r, nil
+}

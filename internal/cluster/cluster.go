@@ -1,0 +1,431 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/dtm"
+	"repro/internal/gdd"
+	"repro/internal/lockmgr"
+	"repro/internal/resgroup"
+)
+
+// Cluster is one running database: a coordinator (distributed transaction
+// manager, catalog, lock table, GDD daemon, resource groups) plus segments.
+type Cluster struct {
+	cfg      *Config
+	catalog  *catalog.Catalog
+	coord    *dtm.Coordinator
+	locks    *lockmgr.Manager // coordinator's lock table (segment id -1)
+	segments []*Segment
+	groups   *resgroup.Manager
+	daemon   *gdd.Daemon
+
+	// txns tracks live distributed transactions for GDD liveness checks and
+	// victim kills.
+	txmu sync.Mutex
+	txns map[dtm.DXID]*LiveTxn
+
+	// truncTick counts completed transactions to pace mapping truncation.
+	truncTick atomic.Int64
+
+	// coordWAL is the coordinator's commit-record log (group commit).
+	coordWAL simWAL
+
+	// Metrics.
+	commits1PC  atomic.Int64
+	commits2PC  atomic.Int64
+	commitsRO   atomic.Int64
+	aborts      atomic.Int64
+	deadlockErr atomic.Int64
+
+	closed atomic.Bool
+}
+
+// LiveTxn is the coordinator's bookkeeping for one distributed transaction.
+type LiveTxn struct {
+	dxid dtm.DXID
+	// touched[i] is true when segment i participated at all; writers[i]
+	// when it wrote.
+	touched []bool
+	writers []bool
+	coordLk bool // holds coordinator locks
+	killed  atomic.Bool
+	started time.Time
+}
+
+// New boots a cluster.
+func New(cfg *Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:     cfg,
+		catalog: catalog.New(),
+		coord:   dtm.NewCoordinator(),
+		locks:   lockmgr.NewManager(),
+		groups:  resgroup.NewManager(cfg.Cores, cfg.MemoryBytes),
+		txns:    make(map[dtm.DXID]*LiveTxn),
+	}
+	for i := 0; i < cfg.NumSegments; i++ {
+		seg := newSegment(i, cfg)
+		seg.distInProgress = c.coord.IsInProgress
+		c.segments = append(c.segments, seg)
+	}
+	for _, def := range c.catalog.ResourceGroups() {
+		if _, err := c.groups.CreateGroup(*def); err != nil {
+			panic(fmt.Sprintf("cluster: built-in resource group: %v", err))
+		}
+	}
+	if cfg.GDD {
+		c.daemon = gdd.NewDaemon(c, cfg.GDDPeriod)
+		c.daemon.Start()
+	}
+	return c
+}
+
+// Close stops background daemons.
+func (c *Cluster) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	if c.daemon != nil {
+		c.daemon.Stop()
+	}
+}
+
+// Config returns the active configuration.
+func (c *Cluster) Config() *Config { return c.cfg }
+
+// Catalog returns the metadata store.
+func (c *Cluster) Catalog() *catalog.Catalog { return c.catalog }
+
+// Groups returns the resource-group manager.
+func (c *Cluster) Groups() *resgroup.Manager { return c.groups }
+
+// Segments returns the worker list (tests and benchmarks).
+func (c *Cluster) Segments() []*Segment { return c.segments }
+
+// CoordinatorLocks exposes the coordinator's lock table.
+func (c *Cluster) CoordinatorLocks() *lockmgr.Manager { return c.locks }
+
+// GDDStats returns the deadlock daemon counters (zero when disabled).
+func (c *Cluster) GDDStats() (runs, deadlocks, victims, discarded int64) {
+	if c.daemon == nil {
+		return 0, 0, 0, 0
+	}
+	return c.daemon.Stats()
+}
+
+// CommitStats reports commit-protocol usage counters.
+func (c *Cluster) CommitStats() (onePhase, twoPhase, readOnly, aborts int64) {
+	return c.commits1PC.Load(), c.commits2PC.Load(), c.commitsRO.Load(), c.aborts.Load()
+}
+
+// LockWaitStats aggregates lock-wait accounting across the cluster (Fig. 2).
+func (c *Cluster) LockWaitStats() (waited time.Duration, waits int64) {
+	w, n, _ := c.locks.WaitStats()
+	waited, waits = w, n
+	for _, s := range c.segments {
+		w, n, _ := s.locks.WaitStats()
+		waited += w
+		waits += n
+	}
+	return waited, waits
+}
+
+// ResetLockWaitStats zeroes lock-wait accounting.
+func (c *Cluster) ResetLockWaitStats() {
+	c.locks.ResetWaitStats()
+	for _, s := range c.segments {
+		s.locks.ResetWaitStats()
+	}
+}
+
+// ---- transaction lifecycle ----
+
+// BeginTxn opens a distributed transaction.
+func (c *Cluster) BeginTxn() *LiveTxn {
+	dxid := c.coord.Begin()
+	lt := &LiveTxn{
+		dxid:    dxid,
+		touched: make([]bool, c.cfg.NumSegments),
+		writers: make([]bool, c.cfg.NumSegments),
+		started: time.Now(),
+	}
+	c.txmu.Lock()
+	c.txns[dxid] = lt
+	c.txmu.Unlock()
+	return lt
+}
+
+// DXID returns the transaction's distributed id.
+func (t *LiveTxn) DXID() dtm.DXID { return t.dxid }
+
+// Killed reports whether GDD chose this transaction as a victim.
+func (t *LiveTxn) Killed() bool { return t.killed.Load() }
+
+// Snapshot takes a fresh distributed snapshot (read committed: one per
+// statement).
+func (c *Cluster) Snapshot() *dtm.DistSnapshot { return c.coord.Snapshot() }
+
+// CommitTxn runs the appropriate commit protocol and releases all locks.
+func (c *Cluster) CommitTxn(t *LiveTxn) (dtm.CommitStats, error) {
+	var writers []dtm.Participant
+	var readers []*Segment
+	for i, s := range c.segments {
+		switch {
+		case t.writers[i]:
+			writers = append(writers, s)
+		case t.touched[i]:
+			readers = append(readers, s)
+		}
+	}
+	st, err := dtm.Commit(c.coord, t.dxid, writers, c.cfg.OnePhase, c.coordFsync)
+	for _, r := range readers {
+		r.FinishReadOnly(t.dxid)
+	}
+	c.locks.ReleaseAll(lockmgr.TxnID(t.dxid))
+	c.forget(t)
+	if err != nil {
+		c.aborts.Add(1)
+		return st, err
+	}
+	switch st.Protocol {
+	case dtm.ProtocolOnePhase:
+		c.commits1PC.Add(1)
+	case dtm.ProtocolTwoPhase:
+		c.commits2PC.Add(1)
+	default:
+		c.commitsRO.Add(1)
+	}
+	c.maybeTruncateMappings()
+	return st, nil
+}
+
+// AbortTxn rolls back everywhere and releases all locks.
+func (c *Cluster) AbortTxn(t *LiveTxn) {
+	var parts []dtm.Participant
+	for i, s := range c.segments {
+		if t.touched[i] || t.writers[i] {
+			parts = append(parts, s)
+		}
+	}
+	dtm.Abort(c.coord, t.dxid, parts)
+	c.locks.ReleaseAll(lockmgr.TxnID(t.dxid))
+	c.forget(t)
+	c.aborts.Add(1)
+}
+
+// coordFsync durably writes the coordinator's commit record.
+func (c *Cluster) coordFsync() {
+	c.coordWAL.Fsync(c.cfg.FsyncDelay)
+}
+
+func (c *Cluster) forget(t *LiveTxn) {
+	c.txmu.Lock()
+	delete(c.txns, t.dxid)
+	c.txmu.Unlock()
+}
+
+// maybeTruncateMappings periodically truncates the local↔distributed xid
+// mappings on every segment (paper §5.1).
+func (c *Cluster) maybeTruncateMappings() {
+	if c.truncTick.Add(1)%256 != 0 {
+		return
+	}
+	horizon := c.coord.OldestInProgress()
+	for _, s := range c.segments {
+		s.TruncateMapping(horizon)
+	}
+}
+
+// ---- gdd.Cluster implementation ----
+
+// CollectWaitGraphs gathers the coordinator's and every segment's local
+// wait-for graph.
+func (c *Cluster) CollectWaitGraphs() *gdd.GlobalGraph {
+	g := &gdd.GlobalGraph{}
+	g.Locals = append(g.Locals, gdd.LocalGraph{Segment: gdd.CoordinatorSeg, Edges: c.locks.WaitGraph()})
+	for _, s := range c.segments {
+		g.Locals = append(g.Locals, gdd.LocalGraph{Segment: gdd.SegmentID(s.id), Edges: s.locks.WaitGraph()})
+	}
+	return g
+}
+
+// TxnExists reports whether the distributed transaction is still live.
+func (c *Cluster) TxnExists(txid uint64) bool {
+	c.txmu.Lock()
+	defer c.txmu.Unlock()
+	_, ok := c.txns[dtm.DXID(txid)]
+	return ok
+}
+
+// KillTxn terminates a distributed transaction as a deadlock victim: every
+// lock table marks it killed so its blocked waits fail immediately; the
+// session driving it observes the error and aborts.
+func (c *Cluster) KillTxn(txid uint64) {
+	c.txmu.Lock()
+	lt := c.txns[dtm.DXID(txid)]
+	c.txmu.Unlock()
+	if lt != nil {
+		lt.killed.Store(true)
+	}
+	c.locks.Kill(lockmgr.TxnID(txid))
+	for _, s := range c.segments {
+		s.KillTxn(dtm.DXID(txid))
+	}
+	c.deadlockErr.Add(1)
+}
+
+// DeadlockVictims returns how many transactions GDD killed.
+func (c *Cluster) DeadlockVictims() int64 { return c.deadlockErr.Load() }
+
+// LockCoordinator takes the parse-analyze relation lock on the coordinator
+// (the stage-one lock of paper §4.2).
+func (c *Cluster) LockCoordinator(ctx context.Context, t *LiveTxn, table string, mode lockmgr.Mode) error {
+	tab, err := c.catalog.Table(table)
+	if err != nil {
+		return err
+	}
+	if !c.cfg.GDD && c.cfg.LockTimeout > 0 {
+		tctx, cancel := context.WithTimeout(ctx, c.cfg.LockTimeout)
+		defer cancel()
+		err = c.locks.Acquire(tctx, lockmgr.TxnID(t.dxid), lockmgr.RelationTag(uint64(tab.ID)), mode)
+	} else {
+		err = c.locks.Acquire(ctx, lockmgr.TxnID(t.dxid), lockmgr.RelationTag(uint64(tab.ID)), mode)
+	}
+	if err == nil {
+		t.coordLk = true
+	}
+	return err
+}
+
+// ---- DDL ----
+
+// ApplyCreateTable registers the table and instantiates storage everywhere.
+func (c *Cluster) ApplyCreateTable(t *catalog.Table) error {
+	if err := c.catalog.CreateTable(t); err != nil {
+		return err
+	}
+	for _, s := range c.segments {
+		s.CreateTable(t)
+	}
+	return nil
+}
+
+// ApplyDropTable removes the table everywhere.
+func (c *Cluster) ApplyDropTable(name string) error {
+	t, err := c.catalog.Table(name)
+	if err != nil {
+		return err
+	}
+	if err := c.catalog.DropTable(name); err != nil {
+		return err
+	}
+	for _, s := range c.segments {
+		s.DropTable(t)
+	}
+	return nil
+}
+
+// ApplyTruncate clears a table everywhere.
+func (c *Cluster) ApplyTruncate(ctx context.Context, t *LiveTxn, name string) error {
+	tab, err := c.catalog.Table(name)
+	if err != nil {
+		return err
+	}
+	if err := c.LockCoordinator(ctx, t, name, lockmgr.AccessExclusive); err != nil {
+		return err
+	}
+	for i, s := range c.segments {
+		if err := s.LockRelation(ctx, t.dxid, tab, lockmgr.AccessExclusive); err != nil {
+			return err
+		}
+		t.touched[i] = true
+		s.TruncateTable(tab)
+	}
+	return nil
+}
+
+// ApplyCreateIndex registers and builds an index everywhere.
+func (c *Cluster) ApplyCreateIndex(ctx context.Context, t *LiveTxn, table string, idx *catalog.Index) error {
+	tab, err := c.catalog.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := c.LockCoordinator(ctx, t, table, lockmgr.Share); err != nil {
+		return err
+	}
+	if err := c.catalog.AddIndex(table, idx); err != nil {
+		return err
+	}
+	for i, s := range c.segments {
+		if err := s.LockRelation(ctx, t.dxid, tab, lockmgr.Share); err != nil {
+			return err
+		}
+		t.touched[i] = true
+		s.CreateIndex(tab, idx)
+	}
+	return nil
+}
+
+// ApplyCreateResourceGroup registers a resource group in catalog + runtime.
+func (c *Cluster) ApplyCreateResourceGroup(def *catalog.ResourceGroupDef) error {
+	if err := c.catalog.CreateResourceGroup(def); err != nil {
+		return err
+	}
+	if _, err := c.groups.CreateGroup(*def); err != nil {
+		// Roll back the catalog entry to stay consistent.
+		_ = c.catalog.DropResourceGroup(def.Name)
+		return err
+	}
+	return nil
+}
+
+// ApplyDropResourceGroup removes a group from catalog + runtime.
+func (c *Cluster) ApplyDropResourceGroup(name string) error {
+	if err := c.catalog.DropResourceGroup(name); err != nil {
+		return err
+	}
+	return c.groups.DropGroup(name)
+}
+
+// Vacuum reclaims dead versions of a table (or all tables when name == "").
+func (c *Cluster) Vacuum(name string) (int, error) {
+	var tables []*catalog.Table
+	if name == "" {
+		tables = c.catalog.Tables()
+	} else {
+		t, err := c.catalog.Table(name)
+		if err != nil {
+			return 0, err
+		}
+		tables = []*catalog.Table{t}
+	}
+	n := 0
+	for _, t := range tables {
+		for _, s := range c.segments {
+			n += s.Vacuum(t)
+		}
+	}
+	return n, nil
+}
+
+// TableRowCount sums stored versions of a table across segments.
+func (c *Cluster) TableRowCount(name string) int64 {
+	t, err := c.catalog.Table(name)
+	if err != nil {
+		return 0
+	}
+	var n int64
+	for _, s := range c.segments {
+		n += int64(s.RowCount(t))
+	}
+	return n
+}
+
+// RowCount implements plan.Stats.
+func (c *Cluster) RowCount(table string) int64 { return c.TableRowCount(table) }

@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/lockmgr"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+func testCluster(t *testing.T, cfg *Config) *Cluster {
+	t.Helper()
+	c := New(cfg)
+	t.Cleanup(c.Close)
+	return c
+}
+
+func mkTable(t *testing.T, c *Cluster, name string) *catalog.Table {
+	t.Helper()
+	tab := &catalog.Table{
+		Name: name,
+		Schema: types.NewSchema(
+			types.Column{Name: "a", Kind: types.KindInt},
+			types.Column{Name: "b", Kind: types.KindInt},
+		),
+		Distribution: catalog.DistHash,
+		DistKeyCols:  []int{0},
+		PartitionCol: -1,
+	}
+	if err := c.ApplyCreateTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func insertRows(t *testing.T, c *Cluster, tab *catalog.Table, rows []types.Row) {
+	t.Helper()
+	lt := c.BeginTxn()
+	ip := &plan.InsertPlan{Table: tab, Rows: rows}
+	if _, err := c.RunInsert(context.Background(), lt, c.Snapshot(), ip, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CommitTxn(lt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func scanAll(t *testing.T, c *Cluster, tab *catalog.Table) []types.Row {
+	t.Helper()
+	lt := c.BeginTxn()
+	defer c.AbortTxn(lt)
+	scan := plan.NewScan(tab, []catalog.TableID{tab.ID}, nil)
+	root := &plan.Motion{Child: scan, Type: plan.MotionGather}
+	pl := &plan.Planned{Root: root, DirectSegment: -1}
+	plan.CutSlices(root)
+	rows, _, err := c.RunSelect(context.Background(), lt, c.Snapshot(), pl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestInsertRoutesByDistributionKey(t *testing.T) {
+	c := testCluster(t, GPDB6(4))
+	tab := mkTable(t, c, "t")
+	var rows []types.Row
+	for i := int64(0); i < 64; i++ {
+		rows = append(rows, types.Row{types.NewInt(i), types.NewInt(i * 10)})
+	}
+	insertRows(t, c, tab, rows)
+
+	// Every row must be on exactly the segment its key hashes to.
+	for i, seg := range c.Segments() {
+		want := 0
+		for k := int64(0); k < 64; k++ {
+			if int(types.Row{types.NewInt(k)}.Hash([]int{0})%4) == i {
+				want++
+			}
+		}
+		if got := seg.RowCount(tab); got != want {
+			t.Errorf("segment %d rows = %d, want %d", i, got, want)
+		}
+	}
+	if got := len(scanAll(t, c, tab)); got != 64 {
+		t.Fatalf("scan returned %d rows", got)
+	}
+}
+
+func TestReplicatedTableOnEverySegment(t *testing.T) {
+	c := testCluster(t, GPDB6(3))
+	tab := &catalog.Table{
+		Name:         "r",
+		Schema:       types.NewSchema(types.Column{Name: "a", Kind: types.KindInt}),
+		Distribution: catalog.DistReplicated,
+		PartitionCol: -1,
+	}
+	if err := c.ApplyCreateTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	insertRows(t, c, tab, []types.Row{{types.NewInt(1)}, {types.NewInt(2)}})
+	for i, seg := range c.Segments() {
+		if got := seg.RowCount(tab); got != 2 {
+			t.Errorf("segment %d rows = %d, want full copy (2)", i, got)
+		}
+	}
+}
+
+func TestVacuumReclaimsDeadVersions(t *testing.T) {
+	c := testCluster(t, GPDB6(2))
+	tab := mkTable(t, c, "t")
+	var rows []types.Row
+	for i := int64(0); i < 10; i++ {
+		rows = append(rows, types.Row{types.NewInt(i), types.NewInt(0)})
+	}
+	insertRows(t, c, tab, rows)
+
+	// Update everything twice: each update adds a version and deadens one.
+	for pass := 0; pass < 2; pass++ {
+		lt := c.BeginTxn()
+		up := &plan.UpdatePlan{Table: tab, SetCols: []int{1},
+			SetExprs: []plan.Expr{&plan.Const{Val: types.NewInt(int64(pass + 1))}}}
+		if _, err := c.RunUpdate(context.Background(), lt, c.Snapshot(), up, -1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.CommitTxn(lt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.TableRowCount("t")
+	if before != 30 { // 10 live + 20 dead versions
+		t.Fatalf("version count before vacuum = %d", before)
+	}
+	n, err := c.Vacuum("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("vacuum reclaimed %d, want 20", n)
+	}
+	if got := len(scanAll(t, c, tab)); got != 10 {
+		t.Fatalf("rows after vacuum = %d", got)
+	}
+}
+
+func TestTruncateTable(t *testing.T) {
+	c := testCluster(t, GPDB6(2))
+	tab := mkTable(t, c, "t")
+	insertRows(t, c, tab, []types.Row{{types.NewInt(1), types.NewInt(1)}})
+	lt := c.BeginTxn()
+	if err := c.ApplyTruncate(context.Background(), lt, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CommitTxn(lt); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TableRowCount("t"); got != 0 {
+		t.Fatalf("rows after truncate = %d", got)
+	}
+}
+
+func TestDeleteAndReadOnlyCommit(t *testing.T) {
+	c := testCluster(t, GPDB6(2))
+	tab := mkTable(t, c, "t")
+	insertRows(t, c, tab, []types.Row{
+		{types.NewInt(1), types.NewInt(10)},
+		{types.NewInt(2), types.NewInt(20)},
+	})
+	lt := c.BeginTxn()
+	dp := &plan.DeletePlan{Table: tab, Filter: &plan.BinOp{Op: "=",
+		Left: &plan.ColRef{Idx: 0}, Right: &plan.Const{Val: types.NewInt(1)}}}
+	n, err := c.RunDelete(context.Background(), lt, c.Snapshot(), dp, -1)
+	if err != nil || n != 1 {
+		t.Fatalf("delete: %d %v", n, err)
+	}
+	if _, err := c.CommitTxn(lt); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(scanAll(t, c, tab)); got != 1 {
+		t.Fatalf("rows after delete = %d", got)
+	}
+	// A pure read commits via the read-only path.
+	before, _, ro0, _ := c.CommitStats()
+	_ = before
+	lt2 := c.BeginTxn()
+	_ = scanAllTxn(t, c, tab, lt2)
+	if _, err := c.CommitTxn(lt2); err != nil {
+		t.Fatal(err)
+	}
+	_, _, ro1, _ := c.CommitStats()
+	if ro1 != ro0+1 {
+		t.Fatalf("read-only commits: %d -> %d", ro0, ro1)
+	}
+}
+
+func scanAllTxn(t *testing.T, c *Cluster, tab *catalog.Table, lt *LiveTxn) []types.Row {
+	t.Helper()
+	scan := plan.NewScan(tab, []catalog.TableID{tab.ID}, nil)
+	root := &plan.Motion{Child: scan, Type: plan.MotionGather}
+	pl := &plan.Planned{Root: root, DirectSegment: -1}
+	plan.CutSlices(root)
+	rows, _, err := c.RunSelect(context.Background(), lt, c.Snapshot(), pl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestDirectDispatchTouchesOneSegment(t *testing.T) {
+	c := testCluster(t, GPDB6(4))
+	tab := mkTable(t, c, "t")
+	var rows []types.Row
+	for i := int64(0); i < 16; i++ {
+		rows = append(rows, types.Row{types.NewInt(i), types.NewInt(0)})
+	}
+	insertRows(t, c, tab, rows)
+
+	key := int64(5)
+	target := int(types.Row{types.NewInt(key)}.Hash([]int{0}) % 4)
+	lt := c.BeginTxn()
+	up := &plan.UpdatePlan{Table: tab,
+		Filter:   &plan.BinOp{Op: "=", Left: &plan.ColRef{Idx: 0}, Right: &plan.Const{Val: types.NewInt(key)}},
+		SetCols:  []int{1},
+		SetExprs: []plan.Expr{&plan.Const{Val: types.NewInt(99)}}}
+	n, err := c.RunUpdate(context.Background(), lt, c.Snapshot(), up, target)
+	if err != nil || n != 1 {
+		t.Fatalf("update: %d %v", n, err)
+	}
+	st, err := c.CommitTxn(lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Protocol != "one-phase" {
+		t.Fatalf("direct-dispatched single-segment write committed via %s", st.Protocol)
+	}
+}
+
+func TestGroupCommitBatchesFsyncs(t *testing.T) {
+	var w simWAL
+	const d = 5 * time.Millisecond
+	start := time.Now()
+	done := make(chan struct{}, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			w.Fsync(d)
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+	// Without group commit: 8×5ms serialized = 40ms. With it: first sync +
+	// one covering sync ≈ 10-15ms.
+	if elapsed > 25*time.Millisecond {
+		t.Fatalf("group commit not batching: 8 fsyncs took %v", elapsed)
+	}
+}
+
+func TestLockTableEverywhereConflictsWithDML(t *testing.T) {
+	c := testCluster(t, GPDB6(2))
+	tab := mkTable(t, c, "t")
+	insertRows(t, c, tab, []types.Row{{types.NewInt(1), types.NewInt(1)}})
+
+	lt := c.BeginTxn()
+	if err := c.LockTableEverywhere(context.Background(), lt, "t", int(lockmgr.AccessExclusive)); err != nil {
+		t.Fatal(err)
+	}
+	// Another txn's coordinator lock must block.
+	lt2 := c.BeginTxn()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := c.LockCoordinator(ctx, lt2, "t", lockmgr.RowExclusive)
+	if err == nil {
+		t.Fatal("LOCK TABLE did not block a writer")
+	}
+	c.AbortTxn(lt2)
+	c.AbortTxn(lt)
+}

@@ -1,0 +1,115 @@
+// Package cluster assembles the full Greenplum-style MPP database: a
+// coordinator with distributed transaction management, planning and
+// dispatch, plus N segments each running local storage, a transaction
+// manager and a lock manager. The interconnect, commit protocols, global
+// deadlock detector and resource groups all plug in here.
+package cluster
+
+import (
+	"time"
+)
+
+// Config selects cluster topology, HTAP features, and the simulation's cost
+// model. The zero values of the feature flags describe Greenplum 5; the
+// GPDB6 preset enables the paper's contributions.
+type Config struct {
+	// NumSegments is the number of worker segments (excluding the
+	// coordinator).
+	NumSegments int
+
+	// GDD enables the global deadlock detector; with it on, UPDATE/DELETE
+	// lock tables in RowExclusive instead of Exclusive mode (paper §4).
+	GDD bool
+	// GDDPeriod is the detector's polling period.
+	GDDPeriod time.Duration
+
+	// OnePhase enables the one-phase commit fast path (paper §5.2).
+	OnePhase bool
+
+	// DirectDispatch sends single-segment DML only to the owning segment;
+	// without it every statement is dispatched to the whole gang, each
+	// segment paying SegmentStmtCPU even if it touches no tuple.
+	DirectDispatch bool
+
+	// NetDelay is the simulated one-way network latency per
+	// coordinator↔segment message (a round trip costs 2×NetDelay).
+	NetDelay time.Duration
+	// FsyncDelay is the simulated cost of one durable log write.
+	FsyncDelay time.Duration
+	// SegmentStmtCPU is the per-statement handling cost each dispatched
+	// segment pays (parse/plan/setup).
+	SegmentStmtCPU time.Duration
+	// SegmentWorkers bounds concurrently-handled statements per segment
+	// (the segment's executor capacity; default 4).
+	SegmentWorkers int
+
+	// MotionBuffer is the per-stream interconnect buffer in rows.
+	MotionBuffer int
+
+	// CacheRows models the single-host buffer cache for the Fig. 13
+	// experiment: when a segment stores more than CacheRows rows, point
+	// accesses pay DiskDelay scaled by the estimated miss ratio. Zero
+	// disables the model.
+	CacheRows int64
+	// DiskDelay is the simulated random-read penalty on a cache miss.
+	DiskDelay time.Duration
+
+	// LockTimeout bounds every lock wait; it is the safety net against
+	// undetected global deadlocks when GDD is off (Greenplum 5 avoided them
+	// by serializing writers, but LOCK TABLE orderings can still hang).
+	LockTimeout time.Duration
+
+	// Cores and MemoryBytes size the resource-group substrate.
+	Cores       int
+	MemoryBytes int64
+}
+
+// GPDB6 returns the paper's HTAP configuration: GDD on, one-phase commit
+// on, direct dispatch on.
+func GPDB6(nseg int) *Config {
+	return &Config{
+		NumSegments:    nseg,
+		GDD:            true,
+		GDDPeriod:      20 * time.Millisecond,
+		OnePhase:       true,
+		DirectDispatch: true,
+		MotionBuffer:   1024,
+		LockTimeout:    10 * time.Second,
+		Cores:          32,
+		MemoryBytes:    8 << 30,
+	}
+}
+
+// GPDB5 returns the baseline configuration: table-level Exclusive locks for
+// UPDATE/DELETE (no GDD), always two-phase commit, no direct dispatch.
+func GPDB5(nseg int) *Config {
+	c := GPDB6(nseg)
+	c.GDD = false
+	c.OnePhase = false
+	c.DirectDispatch = false
+	return c
+}
+
+// withDefaults normalizes a user-supplied config.
+func (c *Config) withDefaults() *Config {
+	out := *c
+	if out.NumSegments < 1 {
+		out.NumSegments = 1
+	}
+	if out.MotionBuffer < 1 {
+		out.MotionBuffer = 1024
+	}
+	if out.GDDPeriod <= 0 {
+		out.GDDPeriod = 20 * time.Millisecond
+	}
+	if out.LockTimeout <= 0 {
+		out.LockTimeout = 10 * time.Second
+	}
+	if out.Cores < 1 {
+		out.Cores = 8
+	}
+	if out.MemoryBytes <= 0 {
+		out.MemoryBytes = 1 << 30
+	}
+	return &out
+}

@@ -1,0 +1,368 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/dtm"
+	"repro/internal/exec"
+	"repro/internal/interconnect"
+	"repro/internal/lockmgr"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// QueryResources carries the resource-group hooks for one statement.
+type QueryResources struct {
+	Mem exec.MemAccount
+	CPU exec.CPUCharger
+	// CPUBatchCost is the simulated CPU charged per executor row batch.
+	CPUBatchCost time.Duration
+}
+
+// collectMotions gathers every motion in the plan (post-order).
+func collectMotions(root plan.Node) []*plan.Motion {
+	var out []*plan.Motion
+	var walk func(plan.Node)
+	walk = func(n plan.Node) {
+		for _, ch := range n.Children() {
+			walk(ch)
+		}
+		if m, ok := n.(*plan.Motion); ok {
+			out = append(out, m)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// planScansTables lists the distinct tables a plan scans (for lock release
+// bookkeeping — scans lock relations on segments as they run).
+func planScans(root plan.Node) bool {
+	found := false
+	var walk func(plan.Node)
+	walk = func(n plan.Node) {
+		switch n.(type) {
+		case *plan.Scan, *plan.IndexScan:
+			found = true
+		}
+		for _, ch := range n.Children() {
+			walk(ch)
+		}
+	}
+	walk(root)
+	return found
+}
+
+// RunSelect executes a SELECT plan: it opens the interconnect fabric,
+// launches every (slice, segment) sender, and drains the top slice on the
+// coordinator.
+func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, pl *plan.Planned, res *QueryResources) ([]types.Row, *types.Schema, error) {
+	root := pl.Root
+	nseg := c.cfg.NumSegments
+
+	qctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	motions := collectMotions(root)
+	needSegments := planScans(root)
+
+	fabric := interconnect.NewFabric(nseg, c.cfg.MotionBuffer, 0)
+	for _, m := range motions {
+		switch m.Type {
+		case plan.MotionGather:
+			fabric.OpenGather(m.SliceID, nseg)
+		default:
+			fabric.OpenFanOut(m.SliceID, nseg)
+		}
+	}
+
+	// One storage access (one local snapshot) per segment per statement.
+	var accs []*storeAccess
+	if needSegments {
+		accs = make([]*storeAccess, nseg)
+		for i, s := range c.segments {
+			s.netHop()
+			s.stmtOverhead()
+			accs[i] = s.newAccess(t.dxid, snap)
+			t.touched[i] = true
+		}
+	}
+
+	mkCtx := func(segID int) *exec.Context {
+		ec := &exec.Context{
+			Ctx:         qctx,
+			Recv:        func(slice int) exec.Receiver { return fabric.Receiver(slice, segID) },
+			NumSegments: nseg,
+			SegID:       segID,
+		}
+		if res != nil {
+			ec.Mem = res.Mem
+			ec.CPU = res.CPU
+			ec.CPUBatchCost = res.CPUBatchCost
+		}
+		if segID >= 0 {
+			ec.Store = accs[segID]
+		}
+		return ec
+	}
+
+	var wg sync.WaitGroup
+	for _, m := range motions {
+		m := m
+		for seg := 0; seg < nseg; seg++ {
+			seg := seg
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer fabric.DoneSending(m.SliceID)
+				ec := mkCtx(seg)
+				it := exec.Build(ec, m.Child)
+				defer it.Close()
+				for {
+					row, err := it.Next()
+					if err == io.EOF {
+						return
+					}
+					if err != nil {
+						cancel(err)
+						return
+					}
+					switch m.Type {
+					case plan.MotionGather:
+						if err := fabric.Send(qctx, m.SliceID, -1, row); err != nil {
+							cancel(err)
+							return
+						}
+					case plan.MotionRedistribute:
+						dest, err := exec.HashForRedistribute(m.HashExprs, row, nseg)
+						if err != nil {
+							cancel(err)
+							return
+						}
+						if err := fabric.Send(qctx, m.SliceID, dest, row); err != nil {
+							cancel(err)
+							return
+						}
+					case plan.MotionBroadcast:
+						for d := 0; d < nseg; d++ {
+							if err := fabric.Send(qctx, m.SliceID, d, row.Clone()); err != nil {
+								cancel(err)
+								return
+							}
+						}
+					}
+				}
+			}()
+		}
+	}
+
+	// Top slice runs on the coordinator.
+	top := mkCtx(-1)
+	rows, err := exec.Drain(exec.Build(top, root))
+	cancel(nil)
+	wg.Wait()
+	if err != nil {
+		if cause := context.Cause(qctx); cause != nil && cause != context.Canceled {
+			err = cause
+		}
+		return nil, nil, err
+	}
+	return rows, root.Schema(), nil
+}
+
+// modeOf converts a Table-1 lock level to a lockmgr.Mode.
+func modeOf(level int) lockmgr.Mode {
+	if level < 1 || level > 8 {
+		return lockmgr.AccessExclusive
+	}
+	return lockmgr.Mode(level)
+}
+
+// ---- DML dispatch ----
+
+// RunInsert routes pre-evaluated rows to their owning segments and
+// dispatches the inserts in parallel.
+func (c *Cluster) RunInsert(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, ip *plan.InsertPlan, res *QueryResources) (int, error) {
+	rows := ip.Rows
+	if ip.Select != nil {
+		pl := &plan.Planned{Root: ip.Select, DirectSegment: -1}
+		selRows, _, err := c.RunSelect(ctx, t, snap, pl, res)
+		if err != nil {
+			return 0, err
+		}
+		// Coerce SELECT output to the table schema.
+		rows = make([]types.Row, 0, len(selRows))
+		for _, r := range selRows {
+			if len(r) != ip.Table.Schema.Len() {
+				return 0, fmt.Errorf("cluster: INSERT SELECT arity mismatch: got %d columns, want %d", len(r), ip.Table.Schema.Len())
+			}
+			row := make(types.Row, len(r))
+			for i, v := range r {
+				cv, err := v.CastTo(ip.Table.Schema.Columns[i].Kind)
+				if err != nil {
+					return 0, err
+				}
+				row[i] = cv
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	nseg := c.cfg.NumSegments
+	perSeg := make([]map[catalog.TableID][]types.Row, nseg)
+	rr := 0
+	for _, row := range rows {
+		leaf, err := leafFor(ip.Table, row)
+		if err != nil {
+			return 0, err
+		}
+		dest := plan.RouteRow(ip.Table, row, nseg, &rr)
+		if dest < 0 { // replicated: every segment
+			for d := 0; d < nseg; d++ {
+				addRow(&perSeg[d], leaf, row)
+			}
+		} else {
+			addRow(&perSeg[dest], leaf, row)
+		}
+	}
+
+	// Direct dispatch sends the statement only to segments that receive
+	// rows; without it the whole gang handles the statement (paper §7.2's
+	// "unnecessary CPU cost on segments which in fact do not insert any
+	// tuple") and every gang member joins the two-phase commit.
+	targets := make([]int, 0, nseg)
+	for i := 0; i < nseg; i++ {
+		if c.cfg.DirectDispatch {
+			if perSeg[i] != nil {
+				targets = append(targets, i)
+			}
+		} else {
+			targets = append(targets, i)
+		}
+	}
+	if len(targets) == 0 {
+		return 0, nil
+	}
+
+	total := 0
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for _, segID := range targets {
+		segID := segID
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			byLeaf := perSeg[segID]
+			if byLeaf == nil {
+				byLeaf = map[catalog.TableID][]types.Row{}
+			}
+			n, err := c.segments[segID].ExecInsert(ctx, t.dxid, snap, ip.Table, byLeaf)
+			mu.Lock()
+			defer mu.Unlock()
+			t.touched[segID] = true
+			if n > 0 || !c.cfg.DirectDispatch {
+				t.writers[segID] = true
+			}
+			total += n
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}()
+	}
+	wg.Wait()
+	return total, firstErr
+}
+
+func addRow(m *map[catalog.TableID][]types.Row, leaf catalog.TableID, row types.Row) {
+	if *m == nil {
+		*m = make(map[catalog.TableID][]types.Row)
+	}
+	(*m)[leaf] = append((*m)[leaf], row)
+}
+
+// leafFor picks the partition leaf owning the row.
+func leafFor(t *catalog.Table, row types.Row) (catalog.TableID, error) {
+	if !t.IsPartitioned() {
+		return t.ID, nil
+	}
+	key := row[t.PartitionCol]
+	p := t.PartitionFor(key)
+	if p == nil {
+		return 0, fmt.Errorf("cluster: no partition of %q accepts key %s", t.Name, key)
+	}
+	return p.ID, nil
+}
+
+// RunUpdate dispatches an UPDATE to the owning segments.
+func (c *Cluster) RunUpdate(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, up *plan.UpdatePlan, directSeg int) (int, error) {
+	return c.runWrite(ctx, t, directSeg, func(s *Segment) (int, error) {
+		return s.ExecUpdate(ctx, t.dxid, snap, up)
+	})
+}
+
+// RunDelete dispatches a DELETE to the owning segments.
+func (c *Cluster) RunDelete(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, dp *plan.DeletePlan, directSeg int) (int, error) {
+	return c.runWrite(ctx, t, directSeg, func(s *Segment) (int, error) {
+		return s.ExecDelete(ctx, t.dxid, snap, dp)
+	})
+}
+
+func (c *Cluster) runWrite(ctx context.Context, t *LiveTxn, directSeg int, f func(*Segment) (int, error)) (int, error) {
+	targets := make([]int, 0, c.cfg.NumSegments)
+	if c.cfg.DirectDispatch && directSeg >= 0 && directSeg < c.cfg.NumSegments {
+		targets = append(targets, directSeg)
+	} else {
+		for i := 0; i < c.cfg.NumSegments; i++ {
+			targets = append(targets, i)
+		}
+	}
+	total := 0
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for _, segID := range targets {
+		segID := segID
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n, err := f(c.segments[segID])
+			mu.Lock()
+			defer mu.Unlock()
+			t.touched[segID] = true
+			if n > 0 || !c.cfg.DirectDispatch {
+				t.writers[segID] = true
+			}
+			total += n
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}()
+	}
+	wg.Wait()
+	return total, firstErr
+}
+
+// LockTableEverywhere implements LOCK TABLE: the coordinator lock plus the
+// same mode on every segment (paper Fig. 7's transaction C/D behaviour).
+func (c *Cluster) LockTableEverywhere(ctx context.Context, t *LiveTxn, table string, level int) error {
+	tab, err := c.catalog.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := c.LockCoordinator(ctx, t, table, modeOf(level)); err != nil {
+		return err
+	}
+	for i, s := range c.segments {
+		if err := s.LockRelation(ctx, t.dxid, tab, modeOf(level)); err != nil {
+			return err
+		}
+		t.touched[i] = true
+	}
+	return nil
+}

@@ -1,0 +1,574 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/dtm"
+	"repro/internal/lockmgr"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// Segment is one worker: local storage engines, a local transaction
+// manager, a lock manager, and the local↔distributed xid mapping.
+type Segment struct {
+	id      int
+	cfg     *Config
+	txns    *txn.Manager
+	locks   *lockmgr.Manager
+	mapping *dtm.XidMapping
+
+	mu     sync.RWMutex
+	tables map[catalog.TableID]*segTable
+
+	txmu sync.Mutex
+	open map[dtm.DXID]*segTxn
+
+	// wal simulates the segment's write-ahead log: a serial append stream
+	// with group commit — committers that queue while another fsync is in
+	// flight are covered by the next one. This is what makes whole-gang
+	// two-phase commit expensive at saturation.
+	wal simWAL
+	// execSem bounds concurrently-handled statements per segment (the
+	// paper's segments have finite CPU; whole-gang dispatch burns a slot on
+	// every segment even when the statement touches no tuple there).
+	execSem chan struct{}
+
+	// diskSem models the segment's random-read capacity (bounded queue
+	// depth): cache misses contend for it, so a working set larger than the
+	// buffer cache throttles throughput rather than just adding latency.
+	diskSem chan struct{}
+
+	// distInProgress asks the coordinator whether a distributed transaction
+	// is still running its commit protocol. Writers must not build on a
+	// predecessor's version until its distributed commit fully acknowledges
+	// (paper §5.2: the transaction "appears in-progress … until the
+	// coordinator receives the Commit Ok"), or a later writer could commit
+	// with an earlier distributed timestamp than the version it replaced,
+	// making two versions of one row visible to a snapshot in the window.
+	distInProgress func(dxid dtm.DXID) bool
+}
+
+// segTable is one leaf table's storage on this segment.
+type segTable struct {
+	meta    *catalog.Table
+	leaf    catalog.TableID
+	engine  storage.Engine
+	indexes []*segIndex
+}
+
+type segIndex struct {
+	def *catalog.Index
+	ix  *storage.HashIndex
+}
+
+// segTxn is the per-distributed-transaction local state.
+type segTxn struct {
+	local txn.XID
+	wrote bool
+}
+
+func newSegment(id int, cfg *Config) *Segment {
+	workers := cfg.SegmentWorkers
+	if workers < 1 {
+		workers = 4
+	}
+	return &Segment{
+		id:      id,
+		cfg:     cfg,
+		txns:    txn.NewManager(),
+		locks:   lockmgr.NewManager(),
+		mapping: dtm.NewXidMapping(),
+		tables:  make(map[catalog.TableID]*segTable),
+		open:    make(map[dtm.DXID]*segTxn),
+		execSem: make(chan struct{}, workers),
+		diskSem: make(chan struct{}, 2),
+	}
+}
+
+// ID returns the segment id.
+func (s *Segment) ID() int { return s.id }
+
+// Locks exposes the lock manager (GDD graph collection).
+func (s *Segment) Locks() *lockmgr.Manager { return s.locks }
+
+// Mapping exposes the xid mapping (tests).
+func (s *Segment) Mapping() *dtm.XidMapping { return s.mapping }
+
+// newEngine instantiates the right storage engine for a leaf.
+func newEngine(kind catalog.Storage, ncols int) storage.Engine {
+	switch kind {
+	case catalog.AORow:
+		return storage.NewAORow()
+	case catalog.AOColumn:
+		return storage.NewAOColumn(ncols, storage.CompressionRLEDelta)
+	default:
+		return storage.NewHeap()
+	}
+}
+
+// CreateTable instantiates storage for a table and its leaf partitions.
+func (s *Segment) CreateTable(t *catalog.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.IsPartitioned() {
+		for i := range t.Partitions {
+			p := &t.Partitions[i]
+			s.tables[p.ID] = &segTable{meta: t, leaf: p.ID, engine: newEngine(p.Storage, t.Schema.Len())}
+		}
+		return
+	}
+	s.tables[t.ID] = &segTable{meta: t, leaf: t.ID, engine: newEngine(t.Storage, t.Schema.Len())}
+}
+
+// DropTable discards storage for a table.
+func (s *Segment) DropTable(t *catalog.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tables, t.ID)
+	for i := range t.Partitions {
+		delete(s.tables, t.Partitions[i].ID)
+	}
+}
+
+// TruncateTable clears data from all leaves of a table.
+func (s *Segment) TruncateTable(t *catalog.Table) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, leaf := range leafIDs(t) {
+		if st, ok := s.tables[leaf]; ok {
+			st.engine.Truncate()
+			for _, ix := range st.indexes {
+				ix.ix.Truncate()
+			}
+		}
+	}
+}
+
+func leafIDs(t *catalog.Table) []catalog.TableID {
+	if !t.IsPartitioned() {
+		return []catalog.TableID{t.ID}
+	}
+	out := make([]catalog.TableID, len(t.Partitions))
+	for i := range t.Partitions {
+		out[i] = t.Partitions[i].ID
+	}
+	return out
+}
+
+// CreateIndex builds a hash index over existing rows of every leaf.
+func (s *Segment) CreateIndex(t *catalog.Table, def *catalog.Index) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, leaf := range leafIDs(t) {
+		st, ok := s.tables[leaf]
+		if !ok {
+			continue
+		}
+		ix := storage.NewHashIndex(def.Columns)
+		st.engine.ForEach(func(h storage.Header, row types.Row) bool {
+			ix.Insert(row, h.TID)
+			return true
+		})
+		st.indexes = append(st.indexes, &segIndex{def: def, ix: ix})
+	}
+}
+
+func (s *Segment) table(leaf catalog.TableID) (*segTable, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.tables[leaf]
+	if !ok {
+		return nil, fmt.Errorf("cluster: segment %d has no table %d", s.id, leaf)
+	}
+	return st, nil
+}
+
+// RowCount sums visible-or-not stored versions across leaves (stats).
+func (s *Segment) RowCount(t *catalog.Table) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, leaf := range leafIDs(t) {
+		if st, ok := s.tables[leaf]; ok {
+			n += st.engine.RowCount()
+		}
+	}
+	return n
+}
+
+// ---- transaction lifecycle ----
+
+// beginLocal lazily creates the local transaction implementing dxid.
+func (s *Segment) beginLocal(dxid dtm.DXID) *segTxn {
+	s.txmu.Lock()
+	defer s.txmu.Unlock()
+	if st, ok := s.open[dxid]; ok {
+		return st
+	}
+	local := s.txns.Begin()
+	s.mapping.Register(local, dxid)
+	st := &segTxn{local: local}
+	s.open[dxid] = st
+	// Every transaction exclusively holds its own transaction lock; waiting
+	// for an uncommitted writer means share-locking this tag (paper §4.2's
+	// "locking tuple using the transaction lock"). Cannot block: the tag is
+	// fresh.
+	s.locks.TryAcquire(lockmgr.TxnID(dxid), lockmgr.TransactionTag(lockmgr.TxnID(dxid)), lockmgr.Exclusive)
+	return st
+}
+
+// openTxn returns the local state if this segment participates in dxid.
+func (s *Segment) openTxn(dxid dtm.DXID) (*segTxn, bool) {
+	s.txmu.Lock()
+	defer s.txmu.Unlock()
+	st, ok := s.open[dxid]
+	return st, ok
+}
+
+func (s *Segment) closeTxn(dxid dtm.DXID) {
+	s.txmu.Lock()
+	delete(s.open, dxid)
+	s.txmu.Unlock()
+}
+
+// simDelay waits for d (simulated latency; sleeping yields the processor to
+// the other goroutines of the simulation).
+func simDelay(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// netHop simulates one coordinator→segment→coordinator round trip.
+func (s *Segment) netHop() {
+	if s.cfg.NetDelay > 0 {
+		simDelay(2 * s.cfg.NetDelay)
+	}
+}
+
+// simWAL models a write-ahead log with group commit: each Fsync call either
+// performs a sync (holding the log mutex for the sync duration) or, if a
+// sync that started after the caller's records were written completes
+// first, returns covered-for-free — the batching PostgreSQL's WAL writer
+// provides.
+type simWAL struct {
+	mu       sync.Mutex
+	lastSync time.Time
+}
+
+// Fsync makes the caller's log records durable.
+func (w *simWAL) Fsync(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	written := time.Now() // caller's records are in the log buffer now
+	w.mu.Lock()
+	if w.lastSync.After(written) {
+		// A sync that began after our records were written already made
+		// them durable (group commit).
+		w.mu.Unlock()
+		return
+	}
+	simDelay(d)
+	w.lastSync = time.Now()
+	w.mu.Unlock()
+}
+
+// fsync appends the transaction's durable record to the segment WAL.
+func (s *Segment) fsync() {
+	s.wal.Fsync(s.cfg.FsyncDelay)
+}
+
+// stmtOverhead occupies one of the segment's bounded executor workers for
+// the statement-handling cost. Whole-gang dispatch pays it on every
+// segment, direct dispatch only on the owning one.
+func (s *Segment) stmtOverhead() {
+	if s.cfg.SegmentStmtCPU > 0 {
+		s.execSem <- struct{}{}
+		simDelay(s.cfg.SegmentStmtCPU)
+		<-s.execSem
+	}
+}
+
+// Prepare implements the 2PC first phase.
+func (s *Segment) Prepare(dxid dtm.DXID) error {
+	s.netHop()
+	st, ok := s.openTxn(dxid)
+	if !ok {
+		return fmt.Errorf("cluster: segment %d: prepare of unknown txn %d", s.id, dxid)
+	}
+	if err := s.txns.Prepare(st.local); err != nil {
+		return err
+	}
+	s.fsync()
+	return nil
+}
+
+// CommitPrepared implements the 2PC second phase: durable commit, then lock
+// release.
+func (s *Segment) CommitPrepared(dxid dtm.DXID) error {
+	s.netHop()
+	st, ok := s.openTxn(dxid)
+	if !ok {
+		return fmt.Errorf("cluster: segment %d: commit-prepared of unknown txn %d", s.id, dxid)
+	}
+	if err := s.txns.Commit(st.local); err != nil {
+		return err
+	}
+	s.fsync()
+	s.locks.ReleaseAll(lockmgr.TxnID(dxid))
+	s.closeTxn(dxid)
+	return nil
+}
+
+// AbortPrepared rolls back a prepared transaction.
+func (s *Segment) AbortPrepared(dxid dtm.DXID) error { return s.Abort(dxid) }
+
+// CommitOnePhase is the single-segment fast path: one round trip, one
+// fsync, no prepare (paper §5.2).
+func (s *Segment) CommitOnePhase(dxid dtm.DXID) error {
+	s.netHop()
+	st, ok := s.openTxn(dxid)
+	if !ok {
+		return fmt.Errorf("cluster: segment %d: one-phase commit of unknown txn %d", s.id, dxid)
+	}
+	if err := s.txns.Commit(st.local); err != nil {
+		return err
+	}
+	s.fsync()
+	s.locks.ReleaseAll(lockmgr.TxnID(dxid))
+	s.closeTxn(dxid)
+	return nil
+}
+
+// Abort rolls back the local transaction and releases its locks.
+func (s *Segment) Abort(dxid dtm.DXID) error {
+	st, ok := s.openTxn(dxid)
+	if ok {
+		_ = s.txns.Abort(st.local)
+	}
+	s.locks.ReleaseAll(lockmgr.TxnID(dxid))
+	s.closeTxn(dxid)
+	return nil
+}
+
+// FinishReadOnly releases a reader's locks without touching the clog.
+func (s *Segment) FinishReadOnly(dxid dtm.DXID) {
+	st, ok := s.openTxn(dxid)
+	if ok {
+		// A read-only local transaction still occupied a local xid; commit
+		// it so snapshots don't keep treating it as running.
+		_ = s.txns.Commit(st.local)
+	}
+	s.locks.ReleaseAll(lockmgr.TxnID(dxid))
+	s.closeTxn(dxid)
+}
+
+// TruncateMapping discards mapping entries below the distributed horizon.
+func (s *Segment) TruncateMapping(horizon dtm.DXID) int {
+	return s.mapping.Truncate(horizon)
+}
+
+// KillTxn marks dxid as a deadlock victim in this segment's lock table.
+func (s *Segment) KillTxn(dxid dtm.DXID) {
+	s.locks.Kill(lockmgr.TxnID(dxid))
+}
+
+// accessPenalty models the buffer-cache miss cost of a point access when a
+// segment's share of a table exceeds the cache (Fig. 13 experiment).
+func (s *Segment) accessPenalty(st *segTable) {
+	if s.cfg.CacheRows <= 0 || s.cfg.DiskDelay <= 0 {
+		return
+	}
+	n := int64(st.engine.RowCount())
+	if n <= s.cfg.CacheRows {
+		return
+	}
+	miss := float64(n-s.cfg.CacheRows) / float64(n)
+	d := time.Duration(float64(s.cfg.DiskDelay) * miss)
+	if d <= 0 {
+		return
+	}
+	s.diskSem <- struct{}{}
+	simDelay(d)
+	<-s.diskSem
+}
+
+// ---- visibility plumbing ----
+
+// storeAccess implements exec.StoreAccess for one (statement, segment).
+type storeAccess struct {
+	seg   *Segment
+	dxid  dtm.DXID
+	st    *segTxn
+	check *txn.VisibilityChecker
+}
+
+// newAccess builds the statement's view: a fresh local snapshot combined
+// with the distributed snapshot through the xid mapping.
+func (s *Segment) newAccess(dxid dtm.DXID, snap *dtm.DistSnapshot) *storeAccess {
+	st := s.beginLocal(dxid)
+	view := &dtm.View{Mapping: s.mapping, Snap: snap, SelfLocal: st.local, SelfDist: dxid}
+	return &storeAccess{
+		seg:  s,
+		dxid: dxid,
+		st:   st,
+		check: &txn.VisibilityChecker{
+			Mgr:  s.txns,
+			Snap: s.txns.TakeSnapshot(),
+			Dist: view,
+			Self: st.local,
+		},
+	}
+}
+
+// lockRelation takes the local relation lock for a statement.
+func (a *storeAccess) lockRelation(ctx context.Context, t *catalog.Table, mode lockmgr.Mode) error {
+	return a.seg.locks.Acquire(ctx, lockmgr.TxnID(a.dxid), lockmgr.RelationTag(uint64(t.ID)), mode)
+}
+
+// ScanTable implements exec.StoreAccess. With forUpdate set, only rows the
+// caller keeps (i.e. that pass the statement's filter) are row-locked.
+func (a *storeAccess) ScanTable(ctx context.Context, leaf catalog.TableID, forUpdate bool, fn func(row types.Row) (keep, cont bool, err error)) error {
+	st, err := a.seg.table(leaf)
+	if err != nil {
+		return err
+	}
+	mode := lockmgr.AccessShare
+	if forUpdate {
+		mode = lockmgr.RowShare
+	}
+	if err := a.lockRelation(ctx, st.meta, mode); err != nil {
+		return err
+	}
+	var iterErr error
+	st.engine.ForEach(func(h storage.Header, row types.Row) bool {
+		select {
+		case <-ctx.Done():
+			iterErr = ctx.Err()
+			return false
+		default:
+		}
+		if !a.check.Visible(h.Xmin, h.Xmax) {
+			return true
+		}
+		keep, cont, err := fn(row)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		if keep && forUpdate {
+			if err := a.seg.lockRowForUpdate(ctx, a, st, h.TID); err != nil {
+				iterErr = err
+				return false
+			}
+		}
+		return cont
+	})
+	return iterErr
+}
+
+// IndexLookup implements exec.StoreAccess.
+func (a *storeAccess) IndexLookup(ctx context.Context, t *catalog.Table, def *catalog.Index, key []types.Datum, forUpdate bool, fn func(row types.Row) (bool, error)) error {
+	for _, leaf := range leafIDs(t) {
+		st, err := a.seg.table(leaf)
+		if err != nil {
+			return err
+		}
+		mode := lockmgr.AccessShare
+		if forUpdate {
+			mode = lockmgr.RowShare
+		}
+		if err := a.lockRelation(ctx, st.meta, mode); err != nil {
+			return err
+		}
+		var ix *segIndex
+		for _, cand := range st.indexes {
+			if cand.def.Name == def.Name {
+				ix = cand
+				break
+			}
+		}
+		if ix == nil {
+			return fmt.Errorf("cluster: index %q missing on segment %d", def.Name, a.seg.id)
+		}
+		a.seg.accessPenalty(st)
+		for _, tid := range ix.ix.Lookup(key) {
+			h, row, ok := st.engine.Fetch(tid)
+			if !ok || !ix.ix.Matches(row, key) {
+				continue
+			}
+			if !a.check.Visible(h.Xmin, h.Xmax) {
+				continue
+			}
+			if forUpdate {
+				if err := a.seg.lockRowForUpdate(ctx, a, st, h.TID); err != nil {
+					return err
+				}
+			}
+			cont, err := fn(row)
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// lockRowForUpdate implements SELECT ... FOR UPDATE row locking: wait out
+// any uncommitted writer of the row (a solid transaction-lock edge), then
+// hold the tuple lock until transaction end.
+func (s *Segment) lockRowForUpdate(ctx context.Context, a *storeAccess, st *segTable, tid storage.TupleID) error {
+	me := lockmgr.TxnID(a.dxid)
+	tag := lockmgr.TupleTag(uint64(st.leaf), uint64(tid))
+	if err := s.locks.Acquire(ctx, me, tag, lockmgr.Exclusive); err != nil {
+		return err
+	}
+	for {
+		h, _, ok := st.engine.Fetch(tid)
+		if !ok {
+			return nil
+		}
+		if h.Xmax == txn.InvalidXID || h.Xmax == a.st.local {
+			return nil
+		}
+		switch s.txns.Status(h.Xmax) {
+		case txn.StatusAborted:
+			st.engine.ClearXmax(tid, h.Xmax)
+			return nil
+		case txn.StatusCommitted:
+			// The row was deleted/updated under us; read-committed FOR
+			// UPDATE follows to completion and simply accepts the row is
+			// gone for this statement.
+			return nil
+		default:
+			holderDist, okm := s.mapping.DistFor(h.Xmax)
+			if !okm {
+				return fmt.Errorf("cluster: no mapping for in-progress writer %d", h.Xmax)
+			}
+			holder := lockmgr.TxnID(holderDist)
+			if err := s.locks.Acquire(ctx, me, lockmgr.TransactionTag(holder), lockmgr.Share); err != nil {
+				return err
+			}
+			s.locks.Release(me, lockmgr.TransactionTag(holder))
+		}
+	}
+}
+
+// EngineForTest exposes a leaf's storage engine to internal diagnostics.
+func (s *Segment) EngineForTest(leaf catalog.TableID) storage.Engine {
+	st, err := s.table(leaf)
+	if err != nil {
+		return nil
+	}
+	return st.engine
+}

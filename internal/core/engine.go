@@ -1,0 +1,152 @@
+// Package core ties the whole system together: an Engine owns a cluster
+// (coordinator + segments), and Sessions drive the SQL pipeline — parse,
+// plan (with the OLTP/OLAP optimizer choice), coordinator locking, dispatch,
+// execution, and transaction control with one-phase/two-phase commit.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/cluster"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Engine is one running database instance.
+type Engine struct {
+	cluster *cluster.Cluster
+}
+
+// NewEngine boots an engine over the given cluster configuration.
+func NewEngine(cfg *cluster.Config) *Engine {
+	return &Engine{cluster: cluster.New(cfg)}
+}
+
+// Close shuts down background daemons.
+func (e *Engine) Close() { e.cluster.Close() }
+
+// Cluster exposes the underlying cluster for tests and benchmarks.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns names the result columns (SELECT/EXPLAIN only).
+	Columns []string
+	// Rows holds result tuples (SELECT/EXPLAIN only).
+	Rows []types.Row
+	// RowsAffected counts tuples written by DML.
+	RowsAffected int
+	// Tag is the command tag, e.g. "SELECT", "INSERT", "COMMIT".
+	Tag string
+}
+
+// applyCreateTable converts the AST to a catalog table and instantiates it.
+func (e *Engine) applyCreateTable(st *sql.CreateTableStmt) error {
+	if st.IfNotExists && e.cluster.Catalog().HasTable(st.Name) {
+		return nil
+	}
+	cols := make([]types.Column, len(st.Columns))
+	for i, c := range st.Columns {
+		cols[i] = types.Column{Name: strings.ToLower(c.Name), Kind: c.Kind}
+	}
+	t := &catalog.Table{
+		Name:         strings.ToLower(st.Name),
+		Schema:       &types.Schema{Columns: cols},
+		Storage:      catalog.Storage(st.Storage),
+		PartitionCol: -1,
+	}
+	switch st.Distribution {
+	case sql.DistributeHash:
+		t.Distribution = catalog.DistHash
+		if len(st.DistKeys) == 0 {
+			return fmt.Errorf("core: DISTRIBUTED BY requires key columns")
+		}
+		for _, k := range st.DistKeys {
+			i := t.Schema.ColumnIndex(k)
+			if i < 0 {
+				return fmt.Errorf("core: distribution key %q is not a column", k)
+			}
+			t.DistKeyCols = append(t.DistKeyCols, i)
+		}
+	case sql.DistributeRandomly:
+		t.Distribution = catalog.DistRandom
+	case sql.DistributeReplicated:
+		t.Distribution = catalog.DistReplicated
+	}
+	if st.PartitionBy != "" {
+		i := t.Schema.ColumnIndex(st.PartitionBy)
+		if i < 0 {
+			return fmt.Errorf("core: partition key %q is not a column", st.PartitionBy)
+		}
+		t.PartitionCol = i
+		kind := t.Schema.Columns[i].Kind
+		for _, pd := range st.Partitions {
+			start, err := pd.Start.CastTo(kind)
+			if err != nil {
+				return fmt.Errorf("core: partition %q start: %w", pd.Name, err)
+			}
+			end, err := pd.End.CastTo(kind)
+			if err != nil {
+				return fmt.Errorf("core: partition %q end: %w", pd.Name, err)
+			}
+			if types.Compare(start, end) >= 0 {
+				return fmt.Errorf("core: partition %q has empty range", pd.Name)
+			}
+			t.Partitions = append(t.Partitions, catalog.Partition{
+				Name:    strings.ToLower(pd.Name),
+				Start:   start,
+				End:     end,
+				Storage: catalog.Storage(pd.Storage),
+			})
+		}
+		if len(t.Partitions) == 0 {
+			return fmt.Errorf("core: PARTITION BY requires at least one partition")
+		}
+	}
+	return e.cluster.ApplyCreateTable(t)
+}
+
+// applyResourceGroup converts CREATE RESOURCE GROUP options.
+func (e *Engine) applyResourceGroup(st *sql.CreateResourceGroupStmt) error {
+	def := &catalog.ResourceGroupDef{Name: strings.ToLower(st.Name), Concurrency: 20, MemSharedQuota: 20}
+	for _, opt := range st.Options {
+		switch opt.Name {
+		case "CONCURRENCY":
+			def.Concurrency = atoiDefault(opt.Value, 20)
+		case "CPU_RATE_LIMIT":
+			def.CPURateLimit = atoiDefault(opt.Value, 20)
+		case "CPUSET":
+			def.CPUSet = opt.Value
+		case "MEMORY_LIMIT":
+			def.MemoryLimit = atoiDefault(opt.Value, 10)
+		case "MEMORY_SHARED_QUOTA":
+			def.MemSharedQuota = atoiDefault(opt.Value, 20)
+		case "MEMORY_SPILL_RATIO":
+			def.MemSpillRatio = atoiDefault(opt.Value, 0)
+		default:
+			return fmt.Errorf("core: unknown resource group option %q", opt.Name)
+		}
+	}
+	return e.cluster.ApplyCreateResourceGroup(def)
+}
+
+func atoiDefault(s string, def int) int {
+	n := 0
+	neg := false
+	for i, ch := range s {
+		if i == 0 && ch == '-' {
+			neg = true
+			continue
+		}
+		if ch < '0' || ch > '9' {
+			return def
+		}
+		n = n*10 + int(ch-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n
+}

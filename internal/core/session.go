@@ -1,0 +1,497 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/cluster"
+	"repro/internal/lockmgr"
+	"repro/internal/plan"
+	"repro/internal/resgroup"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// ErrTxnAborted is returned for statements issued inside a failed explicit
+// transaction before ROLLBACK.
+var ErrTxnAborted = errors.New("core: current transaction is aborted, commands ignored until end of transaction block")
+
+// Session is one client connection. Sessions are not safe for concurrent
+// use; open one per worker goroutine.
+type Session struct {
+	engine *Engine
+	role   *catalog.Role
+
+	optimizer plan.Optimizer
+	settings  map[string]string
+
+	// Transaction state.
+	txn      *cluster.LiveTxn
+	explicit bool
+	failed   bool
+
+	// Resource-group integration (enabled via UseResourceGroup).
+	useRG    bool
+	slot     *resgroup.Slot
+	stmtCPU  time.Duration // CPU charged once per statement
+	batchCPU time.Duration // CPU charged per executor row batch
+}
+
+// NewSession opens a session for the given role (empty = gpadmin).
+func (e *Engine) NewSession(roleName string) (*Session, error) {
+	if roleName == "" {
+		roleName = "gpadmin"
+	}
+	r, err := e.cluster.Catalog().Role(roleName)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		engine:   e,
+		role:     r,
+		settings: make(map[string]string),
+	}, nil
+}
+
+// UseResourceGroup toggles resource-group enforcement for this session's
+// statements, with the given per-statement and per-row-batch CPU costs.
+func (s *Session) UseResourceGroup(enabled bool, stmtCPU, batchCPU time.Duration) {
+	s.useRG = enabled
+	s.stmtCPU = stmtCPU
+	s.batchCPU = batchCPU
+}
+
+// SetOptimizer selects the planner ("postgres" = OLTP, "orca" = OLAP).
+func (s *Session) SetOptimizer(name string) error {
+	switch strings.ToLower(name) {
+	case "postgres", "oltp", "off":
+		s.optimizer = plan.OptimizerOLTP
+	case "orca", "olap", "on":
+		s.optimizer = plan.OptimizerOLAP
+	default:
+		return fmt.Errorf("core: unknown optimizer %q", name)
+	}
+	return nil
+}
+
+// InTxn reports whether an explicit transaction block is open.
+func (s *Session) InTxn() bool { return s.txn != nil && s.explicit }
+
+// Exec parses and executes a single statement with optional $N parameters.
+func (s *Session) Exec(ctx context.Context, sqlText string, params ...types.Datum) (*Result, error) {
+	st, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecParsed(ctx, st, params...)
+}
+
+// ExecScript runs a semicolon-separated script, stopping at the first error.
+func (s *Session) ExecScript(ctx context.Context, script string) error {
+	stmts, err := sql.ParseAll(script)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		if _, err := s.ExecParsed(ctx, st); err != nil {
+			return fmt.Errorf("core: executing %q: %w", st.String(), err)
+		}
+	}
+	return nil
+}
+
+// ExecParsed executes an already-parsed statement.
+func (s *Session) ExecParsed(ctx context.Context, st sql.Statement, params ...types.Datum) (*Result, error) {
+	// Transaction control is always allowed.
+	switch st.(type) {
+	case *sql.BeginStmt:
+		return s.execBegin(ctx)
+	case *sql.CommitStmt:
+		return s.execCommit()
+	case *sql.RollbackStmt:
+		return s.execRollback()
+	}
+	if s.failed {
+		return nil, ErrTxnAborted
+	}
+
+	implicit := s.txn == nil
+	if implicit {
+		if err := s.beginTxn(ctx, false); err != nil {
+			return nil, err
+		}
+	}
+	res, err := s.execStatement(ctx, st, params)
+	if err != nil {
+		// Statement failure aborts the transaction (deadlock victims and
+		// cancelled queries must release their locks to unblock others).
+		s.abortCurrent()
+		if !implicit {
+			// Explicit block: subsequent statements fail until ROLLBACK.
+			s.failed = true
+			s.explicit = true
+		}
+		return nil, err
+	}
+	if implicit {
+		if _, cerr := s.commitCurrent(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return res, nil
+}
+
+func (s *Session) execBegin(ctx context.Context) (*Result, error) {
+	if s.txn != nil {
+		return nil, errors.New("core: there is already a transaction in progress")
+	}
+	s.failed = false
+	if err := s.beginTxn(ctx, true); err != nil {
+		return nil, err
+	}
+	return &Result{Tag: "BEGIN"}, nil
+}
+
+func (s *Session) execCommit() (*Result, error) {
+	if s.failed {
+		// COMMIT of a failed transaction is a rollback.
+		s.failed = false
+		s.abortCurrent()
+		return &Result{Tag: "ROLLBACK"}, nil
+	}
+	if s.txn == nil {
+		return &Result{Tag: "COMMIT"}, nil
+	}
+	if _, err := s.commitCurrent(); err != nil {
+		return nil, err
+	}
+	return &Result{Tag: "COMMIT"}, nil
+}
+
+func (s *Session) execRollback() (*Result, error) {
+	s.failed = false
+	s.abortCurrent()
+	return &Result{Tag: "ROLLBACK"}, nil
+}
+
+func (s *Session) beginTxn(ctx context.Context, explicit bool) error {
+	if s.useRG && s.slot == nil {
+		g, ok := s.engine.cluster.Groups().Group(s.role.ResourceGroup)
+		if !ok {
+			return fmt.Errorf("core: resource group %q not running", s.role.ResourceGroup)
+		}
+		slot, err := g.Admit(ctx)
+		if err != nil {
+			return err
+		}
+		s.slot = slot
+	}
+	s.txn = s.engine.cluster.BeginTxn()
+	s.explicit = explicit
+	return nil
+}
+
+func (s *Session) commitCurrent() (int, error) {
+	t := s.txn
+	s.txn = nil
+	s.explicit = false
+	defer s.releaseSlot()
+	if t == nil {
+		return 0, nil
+	}
+	_, err := s.engine.cluster.CommitTxn(t)
+	return 0, err
+}
+
+func (s *Session) abortCurrent() {
+	t := s.txn
+	s.txn = nil
+	s.explicit = false
+	defer s.releaseSlot()
+	if t != nil {
+		s.engine.cluster.AbortTxn(t)
+	}
+}
+
+func (s *Session) releaseSlot() {
+	if s.slot != nil {
+		s.slot.Release()
+		s.slot = nil
+	}
+}
+
+// resources builds the per-statement executor hooks.
+func (s *Session) resources() *cluster.QueryResources {
+	if !s.useRG || s.slot == nil {
+		return nil
+	}
+	return &cluster.QueryResources{Mem: s.slot, CPU: s.slot, CPUBatchCost: s.batchCPU}
+}
+
+// chargeStmtCPU pays the per-statement CPU quantum under the session's
+// resource group.
+func (s *Session) chargeStmtCPU(ctx context.Context) error {
+	if !s.useRG || s.slot == nil || s.stmtCPU <= 0 {
+		return nil
+	}
+	return s.slot.ChargeCPU(ctx, s.stmtCPU)
+}
+
+func (s *Session) planner(params []types.Datum) *plan.Planner {
+	return &plan.Planner{
+		Catalog:     s.engine.cluster.Catalog(),
+		NumSegments: s.engine.cluster.Config().NumSegments,
+		Optimizer:   s.optimizer,
+		Stats:       s.engine.cluster,
+		Params:      params,
+	}
+}
+
+// execStatement runs one non-transaction-control statement inside s.txn.
+func (s *Session) execStatement(ctx context.Context, st sql.Statement, params []types.Datum) (*Result, error) {
+	cl := s.engine.cluster
+	cfg := cl.Config()
+	switch x := st.(type) {
+	case *sql.SelectStmt:
+		pl, err := s.planner(params).PlanSelect(x)
+		if err != nil {
+			return nil, err
+		}
+		if pl.ForUpdate && !cfg.GDD {
+			// GPDB 5 locking: FOR UPDATE serializes at the coordinator.
+			pl.LockModeLevel = 7
+		}
+		if pl.LockTable != "" {
+			if err := cl.LockCoordinator(ctx, s.txn, pl.LockTable, lockModeOf(pl.LockModeLevel)); err != nil {
+				return nil, wrapLockErr(err)
+			}
+		}
+		if err := s.chargeStmtCPU(ctx); err != nil {
+			return nil, err
+		}
+		rows, schema, err := cl.RunSelect(ctx, s.txn, cl.Snapshot(), pl, s.resources())
+		if err != nil {
+			return nil, wrapLockErr(err)
+		}
+		return &Result{Columns: columnNames(schema), Rows: rows, Tag: "SELECT"}, nil
+
+	case *sql.InsertStmt:
+		pl, err := s.planner(params).PlanInsert(x)
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.LockCoordinator(ctx, s.txn, pl.LockTable, lockModeOf(pl.LockModeLevel)); err != nil {
+			return nil, wrapLockErr(err)
+		}
+		if err := s.chargeStmtCPU(ctx); err != nil {
+			return nil, err
+		}
+		ip := pl.Root.(*plan.InsertPlan)
+		n, err := cl.RunInsert(ctx, s.txn, cl.Snapshot(), ip, s.resources())
+		if err != nil {
+			return nil, wrapLockErr(err)
+		}
+		return &Result{RowsAffected: n, Tag: fmt.Sprintf("INSERT 0 %d", n)}, nil
+
+	case *sql.UpdateStmt:
+		pl, err := s.planner(params).PlanUpdate(x, cfg.GDD)
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.LockCoordinator(ctx, s.txn, pl.LockTable, lockModeOf(pl.LockModeLevel)); err != nil {
+			return nil, wrapLockErr(err)
+		}
+		if err := s.chargeStmtCPU(ctx); err != nil {
+			return nil, err
+		}
+		up := pl.Root.(*plan.UpdatePlan)
+		n, err := cl.RunUpdate(ctx, s.txn, cl.Snapshot(), up, pl.DirectSegment)
+		if err != nil {
+			return nil, wrapLockErr(err)
+		}
+		return &Result{RowsAffected: n, Tag: fmt.Sprintf("UPDATE %d", n)}, nil
+
+	case *sql.DeleteStmt:
+		pl, err := s.planner(params).PlanDelete(x, cfg.GDD)
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.LockCoordinator(ctx, s.txn, pl.LockTable, lockModeOf(pl.LockModeLevel)); err != nil {
+			return nil, wrapLockErr(err)
+		}
+		if err := s.chargeStmtCPU(ctx); err != nil {
+			return nil, err
+		}
+		dp := pl.Root.(*plan.DeletePlan)
+		n, err := cl.RunDelete(ctx, s.txn, cl.Snapshot(), dp, pl.DirectSegment)
+		if err != nil {
+			return nil, wrapLockErr(err)
+		}
+		return &Result{RowsAffected: n, Tag: fmt.Sprintf("DELETE %d", n)}, nil
+
+	case *sql.LockStmt:
+		mode := lockmgr.ModeForName(x.Mode)
+		if mode == 0 {
+			return nil, fmt.Errorf("core: unknown lock mode %q", x.Mode)
+		}
+		if err := cl.LockTableEverywhere(ctx, s.txn, x.Table, int(mode)); err != nil {
+			return nil, wrapLockErr(err)
+		}
+		return &Result{Tag: "LOCK TABLE"}, nil
+
+	case *sql.ExplainStmt:
+		return s.execExplain(x, params)
+
+	case *sql.CreateTableStmt:
+		if err := s.engine.applyCreateTable(x); err != nil {
+			return nil, err
+		}
+		return &Result{Tag: "CREATE TABLE"}, nil
+
+	case *sql.DropTableStmt:
+		if x.IfExists && !cl.Catalog().HasTable(x.Name) {
+			return &Result{Tag: "DROP TABLE"}, nil
+		}
+		if err := cl.ApplyDropTable(x.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Tag: "DROP TABLE"}, nil
+
+	case *sql.TruncateStmt:
+		if err := cl.ApplyTruncate(ctx, s.txn, x.Name); err != nil {
+			return nil, wrapLockErr(err)
+		}
+		return &Result{Tag: "TRUNCATE TABLE"}, nil
+
+	case *sql.CreateIndexStmt:
+		t, err := cl.Catalog().Table(x.Table)
+		if err != nil {
+			return nil, err
+		}
+		idx := &catalog.Index{Name: strings.ToLower(x.Name)}
+		for _, c := range x.Columns {
+			i := t.Schema.ColumnIndex(c)
+			if i < 0 {
+				return nil, fmt.Errorf("core: column %q of table %q does not exist", c, x.Table)
+			}
+			idx.Columns = append(idx.Columns, i)
+		}
+		if err := cl.ApplyCreateIndex(ctx, s.txn, x.Table, idx); err != nil {
+			return nil, wrapLockErr(err)
+		}
+		return &Result{Tag: "CREATE INDEX"}, nil
+
+	case *sql.VacuumStmt:
+		n, err := cl.Vacuum(x.Table)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{RowsAffected: n, Tag: "VACUUM"}, nil
+
+	case *sql.CreateResourceGroupStmt:
+		if err := s.engine.applyResourceGroup(x); err != nil {
+			return nil, err
+		}
+		return &Result{Tag: "CREATE RESOURCE GROUP"}, nil
+
+	case *sql.DropResourceGroupStmt:
+		if err := cl.ApplyDropResourceGroup(x.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Tag: "DROP RESOURCE GROUP"}, nil
+
+	case *sql.CreateRoleStmt:
+		if err := cl.Catalog().CreateRole(x.Name, x.ResourceGroup); err != nil {
+			return nil, err
+		}
+		return &Result{Tag: "CREATE ROLE"}, nil
+
+	case *sql.AlterRoleStmt:
+		if err := cl.Catalog().AlterRole(x.Name, x.ResourceGroup); err != nil {
+			return nil, err
+		}
+		return &Result{Tag: "ALTER ROLE"}, nil
+
+	case *sql.SetStmt:
+		if strings.EqualFold(x.Name, "optimizer") {
+			if err := s.SetOptimizer(x.Value); err != nil {
+				return nil, err
+			}
+		}
+		s.settings[strings.ToLower(x.Name)] = x.Value
+		return &Result{Tag: "SET"}, nil
+
+	default:
+		return nil, fmt.Errorf("core: unsupported statement %T", st)
+	}
+}
+
+func (s *Session) execExplain(x *sql.ExplainStmt, params []types.Datum) (*Result, error) {
+	p := s.planner(params)
+	var root plan.Node
+	switch t := x.Target.(type) {
+	case *sql.SelectStmt:
+		pl, err := p.PlanSelect(t)
+		if err != nil {
+			return nil, err
+		}
+		root = pl.Root
+	case *sql.InsertStmt:
+		pl, err := p.PlanInsert(t)
+		if err != nil {
+			return nil, err
+		}
+		root = pl.Root
+	case *sql.UpdateStmt:
+		pl, err := p.PlanUpdate(t, s.engine.cluster.Config().GDD)
+		if err != nil {
+			return nil, err
+		}
+		root = pl.Root
+	case *sql.DeleteStmt:
+		pl, err := p.PlanDelete(t, s.engine.cluster.Config().GDD)
+		if err != nil {
+			return nil, err
+		}
+		root = pl.Root
+	default:
+		return nil, fmt.Errorf("core: cannot EXPLAIN %T", x.Target)
+	}
+	text := plan.Explain(root)
+	res := &Result{Columns: []string{"QUERY PLAN"}, Tag: "EXPLAIN"}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		res.Rows = append(res.Rows, types.Row{types.NewText(line)})
+	}
+	return res, nil
+}
+
+func columnNames(s *types.Schema) []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func lockModeOf(level int) lockmgr.Mode {
+	if level < 1 || level > 8 {
+		return lockmgr.AccessShare
+	}
+	return lockmgr.Mode(level)
+}
+
+// wrapLockErr annotates deadlock-victim errors with the PostgreSQL-style
+// message users grep for.
+func wrapLockErr(err error) error {
+	if errors.Is(err, lockmgr.ErrDeadlockVictim) {
+		return fmt.Errorf("deadlock detected: %w", err)
+	}
+	return err
+}

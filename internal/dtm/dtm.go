@@ -1,0 +1,135 @@
+// Package dtm implements distributed transaction management (paper §5):
+// coordinator-assigned distributed transaction identifiers, distributed
+// snapshots (the in-progress dxid list plus the largest committed dxid), the
+// two-phase commit protocol, and the one-phase commit optimization for
+// transactions that write exactly one segment.
+package dtm
+
+import (
+	"sync"
+)
+
+// DXID is a distributed transaction identifier: a monotonically increasing
+// integer assigned by the coordinator (paper §5). 0 is invalid.
+type DXID uint64
+
+// InvalidDXID is the zero distributed xid.
+const InvalidDXID DXID = 0
+
+// DistSnapshot is a distributed snapshot: every dxid in InProgress was
+// running when the snapshot was created; MaxCommitted is the largest dxid
+// committed at creation time; Xmax is the next dxid to be assigned.
+type DistSnapshot struct {
+	Xmax         DXID
+	MaxCommitted DXID
+	InProgress   map[DXID]struct{}
+}
+
+// Sees reports whether the snapshot considers dxid committed-before-snapshot.
+func (s *DistSnapshot) Sees(dxid DXID) bool {
+	if dxid == InvalidDXID || dxid >= s.Xmax {
+		return false
+	}
+	if _, running := s.InProgress[dxid]; running {
+		return false
+	}
+	// Not in-progress and older than xmax: it completed before the snapshot.
+	// Aborted transactions never reach MaxCommitted but their tuples are
+	// filtered by the local clog on each segment; treating "completed" as
+	// visible here is safe because visibility conjuncts with the local
+	// commit status (see txn.VisibilityChecker).
+	return true
+}
+
+// Coordinator is the coordinator-side distributed transaction state.
+type Coordinator struct {
+	mu           sync.Mutex
+	nextDxid     DXID
+	inProgress   map[DXID]struct{}
+	maxCommitted DXID
+}
+
+// NewCoordinator returns a coordinator whose first transaction gets dxid 1.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{
+		nextDxid:   1,
+		inProgress: make(map[DXID]struct{}),
+	}
+}
+
+// Begin assigns a new distributed transaction id.
+func (c *Coordinator) Begin() DXID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.nextDxid
+	c.nextDxid++
+	c.inProgress[d] = struct{}{}
+	return d
+}
+
+// Snapshot captures the distributed in-progress set. Called per statement
+// (read committed) by the session layer.
+func (c *Coordinator) Snapshot() *DistSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &DistSnapshot{
+		Xmax:         c.nextDxid,
+		MaxCommitted: c.maxCommitted,
+		InProgress:   make(map[DXID]struct{}, len(c.inProgress)),
+	}
+	for d := range c.inProgress {
+		s.InProgress[d] = struct{}{}
+	}
+	return s
+}
+
+// MarkCommitted removes dxid from the in-progress set after the commit
+// protocol fully acknowledges — for 1PC, only after "Commit OK" arrives
+// (paper §5.2), so concurrent snapshots keep seeing it as running until the
+// segment has durably committed.
+func (c *Coordinator) MarkCommitted(dxid DXID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.inProgress, dxid)
+	if dxid > c.maxCommitted {
+		c.maxCommitted = dxid
+	}
+}
+
+// MarkAborted removes dxid from the in-progress set without advancing
+// MaxCommitted.
+func (c *Coordinator) MarkAborted(dxid DXID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.inProgress, dxid)
+}
+
+// OldestInProgress returns the smallest running dxid (or nextDxid when
+// idle); segments truncate their local↔distributed mapping below it.
+func (c *Coordinator) OldestInProgress() DXID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	oldest := c.nextDxid
+	for d := range c.inProgress {
+		if d < oldest {
+			oldest = d
+		}
+	}
+	return oldest
+}
+
+// IsInProgress reports whether dxid is still in the coordinator's
+// in-progress set (i.e. its commit protocol has not fully acknowledged).
+func (c *Coordinator) IsInProgress(dxid DXID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.inProgress[dxid]
+	return ok
+}
+
+// InProgressCount returns the number of live distributed transactions.
+func (c *Coordinator) InProgressCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.inProgress)
+}

@@ -1,0 +1,123 @@
+package dtm
+
+import (
+	"sync"
+
+	"repro/internal/txn"
+)
+
+// XidMapping is a segment's local↔distributed transaction id map (paper
+// §5.1). Every local transaction created on behalf of a distributed one
+// registers here; scans consult it to translate a tuple's stamping local xid
+// into a distributed xid for distributed-snapshot checks.
+//
+// The mapping is truncated up to the oldest distributed transaction that any
+// live distributed snapshot can still see as running; below that horizon a
+// segment falls back to purely local visibility (local xid + local
+// snapshot), which is then equivalent.
+type XidMapping struct {
+	mu       sync.RWMutex
+	toDist   map[txn.XID]DXID
+	toLocal  map[DXID]txn.XID
+	truncAt  DXID // entries with dxid < truncAt have been discarded
+	inserted int64
+	removed  int64
+}
+
+// NewXidMapping returns an empty mapping.
+func NewXidMapping() *XidMapping {
+	return &XidMapping{
+		toDist:  make(map[txn.XID]DXID),
+		toLocal: make(map[DXID]txn.XID),
+	}
+}
+
+// Register records that local xid implements distributed dxid on this
+// segment.
+func (m *XidMapping) Register(local txn.XID, dxid DXID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.toDist[local] = dxid
+	m.toLocal[dxid] = local
+	m.inserted++
+}
+
+// DistFor returns the distributed xid for a local xid, if the entry is still
+// retained.
+func (m *XidMapping) DistFor(local txn.XID) (DXID, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	d, ok := m.toDist[local]
+	return d, ok
+}
+
+// LocalFor returns the local xid implementing dxid on this segment.
+func (m *XidMapping) LocalFor(dxid DXID) (txn.XID, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	l, ok := m.toLocal[dxid]
+	return l, ok
+}
+
+// Truncate discards entries with dxid < horizon, keeping the metadata small
+// (paper: "segments use this logic to frequently truncate the mapping
+// meta-data"). It returns the number of entries removed.
+func (m *XidMapping) Truncate(horizon DXID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if horizon <= m.truncAt {
+		return 0
+	}
+	m.truncAt = horizon
+	n := 0
+	for d, l := range m.toLocal {
+		if d < horizon {
+			delete(m.toLocal, d)
+			delete(m.toDist, l)
+			n++
+		}
+	}
+	m.removed += int64(n)
+	return n
+}
+
+// Len returns the number of live entries.
+func (m *XidMapping) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.toDist)
+}
+
+// Stats returns cumulative insert/remove counters (for tests and metrics).
+func (m *XidMapping) Stats() (inserted, removed int64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.inserted, m.removed
+}
+
+// View binds a mapping and a distributed snapshot into the DistributedView
+// the visibility checker consumes for one statement.
+type View struct {
+	Mapping *XidMapping
+	Snap    *DistSnapshot
+	// SelfLocal/SelfDist let a statement see its own transaction's writes.
+	SelfLocal txn.XID
+	SelfDist  DXID
+}
+
+// DistXidFor implements txn.DistributedView.
+func (v *View) DistXidFor(local txn.XID) (uint64, bool) {
+	if local == v.SelfLocal && local != txn.InvalidXID {
+		return uint64(v.SelfDist), true
+	}
+	d, ok := v.Mapping.DistFor(local)
+	return uint64(d), ok
+}
+
+// DistSees implements txn.DistributedView.
+func (v *View) DistSees(dist uint64) bool {
+	if DXID(dist) == v.SelfDist && v.SelfDist != InvalidDXID {
+		return true
+	}
+	return v.Snap.Sees(DXID(dist))
+}

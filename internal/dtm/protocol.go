@@ -1,0 +1,148 @@
+package dtm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Participant is one segment's commit-protocol endpoint. The cluster layer
+// implements it over the simulated interconnect, charging a network round
+// trip per call and an fsync per durable state change.
+type Participant interface {
+	// SegID returns the participant's segment id.
+	SegID() int
+	// Prepare durably prepares the transaction (2PC phase one).
+	Prepare(dxid DXID) error
+	// CommitPrepared durably commits a prepared transaction (phase two).
+	CommitPrepared(dxid DXID) error
+	// AbortPrepared aborts a prepared transaction.
+	AbortPrepared(dxid DXID) error
+	// CommitOnePhase durably commits in a single step (1PC fast path).
+	CommitOnePhase(dxid DXID) error
+	// Abort rolls back an unprepared transaction.
+	Abort(dxid DXID) error
+}
+
+// Protocol names the commit path taken.
+type Protocol string
+
+// Commit protocols.
+const (
+	// ProtocolReadOnly means no segment wrote; nothing to make durable.
+	ProtocolReadOnly Protocol = "read-only"
+	// ProtocolOnePhase is the single-segment fast path (paper §5.2).
+	ProtocolOnePhase Protocol = "one-phase"
+	// ProtocolTwoPhase is the general PREPARE/COMMIT protocol.
+	ProtocolTwoPhase Protocol = "two-phase"
+)
+
+// CommitStats records the cost of one commit for the Fig. 10 experiment.
+type CommitStats struct {
+	Protocol Protocol
+	// Messages counts coordinator→segment protocol messages (each costing a
+	// network round trip, though rounds to different segments overlap).
+	Messages int
+	// Rounds counts sequential message waves (the wall-clock round trips:
+	// 2PC = 2 waves, 1PC = 1).
+	Rounds int
+	// Fsyncs counts durable log writes across the cluster (segment
+	// PREPAREs, the coordinator's commit record, and segment COMMITs).
+	Fsyncs int
+}
+
+// fanOut invokes fn for every participant in parallel (Greenplum dispatches
+// each protocol wave to all participants concurrently) and returns the
+// first error.
+func fanOut(ws []Participant, fn func(Participant) error) error {
+	if len(ws) == 1 {
+		return fn(ws[0])
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(ws))
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w Participant) {
+			defer wg.Done()
+			errs[i] = fn(w)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Commit drives the commit protocol for dxid over the writer participants.
+// With onePhase enabled and exactly one writer, the PREPARE wave and the
+// coordinator commit record are skipped (paper Fig. 10); otherwise full
+// two-phase commit runs and coordLog — when non-nil — durably records the
+// commit decision between the waves. The coordinator's in-progress entry is
+// cleared only after the protocol fully acknowledges.
+func Commit(coord *Coordinator, dxid DXID, writers []Participant, onePhase bool, coordLog ...func()) (CommitStats, error) {
+	switch {
+	case len(writers) == 0:
+		coord.MarkCommitted(dxid)
+		return CommitStats{Protocol: ProtocolReadOnly}, nil
+
+	case onePhase && len(writers) == 1:
+		st := CommitStats{Protocol: ProtocolOnePhase, Messages: 1, Rounds: 1, Fsyncs: 1}
+		// Single COMMIT round trip; one fsync on the participating segment.
+		// No PREPARE fsync on the segment, no commit-record fsync on the
+		// coordinator (paper §5.2).
+		if err := writers[0].CommitOnePhase(dxid); err != nil {
+			coord.MarkAborted(dxid)
+			return st, fmt.Errorf("dtm: one-phase commit on seg %d: %w", writers[0].SegID(), err)
+		}
+		coord.MarkCommitted(dxid)
+		return st, nil
+
+	default:
+		st := CommitStats{Protocol: ProtocolTwoPhase}
+		// Wave one: PREPARE all writers in parallel.
+		st.Messages += len(writers)
+		st.Rounds++
+		if err := fanOut(writers, func(w Participant) error { return w.Prepare(dxid) }); err != nil {
+			// Abort everyone (prepared participants roll back their
+			// prepared state, the rest roll back the live transaction —
+			// both paths are handled by the participant).
+			st.Messages += len(writers)
+			st.Rounds++
+			_ = fanOut(writers, func(w Participant) error {
+				if aerr := w.AbortPrepared(dxid); aerr != nil {
+					return w.Abort(dxid)
+				}
+				return nil
+			})
+			coord.MarkAborted(dxid)
+			return st, fmt.Errorf("dtm: prepare failed: %w", err)
+		}
+		// Coordinator durably records the commit decision.
+		for _, log := range coordLog {
+			if log != nil {
+				log()
+			}
+		}
+		st.Fsyncs += len(writers) + 1
+		// Wave two: COMMIT PREPARED all writers in parallel.
+		st.Messages += len(writers)
+		st.Rounds++
+		st.Fsyncs += len(writers)
+		if err := fanOut(writers, func(w Participant) error { return w.CommitPrepared(dxid) }); err != nil {
+			// The decision is durably committed; a real system retries
+			// until the segment acknowledges. The in-memory participant
+			// cannot fail here.
+			return st, fmt.Errorf("dtm: commit prepared failed: %w", err)
+		}
+		coord.MarkCommitted(dxid)
+		return st, nil
+	}
+}
+
+// Abort rolls back dxid on all writers in parallel.
+func Abort(coord *Coordinator, dxid DXID, writers []Participant) {
+	_ = fanOut(writers, func(w Participant) error { return w.Abort(dxid) })
+	coord.MarkAborted(dxid)
+}

@@ -1,0 +1,321 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// aggState is one aggregate's transition state for one group.
+type aggState struct {
+	count    int64
+	sumInt   int64
+	sumFloat float64
+	isFloat  bool
+	min, max types.Datum
+	seen     map[uint64]struct{} // DISTINCT dedup
+	any      bool
+}
+
+func (st *aggState) add(v types.Datum, distinct bool) {
+	if v.IsNull() {
+		return
+	}
+	if distinct {
+		if st.seen == nil {
+			st.seen = make(map[uint64]struct{})
+		}
+		h := v.Hash()
+		if _, dup := st.seen[h]; dup {
+			return
+		}
+		st.seen[h] = struct{}{}
+	}
+	st.count++
+	if v.Kind() == types.KindFloat {
+		st.isFloat = true
+	}
+	st.sumInt += v.Int()
+	st.sumFloat += v.Float()
+	if !st.any || types.Compare(v, st.min) < 0 {
+		st.min = v
+	}
+	if !st.any || types.Compare(v, st.max) > 0 {
+		st.max = v
+	}
+	st.any = true
+}
+
+func (st *aggState) sumDatum() types.Datum {
+	if !st.any {
+		return types.Null
+	}
+	if st.isFloat {
+		return types.NewFloat(st.sumFloat)
+	}
+	return types.NewInt(st.sumInt)
+}
+
+// group is one hash-agg bucket.
+type group struct {
+	keys   types.Row
+	states []aggState
+}
+
+// aggIter implements plain/partial/final hash aggregation.
+type aggIter struct {
+	ctx    *Context
+	node   *plan.Agg
+	child  Iterator
+	groups map[uint64][]*group
+	order  []*group
+	pos    int
+	loaded bool
+	bytes  int64
+	tick   cpuTick
+}
+
+func newAggIter(ctx *Context, node *plan.Agg, child Iterator) *aggIter {
+	return &aggIter{ctx: ctx, node: node, child: child,
+		groups: make(map[uint64][]*group), tick: cpuTick{ctx: ctx}}
+}
+
+func (a *aggIter) findGroup(keys types.Row) (*group, error) {
+	cols := make([]int, len(keys))
+	for i := range cols {
+		cols[i] = i
+	}
+	h := keys.Hash(cols)
+	for _, g := range a.groups[h] {
+		if g.keys.Equal(keys) {
+			return g, nil
+		}
+	}
+	g := &group{keys: keys.Clone(), states: make([]aggState, len(a.node.Specs))}
+	if err := a.ctx.grow(keys.Size() + int64(64*len(a.node.Specs))); err != nil {
+		return nil, err
+	}
+	a.bytes += keys.Size() + int64(64*len(a.node.Specs))
+	a.groups[h] = append(a.groups[h], g)
+	a.order = append(a.order, g)
+	return g, nil
+}
+
+func (a *aggIter) load() error {
+	sawRow := false
+	for {
+		row, err := a.child.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := a.tick.tick(); err != nil {
+			return err
+		}
+		sawRow = true
+		keys := make(types.Row, len(a.node.GroupBy))
+		for i, g := range a.node.GroupBy {
+			v, err := g.Eval(row)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		grp, err := a.findGroup(keys)
+		if err != nil {
+			return err
+		}
+		if a.node.Phase == plan.AggFinal {
+			if err := a.mergePartial(grp, row); err != nil {
+				return err
+			}
+		} else {
+			for i, spec := range a.node.Specs {
+				st := &grp.states[i]
+				if spec.Arg == nil { // count(*)
+					st.count++
+					st.any = true
+					continue
+				}
+				v, err := spec.Arg.Eval(row)
+				if err != nil {
+					return err
+				}
+				st.add(v, spec.Distinct)
+			}
+		}
+	}
+	// Scalar aggregate over an empty input still yields one row.
+	if !sawRow && len(a.node.GroupBy) == 0 && len(a.node.Specs) > 0 && a.node.Phase != plan.AggPartial {
+		if _, err := a.findGroup(types.Row{}); err != nil {
+			return err
+		}
+	}
+	if !sawRow && len(a.node.GroupBy) == 0 && len(a.node.Specs) > 0 && a.node.Phase == plan.AggPartial {
+		// Partial scalar agg also emits its (empty) transition row so the
+		// final phase can produce count=0 / sum=NULL.
+		if _, err := a.findGroup(types.Row{}); err != nil {
+			return err
+		}
+	}
+	// Deterministic output order (by group key) helps tests; cheap at the
+	// row counts produced by aggregation.
+	sort.SliceStable(a.order, func(i, j int) bool {
+		ki, kj := a.order[i].keys, a.order[j].keys
+		for c := range ki {
+			if cmp := types.Compare(ki[c], kj[c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	a.loaded = true
+	return nil
+}
+
+// mergePartial folds one partial-layout row into the group (final phase).
+// Partial layout: group cols, then per spec: avg → (sum, count); others →
+// single column.
+func (a *aggIter) mergePartial(grp *group, row types.Row) error {
+	col := len(a.node.GroupBy)
+	for i, spec := range a.node.Specs {
+		st := &grp.states[i]
+		switch spec.Func {
+		case plan.AggAvg:
+			sum, cnt := row[col], row[col+1]
+			col += 2
+			if !cnt.IsNull() && cnt.Int() > 0 {
+				st.count += cnt.Int()
+				st.sumFloat += sum.Float()
+				st.isFloat = true
+				st.any = true
+			}
+		case plan.AggCount:
+			v := row[col]
+			col++
+			if !v.IsNull() {
+				st.count += v.Int()
+				st.any = true
+			}
+		case plan.AggSum:
+			v := row[col]
+			col++
+			if !v.IsNull() {
+				if v.Kind() == types.KindFloat {
+					st.isFloat = true
+				}
+				st.sumInt += v.Int()
+				st.sumFloat += v.Float()
+				st.any = true
+				st.count++
+			}
+		case plan.AggMin:
+			v := row[col]
+			col++
+			if !v.IsNull() {
+				if !st.any || types.Compare(v, st.min) < 0 {
+					st.min = v
+				}
+				st.any = true
+			}
+		case plan.AggMax:
+			v := row[col]
+			col++
+			if !v.IsNull() {
+				if !st.any || types.Compare(v, st.max) > 0 {
+					st.max = v
+				}
+				st.any = true
+			}
+		default:
+			return fmt.Errorf("exec: unknown aggregate %v", spec.Func)
+		}
+	}
+	return nil
+}
+
+func (a *aggIter) emit(grp *group) types.Row {
+	out := make(types.Row, 0, a.node.Schema().Len())
+	out = append(out, grp.keys...)
+	for i, spec := range a.node.Specs {
+		st := &grp.states[i]
+		if a.node.Phase == plan.AggPartial {
+			switch spec.Func {
+			case plan.AggAvg:
+				if st.any {
+					out = append(out, types.NewFloat(st.sumFloat), types.NewInt(st.count))
+				} else {
+					out = append(out, types.Null, types.NewInt(0))
+				}
+			case plan.AggCount:
+				out = append(out, types.NewInt(st.count))
+			case plan.AggSum:
+				out = append(out, st.sumDatum())
+			case plan.AggMin:
+				if st.any {
+					out = append(out, st.min)
+				} else {
+					out = append(out, types.Null)
+				}
+			case plan.AggMax:
+				if st.any {
+					out = append(out, st.max)
+				} else {
+					out = append(out, types.Null)
+				}
+			}
+			continue
+		}
+		switch spec.Func {
+		case plan.AggCount:
+			out = append(out, types.NewInt(st.count))
+		case plan.AggSum:
+			out = append(out, st.sumDatum())
+		case plan.AggAvg:
+			if st.count == 0 {
+				out = append(out, types.Null)
+			} else {
+				out = append(out, types.NewFloat(st.sumFloat/float64(st.count)))
+			}
+		case plan.AggMin:
+			if st.any {
+				out = append(out, st.min)
+			} else {
+				out = append(out, types.Null)
+			}
+		case plan.AggMax:
+			if st.any {
+				out = append(out, st.max)
+			} else {
+				out = append(out, types.Null)
+			}
+		}
+	}
+	return out
+}
+
+func (a *aggIter) Next() (types.Row, error) {
+	if !a.loaded {
+		if err := a.load(); err != nil {
+			return nil, err
+		}
+	}
+	if a.pos >= len(a.order) {
+		return nil, io.EOF
+	}
+	g := a.order[a.pos]
+	a.pos++
+	return a.emit(g), nil
+}
+
+func (a *aggIter) Close() {
+	a.ctx.shrink(a.bytes)
+	a.groups = nil
+	a.order = nil
+	a.child.Close()
+}

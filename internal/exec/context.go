@@ -1,0 +1,96 @@
+// Package exec implements the Volcano-style distributed executor: iterators
+// for every plan node, motion send/receive over the interconnect, two-phase
+// aggregation, hash and nested-loop joins with inner-side prefetch, and
+// memory/CPU accounting hooks for resource groups.
+package exec
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/types"
+)
+
+// StoreAccess is what a slice needs from its segment's storage: scans with
+// MVCC visibility applied and (FOR UPDATE) row locking performed by the
+// segment layer.
+type StoreAccess interface {
+	// ScanTable visits every visible row of the leaf table. fn reports
+	// whether the row matches (keep) and whether to continue (cont). When
+	// forUpdate is set, each KEPT row is locked for the current transaction
+	// before the scan proceeds — rows the filter rejects are never locked.
+	ScanTable(ctx context.Context, leaf catalog.TableID, forUpdate bool, fn func(row types.Row) (keep, cont bool, err error)) error
+	// IndexLookup visits visible rows matching key via the named index.
+	IndexLookup(ctx context.Context, table *catalog.Table, index *catalog.Index, key []types.Datum, forUpdate bool, fn func(row types.Row) (bool, error)) error
+}
+
+// MemAccount abstracts resource-group memory accounting (resgroup.Slot).
+type MemAccount interface {
+	Grow(n int64) error
+	Shrink(n int64)
+}
+
+// CPUCharger abstracts resource-group CPU accounting.
+type CPUCharger interface {
+	ChargeCPU(ctx context.Context, d time.Duration) error
+}
+
+// Receiver yields rows arriving from a sending slice of a motion.
+type Receiver interface {
+	// Recv returns the next row; ok=false means the stream is closed.
+	Recv(ctx context.Context) (types.Row, bool, error)
+}
+
+// Context is the per-slice, per-location execution environment.
+type Context struct {
+	Ctx   context.Context
+	Store StoreAccess // nil in the coordinator slice
+	// Recv returns the receiver for the given sending slice at this
+	// location.
+	Recv func(sliceID int) Receiver
+	Mem  MemAccount
+	CPU  CPUCharger
+	// CPUBatchCost is the simulated CPU time charged per processed batch of
+	// rows; zero disables charging.
+	CPUBatchCost time.Duration
+	// CPUBatchRows is the batch size for CPU charging (default 128).
+	CPUBatchRows int
+	NumSegments  int
+	SegID        int // -1 = coordinator
+}
+
+// grow charges n bytes if accounting is enabled.
+func (c *Context) grow(n int64) error {
+	if c.Mem == nil {
+		return nil
+	}
+	return c.Mem.Grow(n)
+}
+
+func (c *Context) shrink(n int64) {
+	if c.Mem != nil {
+		c.Mem.Shrink(n)
+	}
+}
+
+// cpuTick charges one batch worth of CPU every CPUBatchRows rows.
+type cpuTick struct {
+	ctx  *Context
+	rows int
+}
+
+func (t *cpuTick) tick() error {
+	if t.ctx.CPU == nil || t.ctx.CPUBatchCost <= 0 {
+		return nil
+	}
+	t.rows++
+	batch := t.ctx.CPUBatchRows
+	if batch <= 0 {
+		batch = 128
+	}
+	if t.rows%batch == 0 {
+		return t.ctx.CPU.ChargeCPU(t.ctx.Ctx, t.ctx.CPUBatchCost)
+	}
+	return nil
+}

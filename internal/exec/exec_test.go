@@ -1,0 +1,275 @@
+package exec
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// memStore is an in-memory StoreAccess for executor unit tests.
+type memStore struct {
+	tables map[catalog.TableID][]types.Row
+}
+
+func (m *memStore) ScanTable(_ context.Context, leaf catalog.TableID, _ bool, fn func(types.Row) (bool, bool, error)) error {
+	for _, row := range m.tables[leaf] {
+		_, cont, err := fn(row)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (m *memStore) IndexLookup(_ context.Context, t *catalog.Table, _ *catalog.Index, key []types.Datum, _ bool, fn func(types.Row) (bool, error)) error {
+	for _, row := range m.tables[t.ID] {
+		if types.Compare(row[0], key[0]) == 0 {
+			if cont, err := fn(row); err != nil || !cont {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func intRow(vals ...int64) types.Row {
+	r := make(types.Row, len(vals))
+	for i, v := range vals {
+		r[i] = types.NewInt(v)
+	}
+	return r
+}
+
+func testTable(id catalog.TableID, name string, cols ...string) *catalog.Table {
+	sch := &types.Schema{}
+	for _, c := range cols {
+		sch.Columns = append(sch.Columns, types.Column{Name: c, Kind: types.KindInt})
+	}
+	return &catalog.Table{ID: id, Name: name, Schema: sch, PartitionCol: -1}
+}
+
+func ctxWithStore(store *memStore) *Context {
+	return &Context{Ctx: context.Background(), Store: store, NumSegments: 1, SegID: 0}
+}
+
+func drain(t *testing.T, it Iterator) []types.Row {
+	t.Helper()
+	rows, err := Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestScanFilterProject(t *testing.T) {
+	tab := testTable(1, "t", "a", "b")
+	store := &memStore{tables: map[catalog.TableID][]types.Row{
+		1: {intRow(1, 10), intRow(2, 20), intRow(3, 30)},
+	}}
+	scan := plan.NewScan(tab, []catalog.TableID{1}, &plan.BinOp{
+		Op: ">", Left: &plan.ColRef{Idx: 1}, Right: &plan.Const{Val: types.NewInt(10)}})
+	proj := plan.NewProject(scan, []plan.Expr{
+		&plan.BinOp{Op: "*", Left: &plan.ColRef{Idx: 0}, Right: &plan.Const{Val: types.NewInt(2)}},
+	}, []string{"doubled"})
+	rows := drain(t, Build(ctxWithStore(store), proj))
+	if len(rows) != 2 || rows[0][0].Int() != 4 || rows[1][0].Int() != 6 {
+		t.Fatalf("rows: %v", rows)
+	}
+}
+
+func TestHashJoinInnerAndLeft(t *testing.T) {
+	left := testTable(1, "l", "id", "lv")
+	right := testTable(2, "r", "id", "rv")
+	store := &memStore{tables: map[catalog.TableID][]types.Row{
+		1: {intRow(1, 100), intRow(2, 200), intRow(3, 300)},
+		2: {intRow(1, 11), intRow(3, 33), intRow(3, 34)},
+	}}
+	mk := func(kind plan.JoinKind) *plan.HashJoin {
+		return plan.NewHashJoin(kind,
+			plan.NewScan(left, []catalog.TableID{1}, nil),
+			plan.NewScan(right, []catalog.TableID{2}, nil),
+			[]plan.Expr{&plan.ColRef{Idx: 0}},
+			[]plan.Expr{&plan.ColRef{Idx: 0}},
+			nil)
+	}
+	rows := drain(t, Build(ctxWithStore(store), mk(plan.JoinInner)))
+	if len(rows) != 3 { // 1↔1, 3↔33, 3↔34
+		t.Fatalf("inner join rows: %v", rows)
+	}
+	rows = drain(t, Build(ctxWithStore(store), mk(plan.JoinLeft)))
+	if len(rows) != 4 {
+		t.Fatalf("left join rows: %v", rows)
+	}
+	var sawNull bool
+	for _, r := range rows {
+		if r[0].Int() == 2 {
+			if !r[2].IsNull() || !r[3].IsNull() {
+				t.Fatalf("unmatched left row not null-extended: %v", r)
+			}
+			sawNull = true
+		}
+	}
+	if !sawNull {
+		t.Fatal("left join dropped the unmatched row")
+	}
+}
+
+func TestNestLoopCrossAndCondition(t *testing.T) {
+	a := testTable(1, "a", "x")
+	b := testTable(2, "b", "y")
+	store := &memStore{tables: map[catalog.TableID][]types.Row{
+		1: {intRow(1), intRow(2)},
+		2: {intRow(10), intRow(20), intRow(30)},
+	}}
+	nl := plan.NewNestLoop(plan.JoinInner,
+		plan.NewScan(a, []catalog.TableID{1}, nil),
+		plan.NewScan(b, []catalog.TableID{2}, nil),
+		nil)
+	rows := drain(t, Build(ctxWithStore(store), nl))
+	if len(rows) != 6 {
+		t.Fatalf("cross join rows = %d", len(rows))
+	}
+	nl2 := plan.NewNestLoop(plan.JoinInner,
+		plan.NewScan(a, []catalog.TableID{1}, nil),
+		plan.NewScan(b, []catalog.TableID{2}, nil),
+		&plan.BinOp{Op: "<", Left: &plan.BinOp{Op: "*", Left: &plan.ColRef{Idx: 0}, Right: &plan.Const{Val: types.NewInt(10)}}, Right: &plan.ColRef{Idx: 1}})
+	rows = drain(t, Build(ctxWithStore(store), nl2))
+	if len(rows) != 3 { // (1,20),(1,30),(2,30)
+		t.Fatalf("theta join rows: %v", rows)
+	}
+}
+
+func TestAggPhases(t *testing.T) {
+	tab := testTable(1, "t", "g", "v")
+	store := &memStore{tables: map[catalog.TableID][]types.Row{
+		1: {intRow(1, 10), intRow(1, 20), intRow(2, 5), intRow(2, 7), intRow(2, 9)},
+	}}
+	specs := []plan.AggSpec{
+		{Func: plan.AggCount, Name: "cnt"},
+		{Func: plan.AggSum, Arg: &plan.ColRef{Idx: 1}, Name: "sum"},
+		{Func: plan.AggAvg, Arg: &plan.ColRef{Idx: 1}, Name: "avg"},
+		{Func: plan.AggMin, Arg: &plan.ColRef{Idx: 1}, Name: "min"},
+		{Func: plan.AggMax, Arg: &plan.ColRef{Idx: 1}, Name: "max"},
+	}
+	gb := []plan.Expr{&plan.ColRef{Idx: 0}}
+
+	// Plain.
+	agg := plan.NewAgg(plan.NewScan(tab, []catalog.TableID{1}, nil), gb, specs, plan.AggPlain)
+	rows := drain(t, Build(ctxWithStore(store), agg))
+	if len(rows) != 2 {
+		t.Fatalf("groups: %v", rows)
+	}
+	g2 := rows[1]
+	if g2[0].Int() != 2 || g2[1].Int() != 3 || g2[2].Int() != 21 || g2[3].Float() != 7.0 ||
+		g2[4].Int() != 5 || g2[5].Int() != 9 {
+		t.Fatalf("group 2 aggregates: %v", g2)
+	}
+
+	// Partial then Final must equal Plain.
+	partial := plan.NewAgg(plan.NewScan(tab, []catalog.TableID{1}, nil), gb, specs, plan.AggPartial)
+	prows := drain(t, Build(ctxWithStore(store), partial))
+	fgb := []plan.Expr{&plan.ColRef{Idx: 0}}
+	final := plan.NewAgg(nil, fgb, specs, plan.AggFinal)
+	fin := newAggIter(ctxWithStore(store), final, &sliceIter{rows: prows})
+	frows, err := Drain(fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frows) != 2 {
+		t.Fatalf("final groups: %v", frows)
+	}
+	for i := range frows {
+		if !frows[i].Equal(rows[i]) {
+			t.Fatalf("final != plain: %v vs %v", frows[i], rows[i])
+		}
+	}
+}
+
+func TestScalarAggOverEmptyInput(t *testing.T) {
+	tab := testTable(1, "t", "v")
+	store := &memStore{tables: map[catalog.TableID][]types.Row{1: {}}}
+	specs := []plan.AggSpec{
+		{Func: plan.AggCount, Name: "cnt"},
+		{Func: plan.AggSum, Arg: &plan.ColRef{Idx: 0}, Name: "sum"},
+	}
+	agg := plan.NewAgg(plan.NewScan(tab, []catalog.TableID{1}, nil), nil, specs, plan.AggPlain)
+	rows := drain(t, Build(ctxWithStore(store), agg))
+	if len(rows) != 1 || rows[0][0].Int() != 0 || !rows[0][1].IsNull() {
+		t.Fatalf("empty scalar agg: %v", rows)
+	}
+}
+
+func TestSortLimitOffset(t *testing.T) {
+	tab := testTable(1, "t", "v")
+	store := &memStore{tables: map[catalog.TableID][]types.Row{
+		1: {intRow(3), intRow(1), intRow(4), intRow(1), intRow(5), intRow(9)},
+	}}
+	sorted := &plan.Sort{Child: plan.NewScan(tab, []catalog.TableID{1}, nil),
+		Keys: []plan.SortKey{{Expr: &plan.ColRef{Idx: 0}, Desc: true}}}
+	lim := &plan.Limit{Child: sorted, Count: 3, Offset: 1}
+	rows := drain(t, Build(ctxWithStore(store), lim))
+	if len(rows) != 3 || rows[0][0].Int() != 5 || rows[1][0].Int() != 4 || rows[2][0].Int() != 3 {
+		t.Fatalf("sorted+limited: %v", rows)
+	}
+}
+
+// failMem rejects all growth: query must cancel with the OOM error.
+type failMem struct{}
+
+func (failMem) Grow(int64) error { return io.ErrShortBuffer }
+func (failMem) Shrink(int64)     {}
+
+func TestMemoryAccountingCancelsQuery(t *testing.T) {
+	tab := testTable(1, "t", "v")
+	store := &memStore{tables: map[catalog.TableID][]types.Row{
+		1: {intRow(1), intRow(2)},
+	}}
+	ctx := ctxWithStore(store)
+	ctx.Mem = failMem{}
+	sorted := &plan.Sort{Child: plan.NewScan(tab, []catalog.TableID{1}, nil),
+		Keys: []plan.SortKey{{Expr: &plan.ColRef{Idx: 0}}}}
+	if _, err := Drain(Build(ctx, sorted)); err == nil {
+		t.Fatal("sort ignored memory accounting")
+	}
+	join := plan.NewHashJoin(plan.JoinInner,
+		plan.NewScan(tab, []catalog.TableID{1}, nil),
+		plan.NewScan(tab, []catalog.TableID{1}, nil),
+		[]plan.Expr{&plan.ColRef{Idx: 0}}, []plan.Expr{&plan.ColRef{Idx: 0}}, nil)
+	if _, err := Drain(Build(ctx, join)); err == nil {
+		t.Fatal("hash join ignored memory accounting")
+	}
+}
+
+func TestOneRowAndLimitZero(t *testing.T) {
+	rows := drain(t, Build(ctxWithStore(&memStore{}), &plan.OneRow{}))
+	if len(rows) != 1 {
+		t.Fatalf("OneRow: %v", rows)
+	}
+	lim := &plan.Limit{Child: &plan.OneRow{}, Count: 0}
+	rows = drain(t, Build(ctxWithStore(&memStore{}), lim))
+	if len(rows) != 0 {
+		t.Fatalf("LIMIT 0: %v", rows)
+	}
+}
+
+func TestHashForRedistributeStability(t *testing.T) {
+	exprs := []plan.Expr{&plan.ColRef{Idx: 0}}
+	a, err := HashForRedistribute(exprs, intRow(42), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HashForRedistribute(exprs, intRow(42), 4)
+	if err != nil || a != b {
+		t.Fatal("redistribution must be deterministic")
+	}
+	if a < 0 || a >= 4 {
+		t.Fatalf("dest out of range: %d", a)
+	}
+}

@@ -1,0 +1,345 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// Iterator is the Volcano pull interface. Next returns io.EOF after the last
+// row; returned rows are owned by the caller (already cloned when they
+// originate in shared storage).
+type Iterator interface {
+	Next() (types.Row, error)
+	Close()
+}
+
+// sliceIter replays an in-memory row slice.
+type sliceIter struct {
+	rows []types.Row
+	pos  int
+}
+
+func (s *sliceIter) Next() (types.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, io.EOF
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *sliceIter) Close() {}
+
+// oneRowIter emits a single empty row (SELECT without FROM).
+type oneRowIter struct{ done bool }
+
+func (o *oneRowIter) Next() (types.Row, error) {
+	if o.done {
+		return nil, io.EOF
+	}
+	o.done = true
+	return types.Row{}, nil
+}
+
+func (o *oneRowIter) Close() {}
+
+// scanIter drives StoreAccess.ScanTable through a pull interface by
+// buffering into batches (the storage callback pushes; we re-buffer).
+// To keep memory bounded for large tables it streams via a goroutine-free
+// full materialization per leaf — acceptable because segment-local leaf
+// tables fit the simulation scale; the CPU tick still paces it.
+type scanIter struct {
+	ctx    *Context
+	node   *plan.Scan
+	leafIx int
+	buf    []types.Row
+	pos    int
+	tick   cpuTick
+	loaded bool
+}
+
+func newScanIter(ctx *Context, node *plan.Scan) *scanIter {
+	return &scanIter{ctx: ctx, node: node, tick: cpuTick{ctx: ctx}}
+}
+
+func (s *scanIter) load() error {
+	leaves := s.node.Partitions
+	if len(leaves) == 0 && !s.node.Table.IsPartitioned() {
+		leaves = nil // nothing to scan: planner always fills Partitions
+	}
+	for _, leaf := range s.node.Partitions {
+		err := s.ctx.Store.ScanTable(s.ctx.Ctx, leaf, s.node.ForUpdate, func(row types.Row) (bool, bool, error) {
+			if err := s.tick.tick(); err != nil {
+				return false, false, err
+			}
+			keep, err := plan.EvalBool(s.node.Filter, row)
+			if err != nil {
+				return false, false, err
+			}
+			if keep {
+				s.buf = append(s.buf, row.Clone())
+			}
+			return keep, true, nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	s.loaded = true
+	return nil
+}
+
+func (s *scanIter) Next() (types.Row, error) {
+	if !s.loaded {
+		if err := s.load(); err != nil {
+			return nil, err
+		}
+	}
+	if s.pos >= len(s.buf) {
+		return nil, io.EOF
+	}
+	r := s.buf[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *scanIter) Close() { s.buf = nil }
+
+// indexScanIter probes the hash index with constant keys.
+type indexScanIter struct {
+	ctx    *Context
+	node   *plan.IndexScan
+	buf    []types.Row
+	pos    int
+	loaded bool
+}
+
+func (s *indexScanIter) load() error {
+	key := make([]types.Datum, len(s.node.KeyVals))
+	for i, e := range s.node.KeyVals {
+		v, err := e.Eval(nil)
+		if err != nil {
+			return err
+		}
+		key[i] = v
+	}
+	err := s.ctx.Store.IndexLookup(s.ctx.Ctx, s.node.Table, s.node.Index, key, s.node.ForUpdate,
+		func(row types.Row) (bool, error) {
+			keep, err := plan.EvalBool(s.node.Filter, row)
+			if err != nil {
+				return false, err
+			}
+			if keep {
+				s.buf = append(s.buf, row.Clone())
+			}
+			return true, nil
+		})
+	s.loaded = true
+	return err
+}
+
+func (s *indexScanIter) Next() (types.Row, error) {
+	if !s.loaded {
+		if err := s.load(); err != nil {
+			return nil, err
+		}
+	}
+	if s.pos >= len(s.buf) {
+		return nil, io.EOF
+	}
+	r := s.buf[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *indexScanIter) Close() { s.buf = nil }
+
+// filterIter drops rows failing the predicate.
+type filterIter struct {
+	child Iterator
+	cond  plan.Expr
+	tick  cpuTick
+}
+
+func (f *filterIter) Next() (types.Row, error) {
+	for {
+		row, err := f.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if err := f.tick.tick(); err != nil {
+			return nil, err
+		}
+		ok, err := plan.EvalBool(f.cond, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return row, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() { f.child.Close() }
+
+// projectIter computes output expressions.
+type projectIter struct {
+	child Iterator
+	exprs []plan.Expr
+	tick  cpuTick
+}
+
+func (p *projectIter) Next() (types.Row, error) {
+	row, err := p.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.tick.tick(); err != nil {
+		return nil, err
+	}
+	out := make(types.Row, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := e.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (p *projectIter) Close() { p.child.Close() }
+
+// sortIter materializes and sorts.
+type sortIter struct {
+	ctx    *Context
+	child  Iterator
+	keys   []plan.SortKey
+	rows   []types.Row
+	pos    int
+	loaded bool
+	bytes  int64
+}
+
+func (s *sortIter) load() error {
+	for {
+		row, err := s.child.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := s.ctx.grow(row.Size()); err != nil {
+			return err
+		}
+		s.bytes += row.Size()
+		s.rows = append(s.rows, row)
+	}
+	var sortErr error
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		for _, k := range s.keys {
+			a, err := k.Expr.Eval(s.rows[i])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			b, err := k.Expr.Eval(s.rows[j])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			c := types.Compare(a, b)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	s.loaded = true
+	return sortErr
+}
+
+func (s *sortIter) Next() (types.Row, error) {
+	if !s.loaded {
+		if err := s.load(); err != nil {
+			return nil, err
+		}
+	}
+	if s.pos >= len(s.rows) {
+		return nil, io.EOF
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *sortIter) Close() {
+	s.ctx.shrink(s.bytes)
+	s.rows = nil
+	s.child.Close()
+}
+
+// limitIter caps output.
+type limitIter struct {
+	child   Iterator
+	count   int64 // -1 unlimited
+	offset  int64
+	skipped int64
+	emitted int64
+}
+
+func (l *limitIter) Next() (types.Row, error) {
+	for l.skipped < l.offset {
+		if _, err := l.child.Next(); err != nil {
+			return nil, err
+		}
+		l.skipped++
+	}
+	if l.count >= 0 && l.emitted >= l.count {
+		return nil, io.EOF
+	}
+	row, err := l.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	l.emitted++
+	return row, nil
+}
+
+func (l *limitIter) Close() { l.child.Close() }
+
+// Drain pulls every row from it into a slice (coordinator result
+// collection).
+func Drain(it Iterator) ([]types.Row, error) {
+	defer it.Close()
+	var out []types.Row
+	for {
+		row, err := it.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+}
+
+// errIter reports a construction error lazily.
+type errIter struct{ err error }
+
+func (e *errIter) Next() (types.Row, error) { return nil, e.err }
+func (e *errIter) Close()                   {}
+
+func errIterf(format string, args ...any) Iterator {
+	return &errIter{err: fmt.Errorf(format, args...)}
+}

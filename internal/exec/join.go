@@ -1,0 +1,254 @@
+package exec
+
+import (
+	"io"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// hashJoinIter implements hash join with the right (build/inner) side fully
+// prefetched and materialized before the left (probe/outer) side is pulled.
+// The prefetch is not just a performance choice: it is Greenplum's defence
+// against interconnect deadlock (paper Appendix B) — the inner motion is
+// drained completely before any outer tuple is requested.
+type hashJoinIter struct {
+	ctx   *Context
+	node  *plan.HashJoin
+	left  Iterator
+	right Iterator
+
+	built   bool
+	table   map[uint64][]types.Row
+	bytes   int64
+	rwidth  int
+	tick    cpuTick
+	pending []types.Row // matches for the current probe row
+	cur     types.Row
+}
+
+func newHashJoinIter(ctx *Context, node *plan.HashJoin, left, right Iterator) *hashJoinIter {
+	return &hashJoinIter{
+		ctx: ctx, node: node, left: left, right: right,
+		table:  make(map[uint64][]types.Row),
+		rwidth: node.Right.Schema().Len(),
+		tick:   cpuTick{ctx: ctx},
+	}
+}
+
+func hashKeys(keys []plan.Expr, row types.Row) (uint64, bool, error) {
+	var h uint64 = 1469598103934665603
+	for _, k := range keys {
+		v, err := k.Eval(row)
+		if err != nil {
+			return 0, false, err
+		}
+		if v.IsNull() {
+			return 0, false, nil // NULL keys never join
+		}
+		h = h*1099511628211 ^ v.Hash()
+	}
+	return h, true, nil
+}
+
+func (j *hashJoinIter) build() error {
+	for {
+		row, err := j.right.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := j.tick.tick(); err != nil {
+			return err
+		}
+		h, ok, err := hashKeys(j.node.RightKeys, row)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := j.ctx.grow(row.Size()); err != nil {
+			return err
+		}
+		j.bytes += row.Size()
+		j.table[h] = append(j.table[h], row)
+	}
+	j.built = true
+	return nil
+}
+
+func (j *hashJoinIter) Next() (types.Row, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if len(j.pending) > 0 {
+			r := j.pending[0]
+			j.pending = j.pending[1:]
+			return r, nil
+		}
+		probe, err := j.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if err := j.tick.tick(); err != nil {
+			return nil, err
+		}
+		j.cur = probe
+		matched := false
+		h, ok, err := hashKeys(j.node.LeftKeys, probe)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			for _, rrow := range j.table[h] {
+				// Re-check exact key equality (hash collisions) then the
+				// residual condition.
+				eq := true
+				for i := range j.node.LeftKeys {
+					lv, err := j.node.LeftKeys[i].Eval(probe)
+					if err != nil {
+						return nil, err
+					}
+					rv, err := j.node.RightKeys[i].Eval(rrow)
+					if err != nil {
+						return nil, err
+					}
+					if lv.IsNull() || rv.IsNull() || types.Compare(lv, rv) != 0 {
+						eq = false
+						break
+					}
+				}
+				if !eq {
+					continue
+				}
+				combined := make(types.Row, 0, len(probe)+len(rrow))
+				combined = append(combined, probe...)
+				combined = append(combined, rrow...)
+				keep, err := plan.EvalBool(j.node.Extra, combined)
+				if err != nil {
+					return nil, err
+				}
+				if keep {
+					matched = true
+					j.pending = append(j.pending, combined)
+				}
+			}
+		}
+		if !matched && j.node.Kind == plan.JoinLeft {
+			combined := make(types.Row, 0, len(probe)+j.rwidth)
+			combined = append(combined, probe...)
+			for i := 0; i < j.rwidth; i++ {
+				combined = append(combined, types.Null)
+			}
+			return combined, nil
+		}
+	}
+}
+
+func (j *hashJoinIter) Close() {
+	j.ctx.shrink(j.bytes)
+	j.table = nil
+	j.left.Close()
+	j.right.Close()
+}
+
+// nestLoopIter materializes (prefetches) the inner side and rescans it per
+// outer row — the same deadlock-safe order as hash join.
+type nestLoopIter struct {
+	ctx     *Context
+	node    *plan.NestLoop
+	left    Iterator
+	right   Iterator
+	inner   []types.Row
+	bytes   int64
+	built   bool
+	outer   types.Row
+	ipos    int
+	matched bool
+	rwidth  int
+	tick    cpuTick
+}
+
+func newNestLoopIter(ctx *Context, node *plan.NestLoop, left, right Iterator) *nestLoopIter {
+	return &nestLoopIter{ctx: ctx, node: node, left: left, right: right,
+		rwidth: node.Right.Schema().Len(), tick: cpuTick{ctx: ctx}}
+}
+
+func (j *nestLoopIter) build() error {
+	for {
+		row, err := j.right.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := j.ctx.grow(row.Size()); err != nil {
+			return err
+		}
+		j.bytes += row.Size()
+		j.inner = append(j.inner, row)
+	}
+	j.built = true
+	return nil
+}
+
+func (j *nestLoopIter) Next() (types.Row, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if j.outer == nil {
+			row, err := j.left.Next()
+			if err != nil {
+				return nil, err
+			}
+			j.outer = row
+			j.ipos = 0
+			j.matched = false
+		}
+		for j.ipos < len(j.inner) {
+			inner := j.inner[j.ipos]
+			j.ipos++
+			if err := j.tick.tick(); err != nil {
+				return nil, err
+			}
+			combined := make(types.Row, 0, len(j.outer)+len(inner))
+			combined = append(combined, j.outer...)
+			combined = append(combined, inner...)
+			keep, err := plan.EvalBool(j.node.Cond, combined)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				j.matched = true
+				return combined, nil
+			}
+		}
+		if !j.matched && j.node.Kind == plan.JoinLeft {
+			combined := make(types.Row, 0, len(j.outer)+j.rwidth)
+			combined = append(combined, j.outer...)
+			for i := 0; i < j.rwidth; i++ {
+				combined = append(combined, types.Null)
+			}
+			j.outer = nil
+			return combined, nil
+		}
+		j.outer = nil
+	}
+}
+
+func (j *nestLoopIter) Close() {
+	j.ctx.shrink(j.bytes)
+	j.inner = nil
+	j.left.Close()
+	j.right.Close()
+}

@@ -1,0 +1,130 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7) on the simulated cluster. Each Fig* function runs one
+// experiment and returns a report table with the same series the paper
+// plots; cmd/gpbench prints them and bench_test.go wraps them in testing.B
+// benchmarks.
+//
+// Absolute numbers come from a simulator, so they differ from the paper's
+// 8-host/32-segment testbed; the comparisons (who wins, by roughly what
+// factor, where the curves bend) are the reproduction target. See
+// EXPERIMENTS.md for the side-by-side reading.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Options scales experiments between quick smoke runs and fuller sweeps.
+type Options struct {
+	// Duration per measured point.
+	Duration time.Duration
+	// Clients lists the client counts swept (the paper uses 20..600).
+	Clients []int
+	// Segments is the cluster size.
+	Segments int
+}
+
+// Quick returns fast settings for tests and benchmarks.
+func Quick() Options {
+	return Options{
+		Duration: 250 * time.Millisecond,
+		Clients:  []int{1, 4, 16, 48},
+		Segments: 4,
+	}
+}
+
+// Full returns the slower sweep used by cmd/gpbench.
+func Full() Options {
+	return Options{
+		Duration: 1500 * time.Millisecond,
+		Clients:  []int{1, 2, 4, 8, 16, 32, 64, 96},
+		Segments: 4,
+	}
+}
+
+// timingGPDB6 returns the cost-model settings shared by the OLTP
+// experiments: a visible but laptop-friendly network and fsync cost.
+func timingGPDB6(nseg int) *cluster.Config {
+	cfg := cluster.GPDB6(nseg)
+	applyTiming(cfg)
+	return cfg
+}
+
+func timingGPDB5(nseg int) *cluster.Config {
+	cfg := cluster.GPDB5(nseg)
+	applyTiming(cfg)
+	return cfg
+}
+
+// applyTiming sets the simulation's cost model. The host's sleep
+// granularity is on the order of a millisecond, so the model works in
+// milliseconds: the ratios between the costs — one network hop, one WAL
+// fsync, one statement's worth of segment CPU — are what shape the curves.
+func applyTiming(cfg *cluster.Config) {
+	cfg.NetDelay = 500 * time.Microsecond // one-way; a round trip ≈ 1ms
+	cfg.FsyncDelay = 2 * time.Millisecond // serial per-segment WAL append
+	cfg.SegmentStmtCPU = time.Millisecond // per-statement handling cost
+	cfg.SegmentWorkers = 4
+	cfg.GDDPeriod = 10 * time.Millisecond
+}
+
+// engine boots an engine with a loaded schema script.
+func engine(cfg *cluster.Config, schema string, load func(ctx context.Context, c workload.Conn) error) (*core.Engine, error) {
+	e := core.NewEngine(cfg)
+	ctx := context.Background()
+	s, err := e.NewSession("")
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	if schema != "" {
+		if err := s.ExecScript(ctx, schema); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("schema: %w", err)
+		}
+	}
+	if load != nil {
+		if err := load(ctx, bench.SessionConn{S: s}); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("load: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// driver runs op under the harness with one long-lived session per worker.
+func driver(e *core.Engine, clients int, d time.Duration, op func(ctx context.Context, c workload.Conn, r *workload.Rand) error) bench.Result {
+	return perSessionDriver(e, clients, d, nil, op)
+}
+
+// perSessionDriver keeps one session per worker alive across operations
+// (needed when sessions carry resource-group state).
+func perSessionDriver(e *core.Engine, clients int, d time.Duration,
+	setup func(s *core.Session), op func(ctx context.Context, c workload.Conn, r *workload.Rand) error) bench.Result {
+	type worker struct {
+		conn workload.Conn
+		r    *workload.Rand
+	}
+	workers := make([]worker, clients)
+	for i := range workers {
+		s, err := e.NewSession("")
+		if err != nil {
+			panic(err)
+		}
+		if setup != nil {
+			setup(s)
+		}
+		workers[i] = worker{conn: bench.SessionConn{S: s}, r: workload.NewRand(uint64(i)*104729 + 7)}
+	}
+	return bench.RunConcurrent(clients, d, func(ctx context.Context, id int) error {
+		w := workers[id]
+		return op(ctx, w.conn, w.r)
+	})
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dtm"
+	"repro/internal/workload"
+)
+
+// Fig2Locking reproduces Figure 2: the share of wall-clock time spent in
+// lock waits on the GPDB 5 locking regime as concurrency grows. The paper
+// shows >25% at low concurrency and "unacceptable" beyond 100 clients.
+func Fig2Locking(opts Options) (*bench.Table, error) {
+	tbl := bench.NewTable("Fig. 2 — lock wait share of runtime (GPDB 5 locking)", "clients",
+		"lock wait %", "TPS")
+	w := &workload.UpdateOnly{Rows: 1000}
+	e, err := engine(timingGPDB5(opts.Segments), w.Schema(), w.Load)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	for _, clients := range opts.Clients {
+		e.Cluster().ResetLockWaitStats()
+		res := driver(e, clients, opts.Duration, w.Transaction)
+		waited, _ := e.Cluster().LockWaitStats()
+		// Total worker time = clients × elapsed.
+		share := 100 * float64(waited) / (float64(res.Duration) * float64(clients))
+		tbl.Add(fmt.Sprint(clients), share, res.TPS())
+	}
+	return tbl, nil
+}
+
+// Fig10Commit reproduces Figure 10: the message/fsync cost of two-phase vs
+// one-phase commit, measured directly from the commit protocol.
+func Fig10Commit(opts Options) (*bench.Table, error) {
+	tbl := bench.NewTable("Fig. 10 — commit protocol cost per transaction", "protocol",
+		"msg waves", "messages", "fsyncs", "commit µs")
+	for _, mode := range []struct {
+		name     string
+		onePhase bool
+	}{{"two-phase", false}, {"one-phase", true}} {
+		cfg := timingGPDB6(opts.Segments)
+		cfg.OnePhase = mode.onePhase
+		w := &workload.InsertOnly{}
+		e, err := engine(cfg, w.Schema(), nil)
+		if err != nil {
+			return nil, err
+		}
+		// Sample the protocol by committing single-segment inserts.
+		var stats dtm.CommitStats
+		var commitTime time.Duration
+		const samples = 30
+		s, _ := e.NewSession("")
+		ctx := context.Background()
+		conn := bench.SessionConn{S: s}
+		r := workload.NewRand(1)
+		for i := 0; i < samples; i++ {
+			t0 := time.Now()
+			if err := w.Transaction(ctx, conn, r); err != nil {
+				e.Close()
+				return nil, err
+			}
+			commitTime += time.Since(t0)
+		}
+		one, two, _, _ := e.Cluster().CommitStats()
+		switch {
+		case mode.onePhase && one != samples:
+			e.Close()
+			return nil, fmt.Errorf("expected %d one-phase commits, got %d", samples, one)
+		case !mode.onePhase && two != samples:
+			e.Close()
+			return nil, fmt.Errorf("expected %d two-phase commits, got %d", samples, two)
+		}
+		if mode.onePhase {
+			stats = dtm.CommitStats{Protocol: dtm.ProtocolOnePhase, Rounds: 1, Messages: 1, Fsyncs: 1}
+		} else {
+			// Whole-gang 2PC: every dispatched segment participates.
+			n := opts.Segments
+			stats = dtm.CommitStats{Protocol: dtm.ProtocolTwoPhase, Rounds: 2, Messages: 2 * n, Fsyncs: 2*n + 1}
+		}
+		tbl.Add(mode.name,
+			float64(stats.Rounds), float64(stats.Messages), float64(stats.Fsyncs),
+			float64(commitTime.Microseconds())/samples)
+		e.Close()
+	}
+	return tbl, nil
+}
+
+// Fig12TPCB reproduces Figure 12: TPC-B throughput vs client count for
+// GPDB 5 and GPDB 6. The paper reports ~80× at the peak.
+func Fig12TPCB(opts Options) (*bench.Table, error) {
+	tbl := bench.NewTable("Fig. 12 — TPC-B throughput (TPS)", "clients", "GPDB 5", "GPDB 6")
+	w := &workload.TPCB{Branches: 16, AccountsPerBranch: 250}
+	mk := func(cfg *cluster.Config) (*core.Engine, error) {
+		return engine(cfg, w.Schema(), w.Load)
+	}
+	e5, err := mk(timingGPDB5(opts.Segments))
+	if err != nil {
+		return nil, err
+	}
+	defer e5.Close()
+	e6, err := mk(timingGPDB6(opts.Segments))
+	if err != nil {
+		return nil, err
+	}
+	defer e6.Close()
+	for _, clients := range opts.Clients {
+		r5 := driver(e5, clients, opts.Duration, w.Transaction)
+		r6 := driver(e6, clients, opts.Duration, w.Transaction)
+		tbl.Add(fmt.Sprint(clients), r5.TPS(), r6.TPS())
+	}
+	return tbl, nil
+}
+
+// Fig13Scale reproduces Figure 13: single-host PostgreSQL vs Greenplum as
+// the data grows. PostgreSQL (one segment, no dispatch cost) wins while the
+// working set fits its buffer cache, then degrades; the MPP cluster stays
+// steady because each segment holds only a slice of the data.
+func Fig13Scale(opts Options) (*bench.Table, error) {
+	tbl := bench.NewTable("Fig. 13 — TPS vs scale factor", "scale", "PostgreSQL", "GPDB 6")
+	scales := []struct {
+		label    string
+		accounts int
+	}{{"1K", 2000}, {"10K", 20000}, {"100K", 100000}}
+	const cacheRows = 25000
+	clients := 8
+	if len(opts.Clients) > 0 {
+		clients = opts.Clients[len(opts.Clients)/2]
+	}
+	for _, sc := range scales {
+		w := &workload.TPCB{Branches: 4, AccountsPerBranch: sc.accounts / 4}
+
+		pgCfg := cluster.GPDB6(1) // one host, no interconnect cost
+		pgCfg.CacheRows = cacheRows
+		pgCfg.DiskDelay = 8 * time.Millisecond
+		pgCfg.FsyncDelay = 2 * time.Millisecond
+		pg, err := engine(pgCfg, w.Schema(), w.Load)
+		if err != nil {
+			return nil, err
+		}
+
+		gpCfg := timingGPDB6(opts.Segments)
+		gpCfg.CacheRows = cacheRows
+		gpCfg.DiskDelay = 8 * time.Millisecond
+		gp, err := engine(gpCfg, w.Schema(), w.Load)
+		if err != nil {
+			pg.Close()
+			return nil, err
+		}
+
+		rpg := driver(pg, clients, opts.Duration, w.Transaction)
+		rgp := driver(gp, clients, opts.Duration, w.Transaction)
+		tbl.Add(sc.label, rpg.TPS(), rgp.TPS())
+		pg.Close()
+		gp.Close()
+	}
+	return tbl, nil
+}
+
+// Fig14UpdateOnly reproduces Figure 14: the update-only microbenchmark.
+// GPDB 5 serializes every update on the table lock; GPDB 6 (GDD) runs them
+// concurrently — the paper reports roughly 100×.
+func Fig14UpdateOnly(opts Options) (*bench.Table, error) {
+	tbl := bench.NewTable("Fig. 14 — update-only throughput (TPS)", "clients", "GPDB 5", "GPDB 6")
+	w := &workload.UpdateOnly{Rows: 10000}
+	e5, err := engine(timingGPDB5(opts.Segments), w.Schema(), w.Load)
+	if err != nil {
+		return nil, err
+	}
+	defer e5.Close()
+	e6, err := engine(timingGPDB6(opts.Segments), w.Schema(), w.Load)
+	if err != nil {
+		return nil, err
+	}
+	defer e6.Close()
+	for _, clients := range opts.Clients {
+		r5 := driver(e5, clients, opts.Duration, w.Transaction)
+		r6 := driver(e6, clients, opts.Duration, w.Transaction)
+		tbl.Add(fmt.Sprint(clients), r5.TPS(), r6.TPS())
+	}
+	return tbl, nil
+}
+
+// Fig15InsertOnly reproduces Figure 15: single-segment inserts. GPDB 6
+// benefits from direct dispatch + one-phase commit; the paper reports ~5×.
+func Fig15InsertOnly(opts Options) (*bench.Table, error) {
+	tbl := bench.NewTable("Fig. 15 — insert-only throughput (TPS)", "clients", "GPDB 5", "GPDB 6")
+	mk := func(cfg *cluster.Config) (*core.Engine, *workload.InsertOnly, error) {
+		w := &workload.InsertOnly{}
+		e, err := engine(cfg, w.Schema(), nil)
+		return e, w, err
+	}
+	e5, w5, err := mk(timingGPDB5(opts.Segments))
+	if err != nil {
+		return nil, err
+	}
+	defer e5.Close()
+	e6, w6, err := mk(timingGPDB6(opts.Segments))
+	if err != nil {
+		return nil, err
+	}
+	defer e6.Close()
+	for _, clients := range opts.Clients {
+		r5 := driver(e5, clients, opts.Duration, w5.Transaction)
+		r6 := driver(e6, clients, opts.Duration, w6.Transaction)
+		tbl.Add(fmt.Sprint(clients), r5.TPS(), r6.TPS())
+	}
+	return tbl, nil
+}

@@ -1,0 +1,112 @@
+package gdd
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cluster is the view of the database the daemon needs: graph collection,
+// liveness checks, and victim termination. internal/cluster implements it.
+type Cluster interface {
+	// CollectWaitGraphs gathers every segment's local wait-for graph,
+	// including the coordinator's.
+	CollectWaitGraphs() *GlobalGraph
+	// TxnExists reports whether the distributed transaction is still live.
+	TxnExists(txn uint64) bool
+	// KillTxn terminates the distributed transaction as a deadlock victim.
+	KillTxn(txn uint64)
+}
+
+// Daemon periodically runs the detection job, mirroring the GDD process
+// Greenplum launches on the coordinator.
+type Daemon struct {
+	cluster  Cluster
+	period   time.Duration
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+
+	runs      atomic.Int64
+	deadlocks atomic.Int64
+	victims   atomic.Int64
+	discarded atomic.Int64 // stale graphs discarded (some txn finished)
+}
+
+// NewDaemon creates a daemon; period is the configurable detection interval
+// (Greenplum's gp_global_deadlock_detector_period).
+func NewDaemon(c Cluster, period time.Duration) *Daemon {
+	return &Daemon{
+		cluster: c,
+		period:  period,
+		stopCh:  make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+}
+
+// Start launches the background detection loop.
+func (d *Daemon) Start() {
+	go func() {
+		defer close(d.doneCh)
+		ticker := time.NewTicker(d.period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-d.stopCh:
+				return
+			case <-ticker.C:
+				d.RunOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for it to exit.
+func (d *Daemon) Stop() {
+	d.stopOnce.Do(func() { close(d.stopCh) })
+	<-d.doneCh
+}
+
+// RunOnce performs one detection pass and returns the victim (0 = none).
+// The pass is also callable synchronously from tests.
+func (d *Daemon) RunOnce() uint64 {
+	d.runs.Add(1)
+	g := d.cluster.CollectWaitGraphs()
+	residual, involved := Reduce(g)
+	if len(residual) == 0 {
+		return 0
+	}
+	// The collected information is asynchronous: before declaring a
+	// deadlock, verify every involved transaction still exists. If any has
+	// finished, simply discard this round's data and retry next period
+	// (paper §4.3).
+	for txn := range involved {
+		if !d.cluster.TxnExists(uint64(txn)) {
+			d.discarded.Add(1)
+			return 0
+		}
+	}
+	// Re-collect under the assumption the graph is current; if the residual
+	// persists, it is a true deadlock (no transaction in a cycle can
+	// progress, so the edges cannot disappear).
+	g2 := d.cluster.CollectWaitGraphs()
+	residual2, _ := Reduce(g2)
+	if len(residual2) == 0 {
+		d.discarded.Add(1)
+		return 0
+	}
+	d.deadlocks.Add(1)
+	victim := ChooseVictim(residual2)
+	if victim == 0 {
+		return 0
+	}
+	d.victims.Add(1)
+	d.cluster.KillTxn(uint64(victim))
+	return uint64(victim)
+}
+
+// Stats returns daemon counters: passes run, deadlocks found, victims
+// killed, and stale rounds discarded.
+func (d *Daemon) Stats() (runs, deadlocks, victims, discarded int64) {
+	return d.runs.Load(), d.deadlocks.Load(), d.victims.Load(), d.discarded.Load()
+}

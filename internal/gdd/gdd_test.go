@@ -1,0 +1,193 @@
+package gdd
+
+import (
+	"testing"
+
+	"repro/internal/lockmgr"
+)
+
+// edge builds a wait-for edge.
+func edge(waiter, holder uint64, solid bool) lockmgr.Edge {
+	return lockmgr.Edge{Waiter: lockmgr.TxnID(waiter), Holder: lockmgr.TxnID(holder), Solid: solid}
+}
+
+// Transactions named as in the paper: A=1, B=2, C=3, D=4.
+const (
+	A uint64 = 1
+	B uint64 = 2
+	C uint64 = 3
+	D uint64 = 4
+)
+
+// TestPaperFigure6 replays Global Deadlock Case 1: UPDATE across segments.
+// seg0: B waits A (solid); seg1: A waits B (solid). Expect deadlock.
+func TestPaperFigure6(t *testing.T) {
+	g := &GlobalGraph{Locals: []LocalGraph{
+		{Segment: 0, Edges: []lockmgr.Edge{edge(B, A, true)}},
+		{Segment: 1, Edges: []lockmgr.Edge{edge(A, B, true)}},
+	}}
+	residual, involved := Reduce(g)
+	if len(residual) == 0 {
+		t.Fatal("Figure 6 must be detected as a deadlock")
+	}
+	if _, ok := involved[lockmgr.TxnID(A)]; !ok {
+		t.Error("A should be in the residual graph")
+	}
+	if _, ok := involved[lockmgr.TxnID(B)]; !ok {
+		t.Error("B should be in the residual graph")
+	}
+	if v := ChooseVictim(residual); v != lockmgr.TxnID(B) {
+		t.Errorf("victim = %d, want youngest waiter B=%d", v, B)
+	}
+}
+
+// TestPaperFigure7 replays Global Deadlock Case 2, involving the
+// coordinator: coordinator: D waits C (solid, relation lock);
+// seg0: C waits A (solid), B waits D (solid); seg1: A waits B (solid).
+func TestPaperFigure7(t *testing.T) {
+	g := &GlobalGraph{Locals: []LocalGraph{
+		{Segment: CoordinatorSeg, Edges: []lockmgr.Edge{edge(D, C, true)}},
+		{Segment: 0, Edges: []lockmgr.Edge{edge(C, A, true), edge(B, D, true)}},
+		{Segment: 1, Edges: []lockmgr.Edge{edge(A, B, true)}},
+	}}
+	residual, _ := Reduce(g)
+	if len(residual) == 0 {
+		t.Fatal("Figure 7 must be detected as a deadlock")
+	}
+	// The cycle A→B→D→C→A spans all four transactions; every edge should
+	// survive reduction (each vertex has positive global out-degree).
+	if len(residual) != 4 {
+		t.Errorf("residual edges = %d, want 4: %v", len(residual), residual)
+	}
+}
+
+// TestPaperFigure8 replays the Non-deadlock Case with dotted edges:
+// seg0: B waits A (solid);
+// seg1: B waits C (solid), A waits B (dotted tuple lock).
+// The GDD must NOT report a deadlock (paper Figure 9 walks the reduction).
+func TestPaperFigure8(t *testing.T) {
+	g := &GlobalGraph{Locals: []LocalGraph{
+		{Segment: 0, Edges: []lockmgr.Edge{edge(B, A, true)}},
+		{Segment: 1, Edges: []lockmgr.Edge{edge(B, C, true), edge(A, B, false)}},
+	}}
+	residual, _ := Reduce(g)
+	if len(residual) != 0 {
+		t.Fatalf("Figure 8 is not a deadlock; residual = %v", residual)
+	}
+}
+
+// TestPaperFigure19 replays Appendix A's mixed-edge non-deadlock case:
+// seg0: B waits A (solid);
+// seg1: A waits B (dotted), B waits C (solid), D waits B (solid),
+//
+//	D waits C (solid) — the paper's graph shows D and A both blocked
+//	by B/C on seg1.
+//
+// Expect: no deadlock (Figure 20 reduction removes everything).
+func TestPaperFigure19(t *testing.T) {
+	g := &GlobalGraph{Locals: []LocalGraph{
+		{Segment: 0, Edges: []lockmgr.Edge{edge(B, A, true)}},
+		{Segment: 1, Edges: []lockmgr.Edge{
+			edge(A, B, false), // tuple lock: dotted
+			edge(B, C, true),
+			edge(D, B, true),
+			edge(D, C, true),
+		}},
+	}}
+	residual, _ := Reduce(g)
+	if len(residual) != 0 {
+		t.Fatalf("Figure 19 is not a deadlock; residual = %v", residual)
+	}
+}
+
+// TestDottedEdgeNotRemovedWhenHolderBlockedLocally pins the rule that a
+// dotted edge is removable only when the holder's LOCAL out-degree is zero:
+// if the tuple-lock holder is itself blocked in the same segment, the edge
+// stays, and a cycle through it is a real deadlock.
+func TestDottedEdgeNotRemovedWhenHolderBlockedLocally(t *testing.T) {
+	// seg0: A waits B (dotted), B waits A (solid) — B is blocked locally,
+	// so the dotted edge cannot be removed: cycle.
+	g := &GlobalGraph{Locals: []LocalGraph{
+		{Segment: 0, Edges: []lockmgr.Edge{edge(A, B, false), edge(B, A, true)}},
+	}}
+	residual, _ := Reduce(g)
+	if len(residual) == 0 {
+		t.Fatal("local dotted cycle must be detected")
+	}
+}
+
+// TestDottedEdgeRemovedWhenHolderBlockedElsewhere pins the complementary
+// rule: a dotted edge IS removable when the holder is only blocked in a
+// different segment (it can still release the tuple lock there).
+func TestDottedEdgeRemovedWhenHolderBlockedElsewhere(t *testing.T) {
+	// seg0: A waits B (dotted). seg1: B waits A (solid).
+	// B has local out-degree 0 on seg0, so the dotted edge drops; then B's
+	// solid edge drops because A is unblocked. No deadlock.
+	g := &GlobalGraph{Locals: []LocalGraph{
+		{Segment: 0, Edges: []lockmgr.Edge{edge(A, B, false)}},
+		{Segment: 1, Edges: []lockmgr.Edge{edge(B, A, true)}},
+	}}
+	residual, _ := Reduce(g)
+	if len(residual) != 0 {
+		t.Fatalf("dotted edge to remotely-blocked holder must reduce away; residual = %v", residual)
+	}
+}
+
+// TestSolidCycleAcrossThreeSegments checks a 3-party rotation deadlock.
+func TestSolidCycleAcrossThreeSegments(t *testing.T) {
+	g := &GlobalGraph{Locals: []LocalGraph{
+		{Segment: 0, Edges: []lockmgr.Edge{edge(A, B, true)}},
+		{Segment: 1, Edges: []lockmgr.Edge{edge(B, C, true)}},
+		{Segment: 2, Edges: []lockmgr.Edge{edge(C, A, true)}},
+	}}
+	residual, involved := Reduce(g)
+	if len(residual) != 3 || len(involved) != 3 {
+		t.Fatalf("3-cycle: residual=%v involved=%v", residual, involved)
+	}
+	if v := ChooseVictim(residual); v != lockmgr.TxnID(C) {
+		t.Errorf("victim = %d, want youngest C=%d", v, C)
+	}
+}
+
+// TestChainWithoutCycleReduces checks that a pure waiting chain (no cycle)
+// fully reduces.
+func TestChainWithoutCycleReduces(t *testing.T) {
+	g := &GlobalGraph{Locals: []LocalGraph{
+		{Segment: 0, Edges: []lockmgr.Edge{edge(A, B, true), edge(B, C, true), edge(C, D, true)}},
+	}}
+	residual, _ := Reduce(g)
+	if len(residual) != 0 {
+		t.Fatalf("chain must reduce; residual = %v", residual)
+	}
+}
+
+// TestEmptyGraph reduces to nothing.
+func TestEmptyGraph(t *testing.T) {
+	residual, involved := Reduce(&GlobalGraph{})
+	if residual != nil || involved != nil {
+		t.Fatal("empty graph must produce empty residual")
+	}
+}
+
+// TestCycleHiddenBehindRemovableVertex: a vertex with zero out-degree
+// anywhere must not mask an independent cycle.
+func TestCycleHiddenBehindRemovableVertex(t *testing.T) {
+	g := &GlobalGraph{Locals: []LocalGraph{
+		{Segment: 0, Edges: []lockmgr.Edge{
+			edge(A, B, true), // A waits for B, B in cycle with C
+			edge(B, C, true),
+		}},
+		{Segment: 1, Edges: []lockmgr.Edge{edge(C, B, true)}},
+	}}
+	residual, involved := Reduce(g)
+	if len(residual) == 0 {
+		t.Fatal("B↔C cycle must survive reduction")
+	}
+	if _, ok := involved[lockmgr.TxnID(A)]; ok {
+		// A is only waiting INTO the cycle; its edge cannot be removed
+		// (B never gets out-degree zero), so A legitimately remains.
+		// This is fine — the victim choice still picks a waiter in the
+		// residual graph.
+		t.Log("A remains as an entrant into the cycle (expected)")
+	}
+}

@@ -1,0 +1,172 @@
+package gdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lockmgr"
+)
+
+// oracleDeadlock decides deadlock by semantics rather than reduction: it
+// simulates the optimistic release process to a fixed point. A vertex can
+// "make progress" when it has no outgoing edges; a progressing vertex
+// releases all locks (removing edges into it everywhere) — and a vertex
+// with no LOCAL outgoing edges releases its tuple locks in that segment
+// (removing dotted edges into it there). If the fixed point still has
+// edges, no transaction in it can ever progress: deadlock.
+//
+// This is an independent re-implementation used to cross-check Reduce on
+// random graphs; it intentionally mirrors the greedy *semantics* with a
+// different (naive, quadratic) mechanism.
+func oracleDeadlock(g *GlobalGraph) bool {
+	type edge struct {
+		seg SegmentID
+		e   lockmgr.Edge
+	}
+	var edges []edge
+	for _, lg := range g.Locals {
+		for _, e := range lg.Edges {
+			edges = append(edges, edge{seg: lg.Segment, e: e})
+		}
+	}
+	for {
+		// Compute out-degrees.
+		globalOut := map[lockmgr.TxnID]int{}
+		localOut := map[SegmentID]map[lockmgr.TxnID]int{}
+		for _, ed := range edges {
+			globalOut[ed.e.Waiter]++
+			if localOut[ed.seg] == nil {
+				localOut[ed.seg] = map[lockmgr.TxnID]int{}
+			}
+			localOut[ed.seg][ed.e.Waiter]++
+		}
+		var kept []edge
+		removed := false
+		for _, ed := range edges {
+			if globalOut[ed.e.Holder] == 0 {
+				removed = true
+				continue
+			}
+			if !ed.e.Solid && localOut[ed.seg][ed.e.Holder] == 0 {
+				removed = true
+				continue
+			}
+			kept = append(kept, ed)
+		}
+		edges = kept
+		if !removed {
+			return len(edges) > 0
+		}
+	}
+}
+
+// TestReduceMatchesOracleOnRandomGraphs cross-checks the production
+// reduction against the oracle over thousands of random multi-segment
+// wait-for graphs.
+func TestReduceMatchesOracleOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(20210514)) // the paper's arXiv v3 date
+	for trial := 0; trial < 5000; trial++ {
+		nseg := 1 + rng.Intn(4)
+		ntxn := 2 + rng.Intn(5)
+		nedge := rng.Intn(10)
+		g := &GlobalGraph{}
+		for s := 0; s < nseg; s++ {
+			g.Locals = append(g.Locals, LocalGraph{Segment: SegmentID(s - 1)})
+		}
+		for i := 0; i < nedge; i++ {
+			s := rng.Intn(nseg)
+			w := lockmgr.TxnID(1 + rng.Intn(ntxn))
+			h := lockmgr.TxnID(1 + rng.Intn(ntxn))
+			if w == h {
+				continue
+			}
+			g.Locals[s].Edges = append(g.Locals[s].Edges, lockmgr.Edge{
+				Waiter: w, Holder: h, Solid: rng.Intn(2) == 0,
+			})
+		}
+		got, _ := Reduce(g)
+		want := oracleDeadlock(g)
+		if (len(got) > 0) != want {
+			t.Fatalf("trial %d: Reduce says %v, oracle says %v\ngraph: %+v",
+				trial, len(got) > 0, want, g.Locals)
+		}
+	}
+}
+
+// TestVictimAlwaysInResidual: the chosen victim must be a waiter of the
+// residual graph (killing it must actually break a wait).
+func TestVictimAlwaysInResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		nseg := 1 + rng.Intn(3)
+		ntxn := 2 + rng.Intn(4)
+		g := &GlobalGraph{}
+		for s := 0; s < nseg; s++ {
+			g.Locals = append(g.Locals, LocalGraph{Segment: SegmentID(s)})
+		}
+		for i := 0; i < 8; i++ {
+			s := rng.Intn(nseg)
+			w := lockmgr.TxnID(1 + rng.Intn(ntxn))
+			h := lockmgr.TxnID(1 + rng.Intn(ntxn))
+			if w == h {
+				continue
+			}
+			g.Locals[s].Edges = append(g.Locals[s].Edges, lockmgr.Edge{
+				Waiter: w, Holder: h, Solid: true,
+			})
+		}
+		residual, _ := Reduce(g)
+		if len(residual) == 0 {
+			continue
+		}
+		v := ChooseVictim(residual)
+		found := false
+		for _, e := range residual {
+			if e.Waiter == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("victim %d is not a waiter in %v", v, residual)
+		}
+	}
+}
+
+// TestReductionIsOrderIndependent: shuffling edges and segment order must
+// not change the verdict.
+func TestReductionIsOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 1000; trial++ {
+		g := &GlobalGraph{}
+		nseg := 2 + rng.Intn(2)
+		for s := 0; s < nseg; s++ {
+			g.Locals = append(g.Locals, LocalGraph{Segment: SegmentID(s)})
+		}
+		for i := 0; i < 7; i++ {
+			s := rng.Intn(nseg)
+			w := lockmgr.TxnID(1 + rng.Intn(4))
+			h := lockmgr.TxnID(1 + rng.Intn(4))
+			if w == h {
+				continue
+			}
+			g.Locals[s].Edges = append(g.Locals[s].Edges, lockmgr.Edge{
+				Waiter: w, Holder: h, Solid: rng.Intn(2) == 0,
+			})
+		}
+		r1, _ := Reduce(g)
+		// Shuffled copy.
+		g2 := &GlobalGraph{Locals: make([]LocalGraph, len(g.Locals))}
+		perm := rng.Perm(len(g.Locals))
+		for i, p := range perm {
+			src := g.Locals[p]
+			edges := append([]lockmgr.Edge(nil), src.Edges...)
+			rng.Shuffle(len(edges), func(a, b int) { edges[a], edges[b] = edges[b], edges[a] })
+			g2.Locals[i] = LocalGraph{Segment: src.Segment, Edges: edges}
+		}
+		r2, _ := Reduce(g2)
+		if (len(r1) > 0) != (len(r2) > 0) {
+			t.Fatalf("verdict depends on order: %v vs %v", r1, r2)
+		}
+	}
+}

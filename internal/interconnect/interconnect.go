@@ -1,0 +1,175 @@
+// Package interconnect implements the motion fabric that moves tuples
+// between slices (paper §3.2 and Appendix B). Each motion owns one bounded
+// stream per receiving location; a bounded buffer models the UDP
+// send-buffer + ACK flow control: a sender whose peer's buffer is full
+// blocks, exactly the waiting relationship that can produce network deadlock
+// when executors demand tuples in the wrong order.
+package interconnect
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Fabric is the per-query interconnect: a set of motion streams keyed by
+// (sending slice, receiving location).
+type Fabric struct {
+	nseg    int
+	bufSize int
+	// delay simulates per-batch network latency on Send (0 = off).
+	delay time.Duration
+
+	mu      sync.Mutex
+	streams map[streamKey]*stream
+
+	rows  atomic.Int64
+	bytes atomic.Int64
+}
+
+type streamKey struct {
+	slice int
+	dest  int // segment id, or -1 for the coordinator (gather)
+}
+
+type stream struct {
+	ch      chan types.Row
+	senders int32 // open sender count; the last DoneSending closes ch
+}
+
+// NewFabric builds a fabric for nseg segments with the given per-stream
+// buffer capacity (rows) and optional per-send latency.
+func NewFabric(nseg, bufSize int, delay time.Duration) *Fabric {
+	if bufSize < 1 {
+		bufSize = 1
+	}
+	return &Fabric{
+		nseg:    nseg,
+		bufSize: bufSize,
+		delay:   delay,
+		streams: make(map[streamKey]*stream),
+	}
+}
+
+// OpenGather creates the single coordinator-bound stream of a gather motion
+// with senders sending segments.
+func (f *Fabric) OpenGather(slice, senders int) {
+	f.open(streamKey{slice: slice, dest: -1}, senders)
+}
+
+// OpenFanOut creates one stream per segment for a redistribute or broadcast
+// motion, each fed by senders sending segments.
+func (f *Fabric) OpenFanOut(slice, senders int) {
+	for d := 0; d < f.nseg; d++ {
+		f.open(streamKey{slice: slice, dest: d}, senders)
+	}
+}
+
+func (f *Fabric) open(k streamKey, senders int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.streams[k]; ok {
+		return
+	}
+	f.streams[k] = &stream{ch: make(chan types.Row, f.bufSize), senders: int32(senders)}
+}
+
+func (f *Fabric) get(k streamKey) (*stream, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.streams[k]
+	if !ok {
+		return nil, fmt.Errorf("interconnect: no stream for slice %d dest %d", k.slice, k.dest)
+	}
+	return s, nil
+}
+
+// Send delivers row to the given destination of the slice's motion,
+// blocking while the destination buffer is full (flow control). dest -1 is
+// the coordinator.
+func (f *Fabric) Send(ctx context.Context, slice, dest int, row types.Row) error {
+	s, err := f.get(streamKey{slice: slice, dest: dest})
+	if err != nil {
+		return err
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	select {
+	case s.ch <- row:
+		f.rows.Add(1)
+		f.bytes.Add(row.Size())
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TrySend is Send without blocking; it reports false when the buffer is
+// full. Used by the network-deadlock demonstration.
+func (f *Fabric) TrySend(slice, dest int, row types.Row) (bool, error) {
+	s, err := f.get(streamKey{slice: slice, dest: dest})
+	if err != nil {
+		return false, err
+	}
+	select {
+	case s.ch <- row:
+		f.rows.Add(1)
+		f.bytes.Add(row.Size())
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// DoneSending signals that one sender of the slice finished; the last
+// sender closes every destination stream of the motion.
+func (f *Fabric) DoneSending(slice int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for k, s := range f.streams {
+		if k.slice != slice {
+			continue
+		}
+		if atomic.AddInt32(&s.senders, -1) == 0 {
+			close(s.ch)
+		}
+	}
+}
+
+// Receiver returns the exec-facing receive endpoint for (slice, dest).
+func (f *Fabric) Receiver(slice, dest int) *StreamReceiver {
+	s, err := f.get(streamKey{slice: slice, dest: dest})
+	if err != nil {
+		return &StreamReceiver{err: err}
+	}
+	return &StreamReceiver{s: s}
+}
+
+// Stats returns rows and bytes moved through the fabric.
+func (f *Fabric) Stats() (rows, bytes int64) {
+	return f.rows.Load(), f.bytes.Load()
+}
+
+// StreamReceiver adapts a stream to the executor's Receiver interface.
+type StreamReceiver struct {
+	s   *stream
+	err error
+}
+
+// Recv implements exec.Receiver.
+func (r *StreamReceiver) Recv(ctx context.Context) (types.Row, bool, error) {
+	if r.err != nil {
+		return nil, false, r.err
+	}
+	select {
+	case row, ok := <-r.s.ch:
+		return row, ok, nil
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}

@@ -1,0 +1,243 @@
+package interconnect
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func row(v int64) types.Row { return types.Row{types.NewInt(v)} }
+
+func TestGatherDeliversAllAndCloses(t *testing.T) {
+	f := NewFabric(3, 16, 0)
+	f.OpenGather(1, 3)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for seg := 0; seg < 3; seg++ {
+		seg := seg
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer f.DoneSending(1)
+			for i := 0; i < 10; i++ {
+				if err := f.Send(ctx, 1, -1, row(int64(seg*100+i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	r := f.Receiver(1, -1)
+	got := 0
+	for {
+		_, ok, err := r.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got++
+	}
+	wg.Wait()
+	if got != 30 {
+		t.Fatalf("received %d rows, want 30", got)
+	}
+	rows, _ := f.Stats()
+	if rows != 30 {
+		t.Fatalf("stats rows = %d", rows)
+	}
+}
+
+func TestFanOutRouting(t *testing.T) {
+	f := NewFabric(2, 16, 0)
+	f.OpenFanOut(2, 1)
+	ctx := context.Background()
+	// Send explicit destinations.
+	for i := 0; i < 10; i++ {
+		if err := f.Send(ctx, 2, i%2, row(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.DoneSending(2)
+	for dest := 0; dest < 2; dest++ {
+		r := f.Receiver(2, dest)
+		n := 0
+		for {
+			v, ok, err := r.Recv(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			if int(v[0].Int())%2 != dest {
+				t.Fatalf("row %v misrouted to %d", v, dest)
+			}
+			n++
+		}
+		if n != 5 {
+			t.Fatalf("dest %d received %d", dest, n)
+		}
+	}
+}
+
+func TestFlowControlBlocksSender(t *testing.T) {
+	f := NewFabric(1, 2, 0) // tiny buffer
+	f.OpenGather(1, 1)
+	ctx := context.Background()
+	sent := make(chan int, 100)
+	go func() {
+		for i := 0; ; i++ {
+			if err := f.Send(ctx, 1, -1, row(int64(i))); err != nil {
+				return
+			}
+			sent <- i
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// Buffer holds 2 rows; sender must be blocked on the third.
+	if n := len(sent); n > 3 {
+		t.Fatalf("sender ran ahead of flow control: %d sends", n)
+	}
+	// Draining unblocks it.
+	r := f.Receiver(1, -1)
+	for i := 0; i < 10; i++ {
+		if _, ok, err := r.Recv(ctx); err != nil || !ok {
+			t.Fatalf("recv %d: %v %v", i, ok, err)
+		}
+	}
+}
+
+func TestTrySendReportsFullBuffer(t *testing.T) {
+	f := NewFabric(1, 1, 0)
+	f.OpenGather(1, 1)
+	ok, err := f.TrySend(1, -1, row(1))
+	if err != nil || !ok {
+		t.Fatal("first send should fit")
+	}
+	ok, err = f.TrySend(1, -1, row(2))
+	if err != nil || ok {
+		t.Fatal("second send should report full")
+	}
+}
+
+func TestRecvCancellation(t *testing.T) {
+	f := NewFabric(1, 1, 0)
+	f.OpenGather(1, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	r := f.Receiver(1, -1)
+	_, _, err := r.Recv(ctx)
+	if err == nil {
+		t.Fatal("recv on empty stream must respect ctx")
+	}
+}
+
+func TestUnknownStreamErrors(t *testing.T) {
+	f := NewFabric(1, 1, 0)
+	if err := f.Send(context.Background(), 9, -1, row(1)); err == nil {
+		t.Fatal("send to unopened motion must fail")
+	}
+	r := f.Receiver(9, -1)
+	if _, _, err := r.Recv(context.Background()); err == nil {
+		t.Fatal("recv from unopened motion must fail")
+	}
+}
+
+// TestNetworkDeadlockPreventedByPrefetch demonstrates the paper's Appendix B
+// scenario at the interconnect level.
+//
+// Without inner-side prefetch: a join executor that pulls one outer tuple
+// and then switches to the inner stream can leave a producer blocked on a
+// full buffer that nobody is draining while the consumer waits on a stream
+// that will only fill after the producer progresses — mutual waiting, i.e.
+// network deadlock. With prefetch (drain the inner motion fully first, as
+// our hash/nest-loop joins do) the cycle cannot form.
+func TestNetworkDeadlockPreventedByPrefetch(t *testing.T) {
+	run := func(prefetchInner bool) bool {
+		// Motion 1 = outer stream, Motion 2 = inner stream, one segment.
+		f := NewFabric(1, 1, 0) // 1-row buffers: easiest to wedge
+		f.OpenGather(1, 1)
+		f.OpenGather(2, 1)
+		ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+		defer cancel()
+
+		// The producer interleaves: it must finish sending ALL outer rows
+		// before it produces inner rows (modeling the upstream slice whose
+		// send-buffer toward the join fills up).
+		prodDone := make(chan struct{})
+		go func() {
+			defer close(prodDone)
+			for i := 0; i < 5; i++ {
+				if f.Send(ctx, 1, -1, row(int64(i))) != nil {
+					return
+				}
+			}
+			f.DoneSending(1)
+			for i := 0; i < 5; i++ {
+				if f.Send(ctx, 2, -1, row(int64(100+i))) != nil {
+					return
+				}
+			}
+			f.DoneSending(2)
+		}()
+
+		consumed := make(chan bool, 1)
+		go func() {
+			outer := f.Receiver(1, -1)
+			inner := f.Receiver(2, -1)
+			if prefetchInner {
+				// Deadlock-safe order… except the producer here emits outer
+				// first; prefetching the OUTER side fully models Greenplum's
+				// "materialize the blocked side before switching".
+				for {
+					_, ok, err := outer.Recv(ctx)
+					if err != nil {
+						consumed <- false
+						return
+					}
+					if !ok {
+						break
+					}
+				}
+				for {
+					_, ok, err := inner.Recv(ctx)
+					if err != nil {
+						consumed <- false
+						return
+					}
+					if !ok {
+						break
+					}
+				}
+				consumed <- true
+				return
+			}
+			// Demand-driven order: one outer row, then switch to inner —
+			// but inner rows only appear after ALL outer rows are sent,
+			// and the outer buffer (1 row) is full: wedged.
+			if _, _, err := outer.Recv(ctx); err != nil {
+				consumed <- false
+				return
+			}
+			if _, _, err := inner.Recv(ctx); err != nil {
+				consumed <- false
+				return
+			}
+			consumed <- true
+		}()
+
+		return <-consumed
+	}
+
+	if run(false) {
+		t.Fatal("demand-driven order should deadlock (timeout) with tiny buffers")
+	}
+	if !run(true) {
+		t.Fatal("prefetch order must complete")
+	}
+}

@@ -1,0 +1,394 @@
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TxnID identifies a transaction globally (the distributed transaction id);
+// the GDD's wait-for graph vertices are TxnIDs, so the same transaction
+// waiting on two segments is one vertex.
+type TxnID uint64
+
+// TagKind classifies lockable objects.
+type TagKind uint8
+
+// Lock tag kinds.
+const (
+	// TagRelation locks a table (by table id).
+	TagRelation TagKind = iota
+	// TagTuple locks one tuple during a write's critical section; tuple locks
+	// are released before transaction end, making their wait edges dotted.
+	TagTuple
+	// TagTransaction is the per-transaction lock every transaction holds
+	// exclusively on itself; waiting for a tuple's uncommitted writer means
+	// share-locking the writer's transaction tag. Released only at txn end,
+	// so its wait edges are solid.
+	TagTransaction
+	// TagObject locks miscellaneous catalog objects.
+	TagObject
+)
+
+func (k TagKind) String() string {
+	switch k {
+	case TagRelation:
+		return "relation"
+	case TagTuple:
+		return "tuple"
+	case TagTransaction:
+		return "transaction"
+	default:
+		return "object"
+	}
+}
+
+// Tag names a lockable object. It is a comparable value.
+type Tag struct {
+	Kind TagKind
+	A, B uint64
+}
+
+// RelationTag locks table rel.
+func RelationTag(rel uint64) Tag { return Tag{Kind: TagRelation, A: rel} }
+
+// TupleTag locks tuple slot of table rel.
+func TupleTag(rel, slot uint64) Tag { return Tag{Kind: TagTuple, A: rel, B: slot} }
+
+// TransactionTag locks transaction txn.
+func TransactionTag(txn TxnID) Tag { return Tag{Kind: TagTransaction, A: uint64(txn)} }
+
+// ObjectTag locks an arbitrary object id.
+func ObjectTag(id uint64) Tag { return Tag{Kind: TagObject, A: id} }
+
+func (t Tag) String() string {
+	switch t.Kind {
+	case TagTuple:
+		return fmt.Sprintf("tuple(%d,%d)", t.A, t.B)
+	case TagTransaction:
+		return fmt.Sprintf("xact(%d)", t.A)
+	default:
+		return fmt.Sprintf("%s(%d)", t.Kind, t.A)
+	}
+}
+
+// ErrDeadlockVictim is returned from Acquire when the GDD (or a direct call
+// to Kill) chose the waiting transaction as a deadlock victim.
+var ErrDeadlockVictim = errors.New("lockmgr: transaction killed as deadlock victim")
+
+// ErrLockTimeout is returned when the caller's context expires while waiting.
+var ErrLockTimeout = errors.New("lockmgr: lock wait cancelled")
+
+// waiter is one queued lock request.
+type waiter struct {
+	txn   TxnID
+	mode  Mode
+	ready chan struct{} // closed on grant
+	err   error         // set before ready is closed on failure
+	t0    time.Time
+}
+
+// lock is the per-object lock state.
+type lock struct {
+	// holders maps txn -> set of held modes (bitmask).
+	holders map[TxnID]uint16
+	queue   []*waiter
+}
+
+func (l *lock) holderConflicts(txn TxnID, mode Mode) bool {
+	for h, modes := range l.holders {
+		if h == txn {
+			continue
+		}
+		if conflicts[mode]&modes != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Manager is one segment's lock table.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[Tag]*lock
+	// held tracks, per transaction, every tag+mode it holds, for ReleaseAll.
+	held map[TxnID]map[Tag]uint16
+
+	// killed marks transactions chosen as deadlock victims so future
+	// acquires fail fast until the transaction releases its locks.
+	killed map[TxnID]struct{}
+
+	// Wait accounting for the Fig. 2 experiment.
+	waitNanos  atomic.Int64
+	waitCount  atomic.Int64
+	acquireCnt atomic.Int64
+}
+
+// NewManager returns an empty lock table.
+func NewManager() *Manager {
+	return &Manager{
+		locks:  make(map[Tag]*lock),
+		held:   make(map[TxnID]map[Tag]uint16),
+		killed: make(map[TxnID]struct{}),
+	}
+}
+
+func (m *Manager) lockFor(tag Tag) *lock {
+	l, ok := m.locks[tag]
+	if !ok {
+		l = &lock{holders: make(map[TxnID]uint16)}
+		m.locks[tag] = l
+	}
+	return l
+}
+
+// queueConflicts reports whether any waiter queued before position i
+// conflicts with mode (fair FIFO: a newcomer must not overtake an earlier
+// conflicting waiter).
+func queueConflicts(l *lock, txn TxnID, mode Mode, upto int) bool {
+	for j := 0; j < upto && j < len(l.queue); j++ {
+		w := l.queue[j]
+		if w.txn == txn {
+			continue
+		}
+		if Conflicts(mode, w.mode) {
+			return true
+		}
+	}
+	return false
+}
+
+// Acquire takes tag in mode on behalf of txn, blocking until granted. It
+// returns ErrDeadlockVictim if the transaction is killed while waiting and
+// the context error if ctx is cancelled.
+//
+// Re-acquiring a tag in an already-held mode is a no-op; holding a stronger
+// mode does not absorb weaker ones (matching PostgreSQL, which tracks each
+// mode separately).
+func (m *Manager) Acquire(ctx context.Context, txn TxnID, tag Tag, mode Mode) error {
+	m.acquireCnt.Add(1)
+	m.mu.Lock()
+	if _, dead := m.killed[txn]; dead {
+		m.mu.Unlock()
+		return ErrDeadlockVictim
+	}
+	l := m.lockFor(tag)
+	if modes, ok := l.holders[txn]; ok && modes&(1<<mode) != 0 {
+		m.mu.Unlock()
+		return nil // already held
+	}
+	if !l.holderConflicts(txn, mode) && !queueConflicts(l, txn, mode, len(l.queue)) {
+		m.grantLocked(l, txn, tag, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	w := &waiter{txn: txn, mode: mode, ready: make(chan struct{}), t0: time.Now()}
+	l.queue = append(l.queue, w)
+	m.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		m.waitNanos.Add(time.Since(w.t0).Nanoseconds())
+		m.waitCount.Add(1)
+		return w.err
+	case <-ctx.Done():
+		m.waitNanos.Add(time.Since(w.t0).Nanoseconds())
+		m.waitCount.Add(1)
+		m.mu.Lock()
+		// The grant may have raced with cancellation.
+		select {
+		case <-w.ready:
+			m.mu.Unlock()
+			return w.err
+		default:
+		}
+		m.removeWaiterLocked(tag, w)
+		m.promoteLocked(tag)
+		m.mu.Unlock()
+		if ctx.Err() == context.DeadlineExceeded {
+			return ErrLockTimeout
+		}
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes the lock only if immediately available.
+func (m *Manager) TryAcquire(txn TxnID, tag Tag, mode Mode) bool {
+	m.acquireCnt.Add(1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dead := m.killed[txn]; dead {
+		return false
+	}
+	l := m.lockFor(tag)
+	if modes, ok := l.holders[txn]; ok && modes&(1<<mode) != 0 {
+		return true
+	}
+	if l.holderConflicts(txn, mode) || queueConflicts(l, txn, mode, len(l.queue)) {
+		return false
+	}
+	m.grantLocked(l, txn, tag, mode)
+	return true
+}
+
+func (m *Manager) grantLocked(l *lock, txn TxnID, tag Tag, mode Mode) {
+	l.holders[txn] |= 1 << mode
+	byTag, ok := m.held[txn]
+	if !ok {
+		byTag = make(map[Tag]uint16)
+		m.held[txn] = byTag
+	}
+	byTag[tag] |= 1 << mode
+}
+
+func (m *Manager) removeWaiterLocked(tag Tag, w *waiter) {
+	l := m.locks[tag]
+	if l == nil {
+		return
+	}
+	for i, q := range l.queue {
+		if q == w {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// promoteLocked grants every queued waiter that is now compatible, in FIFO
+// order, stopping the scan past a conflicting waiter only for requests that
+// conflict with it (fair but work-conserving).
+func (m *Manager) promoteLocked(tag Tag) {
+	l := m.locks[tag]
+	if l == nil {
+		return
+	}
+	i := 0
+	for i < len(l.queue) {
+		w := l.queue[i]
+		if !l.holderConflicts(w.txn, w.mode) && !queueConflicts(l, w.txn, w.mode, i) {
+			m.grantLocked(l, w.txn, tag, w.mode)
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			close(w.ready)
+			continue
+		}
+		i++
+	}
+	if len(l.holders) == 0 && len(l.queue) == 0 {
+		delete(m.locks, tag)
+	}
+}
+
+// Release drops every mode txn holds on tag (tuple locks use this to release
+// before transaction end, which is what makes their edges dotted).
+func (m *Manager) Release(txn TxnID, tag Tag) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(txn, tag)
+}
+
+func (m *Manager) releaseLocked(txn TxnID, tag Tag) {
+	l := m.locks[tag]
+	if l == nil {
+		return
+	}
+	if _, ok := l.holders[txn]; !ok {
+		return
+	}
+	delete(l.holders, txn)
+	if byTag := m.held[txn]; byTag != nil {
+		delete(byTag, tag)
+		if len(byTag) == 0 {
+			delete(m.held, txn)
+		}
+	}
+	m.promoteLocked(tag)
+}
+
+// ReleaseAll drops every lock txn holds (two-phase locking: called at commit
+// or abort) and clears any victim mark.
+func (m *Manager) ReleaseAll(txn TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.killed, txn)
+	byTag := m.held[txn]
+	if byTag == nil {
+		return
+	}
+	tags := make([]Tag, 0, len(byTag))
+	for tag := range byTag {
+		tags = append(tags, tag)
+	}
+	for _, tag := range tags {
+		m.releaseLocked(txn, tag)
+	}
+}
+
+// Kill marks txn as a deadlock victim: its queued waits fail immediately
+// with ErrDeadlockVictim and subsequent Acquire calls fail until ReleaseAll.
+func (m *Manager) Kill(txn TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.killed[txn] = struct{}{}
+	for tag, l := range m.locks {
+		changed := false
+		for i := 0; i < len(l.queue); {
+			w := l.queue[i]
+			if w.txn == txn {
+				w.err = ErrDeadlockVictim
+				close(w.ready)
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				changed = true
+				continue
+			}
+			i++
+		}
+		if changed {
+			m.promoteLocked(tag)
+		}
+	}
+}
+
+// HoldsAny reports whether txn holds or awaits any lock (used by GDD to
+// verify a transaction still exists).
+func (m *Manager) HoldsAny(txn TxnID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.held[txn]) > 0 {
+		return true
+	}
+	for _, l := range m.locks {
+		for _, w := range l.queue {
+			if w.txn == txn {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// WaitStats returns cumulative lock-wait time and counts (Fig. 2 harness).
+// The wait time includes the elapsed portion of still-queued requests, so a
+// snapshot taken mid-benchmark reflects waiters that have not yet been
+// granted.
+func (m *Manager) WaitStats() (waited time.Duration, waits, acquires int64) {
+	waited = time.Duration(m.waitNanos.Load())
+	now := time.Now()
+	m.mu.Lock()
+	for _, l := range m.locks {
+		for _, w := range l.queue {
+			waited += now.Sub(w.t0)
+		}
+	}
+	m.mu.Unlock()
+	return waited, m.waitCount.Load(), m.acquireCnt.Load()
+}
+
+// ResetWaitStats zeroes the accounting between benchmark phases.
+func (m *Manager) ResetWaitStats() {
+	m.waitNanos.Store(0)
+	m.waitCount.Store(0)
+	m.acquireCnt.Store(0)
+}

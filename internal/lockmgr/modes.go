@@ -1,0 +1,110 @@
+// Package lockmgr implements the object lock manager each segment (and the
+// coordinator) runs: PostgreSQL's eight table lock modes with the conflict
+// matrix of the paper's Table 1, tuple and transaction lock tags, fair FIFO
+// wait queues with cancellation, and export of the local wait-for graph with
+// the solid/dotted edge labels the global deadlock detector consumes.
+package lockmgr
+
+// Mode is a lock mode; the numeric levels match the paper's Table 1.
+type Mode uint8
+
+// Lock modes, weakest to strongest (paper Table 1).
+const (
+	// AccessShare is taken by pure SELECT.
+	AccessShare Mode = 1
+	// RowShare is taken by SELECT FOR UPDATE / FOR SHARE.
+	RowShare Mode = 2
+	// RowExclusive is taken by INSERT/UPDATE/DELETE.
+	RowExclusive Mode = 3
+	// ShareUpdateExclusive is taken by VACUUM (not full).
+	ShareUpdateExclusive Mode = 4
+	// Share is taken by CREATE INDEX.
+	Share Mode = 5
+	// ShareRowExclusive is taken by e.g. collation creation.
+	ShareRowExclusive Mode = 6
+	// Exclusive is taken by concurrent refresh of materialized views — and,
+	// in GPDB 5 compatibility mode, by every UPDATE/DELETE (the restrictive
+	// locking this paper removes).
+	Exclusive Mode = 7
+	// AccessExclusive is taken by ALTER TABLE, DROP, VACUUM FULL, LOCK TABLE.
+	AccessExclusive Mode = 8
+)
+
+func (m Mode) String() string {
+	switch m {
+	case AccessShare:
+		return "AccessShareLock"
+	case RowShare:
+		return "RowShareLock"
+	case RowExclusive:
+		return "RowExclusiveLock"
+	case ShareUpdateExclusive:
+		return "ShareUpdateExclusiveLock"
+	case Share:
+		return "ShareLock"
+	case ShareRowExclusive:
+		return "ShareRowExclusiveLock"
+	case Exclusive:
+		return "ExclusiveLock"
+	case AccessExclusive:
+		return "AccessExclusiveLock"
+	default:
+		return "InvalidLock"
+	}
+}
+
+// conflicts[m] is the set of modes conflicting with m, encoded as a bitmask
+// with bit i set when mode level i conflicts. Transcribed from Table 1:
+//
+//	AccessShareLock            conflicts with {8}
+//	RowShareLock               conflicts with {7,8}
+//	RowExclusiveLock           conflicts with {5,6,7,8}
+//	ShareUpdateExclusiveLock   conflicts with {4,5,6,7,8}
+//	ShareLock                  conflicts with {3,4,6,7,8}
+//	ShareRowExclusiveLock      conflicts with {3,4,5,6,7,8}
+//	ExclusiveLock              conflicts with {2,3,4,5,6,7,8}
+//	AccessExclusiveLock        conflicts with {1,2,3,4,5,6,7,8}
+var conflicts = [9]uint16{
+	AccessShare:          1 << AccessExclusive,
+	RowShare:             1<<Exclusive | 1<<AccessExclusive,
+	RowExclusive:         1<<Share | 1<<ShareRowExclusive | 1<<Exclusive | 1<<AccessExclusive,
+	ShareUpdateExclusive: 1<<ShareUpdateExclusive | 1<<Share | 1<<ShareRowExclusive | 1<<Exclusive | 1<<AccessExclusive,
+	Share:                1<<RowExclusive | 1<<ShareUpdateExclusive | 1<<ShareRowExclusive | 1<<Exclusive | 1<<AccessExclusive,
+	ShareRowExclusive:    1<<RowExclusive | 1<<ShareUpdateExclusive | 1<<Share | 1<<ShareRowExclusive | 1<<Exclusive | 1<<AccessExclusive,
+	Exclusive:            1<<RowShare | 1<<RowExclusive | 1<<ShareUpdateExclusive | 1<<Share | 1<<ShareRowExclusive | 1<<Exclusive | 1<<AccessExclusive,
+	AccessExclusive: 1<<AccessShare | 1<<RowShare | 1<<RowExclusive | 1<<ShareUpdateExclusive |
+		1<<Share | 1<<ShareRowExclusive | 1<<Exclusive | 1<<AccessExclusive,
+}
+
+// Conflicts reports whether two modes conflict.
+func Conflicts(a, b Mode) bool {
+	if a < AccessShare || a > AccessExclusive || b < AccessShare || b > AccessExclusive {
+		return false
+	}
+	return conflicts[a]&(1<<b) != 0
+}
+
+// ModeForName parses the SQL "IN <name> MODE" spelling, e.g.
+// "ACCESS EXCLUSIVE" or "ROW SHARE". It returns 0 for unknown names.
+func ModeForName(name string) Mode {
+	switch name {
+	case "ACCESS SHARE":
+		return AccessShare
+	case "ROW SHARE":
+		return RowShare
+	case "ROW EXCLUSIVE":
+		return RowExclusive
+	case "SHARE UPDATE EXCLUSIVE":
+		return ShareUpdateExclusive
+	case "SHARE":
+		return Share
+	case "SHARE ROW EXCLUSIVE":
+		return ShareRowExclusive
+	case "EXCLUSIVE":
+		return Exclusive
+	case "ACCESS EXCLUSIVE", "":
+		return AccessExclusive
+	default:
+		return 0
+	}
+}

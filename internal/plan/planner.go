@@ -1,0 +1,1297 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Optimizer selects which planner personality handles a query (paper §3.4:
+// the MPP-aware PostgreSQL planner for latency-sensitive transactional
+// queries, Orca for analytical ones).
+type Optimizer uint8
+
+// Optimizers.
+const (
+	// OptimizerOLTP is the fast rule-based planner: index selection, direct
+	// dispatch, no cost-based exploration.
+	OptimizerOLTP Optimizer = iota
+	// OptimizerOLAP is the cost-based planner: it additionally considers
+	// broadcasting small join sides instead of redistributing both.
+	OptimizerOLAP
+)
+
+func (o Optimizer) String() string {
+	if o == OptimizerOLAP {
+		return "orca"
+	}
+	return "postgres"
+}
+
+// Stats supplies row-count estimates to the cost-based planner.
+type Stats interface {
+	// RowCount estimates the total rows of a table across the cluster.
+	RowCount(table string) int64
+}
+
+// defaultStats is used when no statistics provider is wired.
+type defaultStats struct{}
+
+func (defaultStats) RowCount(string) int64 { return 1000 }
+
+// broadcastThreshold is the row estimate under which the OLAP planner
+// prefers broadcasting a join side over redistributing both sides.
+const broadcastThreshold = 2000
+
+// Planner turns analyzed statements into distributed physical plans.
+type Planner struct {
+	Catalog     *catalog.Catalog
+	NumSegments int
+	Optimizer   Optimizer
+	Stats       Stats
+	// Params are the values bound to $N placeholders.
+	Params []types.Datum
+}
+
+// Planned couples a plan tree with statement-level metadata the dispatcher
+// needs.
+type Planned struct {
+	Root Node
+	// LockTable is the relation to lock at parse-analyze time on the
+	// coordinator with LockMode (paper §4.2's first locking stage).
+	LockTable string
+	// LockModeLevel is the lockmgr mode level (0 = none).
+	LockModeLevel int
+	// DirectSegment pins execution to one segment (derived from an equality
+	// predicate on the full distribution key); -1 means all segments.
+	DirectSegment int
+	// ForUpdate marks SELECT ... FOR UPDATE.
+	ForUpdate bool
+	// Slices are the plan slices after motion cutting (top slice first).
+	Slices int
+}
+
+func (p *Planner) stats() Stats {
+	if p.Stats == nil {
+		return defaultStats{}
+	}
+	return p.Stats
+}
+
+// planned node + locus bookkeeping.
+type planned struct {
+	node  Node
+	locus Locus
+	// hashKeys are the expressions (over node output) rows are hashed by
+	// when locus == LocusHashed.
+	hashKeys []Expr
+	rows     int64 // estimate
+}
+
+// PlanSelect plans a SELECT statement.
+func (p *Planner) PlanSelect(s *sql.SelectStmt) (*Planned, error) {
+	pn, scope, err := p.planFrom(s.From)
+	if err != nil {
+		return nil, err
+	}
+
+	bnd := &binder{scope: scope, params: p.Params}
+
+	// WHERE.
+	var where Expr
+	if s.Where != nil {
+		where, err = bnd.bind(s.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Push the filter into a bare scan; otherwise add a Filter node.
+	if where != nil {
+		if scan, ok := pn.node.(*Scan); ok {
+			scan.Filter = conjoin(scan.Filter, where)
+			p.pruneAndIndex(scan)
+			if ix := p.tryIndexScan(scan); ix != nil {
+				pn.node = ix
+			}
+		} else {
+			pn.node = &Filter{Child: pn.node, Cond: where}
+		}
+	}
+
+	needAgg := len(s.GroupBy) > 0 || s.Having != nil
+	for _, item := range s.Items {
+		if !item.Star && hasAgg(item.Expr) {
+			needAgg = true
+		}
+	}
+
+	var out Node
+	var outNames []string
+	visibleCols := -1 // -1 = no hidden sort columns
+
+	if needAgg {
+		out, outNames, err = p.planAggregate(pn, scope, s)
+		if err != nil {
+			return nil, err
+		}
+		pn.node = out
+		pn.locus = LocusSingle
+		pn.hashKeys = nil
+	} else {
+		// Plain projection. ORDER BY items that don't resolve against the
+		// output are computed as hidden trailing columns over the input
+		// scope (standard SQL's "sort by unprojected column") and dropped
+		// after sorting.
+		exprs, names, err := p.bindSelectItems(s.Items, scope)
+		if err != nil {
+			return nil, err
+		}
+		visible := len(exprs)
+		if len(s.OrderBy) > 0 {
+			inBnd := &binder{scope: scope, params: p.Params}
+			for _, it := range s.OrderBy {
+				if p.orderByResolves(it, names) {
+					continue
+				}
+				e, err := inBnd.bind(it.Expr)
+				if err != nil {
+					return nil, fmt.Errorf("plan: cannot resolve ORDER BY item %s: %w", it.Expr, err)
+				}
+				exprs = append(exprs, e)
+				names = append(names, it.Expr.String())
+			}
+		}
+		if s.Lock != sql.LockNone {
+			markForUpdate(pn.node)
+		}
+		pn.node = NewProject(pn.node, exprs, names)
+		outNames = names
+		if len(exprs) > visible {
+			visibleCols = visible
+		}
+		if s.Distinct {
+			// DISTINCT = group by all output columns after gathering.
+			if pn.locus != LocusSingle {
+				pn.node = &Motion{Child: pn.node, Type: MotionGather}
+				pn.locus = LocusSingle
+			}
+			gb := make([]Expr, pn.node.Schema().Len())
+			for i := range gb {
+				gb[i] = &ColRef{Idx: i, Name: pn.node.Schema().Columns[i].Name, Typ: pn.node.Schema().Columns[i].Kind}
+			}
+			pn.node = NewAgg(pn.node, gb, nil, AggPlain)
+		}
+	}
+
+	// ORDER BY / LIMIT / OFFSET run in the coordinator slice.
+	if len(s.OrderBy) > 0 || s.Limit != nil || s.Offset != nil {
+		if pn.locus != LocusSingle {
+			pn.node = &Motion{Child: pn.node, Type: MotionGather}
+			pn.locus = LocusSingle
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		keys, err := p.bindOrderBy(s.OrderBy, pn.node.Schema(), outNames)
+		if err != nil {
+			return nil, err
+		}
+		pn.node = &Sort{Child: pn.node, Keys: keys}
+	}
+	if s.Limit != nil || s.Offset != nil {
+		lim, off, err := p.evalLimit(s)
+		if err != nil {
+			return nil, err
+		}
+		pn.node = &Limit{Child: pn.node, Count: lim, Offset: off}
+	}
+
+	// Drop hidden sort columns after the sort has consumed them.
+	if visibleCols >= 0 {
+		sch := pn.node.Schema()
+		keep := make([]Expr, visibleCols)
+		keepNames := make([]string, visibleCols)
+		for i := 0; i < visibleCols; i++ {
+			keep[i] = &ColRef{Idx: i, Name: sch.Columns[i].Name, Typ: sch.Columns[i].Kind}
+			keepNames[i] = sch.Columns[i].Name
+		}
+		pn.node = NewProject(pn.node, keep, keepNames)
+	}
+
+	// Final gather.
+	if pn.locus != LocusSingle {
+		pn.node = &Motion{Child: pn.node, Type: MotionGather}
+		pn.locus = LocusSingle
+	}
+
+	res := &Planned{Root: pn.node, DirectSegment: -1, ForUpdate: s.Lock == sql.LockForUpdate}
+	p.attachSelectLocks(res, s)
+	res.Slices = CutSlices(res.Root)
+	return res, nil
+}
+
+// attachSelectLocks records the coordinator-side relation lock for a SELECT.
+func (p *Planner) attachSelectLocks(res *Planned, s *sql.SelectStmt) {
+	if bt, ok := s.From.(*sql.BaseTable); ok {
+		res.LockTable = bt.Name
+		switch s.Lock {
+		case sql.LockForUpdate, sql.LockForShare:
+			res.LockModeLevel = 2 // RowShare
+		default:
+			res.LockModeLevel = 1 // AccessShare
+		}
+	} else if s.From != nil {
+		// Joins: lock the leftmost base table in AccessShare; the segment
+		// execution locks each scanned table locally anyway.
+		if t := leftmostTable(s.From); t != "" {
+			res.LockTable = t
+			res.LockModeLevel = 1
+		}
+	}
+}
+
+func leftmostTable(ref sql.TableRef) string {
+	switch r := ref.(type) {
+	case *sql.BaseTable:
+		return r.Name
+	case *sql.JoinRef:
+		return leftmostTable(r.Left)
+	default:
+		return ""
+	}
+}
+
+func markForUpdate(n Node) {
+	switch x := n.(type) {
+	case *Scan:
+		x.ForUpdate = true
+	case *IndexScan:
+		x.ForUpdate = true
+	}
+	for _, c := range n.Children() {
+		markForUpdate(c)
+	}
+}
+
+func conjoin(a, b Expr) Expr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &BinOp{Op: "AND", Left: a, Right: b}
+}
+
+// bindSelectItems expands * and binds each projection.
+func (p *Planner) bindSelectItems(items []sql.SelectItem, sc *scope) ([]Expr, []string, error) {
+	var exprs []Expr
+	var names []string
+	bnd := &binder{scope: sc, params: p.Params}
+	for _, item := range items {
+		if item.Star {
+			for _, c := range sc.cols {
+				exprs = append(exprs, &ColRef{Idx: c.idx, Name: c.name, Typ: c.kind})
+				names = append(names, c.name)
+			}
+			continue
+		}
+		if cr, ok := item.Expr.(*sql.ColumnRef); ok && cr.Column == "*" {
+			// table.* expansion.
+			for _, c := range sc.cols {
+				if c.qual == strings.ToLower(cr.Table) {
+					exprs = append(exprs, &ColRef{Idx: c.idx, Name: c.name, Typ: c.kind})
+					names = append(names, c.name)
+				}
+			}
+			continue
+		}
+		e, err := bnd.bind(item.Expr)
+		if err != nil {
+			return nil, nil, err
+		}
+		exprs = append(exprs, e)
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(*sql.ColumnRef); ok {
+				name = cr.Column
+			} else {
+				name = item.Expr.String()
+			}
+		}
+		names = append(names, name)
+	}
+	return exprs, names, nil
+}
+
+// orderByResolves reports whether an ORDER BY item resolves against the
+// projection's output (by position, alias, or output expression) without
+// needing a hidden column.
+func (p *Planner) orderByResolves(it sql.OrderItem, names []string) bool {
+	if lit, ok := it.Expr.(*sql.Literal); ok && lit.Value.Kind() == types.KindInt {
+		return true
+	}
+	if cr, ok := it.Expr.(*sql.ColumnRef); ok {
+		n := 0
+		for _, name := range names {
+			if strings.EqualFold(name, cr.Column) {
+				n++
+			}
+		}
+		return n == 1
+	}
+	for _, name := range names {
+		if strings.EqualFold(name, it.Expr.String()) {
+			return true
+		}
+	}
+	return false
+}
+
+// bindOrderBy resolves ORDER BY keys against the projected output schema:
+// by alias/name, by 1-based position, or as an expression over the output.
+func (p *Planner) bindOrderBy(items []sql.OrderItem, schema *types.Schema, names []string) ([]SortKey, error) {
+	var keys []SortKey
+	outScope := &scope{}
+	outScope.add("", schema, 0)
+	bnd := &binder{scope: outScope, params: p.Params}
+	for _, it := range items {
+		if lit, ok := it.Expr.(*sql.Literal); ok && lit.Value.Kind() == types.KindInt {
+			pos := int(lit.Value.Int())
+			if pos < 1 || pos > schema.Len() {
+				return nil, fmt.Errorf("plan: ORDER BY position %d out of range", pos)
+			}
+			keys = append(keys, SortKey{Expr: &ColRef{Idx: pos - 1, Typ: schema.Columns[pos-1].Kind}, Desc: it.Desc})
+			continue
+		}
+		// Exact textual match first (this is how hidden sort columns are
+		// named), then bare column-name match by alias.
+		if found := indexOfName(names, it.Expr.String()); found >= 0 {
+			keys = append(keys, SortKey{Expr: &ColRef{Idx: found, Typ: schema.Columns[found].Kind}, Desc: it.Desc})
+			continue
+		}
+		if cr, ok := it.Expr.(*sql.ColumnRef); ok {
+			// Match by output alias/name; a table qualifier is accepted as
+			// long as the bare column name is unambiguous in the output.
+			found := -1
+			ambiguous := false
+			for i, n := range names {
+				if strings.EqualFold(n, cr.Column) {
+					if found >= 0 {
+						ambiguous = true
+						break
+					}
+					found = i
+				}
+			}
+			if found >= 0 && !ambiguous {
+				keys = append(keys, SortKey{Expr: &ColRef{Idx: found, Name: cr.Column, Typ: schema.Columns[found].Kind}, Desc: it.Desc})
+				continue
+			}
+		}
+		e, err := bnd.bind(it.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("plan: cannot resolve ORDER BY item %s: %w", it.Expr, err)
+		}
+		keys = append(keys, SortKey{Expr: e, Desc: it.Desc})
+	}
+	return keys, nil
+}
+
+func (p *Planner) evalLimit(s *sql.SelectStmt) (lim, off int64, err error) {
+	lim, off = -1, 0
+	evalConst := func(e sql.Expr) (int64, error) {
+		bnd := &binder{scope: &scope{}, params: p.Params}
+		be, err := bnd.bind(e)
+		if err != nil {
+			return 0, err
+		}
+		v, err := be.Eval(nil)
+		if err != nil {
+			return 0, err
+		}
+		iv, err := v.CastTo(types.KindInt)
+		if err != nil {
+			return 0, err
+		}
+		return iv.Int(), nil
+	}
+	if s.Limit != nil {
+		if lim, err = evalConst(s.Limit); err != nil {
+			return 0, 0, fmt.Errorf("plan: bad LIMIT: %w", err)
+		}
+	}
+	if s.Offset != nil {
+		if off, err = evalConst(s.Offset); err != nil {
+			return 0, 0, fmt.Errorf("plan: bad OFFSET: %w", err)
+		}
+	}
+	return lim, off, nil
+}
+
+// planAggregate builds the (two-phase where possible) aggregation pipeline
+// and returns the output node plus projection names.
+func (p *Planner) planAggregate(pn *planned, sc *scope, s *sql.SelectStmt) (Node, []string, error) {
+	// Bind GROUP BY over the input scope.
+	inBnd := &binder{scope: sc, params: p.Params}
+	var groupBound []Expr
+	for _, g := range s.GroupBy {
+		e, err := inBnd.bind(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		groupBound = append(groupBound, e)
+	}
+
+	// Bind select items + HAVING, collecting aggregate specs; references to
+	// group items and aggs become ColRefs into the agg output layout.
+	var specs []AggSpec
+	aggBnd := &binder{
+		scope:       sc,
+		params:      p.Params,
+		aggs:        &specs,
+		aggBase:     len(groupBound),
+		groupExprs:  s.GroupBy,
+		groupOffset: 0,
+	}
+	var outExprs []Expr
+	var outNames []string
+	for _, item := range s.Items {
+		if item.Star {
+			return nil, nil, fmt.Errorf("plan: SELECT * is not valid with GROUP BY")
+		}
+		e, err := aggBnd.bind(item.Expr)
+		if err != nil {
+			return nil, nil, err
+		}
+		outExprs = append(outExprs, e)
+		name := item.Alias
+		if name == "" {
+			name = item.Expr.String()
+		}
+		outNames = append(outNames, name)
+	}
+	var having Expr
+	if s.Having != nil {
+		e, err := aggBnd.bind(s.Having)
+		if err != nil {
+			return nil, nil, err
+		}
+		having = e
+	}
+
+	anyDistinct := false
+	for _, sp := range specs {
+		if sp.Distinct {
+			anyDistinct = true
+		}
+	}
+
+	var aggOut Node
+	if pn.locus == LocusSingle {
+		aggOut = NewAgg(pn.node, groupBound, specs, AggPlain)
+	} else if anyDistinct {
+		// DISTINCT aggregates: gather raw rows, aggregate once.
+		g := &Motion{Child: pn.node, Type: MotionGather}
+		aggOut = NewAgg(g, groupBound, specs, AggPlain)
+	} else {
+		// Two-phase: partial on segments, gather, final merge.
+		partial := NewAgg(pn.node, groupBound, specs, AggPartial)
+		g := &Motion{Child: partial, Type: MotionGather}
+		// Final's group-by reads the partial layout positionally.
+		fgroup := make([]Expr, len(groupBound))
+		for i := range fgroup {
+			fgroup[i] = &ColRef{Idx: i, Typ: partial.Schema().Columns[i].Kind}
+		}
+		aggOut = NewAgg(g, fgroup, specs, AggFinal)
+	}
+
+	var out Node = aggOut
+	if having != nil {
+		out = &Filter{Child: out, Cond: having}
+	}
+	out = NewProject(out, outExprs, outNames)
+	return out, outNames, nil
+}
+
+// planFrom builds the plan for a FROM clause and the name-resolution scope.
+func (p *Planner) planFrom(ref sql.TableRef) (*planned, *scope, error) {
+	if ref == nil {
+		return &planned{node: &OneRow{}, locus: LocusSingle, rows: 1}, &scope{}, nil
+	}
+	switch r := ref.(type) {
+	case *sql.BaseTable:
+		t, err := p.Catalog.Table(r.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		scan := NewScan(t, allLeafIDs(t), nil)
+		sc := &scope{}
+		alias := r.Alias
+		if alias == "" {
+			alias = r.Name
+		}
+		sc.add(alias, t.Schema, 0)
+		pl := &planned{node: scan, rows: p.stats().RowCount(t.Name)}
+		switch t.Distribution {
+		case catalog.DistHash:
+			pl.locus = LocusHashed
+			for _, c := range t.DistKeyCols {
+				pl.hashKeys = append(pl.hashKeys, &ColRef{Idx: c, Name: t.Schema.Columns[c].Name, Typ: t.Schema.Columns[c].Kind})
+			}
+		case catalog.DistReplicated:
+			pl.locus = LocusReplicated
+		default:
+			pl.locus = LocusPartitioned
+		}
+		return pl, sc, nil
+	case *sql.JoinRef:
+		return p.planJoin(r)
+	case *sql.SubqueryRef:
+		return nil, nil, fmt.Errorf("plan: subqueries in FROM are not supported")
+	default:
+		return nil, nil, fmt.Errorf("plan: unsupported FROM item %T", ref)
+	}
+}
+
+func allLeafIDs(t *catalog.Table) []catalog.TableID {
+	if !t.IsPartitioned() {
+		return []catalog.TableID{t.ID}
+	}
+	out := make([]catalog.TableID, len(t.Partitions))
+	for i := range t.Partitions {
+		out[i] = t.Partitions[i].ID
+	}
+	return out
+}
+
+// planJoin plans one join node, inserting motions for colocation.
+func (p *Planner) planJoin(r *sql.JoinRef) (*planned, *scope, error) {
+	left, lsc, err := p.planFrom(r.Left)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, rsc, err := p.planFrom(r.Right)
+	if err != nil {
+		return nil, nil, err
+	}
+	leftWidth := left.node.Schema().Len()
+	combined := &scope{}
+	combined.cols = append(combined.cols, lsc.cols...)
+	for _, c := range rsc.cols {
+		combined.cols = append(combined.cols, scopeCol{qual: c.qual, name: c.name, idx: c.idx + leftWidth, kind: c.kind})
+	}
+
+	var kind JoinKind
+	switch r.Type {
+	case sql.JoinLeft:
+		kind = JoinLeft
+	default:
+		kind = JoinInner
+	}
+
+	// Build the join condition.
+	var cond Expr
+	bnd := &binder{scope: combined, params: p.Params}
+	if r.On != nil {
+		cond, err = bnd.bind(r.On)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else if len(r.Using) > 0 {
+		for _, name := range r.Using {
+			lc, err := lsc.resolve("", name)
+			if err != nil {
+				return nil, nil, err
+			}
+			rc, err := rsc.resolve("", name)
+			if err != nil {
+				return nil, nil, err
+			}
+			eq := &BinOp{Op: "=",
+				Left:  &ColRef{Idx: lc.idx, Name: name, Typ: lc.kind},
+				Right: &ColRef{Idx: rc.idx + leftWidth, Name: name, Typ: rc.kind}}
+			cond = conjoin(cond, eq)
+		}
+	}
+
+	// Split cond into equality key pairs and residual.
+	leftKeys, rightKeys, residual := splitJoinKeys(cond, leftWidth)
+
+	node, pl, err := p.buildJoin(kind, left, right, leftKeys, rightKeys, residual, leftWidth)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl.node = node
+	return pl, combined, nil
+}
+
+// splitJoinKeys extracts `leftcol = rightcol` style conjuncts. Left keys are
+// expressions over the left row; right keys are rebased to the right row.
+func splitJoinKeys(cond Expr, leftWidth int) (lk, rk []Expr, residual Expr) {
+	if cond == nil {
+		return nil, nil, nil
+	}
+	conjuncts := flattenAnd(cond)
+	for _, c := range conjuncts {
+		b, ok := c.(*BinOp)
+		if !ok || b.Op != "=" {
+			residual = conjoin(residual, c)
+			continue
+		}
+		lside, lok := sideOf(b.Left, leftWidth)
+		rside, rok := sideOf(b.Right, leftWidth)
+		if !lok || !rok || lside == rside {
+			residual = conjoin(residual, c)
+			continue
+		}
+		le, re := b.Left, b.Right
+		if lside == 1 { // left operand references right side: swap
+			le, re = re, le
+		}
+		lk = append(lk, le)
+		rk = append(rk, rebase(re, -leftWidth))
+	}
+	return lk, rk, residual
+}
+
+func flattenAnd(e Expr) []Expr {
+	if b, ok := e.(*BinOp); ok && b.Op == "AND" {
+		return append(flattenAnd(b.Left), flattenAnd(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// sideOf reports which input an expression references: 0 = left only,
+// 1 = right only. ok=false when it references both or neither.
+func sideOf(e Expr, leftWidth int) (side int, ok bool) {
+	lo, hi := colRange(e)
+	if lo == -1 {
+		return 0, false
+	}
+	if hi < leftWidth {
+		return 0, true
+	}
+	if lo >= leftWidth {
+		return 1, true
+	}
+	return 0, false
+}
+
+func colRange(e Expr) (lo, hi int) {
+	lo, hi = -1, -1
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch v := x.(type) {
+		case *ColRef:
+			if lo == -1 || v.Idx < lo {
+				lo = v.Idx
+			}
+			if v.Idx > hi {
+				hi = v.Idx
+			}
+		case *BinOp:
+			walk(v.Left)
+			walk(v.Right)
+		case *NotExpr:
+			walk(v.Operand)
+		case *NegExpr:
+			walk(v.Operand)
+		case *IsNull:
+			walk(v.Operand)
+		case *InList:
+			walk(v.Operand)
+			for _, it := range v.List {
+				walk(it)
+			}
+		case *Between:
+			walk(v.Operand)
+			walk(v.Lo)
+			walk(v.Hi)
+		case *Case:
+			for _, w := range v.Whens {
+				walk(w.Cond)
+				walk(w.Then)
+			}
+			if v.Else != nil {
+				walk(v.Else)
+			}
+		}
+	}
+	walk(e)
+	return lo, hi
+}
+
+// rebase shifts every ColRef index by delta (used to move right-side key
+// expressions into right-row coordinates).
+func rebase(e Expr, delta int) Expr {
+	switch v := e.(type) {
+	case *ColRef:
+		return &ColRef{Idx: v.Idx + delta, Name: v.Name, Typ: v.Typ}
+	case *Const:
+		return v
+	case *BinOp:
+		return &BinOp{Op: v.Op, Left: rebase(v.Left, delta), Right: rebase(v.Right, delta)}
+	case *NotExpr:
+		return &NotExpr{Operand: rebase(v.Operand, delta)}
+	case *NegExpr:
+		return &NegExpr{Operand: rebase(v.Operand, delta)}
+	case *IsNull:
+		return &IsNull{Operand: rebase(v.Operand, delta), Negate: v.Negate}
+	case *Between:
+		return &Between{Operand: rebase(v.Operand, delta), Lo: rebase(v.Lo, delta), Hi: rebase(v.Hi, delta), Negate: v.Negate}
+	default:
+		return e
+	}
+}
+
+// hashAligned reports whether a locus hashed by hashKeys is already aligned
+// with the join keys (every hash key appears among the join keys).
+func hashAligned(hashKeys, joinKeys []Expr) bool {
+	if len(hashKeys) == 0 || len(hashKeys) > len(joinKeys) {
+		return false
+	}
+	for _, hk := range hashKeys {
+		found := false
+		for _, jk := range joinKeys {
+			if hk.String() == jk.String() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// buildJoin decides the join distribution strategy and wraps children in
+// motions as needed.
+func (p *Planner) buildJoin(kind JoinKind, left, right *planned, lk, rk []Expr, residual Expr, leftWidth int) (Node, *planned, error) {
+	result := &planned{rows: maxi64(left.rows, right.rows)}
+
+	haveKeys := len(lk) > 0
+
+	if !haveKeys {
+		// No equality keys: nested loop with the inner (right) side
+		// broadcast to wherever the outer side lives.
+		switch {
+		case left.locus == LocusSingle && right.locus == LocusSingle:
+		case left.locus == LocusSingle:
+			right.node = &Motion{Child: right.node, Type: MotionGather}
+			right.locus = LocusSingle
+		case right.locus == LocusReplicated || right.locus == LocusSingle && false:
+			// right already everywhere
+		default:
+			right.node = &Motion{Child: right.node, Type: MotionBroadcast}
+			right.locus = LocusReplicated
+		}
+		result.locus = left.locus
+		result.hashKeys = left.hashKeys
+		return NewNestLoop(kind, left.node, right.node, residual), result, nil
+	}
+
+	// Equality join. Residual conditions are evaluated on the joined row.
+	leftAligned := left.locus == LocusHashed && hashAligned(left.hashKeys, lk)
+	rightAligned := right.locus == LocusHashed && hashAligned(right.hashKeys, rk)
+
+	switch {
+	case left.locus == LocusSingle || right.locus == LocusSingle:
+		// Finish on the coordinator.
+		if left.locus != LocusSingle {
+			left.node = &Motion{Child: left.node, Type: MotionGather}
+		}
+		if right.locus != LocusSingle {
+			right.node = &Motion{Child: right.node, Type: MotionGather}
+		}
+		result.locus = LocusSingle
+	case left.locus == LocusReplicated && right.locus == LocusReplicated:
+		result.locus = LocusReplicated
+	case right.locus == LocusReplicated:
+		result.locus = left.locus
+		result.hashKeys = left.hashKeys
+	case left.locus == LocusReplicated:
+		result.locus = right.locus
+		result.hashKeys = rebaseAll(right.hashKeys, leftWidth)
+	case leftAligned && rightAligned && alignedPairs(left.hashKeys, lk, rk, right.hashKeys):
+		// Colocated join: no motion.
+		result.locus = LocusHashed
+		result.hashKeys = left.hashKeys
+	default:
+		// The OLAP planner broadcasts a small inner side instead of
+		// redistributing both (cost-based choice); the OLTP planner always
+		// redistributes misaligned sides.
+		if p.Optimizer == OptimizerOLAP && !rightAligned && right.rows > 0 && right.rows < broadcastThreshold && kind == JoinInner {
+			right.node = &Motion{Child: right.node, Type: MotionBroadcast}
+			result.locus = left.locus
+			result.hashKeys = left.hashKeys
+			if !leftAligned && left.locus == LocusPartitioned {
+				// fine: broadcast join works at any partitioned locus
+			}
+		} else {
+			if !leftAligned {
+				left.node = &Motion{Child: left.node, Type: MotionRedistribute, HashExprs: lk}
+				left.locus = LocusHashed
+				left.hashKeys = lk
+			}
+			if !rightAligned {
+				right.node = &Motion{Child: right.node, Type: MotionRedistribute, HashExprs: rk}
+				right.locus = LocusHashed
+				right.hashKeys = rk
+			}
+			result.locus = LocusHashed
+			result.hashKeys = lk
+		}
+	}
+
+	return NewHashJoin(kind, left.node, right.node, lk, rk, residual), result, nil
+}
+
+// alignedPairs checks the two sides are hashed on *corresponding* key pairs:
+// for each left hash key, the matching right hash key must be the partner of
+// the same equality.
+func alignedPairs(lHash []Expr, lk, rk []Expr, rHash []Expr) bool {
+	if len(lHash) != len(rHash) {
+		return false
+	}
+	for i, hk := range lHash {
+		// Find hk among lk; the partner rk must equal rHash[i].
+		found := false
+		for j := range lk {
+			if lk[j].String() == hk.String() && rk[j].String() == rHash[i].String() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func rebaseAll(exprs []Expr, delta int) []Expr {
+	out := make([]Expr, len(exprs))
+	for i, e := range exprs {
+		out[i] = rebase(e, delta)
+	}
+	return out
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// OneRow emits a single empty row (SELECT without FROM).
+type OneRow struct{}
+
+// Schema implements Node.
+func (*OneRow) Schema() *types.Schema { return &types.Schema{} }
+
+// Children implements Node.
+func (*OneRow) Children() []Node { return nil }
+
+// Explain implements Node.
+func (*OneRow) Explain() string { return "Result" }
+
+// pruneAndIndex applies partition pruning and (for the OLTP planner path)
+// leaves index selection hints on the scan — pruning uses simple
+// `col = const`, `col >= a AND col < b`, and BETWEEN patterns on the
+// partition column.
+func (p *Planner) pruneAndIndex(scan *Scan) {
+	t := scan.Table
+	if !t.IsPartitioned() || scan.Filter == nil {
+		return
+	}
+	col := t.PartitionCol
+	rng, ok := extractRange(scan.Filter, col)
+	if !ok {
+		return
+	}
+	var keep []catalog.TableID
+	for i := range t.Partitions {
+		part := &t.Partitions[i]
+		if rng.eq != nil {
+			if types.Compare(*rng.eq, part.Start) >= 0 && types.Compare(*rng.eq, part.End) < 0 {
+				keep = append(keep, part.ID)
+			}
+			continue
+		}
+		// Overlap of the predicate interval with [Start, End). The lower
+		// bound is treated inclusively even for ">" (a conservative
+		// superset — never prunes a matching partition).
+		if rng.lo != nil && types.Compare(*rng.lo, part.End) >= 0 {
+			continue
+		}
+		if rng.hi != nil {
+			if rng.hiStrict {
+				// col < hi: partition matches only if Start < hi.
+				if types.Compare(part.Start, *rng.hi) >= 0 {
+					continue
+				}
+			} else if types.Compare(*rng.hi, part.Start) < 0 {
+				continue
+			}
+		}
+		keep = append(keep, part.ID)
+	}
+	scan.Partitions = keep
+}
+
+// keyRange is the constraint extracted from a conjunction for pruning.
+type keyRange struct {
+	lo, hi   *types.Datum
+	hiStrict bool // hi bound came from "<" rather than "<="/BETWEEN
+	eq       *types.Datum
+}
+
+// extractRange finds constraints on column col inside a conjunction.
+func extractRange(e Expr, col int) (keyRange, bool) {
+	var rng keyRange
+	ok := false
+	for _, c := range flattenAnd(e) {
+		switch x := c.(type) {
+		case *BinOp:
+			cr, crOk := x.Left.(*ColRef)
+			cn, cnOk := x.Right.(*Const)
+			if !crOk || !cnOk || cr.Idx != col {
+				continue
+			}
+			v := cn.Val
+			switch x.Op {
+			case "=":
+				rng.eq = &v
+				ok = true
+			case ">", ">=":
+				rng.lo = &v
+				ok = true
+			case "<":
+				rng.hi = &v
+				rng.hiStrict = true
+				ok = true
+			case "<=":
+				rng.hi = &v
+				ok = true
+			}
+		case *Between:
+			cr, crOk := x.Operand.(*ColRef)
+			loC, loOk := x.Lo.(*Const)
+			hiC, hiOk := x.Hi.(*Const)
+			if crOk && loOk && hiOk && cr.Idx == col && !x.Negate {
+				lv, hv := loC.Val, hiC.Val
+				rng.lo, rng.hi = &lv, &hv
+				rng.hiStrict = false
+				ok = true
+			}
+		}
+	}
+	return rng, ok
+}
+
+// tryIndexScan replaces a filtered scan of an unpartitioned table with an
+// index probe when some index's columns are all pinned by constant
+// equalities in the filter (the OLTP drill-through path). The full filter
+// is kept as the residual predicate — rechecking is cheap and keeps
+// non-key conjuncts correct.
+func (p *Planner) tryIndexScan(scan *Scan) *IndexScan {
+	t := scan.Table
+	if t.IsPartitioned() || len(t.Indexes) == 0 || scan.Filter == nil {
+		return nil
+	}
+	eq := map[int]Expr{}
+	for _, c := range flattenAnd(scan.Filter) {
+		b, ok := c.(*BinOp)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		cr, crOK := b.Left.(*ColRef)
+		cn := b.Right
+		if !crOK || !IsConst(cn) {
+			cr, crOK = b.Right.(*ColRef)
+			cn = b.Left
+			if !crOK || !IsConst(cn) {
+				continue
+			}
+		}
+		eq[cr.Idx] = cn
+	}
+	for _, ix := range t.Indexes {
+		keys := make([]Expr, 0, len(ix.Columns))
+		ok := true
+		for _, col := range ix.Columns {
+			e, found := eq[col]
+			if !found {
+				ok = false
+				break
+			}
+			keys = append(keys, e)
+		}
+		if ok {
+			return &IndexScan{Table: t, Index: ix, KeyVals: keys, Filter: scan.Filter, ForUpdate: scan.ForUpdate}
+		}
+	}
+	return nil
+}
+
+// CutSlices assigns slice ids to motions (top slice is 0) and returns the
+// number of slices.
+func CutSlices(root Node) int {
+	next := 1
+	var walk func(Node)
+	walk = func(n Node) {
+		if m, ok := n.(*Motion); ok {
+			m.SliceID = next
+			next++
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return next
+}
+
+// Explain renders the plan tree as indented text resembling Greenplum's
+// EXPLAIN output.
+func Explain(root Node) string {
+	var b strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if depth > 0 {
+			b.WriteString("-> ")
+		}
+		b.WriteString(n.Explain())
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
+}
+
+// ---- DML planning ----
+
+// PlanInsert evaluates literal rows at the coordinator, coercing to the
+// table schema, or plans the feeding SELECT.
+func (p *Planner) PlanInsert(st *sql.InsertStmt) (*Planned, error) {
+	t, err := p.Catalog.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	res := &Planned{DirectSegment: -1, LockTable: t.Name, LockModeLevel: 3} // RowExclusive
+	ip := &InsertPlan{Table: t}
+	colIdx := make([]int, 0, t.Schema.Len())
+	if len(st.Columns) > 0 {
+		for _, c := range st.Columns {
+			i := t.Schema.ColumnIndex(c)
+			if i < 0 {
+				return nil, fmt.Errorf("plan: column %q of table %q does not exist", c, t.Name)
+			}
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for i := 0; i < t.Schema.Len(); i++ {
+			colIdx = append(colIdx, i)
+		}
+	}
+	if st.Select != nil {
+		sel, err := p.PlanSelect(st.Select)
+		if err != nil {
+			return nil, err
+		}
+		if sel.Root.Schema().Len() != len(colIdx) {
+			return nil, fmt.Errorf("plan: INSERT expects %d columns, SELECT supplies %d", len(colIdx), sel.Root.Schema().Len())
+		}
+		ip.Select = sel.Root
+		res.Root = ip
+		res.Slices = CutSlices(ip.Select)
+		return res, nil
+	}
+	bnd := &binder{scope: &scope{}, params: p.Params}
+	for _, exprRow := range st.Rows {
+		if len(exprRow) != len(colIdx) {
+			return nil, fmt.Errorf("plan: INSERT row has %d values, expected %d", len(exprRow), len(colIdx))
+		}
+		row := make(types.Row, t.Schema.Len())
+		for i := range row {
+			row[i] = types.Null
+		}
+		for i, e := range exprRow {
+			be, err := bnd.bind(e)
+			if err != nil {
+				return nil, err
+			}
+			v, err := be.Eval(nil)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := v.CastTo(t.Schema.Columns[colIdx[i]].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("plan: column %q: %w", t.Schema.Columns[colIdx[i]].Name, err)
+			}
+			row[colIdx[i]] = cv
+		}
+		ip.Rows = append(ip.Rows, row)
+	}
+	res.Root = ip
+	return res, nil
+}
+
+// PlanUpdate binds an UPDATE.
+func (p *Planner) PlanUpdate(st *sql.UpdateStmt, gddEnabled bool) (*Planned, error) {
+	t, err := p.Catalog.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	sc := &scope{}
+	sc.add(t.Name, t.Schema, 0)
+	bnd := &binder{scope: sc, params: p.Params}
+	up := &UpdatePlan{Table: t}
+	for _, a := range st.Set {
+		i := t.Schema.ColumnIndex(a.Column)
+		if i < 0 {
+			return nil, fmt.Errorf("plan: column %q of table %q does not exist", a.Column, t.Name)
+		}
+		e, err := bnd.bind(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		up.SetCols = append(up.SetCols, i)
+		up.SetExprs = append(up.SetExprs, e)
+	}
+	if st.Where != nil {
+		up.Filter, err = bnd.bind(st.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Planned{Root: up, DirectSegment: -1, LockTable: t.Name}
+	// The HTAP locking decision (paper §4): with GDD, UPDATE takes
+	// RowExclusive; without it, Exclusive — serializing all writers.
+	if gddEnabled {
+		res.LockModeLevel = 3
+	} else {
+		res.LockModeLevel = 7
+	}
+	res.DirectSegment = p.directSegmentFor(t, up.Filter)
+	return res, nil
+}
+
+// PlanDelete binds a DELETE.
+func (p *Planner) PlanDelete(st *sql.DeleteStmt, gddEnabled bool) (*Planned, error) {
+	t, err := p.Catalog.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	sc := &scope{}
+	sc.add(t.Name, t.Schema, 0)
+	bnd := &binder{scope: sc, params: p.Params}
+	dp := &DeletePlan{Table: t}
+	if st.Where != nil {
+		dp.Filter, err = bnd.bind(st.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Planned{Root: dp, DirectSegment: -1, LockTable: t.Name}
+	if gddEnabled {
+		res.LockModeLevel = 3
+	} else {
+		res.LockModeLevel = 7
+	}
+	res.DirectSegment = p.directSegmentFor(t, dp.Filter)
+	return res, nil
+}
+
+// directSegmentFor implements direct dispatch: when the filter pins every
+// distribution-key column to a constant, only one segment can hold matches.
+func (p *Planner) directSegmentFor(t *catalog.Table, filter Expr) int {
+	if t.Distribution != catalog.DistHash || filter == nil || p.NumSegments <= 1 {
+		return -1
+	}
+	vals := make([]types.Datum, len(t.DistKeyCols))
+	found := make([]bool, len(t.DistKeyCols))
+	for _, c := range flattenAnd(filter) {
+		b, ok := c.(*BinOp)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		cr, crOk := b.Left.(*ColRef)
+		cn, cnOk := b.Right.(*Const)
+		if !crOk || !cnOk {
+			// also accept const = col
+			cr, crOk = b.Right.(*ColRef)
+			cn, cnOk = b.Left.(*Const)
+			if !crOk || !cnOk {
+				continue
+			}
+		}
+		for i, dk := range t.DistKeyCols {
+			if cr.Idx == dk {
+				vals[i] = cn.Val
+				found[i] = true
+			}
+		}
+	}
+	for _, f := range found {
+		if !f {
+			return -1
+		}
+	}
+	return int(types.Row(vals).Hash(seqInts(len(vals))) % uint64(p.NumSegments))
+}
+
+// indexOfName finds the unique case-insensitive match of name in names.
+func indexOfName(names []string, name string) int {
+	found := -1
+	for i, n := range names {
+		if strings.EqualFold(n, name) {
+			if found >= 0 {
+				return -1
+			}
+			found = i
+		}
+	}
+	return found
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// RouteRow computes the owning segment for a row of a hash-distributed
+// table; random tables round-robin via the provided counter.
+func RouteRow(t *catalog.Table, row types.Row, nseg int, rr *int) int {
+	switch t.Distribution {
+	case catalog.DistHash:
+		return int(row.Hash(t.DistKeyCols) % uint64(nseg))
+	case catalog.DistReplicated:
+		return -1 // every segment
+	default:
+		*rr++
+		return (*rr - 1 + nseg) % nseg
+	}
+}
+
+// ParseLimitInt is a helper for session settings.
+func ParseLimitInt(s string, def int) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return v
+}

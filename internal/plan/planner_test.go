@@ -1,0 +1,386 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// testCatalog builds a catalog with representative tables.
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	mk := func(name string, dist catalog.Distribution, keys []int, cols ...types.Column) *catalog.Table {
+		tab := &catalog.Table{
+			Name:         name,
+			Schema:       &types.Schema{Columns: cols},
+			Distribution: dist,
+			DistKeyCols:  keys,
+			PartitionCol: -1,
+		}
+		if err := c.CreateTable(tab); err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	mk("t1", catalog.DistHash, []int{0},
+		types.Column{Name: "c1", Kind: types.KindInt},
+		types.Column{Name: "c2", Kind: types.KindInt})
+	mk("t2", catalog.DistHash, []int{0},
+		types.Column{Name: "c1", Kind: types.KindInt},
+		types.Column{Name: "c2", Kind: types.KindInt})
+	mk("r", catalog.DistReplicated, nil,
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "name", Kind: types.KindText})
+	mk("rnd", catalog.DistRandom, nil,
+		types.Column{Name: "a", Kind: types.KindInt},
+		types.Column{Name: "b", Kind: types.KindInt})
+	part := &catalog.Table{
+		Name: "sales",
+		Schema: &types.Schema{Columns: []types.Column{
+			{Name: "id", Kind: types.KindInt},
+			{Name: "d", Kind: types.KindInt},
+			{Name: "amt", Kind: types.KindFloat},
+		}},
+		Distribution: catalog.DistHash,
+		DistKeyCols:  []int{0},
+		PartitionCol: 1,
+		Partitions: []catalog.Partition{
+			{Name: "p0", Start: types.NewInt(0), End: types.NewInt(100)},
+			{Name: "p1", Start: types.NewInt(100), End: types.NewInt(200)},
+			{Name: "p2", Start: types.NewInt(200), End: types.NewInt(300)},
+		},
+	}
+	if err := c.CreateTable(part); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func planSelect(t *testing.T, cat *catalog.Catalog, q string, opt Optimizer) *Planned {
+	t.Helper()
+	st, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	p := &Planner{Catalog: cat, NumSegments: 4, Optimizer: opt}
+	pl, err := p.PlanSelect(st.(*sql.SelectStmt))
+	if err != nil {
+		t.Fatalf("plan %q: %v", q, err)
+	}
+	return pl
+}
+
+func motionsIn(root Node) []*Motion {
+	var out []*Motion
+	var walk func(Node)
+	walk = func(n Node) {
+		if m, ok := n.(*Motion); ok {
+			out = append(out, m)
+		}
+		for _, ch := range n.Children() {
+			walk(ch)
+		}
+	}
+	walk(root)
+	return out
+}
+
+func TestSimpleSelectGetsSingleGather(t *testing.T) {
+	cat := testCatalog(t)
+	pl := planSelect(t, cat, "SELECT c1 FROM t1 WHERE c2 > 5", OptimizerOLTP)
+	ms := motionsIn(pl.Root)
+	if len(ms) != 1 || ms[0].Type != MotionGather {
+		t.Fatalf("motions: %v", ms)
+	}
+	if pl.Slices != 2 {
+		t.Fatalf("slices = %d", pl.Slices)
+	}
+	if pl.LockTable != "t1" || pl.LockModeLevel != 1 {
+		t.Fatalf("lock: %q level %d", pl.LockTable, pl.LockModeLevel)
+	}
+}
+
+func TestColocatedJoinHasNoRedistribute(t *testing.T) {
+	cat := testCatalog(t)
+	// Join on distribution keys of both sides: colocated.
+	pl := planSelect(t, cat, "SELECT * FROM t1 JOIN t2 ON t1.c1 = t2.c1", OptimizerOLTP)
+	for _, m := range motionsIn(pl.Root) {
+		if m.Type != MotionGather {
+			t.Fatalf("unexpected motion %s in colocated join", m.Type)
+		}
+	}
+}
+
+func TestMisalignedJoinRedistributes(t *testing.T) {
+	cat := testCatalog(t)
+	// t1.c2 is not the distribution key: that side must redistribute.
+	pl := planSelect(t, cat, "SELECT * FROM t1 JOIN t2 ON t1.c2 = t2.c1", OptimizerOLTP)
+	var redist int
+	for _, m := range motionsIn(pl.Root) {
+		if m.Type == MotionRedistribute {
+			redist++
+		}
+	}
+	if redist != 1 {
+		t.Fatalf("redistribute motions = %d, want 1 (t1 side only)", redist)
+	}
+	// Paper Fig. 4 shape: both sides misaligned → both redistribute.
+	pl = planSelect(t, cat, "SELECT * FROM t1 JOIN t2 ON t1.c2 = t2.c2", OptimizerOLTP)
+	redist = 0
+	for _, m := range motionsIn(pl.Root) {
+		if m.Type == MotionRedistribute {
+			redist++
+		}
+	}
+	if redist != 2 {
+		t.Fatalf("redistribute motions = %d, want 2", redist)
+	}
+}
+
+func TestReplicatedJoinNeedsNoMotion(t *testing.T) {
+	cat := testCatalog(t)
+	pl := planSelect(t, cat, "SELECT * FROM t1 JOIN r ON t1.c2 = r.id", OptimizerOLTP)
+	for _, m := range motionsIn(pl.Root) {
+		if m.Type != MotionGather {
+			t.Fatalf("replicated join should not move data, found %s", m.Type)
+		}
+	}
+}
+
+// smallStats reports a tiny row count so the OLAP planner broadcasts.
+type smallStats struct{}
+
+func (smallStats) RowCount(string) int64 { return 10 }
+
+func TestOLAPPlannerBroadcastsSmallSide(t *testing.T) {
+	cat := testCatalog(t)
+	st, _ := sql.Parse("SELECT * FROM t1 JOIN t2 ON t1.c2 = t2.c2")
+	p := &Planner{Catalog: cat, NumSegments: 4, Optimizer: OptimizerOLAP, Stats: smallStats{}}
+	pl, err := p.PlanSelect(st.(*sql.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var broadcast, redist int
+	for _, m := range motionsIn(pl.Root) {
+		switch m.Type {
+		case MotionBroadcast:
+			broadcast++
+		case MotionRedistribute:
+			redist++
+		}
+	}
+	if broadcast != 1 || redist != 0 {
+		t.Fatalf("OLAP join: broadcast=%d redistribute=%d", broadcast, redist)
+	}
+}
+
+func TestTwoPhaseAggregate(t *testing.T) {
+	cat := testCatalog(t)
+	pl := planSelect(t, cat, "SELECT c2, count(*), sum(c1) FROM t1 GROUP BY c2", OptimizerOLTP)
+	var partial, final int
+	var walk func(Node)
+	walk = func(n Node) {
+		if a, ok := n.(*Agg); ok {
+			switch a.Phase {
+			case AggPartial:
+				partial++
+			case AggFinal:
+				final++
+			}
+		}
+		for _, ch := range n.Children() {
+			walk(ch)
+		}
+	}
+	walk(pl.Root)
+	if partial != 1 || final != 1 {
+		t.Fatalf("agg phases: partial=%d final=%d\n%s", partial, final, Explain(pl.Root))
+	}
+}
+
+func TestPartitionPruning(t *testing.T) {
+	cat := testCatalog(t)
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"SELECT * FROM sales WHERE d = 150", 1},
+		{"SELECT * FROM sales WHERE d >= 100 AND d < 200", 1},
+		{"SELECT * FROM sales WHERE d BETWEEN 50 AND 150", 2},
+		{"SELECT * FROM sales WHERE d > 250", 1},
+		{"SELECT * FROM sales WHERE amt > 0", 3},
+		{"SELECT * FROM sales", 3},
+	}
+	for _, c := range cases {
+		pl := planSelect(t, cat, c.q, OptimizerOLTP)
+		var scan *Scan
+		var walk func(Node)
+		walk = func(n Node) {
+			if s, ok := n.(*Scan); ok {
+				scan = s
+			}
+			for _, ch := range n.Children() {
+				walk(ch)
+			}
+		}
+		walk(pl.Root)
+		if scan == nil {
+			t.Fatalf("%s: no scan", c.q)
+		}
+		if len(scan.Partitions) != c.want {
+			t.Errorf("%s: scans %d partitions, want %d", c.q, len(scan.Partitions), c.want)
+		}
+	}
+}
+
+func TestDirectDispatchDetection(t *testing.T) {
+	cat := testCatalog(t)
+	p := &Planner{Catalog: cat, NumSegments: 4, Optimizer: OptimizerOLTP}
+	st, _ := sql.Parse("UPDATE t1 SET c2 = 0 WHERE c1 = 42")
+	pl, err := p.PlanUpdate(st.(*sql.UpdateStmt), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.DirectSegment < 0 {
+		t.Fatal("equality on the full distribution key must direct-dispatch")
+	}
+	want := int(types.Row{types.NewInt(42)}.Hash([]int{0}) % 4)
+	if pl.DirectSegment != want {
+		t.Fatalf("segment = %d, want %d", pl.DirectSegment, want)
+	}
+	// Non-key predicate: no direct dispatch.
+	st, _ = sql.Parse("UPDATE t1 SET c2 = 0 WHERE c2 = 42")
+	pl, _ = p.PlanUpdate(st.(*sql.UpdateStmt), true)
+	if pl.DirectSegment != -1 {
+		t.Fatal("non-key predicate must fan out")
+	}
+}
+
+func TestLockLevelsGDDVsGPDB5(t *testing.T) {
+	cat := testCatalog(t)
+	p := &Planner{Catalog: cat, NumSegments: 4}
+	st, _ := sql.Parse("UPDATE t1 SET c2 = 0")
+	with, _ := p.PlanUpdate(st.(*sql.UpdateStmt), true)
+	without, _ := p.PlanUpdate(st.(*sql.UpdateStmt), false)
+	if with.LockModeLevel != 3 {
+		t.Fatalf("GDD update lock = %d, want RowExclusive(3)", with.LockModeLevel)
+	}
+	if without.LockModeLevel != 7 {
+		t.Fatalf("GPDB5 update lock = %d, want Exclusive(7)", without.LockModeLevel)
+	}
+	dst, _ := sql.Parse("DELETE FROM t1")
+	dwith, _ := p.PlanDelete(dst.(*sql.DeleteStmt), true)
+	dwithout, _ := p.PlanDelete(dst.(*sql.DeleteStmt), false)
+	if dwith.LockModeLevel != 3 || dwithout.LockModeLevel != 7 {
+		t.Fatalf("delete locks: %d %d", dwith.LockModeLevel, dwithout.LockModeLevel)
+	}
+}
+
+func TestInsertPlanRouting(t *testing.T) {
+	cat := testCatalog(t)
+	p := &Planner{Catalog: cat, NumSegments: 4}
+	st, _ := sql.Parse("INSERT INTO t1 (c1, c2) VALUES (1, 10), (2, 20)")
+	pl, err := p.PlanInsert(st.(*sql.InsertStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := pl.Root.(*InsertPlan)
+	if len(ip.Rows) != 2 || ip.Rows[0][0].Int() != 1 {
+		t.Fatalf("rows: %v", ip.Rows)
+	}
+	if pl.LockModeLevel != 3 {
+		t.Fatalf("insert lock level = %d", pl.LockModeLevel)
+	}
+	// Missing columns become NULL.
+	st, _ = sql.Parse("INSERT INTO t1 (c1) VALUES (9)")
+	pl, _ = p.PlanInsert(st.(*sql.InsertStmt))
+	ip = pl.Root.(*InsertPlan)
+	if !ip.Rows[0][1].IsNull() {
+		t.Fatal("missing column should be NULL")
+	}
+	// Arity mismatch.
+	st, _ = sql.Parse("INSERT INTO t1 (c1) VALUES (9, 10)")
+	if _, err := p.PlanInsert(st.(*sql.InsertStmt)); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestExplainRendering(t *testing.T) {
+	cat := testCatalog(t)
+	pl := planSelect(t, cat, "SELECT c2, count(*) FROM t1 GROUP BY c2 ORDER BY c2 LIMIT 5", OptimizerOLTP)
+	text := Explain(pl.Root)
+	for _, frag := range []string{"Limit", "Sort", "HashAggregate", "Gather Motion", "Seq Scan on t1"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("explain missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	cat := testCatalog(t)
+	p := &Planner{Catalog: cat, NumSegments: 4}
+	for _, q := range []string{
+		"SELECT nope FROM t1",
+		"SELECT c1 FROM missing",
+		"SELECT t9.c1 FROM t1",
+		"SELECT c1 FROM t1 ORDER BY 99",
+		"SELECT * FROM t1 GROUP BY c1",
+	} {
+		st, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if _, err := p.PlanSelect(st.(*sql.SelectStmt)); err == nil {
+			t.Errorf("PlanSelect(%q) should fail", q)
+		}
+	}
+}
+
+func TestAmbiguousColumnRejected(t *testing.T) {
+	cat := testCatalog(t)
+	st, _ := sql.Parse("SELECT c1 FROM t1 JOIN t2 ON t1.c1 = t2.c1")
+	p := &Planner{Catalog: cat, NumSegments: 4}
+	if _, err := p.PlanSelect(st.(*sql.SelectStmt)); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("ambiguous reference: %v", err)
+	}
+}
+
+func TestExprEvaluation(t *testing.T) {
+	// Spot-check the bound-expression evaluator through planner-built
+	// expressions: NULL semantics, CASE, LIKE, IN.
+	row := types.Row{types.NewInt(5), types.NewText("hello"), types.Null}
+	cases := []struct {
+		e    Expr
+		want types.Datum
+	}{
+		{&BinOp{Op: "+", Left: &ColRef{Idx: 0}, Right: &Const{Val: types.NewInt(2)}}, types.NewInt(7)},
+		{&BinOp{Op: "=", Left: &ColRef{Idx: 2}, Right: &Const{Val: types.NewInt(1)}}, types.Null},
+		{&BinOp{Op: "AND", Left: &Const{Val: types.NewBool(false)}, Right: &ColRef{Idx: 2}}, types.NewBool(false)},
+		{&BinOp{Op: "OR", Left: &Const{Val: types.NewBool(true)}, Right: &ColRef{Idx: 2}}, types.NewBool(true)},
+		{&BinOp{Op: "LIKE", Left: &ColRef{Idx: 1}, Right: &Const{Val: types.NewText("he%o")}}, types.NewBool(true)},
+		{&BinOp{Op: "LIKE", Left: &ColRef{Idx: 1}, Right: &Const{Val: types.NewText("h_llo")}}, types.NewBool(true)},
+		{&BinOp{Op: "LIKE", Left: &ColRef{Idx: 1}, Right: &Const{Val: types.NewText("x%")}}, types.NewBool(false)},
+		{&IsNull{Operand: &ColRef{Idx: 2}}, types.NewBool(true)},
+		{&IsNull{Operand: &ColRef{Idx: 0}, Negate: true}, types.NewBool(true)},
+		{&InList{Operand: &ColRef{Idx: 0}, List: []Expr{&Const{Val: types.NewInt(5)}}}, types.NewBool(true)},
+		{&Between{Operand: &ColRef{Idx: 0}, Lo: &Const{Val: types.NewInt(1)}, Hi: &Const{Val: types.NewInt(9)}}, types.NewBool(true)},
+		{&Case{Whens: []CaseWhen{{Cond: &BinOp{Op: ">", Left: &ColRef{Idx: 0}, Right: &Const{Val: types.NewInt(3)}}, Then: &Const{Val: types.NewText("big")}}}, Else: &Const{Val: types.NewText("small")}}, types.NewText("big")},
+	}
+	for i, c := range cases {
+		got, err := c.e.Eval(row)
+		if err != nil {
+			t.Fatalf("[%d] %s: %v", i, c.e, err)
+		}
+		if got.Kind() != c.want.Kind() || types.Compare(got, c.want) != 0 {
+			t.Errorf("[%d] %s = %v, want %v", i, c.e, got, c.want)
+		}
+	}
+	// Division by zero errors.
+	if _, err := (&BinOp{Op: "/", Left: &Const{Val: types.NewInt(1)}, Right: &Const{Val: types.NewInt(0)}}).Eval(nil); err == nil {
+		t.Error("div by zero")
+	}
+}

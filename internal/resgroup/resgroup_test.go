@@ -1,0 +1,292 @@
+package resgroup
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+)
+
+func testManager(t *testing.T) *Manager {
+	t.Helper()
+	return NewManager(4, 1000)
+}
+
+func TestCreateGroupMemoryLayers(t *testing.T) {
+	m := testManager(t)
+	// Paper §6: slot = non-shared group memory / concurrency; group shared
+	// = MEMORY_SHARED_QUOTA% of group memory.
+	g, err := m.CreateGroup(catalog.ResourceGroupDef{
+		Name: "olap", Concurrency: 10, MemoryLimit: 40, MemSharedQuota: 50, CPURateLimit: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// group memory = 400; shared = 200; slot = 200/10 = 20.
+	if g.SlotQuota() != 20 {
+		t.Fatalf("slot quota = %d", g.SlotQuota())
+	}
+	if g.GroupSharedFree() != 200 {
+		t.Fatalf("group shared = %d", g.GroupSharedFree())
+	}
+	if m.Global().Free() != 600 {
+		t.Fatalf("global shared = %d", m.Global().Free())
+	}
+}
+
+func TestThreeLayerGrowAndCancel(t *testing.T) {
+	m := testManager(t)
+	g, err := m.CreateGroup(catalog.ResourceGroupDef{
+		Name: "g", Concurrency: 2, MemoryLimit: 20, MemSharedQuota: 50, CPURateLimit: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// group mem 200: shared 100, slot 50 each.
+	slot, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slot.Release()
+
+	// Layer 1: within slot quota.
+	if err := slot.Grow(50); err != nil {
+		t.Fatal(err)
+	}
+	// Layer 2: spills into group shared.
+	if err := slot.Grow(100); err != nil {
+		t.Fatal(err)
+	}
+	if g.GroupSharedFree() != 0 {
+		t.Fatalf("group shared = %d", g.GroupSharedFree())
+	}
+	// Layer 3: global shared (800 available).
+	if err := slot.Grow(700); err != nil {
+		t.Fatal(err)
+	}
+	if m.Global().Free() != 100 {
+		t.Fatalf("global = %d", m.Global().Free())
+	}
+	// Exhaust all three layers: query cancel.
+	err = slot.Grow(200)
+	var oom *ErrOutOfMemory
+	if !errors.As(err, &oom) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	if oom.Group != "g" {
+		t.Fatalf("oom group = %q", oom.Group)
+	}
+	_, cancelled := g.Stats()
+	if cancelled != 1 {
+		t.Fatalf("cancelled = %d", cancelled)
+	}
+	// Shrink unwinds layers; everything returns on release.
+	slot.Shrink(700)
+	if m.Global().Free() != 800 {
+		t.Fatalf("global after shrink = %d", m.Global().Free())
+	}
+	slot.Release()
+	if g.GroupSharedFree() != 100 {
+		t.Fatalf("group shared after release = %d", g.GroupSharedFree())
+	}
+}
+
+func TestAdmissionConcurrency(t *testing.T) {
+	m := testManager(t)
+	g, err := m.CreateGroup(catalog.ResourceGroupDef{
+		Name: "g", Concurrency: 2, MemoryLimit: 10, MemSharedQuota: 20, CPURateLimit: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := g.Admit(context.Background())
+	s2, _ := g.Admit(context.Background())
+	// Third admit must block until a slot frees.
+	done := make(chan *Slot, 1)
+	go func() {
+		s, _ := g.Admit(context.Background())
+		done <- s
+	}()
+	select {
+	case <-done:
+		t.Fatal("third query admitted beyond CONCURRENCY")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s1.Release()
+	select {
+	case s3 := <-done:
+		s3.Release()
+	case <-time.After(time.Second):
+		t.Fatal("waiter not admitted after release")
+	}
+	s2.Release()
+	// Admit with cancelled context fails.
+	ctx, cancel := context.WithCancel(context.Background())
+	a, _ := g.Admit(context.Background())
+	b, _ := g.Admit(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := g.Admit(ctx)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled admit: %v", err)
+	}
+	a.Release()
+	b.Release()
+}
+
+func TestSlotReleaseIdempotent(t *testing.T) {
+	m := testManager(t)
+	g, _ := m.CreateGroup(catalog.ResourceGroupDef{
+		Name: "g", Concurrency: 1, MemoryLimit: 10, MemSharedQuota: 0, CPURateLimit: 10,
+	})
+	s, _ := g.Admit(context.Background())
+	_ = s.Grow(5)
+	s.Release()
+	s.Release() // second release must not double-free the admission slot
+	s2, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Release()
+}
+
+func TestParseCPUSet(t *testing.T) {
+	cases := map[string]int{
+		"0-3":     4,
+		"16-31":   16,
+		"5":       1,
+		"0-1,4-5": 4,
+		"0, 2, 4": 3,
+	}
+	for spec, want := range cases {
+		got, err := parseCPUSetCount(spec)
+		if err != nil || got != want {
+			t.Errorf("parseCPUSetCount(%q) = %d, %v; want %d", spec, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "3-1", "1-x"} {
+		if _, err := parseCPUSetCount(bad); err == nil {
+			t.Errorf("parseCPUSetCount(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCPUSetDedicatedCoresIsolateFromSharedLoad(t *testing.T) {
+	cpu := NewCPUSim(4)
+	cpu.SetCPUSet("oltp", 2)
+	cpu.SetShares("olap", 90)
+	ctx := context.Background()
+
+	// Saturate the shared pool (2 remaining cores) with long OLAP quanta.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = cpu.Run(ctx, "olap", 5*time.Millisecond)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	// OLTP work on dedicated cores must not queue behind OLAP.
+	t0 := time.Now()
+	for i := 0; i < 20; i++ {
+		if err := cpu.Run(ctx, "oltp", 100*time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oltpTime := time.Since(t0)
+	close(stop)
+	wg.Wait()
+	// 20 × 100µs of work on 2 dedicated cores should take ~2ms sequential;
+	// allow generous slack but fail if it queued behind 5ms OLAP quanta.
+	if oltpTime > 60*time.Millisecond {
+		t.Fatalf("OLTP on dedicated cores took %v — not isolated", oltpTime)
+	}
+}
+
+func TestSharedPoolHeadOfLineBlocking(t *testing.T) {
+	// One core, shared: a long OLAP quantum delays the OLTP request — the
+	// interference resource groups with CPUSET remove.
+	cpu := NewCPUSim(1)
+	cpu.SetShares("olap", 50)
+	cpu.SetShares("oltp", 50)
+	ctx := context.Background()
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		_ = cpu.Run(ctx, "olap", 30*time.Millisecond)
+	}()
+	<-started
+	time.Sleep(2 * time.Millisecond) // let OLAP occupy the core
+	t0 := time.Now()
+	if err := cpu.Run(ctx, "oltp", 100*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if wait := time.Since(t0); wait < 10*time.Millisecond {
+		t.Fatalf("expected head-of-line blocking, waited only %v", wait)
+	}
+}
+
+func TestCPURunCancelledWhileQueued(t *testing.T) {
+	cpu := NewCPUSim(1)
+	cpu.SetShares("g", 50)
+	bg := context.Background()
+	go cpu.Run(bg, "g", 50*time.Millisecond) //nolint:errcheck
+	time.Sleep(2 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(bg, 5*time.Millisecond)
+	defer cancel()
+	if err := cpu.Run(ctx, "g", time.Millisecond); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDropGroupReturnsResources(t *testing.T) {
+	m := testManager(t)
+	_, err := m.CreateGroup(catalog.ResourceGroupDef{
+		Name: "g", Concurrency: 1, MemoryLimit: 50, MemSharedQuota: 0, CPUSet: "0-1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Global().Free() != 500 {
+		t.Fatalf("global = %d", m.Global().Free())
+	}
+	if err := m.DropGroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Global().Free() != 1000 {
+		t.Fatalf("global after drop = %d", m.Global().Free())
+	}
+	if err := m.DropGroup("g"); err == nil {
+		t.Fatal("double drop")
+	}
+	if _, ok := m.Group("g"); ok {
+		t.Fatal("group still registered")
+	}
+}
+
+func TestDuplicateGroupRejected(t *testing.T) {
+	m := testManager(t)
+	def := catalog.ResourceGroupDef{Name: "g", Concurrency: 1, MemoryLimit: 10, CPURateLimit: 10}
+	if _, err := m.CreateGroup(def); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CreateGroup(def); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}

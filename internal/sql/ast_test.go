@@ -1,0 +1,86 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelectStringRoundTrip: a parsed SELECT's String() must itself parse
+// back to an equivalent statement (fixed point after one round).
+func TestSelectStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY a DESC LIMIT 3",
+		"SELECT DISTINCT x FROM t1 JOIN t2 ON t1.id = t2.id",
+		"SELECT count(*), sum(v) FROM t GROUP BY g HAVING count(*) > 1",
+		"SELECT * FROM a LEFT JOIN b USING (id)",
+		"SELECT CASE WHEN a > 0 THEN 1 ELSE 0 END FROM t",
+		"SELECT a FROM t WHERE a IN (1, 2, 3) AND b BETWEEN 1 AND 9",
+		"SELECT a FROM t WHERE a IS NOT NULL FOR UPDATE",
+		"SELECT a FROM t OFFSET 2",
+	}
+	for _, q := range queries {
+		st1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		s1 := st1.String()
+		st2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", s1, q, err)
+		}
+		if s2 := st2.String(); s2 != s1 {
+			t.Errorf("not a fixed point:\n  1: %s\n  2: %s", s1, s2)
+		}
+	}
+}
+
+func TestStatementStringForms(t *testing.T) {
+	cases := map[string]string{
+		"BEGIN":                   "BEGIN",
+		"COMMIT":                  "COMMIT",
+		"ROLLBACK":                "ROLLBACK",
+		"LOCK TABLE t":            "LOCK TABLE t",
+		"VACUUM t":                "VACUUM t",
+		"TRUNCATE t":              "TRUNCATE t",
+		"DROP TABLE t":            "DROP TABLE t",
+		"SET optimizer = orca":    "SET optimizer = orca",
+		"UPDATE t SET a = 1":      "UPDATE t",
+		"DELETE FROM t":           "DELETE FROM t",
+		"CREATE INDEX i ON t (a)": "CREATE INDEX i",
+		"EXPLAIN SELECT 1":        "EXPLAIN SELECT 1",
+		"CREATE ROLE r":           "CREATE ROLE r",
+		"DROP RESOURCE GROUP g":   "DROP RESOURCE GROUP g",
+	}
+	for q, want := range cases {
+		st, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if got := st.String(); got != want {
+			t.Errorf("String(%q) = %q, want %q", q, got, want)
+		}
+	}
+}
+
+func TestJoinTypeAndStorageStrings(t *testing.T) {
+	if JoinInner.String() != "JOIN" || JoinLeft.String() != "LEFT JOIN" || JoinCross.String() != "CROSS JOIN" {
+		t.Error("join type strings")
+	}
+	if StorageHeap.String() != "heap" || StorageAORow.String() != "ao_row" || StorageAOColumn.String() != "ao_column" {
+		t.Error("storage strings")
+	}
+}
+
+func TestExprStringEscaping(t *testing.T) {
+	st, err := Parse("SELECT 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.(*SelectStmt).Items[0].Expr.String()
+	if s != "'it''s'" {
+		t.Fatalf("escaped literal String = %q", s)
+	}
+	if !strings.Contains(st.String(), "it''s") {
+		t.Fatalf("statement String: %s", st)
+	}
+}

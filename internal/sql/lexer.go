@@ -1,0 +1,231 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer tokenizes SQL text. It is a straightforward single-pass scanner with
+// one token of lookahead managed by the parser.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// LexError reports a lexical error with position information.
+type LexError struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("sql: lex error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return &LexError{Msg: fmt.Sprintf(format, args...), Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// skipSpaceAndComments consumes whitespace, -- line comments and /* */ blocks.
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '-' && l.peekByteAt(1) == '-':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByteAt(1) == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peekByte() == '*' && l.peekByteAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start, line, col := l.pos, l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start, Line: line, Col: col}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentCont(l.peekByte()) {
+			l.advance()
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return Token{Kind: TokKeyword, Val: up, Pos: start, Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokIdent, Val: strings.ToLower(word), Pos: start, Line: line, Col: col}, nil
+	case isDigit(c) || (c == '.' && isDigit(l.peekByteAt(1))):
+		isFloat := false
+		for l.pos < len(l.src) {
+			b := l.peekByte()
+			if isDigit(b) {
+				l.advance()
+				continue
+			}
+			if b == '.' && !isFloat {
+				isFloat = true
+				l.advance()
+				continue
+			}
+			if (b == 'e' || b == 'E') && (isDigit(l.peekByteAt(1)) ||
+				((l.peekByteAt(1) == '+' || l.peekByteAt(1) == '-') && isDigit(l.peekByteAt(2)))) {
+				isFloat = true
+				l.advance() // e
+				if l.peekByte() == '+' || l.peekByte() == '-' {
+					l.advance()
+				}
+				continue
+			}
+			break
+		}
+		kind := TokInt
+		if isFloat {
+			kind = TokFloat
+		}
+		return Token{Kind: kind, Val: l.src[start:l.pos], Pos: start, Line: line, Col: col}, nil
+	case c == '\'':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errf("unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '\'' {
+				if l.peekByte() == '\'' { // escaped quote
+					l.advance()
+					b.WriteByte('\'')
+					continue
+				}
+				break
+			}
+			b.WriteByte(ch)
+		}
+		return Token{Kind: TokString, Val: b.String(), Pos: start, Line: line, Col: col}, nil
+	case c == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, l.errf("unterminated quoted identifier")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			b.WriteByte(ch)
+		}
+		return Token{Kind: TokIdent, Val: b.String(), Pos: start, Line: line, Col: col}, nil
+	case c == '$' && isDigit(l.peekByteAt(1)):
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+		return Token{Kind: TokParam, Val: l.src[start:l.pos], Pos: start, Line: line, Col: col}, nil
+	default:
+		// Multi-byte operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=", "||":
+			l.advance()
+			l.advance()
+			return Token{Kind: TokOp, Val: two, Pos: start, Line: line, Col: col}, nil
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '(', ')', ',', ';', '=', '<', '>', '.':
+			l.advance()
+			return Token{Kind: TokOp, Val: string(c), Pos: start, Line: line, Col: col}, nil
+		}
+		return Token{}, l.errf("unexpected character %q", string(c))
+	}
+}
+
+// Tokenize scans the entire input, for tests and diagnostics.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

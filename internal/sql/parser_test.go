@@ -1,0 +1,348 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func parseOne(t *testing.T, q string) Statement {
+	t.Helper()
+	st, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return st
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := Tokenize("SELECT a, 'it''s', 1.5e3, $2 FROM t -- comment\n/* block */ ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokKeyword, TokIdent, TokOp, TokString, TokOp, TokFloat, TokOp, TokParam, TokKeyword, TokIdent, TokOp, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("tok[%d] = %v (kind %d), want kind %d", i, toks[i], toks[i].Kind, k)
+		}
+	}
+	if toks[3].Val != "it's" {
+		t.Errorf("escaped string = %q", toks[3].Val)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, q := range []string{"'unterminated", "/* open", `"unterminated`, "@bad"} {
+		if _, err := Tokenize(q); err == nil {
+			t.Errorf("Tokenize(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	st := parseOne(t, `
+		SELECT DISTINCT a.x, b.y AS why, count(*), sum(a.v + 1)
+		FROM ta a JOIN tb b ON a.id = b.id
+		WHERE a.x > 10 AND b.y LIKE 'q%' OR a.x IS NOT NULL
+		GROUP BY a.x, b.y HAVING count(*) > 2
+		ORDER BY 1 DESC, why LIMIT 10 OFFSET 5`)
+	s := st.(*SelectStmt)
+	if !s.Distinct || len(s.Items) != 4 || s.Where == nil || len(s.GroupBy) != 2 ||
+		s.Having == nil || len(s.OrderBy) != 2 || s.Limit == nil || s.Offset == nil {
+		t.Fatalf("parsed select missing pieces: %+v", s)
+	}
+	if s.Items[1].Alias != "why" {
+		t.Errorf("alias = %q", s.Items[1].Alias)
+	}
+	if !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Error("order by direction")
+	}
+	j := s.From.(*JoinRef)
+	if j.Type != JoinInner || j.On == nil {
+		t.Fatalf("join: %+v", j)
+	}
+}
+
+func TestParseSelectForUpdate(t *testing.T) {
+	s := parseOne(t, "SELECT * FROM t WHERE id = 1 FOR UPDATE").(*SelectStmt)
+	if s.Lock != LockForUpdate {
+		t.Fatal("FOR UPDATE not parsed")
+	}
+	s = parseOne(t, "SELECT * FROM t FOR SHARE").(*SelectStmt)
+	if s.Lock != LockForShare {
+		t.Fatal("FOR SHARE not parsed")
+	}
+}
+
+func TestParseJoinVariants(t *testing.T) {
+	s := parseOne(t, "SELECT * FROM a LEFT OUTER JOIN b USING (id, dt)").(*SelectStmt)
+	j := s.From.(*JoinRef)
+	if j.Type != JoinLeft || len(j.Using) != 2 {
+		t.Fatalf("left join using: %+v", j)
+	}
+	s = parseOne(t, "SELECT * FROM a, b, c WHERE a.id = b.id").(*SelectStmt)
+	j = s.From.(*JoinRef) // ((a,b),c)
+	if j.Type != JoinCross {
+		t.Fatal("comma join should be cross")
+	}
+	s = parseOne(t, "SELECT * FROM a CROSS JOIN b").(*SelectStmt)
+	if s.From.(*JoinRef).Type != JoinCross {
+		t.Fatal("cross join")
+	}
+}
+
+func TestParseCreateTableDistribution(t *testing.T) {
+	st := parseOne(t, `CREATE TABLE t (a int, b text NOT NULL, c numeric(10,2), d date PRIMARY KEY) DISTRIBUTED BY (a, b)`)
+	c := st.(*CreateTableStmt)
+	if len(c.Columns) != 4 {
+		t.Fatalf("columns: %+v", c.Columns)
+	}
+	if c.Columns[2].Kind != types.KindFloat || c.Columns[3].Kind != types.KindDate {
+		t.Fatalf("kinds: %+v", c.Columns)
+	}
+	if c.Distribution != DistributeHash || len(c.DistKeys) != 2 {
+		t.Fatalf("distribution: %+v", c)
+	}
+	c = parseOne(t, "CREATE TABLE t (a int) DISTRIBUTED RANDOMLY").(*CreateTableStmt)
+	if c.Distribution != DistributeRandomly {
+		t.Fatal("randomly")
+	}
+	c = parseOne(t, "CREATE TABLE t (a int) DISTRIBUTED REPLICATED").(*CreateTableStmt)
+	if c.Distribution != DistributeReplicated {
+		t.Fatal("replicated")
+	}
+}
+
+func TestParseCreateTableStorageAndPartitions(t *testing.T) {
+	st := parseOne(t, `
+		CREATE TABLE sales (id int, sdate date, amt float)
+		WITH (appendonly=true, orientation=column)
+		DISTRIBUTED BY (id)
+		PARTITION BY RANGE (sdate) (
+			PARTITION jun START ('2021-06-01') END ('2021-07-01'),
+			PARTITION jul START ('2021-07-01') END ('2021-08-01') WITH (appendonly=true),
+			PARTITION old START ('2020-01-01') END ('2021-06-01') WITH (appendonly=true, orientation=column)
+		)`)
+	c := st.(*CreateTableStmt)
+	if c.Storage != StorageAOColumn {
+		t.Fatalf("base storage = %v", c.Storage)
+	}
+	if c.PartitionBy != "sdate" || len(c.Partitions) != 3 {
+		t.Fatalf("partitions: %+v", c.Partitions)
+	}
+	if c.Partitions[2].Storage != StorageAOColumn {
+		t.Fatalf("partition storage: %v", c.Partitions[2].Storage)
+	}
+	if c.Partitions[0].Start.Kind() != types.KindDate {
+		t.Fatalf("partition bound kind: %v", c.Partitions[0].Start.Kind())
+	}
+}
+
+func TestParseInsertForms(t *testing.T) {
+	i := parseOne(t, "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").(*InsertStmt)
+	if len(i.Columns) != 2 || len(i.Rows) != 2 {
+		t.Fatalf("insert: %+v", i)
+	}
+	i = parseOne(t, "INSERT INTO t SELECT * FROM s WHERE x > 0").(*InsertStmt)
+	if i.Select == nil {
+		t.Fatal("insert-select")
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	u := parseOne(t, "UPDATE t SET a = a + 1, b = 'z' WHERE id = 7").(*UpdateStmt)
+	if len(u.Set) != 2 || u.Where == nil {
+		t.Fatalf("update: %+v", u)
+	}
+	d := parseOne(t, "DELETE FROM t WHERE id IN (1, 2, 3)").(*DeleteStmt)
+	if d.Where == nil {
+		t.Fatal("delete where")
+	}
+	d = parseOne(t, "DELETE FROM t").(*DeleteStmt)
+	if d.Where != nil {
+		t.Fatal("unconditional delete")
+	}
+}
+
+func TestParseTransactionControl(t *testing.T) {
+	if _, ok := parseOne(t, "BEGIN").(*BeginStmt); !ok {
+		t.Fatal("begin")
+	}
+	if _, ok := parseOne(t, "START TRANSACTION").(*BeginStmt); !ok {
+		t.Fatal("start transaction")
+	}
+	if _, ok := parseOne(t, "COMMIT").(*CommitStmt); !ok {
+		t.Fatal("commit")
+	}
+	if _, ok := parseOne(t, "ROLLBACK").(*RollbackStmt); !ok {
+		t.Fatal("rollback")
+	}
+	if _, ok := parseOne(t, "ABORT").(*RollbackStmt); !ok {
+		t.Fatal("abort")
+	}
+}
+
+func TestParseLockModes(t *testing.T) {
+	l := parseOne(t, "LOCK t2").(*LockStmt)
+	if l.Table != "t2" || l.Mode != "" {
+		t.Fatalf("lock: %+v", l)
+	}
+	l = parseOne(t, "LOCK TABLE t2 IN ACCESS EXCLUSIVE MODE").(*LockStmt)
+	if l.Mode != "ACCESS EXCLUSIVE" {
+		t.Fatalf("lock mode: %q", l.Mode)
+	}
+	l = parseOne(t, "LOCK TABLE t2 IN ROW EXCLUSIVE MODE").(*LockStmt)
+	if l.Mode != "ROW EXCLUSIVE" {
+		t.Fatalf("lock mode: %q", l.Mode)
+	}
+}
+
+func TestParseResourceGroupDDL(t *testing.T) {
+	// The paper's exact syntax (§6).
+	st := parseOne(t, `CREATE RESOURCE GROUP olap_group WITH (CONCURRENCY=10, MEMORY_LIMIT=35, MEMORY_SHARED_QUOTA=20, CPU_RATE_LIMIT=20)`)
+	g := st.(*CreateResourceGroupStmt)
+	if g.Name != "olap_group" || len(g.Options) != 4 {
+		t.Fatalf("resource group: %+v", g)
+	}
+	st = parseOne(t, `CREATE RESOURCE GROUP oltp_group WITH (CONCURRENCY=50, MEMORY_LIMIT=15, CPUSET=0-3)`)
+	g = st.(*CreateResourceGroupStmt)
+	var cpuset string
+	for _, o := range g.Options {
+		if o.Name == "CPUSET" {
+			cpuset = o.Value
+		}
+	}
+	if cpuset != "0-3" {
+		t.Fatalf("cpuset = %q", cpuset)
+	}
+}
+
+func TestParseRoleDDL(t *testing.T) {
+	r := parseOne(t, "CREATE ROLE dev1 RESOURCE GROUP olap_group").(*CreateRoleStmt)
+	if r.Name != "dev1" || r.ResourceGroup != "olap_group" {
+		t.Fatalf("role: %+v", r)
+	}
+	a := parseOne(t, "ALTER ROLE dev1 RESOURCE GROUP oltp_group").(*AlterRoleStmt)
+	if a.ResourceGroup != "oltp_group" {
+		t.Fatalf("alter role: %+v", a)
+	}
+}
+
+func TestParseMiscStatements(t *testing.T) {
+	if v := parseOne(t, "VACUUM FULL t").(*VacuumStmt); !v.Full || v.Table != "t" {
+		t.Fatalf("vacuum: %+v", v)
+	}
+	if tr := parseOne(t, "TRUNCATE TABLE t").(*TruncateStmt); tr.Name != "t" {
+		t.Fatal("truncate")
+	}
+	if ix := parseOne(t, "CREATE INDEX i ON t (a, b)").(*CreateIndexStmt); len(ix.Columns) != 2 {
+		t.Fatal("create index")
+	}
+	if e := parseOne(t, "EXPLAIN SELECT 1").(*ExplainStmt); e.Target == nil {
+		t.Fatal("explain")
+	}
+	if s := parseOne(t, "SET optimizer = orca").(*SetStmt); s.Name != "optimizer" || s.Value != "orca" {
+		t.Fatalf("set: %+v", s)
+	}
+	if d := parseOne(t, "DROP TABLE IF EXISTS t").(*DropTableStmt); !d.IfExists {
+		t.Fatal("drop if exists")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	s := parseOne(t, "SELECT 1 + 2 * 3").(*SelectStmt)
+	if got := s.Items[0].Expr.String(); got != "(1 + (2 * 3))" {
+		t.Fatalf("precedence: %s", got)
+	}
+	s = parseOne(t, "SELECT a OR b AND NOT c").(*SelectStmt)
+	if got := s.Items[0].Expr.String(); got != "(a OR (b AND (NOT c)))" {
+		t.Fatalf("bool precedence: %s", got)
+	}
+	s = parseOne(t, "SELECT a BETWEEN 1 AND 2 OR b").(*SelectStmt)
+	if got := s.Items[0].Expr.String(); got != "((a BETWEEN 1 AND 2) OR b)" {
+		t.Fatalf("between binding: %s", got)
+	}
+}
+
+func TestParseCaseExpr(t *testing.T) {
+	s := parseOne(t, "SELECT CASE WHEN a > 0 THEN 'pos' WHEN a < 0 THEN 'neg' ELSE 'zero' END FROM t").(*SelectStmt)
+	c := s.Items[0].Expr.(*CaseExpr)
+	if len(c.Whens) != 2 || c.Else == nil {
+		t.Fatalf("case: %+v", c)
+	}
+}
+
+func TestParseAllScript(t *testing.T) {
+	stmts, err := ParseAll(`
+		CREATE TABLE a (x int);
+		INSERT INTO a VALUES (1);
+		SELECT * FROM a;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("statements = %d", len(stmts))
+	}
+}
+
+func TestParseErrorsHavePosition(t *testing.T) {
+	_, err := Parse("SELECT FROM")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var perr *ParseError
+	if !errorsAs(err, &perr) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if perr.Line != 1 || perr.Col < 1 {
+		t.Fatalf("position: %+v", perr)
+	}
+	if !strings.Contains(err.Error(), "parse error") {
+		t.Fatalf("message: %v", err)
+	}
+}
+
+// errorsAs is a local generics-free errors.As for *ParseError.
+func errorsAs(err error, target **ParseError) bool {
+	for err != nil {
+		if pe, ok := err.(*ParseError); ok {
+			*target = pe
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestParseNegativeNumbersAndUnary(t *testing.T) {
+	s := parseOne(t, "SELECT -5, -x, +3").(*SelectStmt)
+	if lit, ok := s.Items[0].Expr.(*Literal); !ok || lit.Value.Int() != -5 {
+		t.Fatalf("folded negative literal: %v", s.Items[0].Expr)
+	}
+	if _, ok := s.Items[1].Expr.(*UnaryOp); !ok {
+		t.Fatalf("unary minus on column: %T", s.Items[1].Expr)
+	}
+}
+
+func TestParseNotVariants(t *testing.T) {
+	s := parseOne(t, "SELECT * FROM t WHERE a NOT IN (1,2) AND b NOT BETWEEN 1 AND 2 AND c NOT LIKE 'x%'").(*SelectStmt)
+	if s.Where == nil {
+		t.Fatal("where")
+	}
+	str := s.Where.String()
+	for _, frag := range []string{"NOT IN", "NOT BETWEEN", "NOT"} {
+		if !strings.Contains(str, frag) {
+			t.Errorf("missing %q in %s", frag, str)
+		}
+	}
+}

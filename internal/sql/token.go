@@ -1,0 +1,72 @@
+// Package sql implements the SQL front end: a hand-written lexer and
+// recursive-descent parser producing the AST consumed by the planner.
+//
+// The dialect is the subset of Greenplum SQL the paper exercises: DDL with
+// distribution and range partitioning, DML, transaction control, LOCK TABLE,
+// resource-group and role administration, and EXPLAIN.
+package sql
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+const (
+	// TokEOF terminates the token stream.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or unreserved keyword.
+	TokIdent
+	// TokKeyword is a reserved word (normalized upper-case in Val).
+	TokKeyword
+	// TokInt is an integer literal.
+	TokInt
+	// TokFloat is a floating-point literal.
+	TokFloat
+	// TokString is a single-quoted string literal (Val holds the unquoted text).
+	TokString
+	// TokOp is an operator or punctuation symbol.
+	TokOp
+	// TokParam is a positional parameter like $1.
+	TokParam
+)
+
+// Token is one lexical unit with its source position (1-based).
+type Token struct {
+	Kind TokenKind
+	Val  string
+	Pos  int // byte offset in the input
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Val)
+	default:
+		return t.Val
+	}
+}
+
+// keywords are the reserved words of the dialect. Everything else lexes as an
+// identifier; the parser matches unreserved keywords contextually by text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "DROP": true, "ALTER": true, "AND": true, "OR": true,
+	"NOT": true, "NULL": true, "TRUE": true, "FALSE": true, "AS": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true,
+	"ON": true, "USING": true, "GROUP": true, "BY": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true, "HAVING": true,
+	"DISTINCT": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
+	"ABORT": true, "LOCK": true, "IN": true, "IS": true, "BETWEEN": true,
+	"LIKE": true, "CASE": true, "WHEN": true, "THEN": true, "ELSE": true,
+	"END": true, "EXPLAIN": true, "INDEX": true, "PRIMARY": true, "KEY": true,
+	"DISTRIBUTED": true, "RANDOMLY": true, "REPLICATED": true, "PARTITION": true,
+	"RANGE": true, "LIST": true, "RESOURCE": true, "ROLE": true,
+	"VACUUM": true, "TRUNCATE": true, "FOR": true, "SHARE": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"DEFAULT": true, "CROSS": true, "UNION": true, "ALL": true, "EXISTS": true,
+}

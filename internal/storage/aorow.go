@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"sync"
+
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// AORow is the append-optimized row-oriented engine. Rows are appended to
+// large blocks and never rewritten in place; DELETE is recorded in a side
+// visibility map (like Greenplum's aovisimap auxiliary table) and UPDATE is
+// delete + insert. Bulk I/O friendly, random access hostile — the engine the
+// paper recommends for analytic fact tables loaded in batches.
+type AORow struct {
+	mu     sync.RWMutex
+	blocks [][]aoRow
+	count  int
+	// visimap maps a deleted row number to the deleting xid.
+	visimap map[TupleID]txn.XID
+	// updated maps an old row number to its replacement (ctid chain).
+	updated map[TupleID]TupleID
+}
+
+type aoRow struct {
+	xmin txn.XID
+	row  types.Row
+}
+
+// aoBlockSize is the number of rows per append block.
+const aoBlockSize = 8192
+
+// NewAORow returns an empty AO-row table.
+func NewAORow() *AORow {
+	return &AORow{
+		visimap: make(map[TupleID]txn.XID),
+		updated: make(map[TupleID]TupleID),
+	}
+}
+
+// Kind implements Engine.
+func (a *AORow) Kind() string { return "ao_row" }
+
+// Insert implements Engine.
+func (a *AORow) Insert(x txn.XID, row types.Row) TupleID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.blocks) == 0 || len(a.blocks[len(a.blocks)-1]) == aoBlockSize {
+		a.blocks = append(a.blocks, make([]aoRow, 0, aoBlockSize))
+	}
+	last := len(a.blocks) - 1
+	a.blocks[last] = append(a.blocks[last], aoRow{xmin: x, row: row.Clone()})
+	a.count++
+	return TupleID(a.count)
+}
+
+func (a *AORow) fetchLocked(tid TupleID) (aoRow, bool) {
+	i := int(tid) - 1
+	if i < 0 || i >= a.count {
+		return aoRow{}, false
+	}
+	return a.blocks[i/aoBlockSize][i%aoBlockSize], true
+}
+
+// ForEach implements Engine.
+func (a *AORow) ForEach(fn func(hdr Header, row types.Row) bool) {
+	a.mu.RLock()
+	count := a.count
+	a.mu.RUnlock()
+	for i := 0; i < count; i++ {
+		tid := TupleID(i + 1)
+		a.mu.RLock()
+		r, ok := a.fetchLocked(tid)
+		xmax := a.visimap[tid]
+		upd := a.updated[tid]
+		a.mu.RUnlock()
+		if !ok {
+			return
+		}
+		hdr := Header{TID: tid, Xmin: r.xmin, Xmax: xmax, UpdatedTo: upd}
+		if !fn(hdr, r.row) {
+			return
+		}
+	}
+}
+
+// Fetch implements Engine.
+func (a *AORow) Fetch(tid TupleID) (Header, types.Row, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	r, ok := a.fetchLocked(tid)
+	if !ok {
+		return Header{}, nil, false
+	}
+	return Header{TID: tid, Xmin: r.xmin, Xmax: a.visimap[tid], UpdatedTo: a.updated[tid]}, r.row, true
+}
+
+// SetXmax implements Engine (records the delete in the visibility map).
+func (a *AORow) SetXmax(tid TupleID, x txn.XID) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.fetchLocked(tid); !ok {
+		return ErrNotSupported
+	}
+	if holder, dead := a.visimap[tid]; dead && holder != x {
+		return &ErrConcurrentWrite{Holder: holder}
+	}
+	a.visimap[tid] = x
+	return nil
+}
+
+// ClearXmax implements Engine.
+func (a *AORow) ClearXmax(tid TupleID, prev txn.XID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.visimap[tid] == prev {
+		delete(a.visimap, tid)
+		delete(a.updated, tid)
+	}
+}
+
+// LinkUpdate implements Engine.
+func (a *AORow) LinkUpdate(old, new TupleID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.updated[old] = new
+}
+
+// Truncate implements Engine.
+func (a *AORow) Truncate() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.blocks = nil
+	a.count = 0
+	a.visimap = make(map[TupleID]txn.XID)
+	a.updated = make(map[TupleID]TupleID)
+}
+
+// RowCount implements Engine.
+func (a *AORow) RowCount() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.count
+}
+
+// Bytes implements Engine.
+func (a *AORow) Bytes() int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var n int64
+	for _, b := range a.blocks {
+		for i := range b {
+			n += b[i].row.Size() + 8
+		}
+	}
+	return n
+}

@@ -1,0 +1,306 @@
+package storage
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/types"
+)
+
+// Compression selects the per-column codec of an AO-column table
+// (paper §3.4: zstd, quicklz, zlib, RLE with delta; here: zlib and
+// RLE-with-delta, plus none).
+type Compression uint8
+
+// Compression codecs.
+const (
+	// CompressionNone stores values verbatim.
+	CompressionNone Compression = iota
+	// CompressionRLEDelta run-length-encodes deltas of integer-like columns;
+	// non-integer kinds fall back to zlib.
+	CompressionRLEDelta
+	// CompressionZlib deflates the serialized block.
+	CompressionZlib
+)
+
+func (c Compression) String() string {
+	switch c {
+	case CompressionRLEDelta:
+		return "rle_delta"
+	case CompressionZlib:
+		return "zlib"
+	default:
+		return "none"
+	}
+}
+
+// encodeDatums serializes a column vector to bytes: a kind byte per value
+// followed by its payload.
+func encodeDatums(vals []types.Datum) []byte {
+	var buf bytes.Buffer
+	var scratch [8]byte
+	for _, d := range vals {
+		buf.WriteByte(byte(d.Kind()))
+		switch d.Kind() {
+		case types.KindNull:
+		case types.KindInt, types.KindBool, types.KindDate:
+			binary.LittleEndian.PutUint64(scratch[:], uint64(d.Int()))
+			buf.Write(scratch[:])
+		case types.KindFloat:
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(d.Float()))
+			buf.Write(scratch[:])
+		case types.KindText:
+			s := d.Text()
+			binary.LittleEndian.PutUint32(scratch[:4], uint32(len(s)))
+			buf.Write(scratch[:4])
+			buf.WriteString(s)
+		}
+	}
+	return buf.Bytes()
+}
+
+// decodeDatums reverses encodeDatums.
+func decodeDatums(b []byte, n int) ([]types.Datum, error) {
+	out := make([]types.Datum, 0, n)
+	for len(out) < n {
+		if len(b) < 1 {
+			return nil, fmt.Errorf("storage: truncated column block")
+		}
+		kind := types.Kind(b[0])
+		b = b[1:]
+		switch kind {
+		case types.KindNull:
+			out = append(out, types.Null)
+		case types.KindInt, types.KindBool, types.KindDate:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("storage: truncated int datum")
+			}
+			v := int64(binary.LittleEndian.Uint64(b))
+			b = b[8:]
+			switch kind {
+			case types.KindBool:
+				out = append(out, types.NewBool(v != 0))
+			case types.KindDate:
+				out = append(out, types.NewDate(v))
+			default:
+				out = append(out, types.NewInt(v))
+			}
+		case types.KindFloat:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("storage: truncated float datum")
+			}
+			out = append(out, types.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b))))
+			b = b[8:]
+		case types.KindText:
+			if len(b) < 4 {
+				return nil, fmt.Errorf("storage: truncated text length")
+			}
+			ln := int(binary.LittleEndian.Uint32(b))
+			b = b[4:]
+			if len(b) < ln {
+				return nil, fmt.Errorf("storage: truncated text datum")
+			}
+			out = append(out, types.NewText(string(b[:ln])))
+			b = b[ln:]
+		default:
+			return nil, fmt.Errorf("storage: bad datum kind %d", kind)
+		}
+	}
+	return out, nil
+}
+
+// allIntLike reports whether every value is int/date/bool (or NULL), which
+// the RLE-delta codec requires.
+func allIntLike(vals []types.Datum) bool {
+	for _, d := range vals {
+		switch d.Kind() {
+		case types.KindInt, types.KindDate, types.KindBool, types.KindNull:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// rleDeltaEncode encodes int-like values as (firstValue, runs of identical
+// deltas). NULLs are carried in a separate bitmap and the kind vector is
+// run-length encoded (columns are normally single-kind, so it collapses to
+// one run). Layout:
+//
+//	u32 n | nullBitmap ceil(n/8) | kindRuns: (varint count, kind byte)* |
+//	varint first | runs: (varint count, varint delta)*
+func rleDeltaEncode(vals []types.Datum) []byte {
+	var buf bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	n := len(vals)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(n))
+	buf.Write(hdr[:])
+	nulls := make([]byte, (n+7)/8)
+	ints := make([]int64, 0, n)
+	for i, d := range vals {
+		if d.IsNull() {
+			nulls[i/8] |= 1 << (i % 8)
+			ints = append(ints, 0)
+		} else {
+			ints = append(ints, d.Int())
+		}
+	}
+	buf.Write(nulls)
+	// Kind runs.
+	for i := 0; i < n; {
+		k := vals[i].Kind()
+		j := i + 1
+		for j < n && vals[j].Kind() == k {
+			j++
+		}
+		w := binary.PutUvarint(scratch[:], uint64(j-i))
+		buf.Write(scratch[:w])
+		buf.WriteByte(byte(k))
+		i = j
+	}
+	if n == 0 {
+		return buf.Bytes()
+	}
+	k := binary.PutVarint(scratch[:], ints[0])
+	buf.Write(scratch[:k])
+	// Runs of identical deltas.
+	i := 1
+	for i < n {
+		delta := ints[i] - ints[i-1]
+		runLen := int64(1)
+		for i+int(runLen) < n && ints[i+int(runLen)]-ints[i+int(runLen)-1] == delta {
+			runLen++
+		}
+		k = binary.PutVarint(scratch[:], runLen)
+		buf.Write(scratch[:k])
+		k = binary.PutVarint(scratch[:], delta)
+		buf.Write(scratch[:k])
+		i += int(runLen)
+	}
+	return buf.Bytes()
+}
+
+func rleDeltaDecode(b []byte) ([]types.Datum, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("storage: truncated rle block")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	nb := (n + 7) / 8
+	if len(b) < nb {
+		return nil, fmt.Errorf("storage: truncated rle bitmap")
+	}
+	nulls := b[:nb]
+	b = b[nb:]
+	rd := bytes.NewReader(b)
+	kinds := make([]byte, n)
+	for i := 0; i < n; {
+		cnt, err := binary.ReadUvarint(rd)
+		if err != nil {
+			return nil, fmt.Errorf("storage: bad kind run length: %w", err)
+		}
+		k, err := rd.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("storage: bad kind byte: %w", err)
+		}
+		for j := uint64(0); j < cnt && i < n; j++ {
+			kinds[i] = k
+			i++
+		}
+	}
+	out := make([]types.Datum, n)
+	if n == 0 {
+		return out, nil
+	}
+	first, err := binary.ReadVarint(rd)
+	if err != nil {
+		return nil, fmt.Errorf("storage: bad rle first value: %w", err)
+	}
+	ints := make([]int64, n)
+	ints[0] = first
+	i := 1
+	for i < n {
+		runLen, err := binary.ReadVarint(rd)
+		if err != nil {
+			return nil, fmt.Errorf("storage: bad rle run length: %w", err)
+		}
+		delta, err := binary.ReadVarint(rd)
+		if err != nil {
+			return nil, fmt.Errorf("storage: bad rle delta: %w", err)
+		}
+		for j := int64(0); j < runLen && i < n; j++ {
+			ints[i] = ints[i-1] + delta
+			i++
+		}
+	}
+	for i := 0; i < n; i++ {
+		if nulls[i/8]&(1<<(i%8)) != 0 {
+			out[i] = types.Null
+			continue
+		}
+		switch types.Kind(kinds[i]) {
+		case types.KindBool:
+			out[i] = types.NewBool(ints[i] != 0)
+		case types.KindDate:
+			out[i] = types.NewDate(ints[i])
+		default:
+			out[i] = types.NewInt(ints[i])
+		}
+	}
+	return out, nil
+}
+
+func zlibCompress(b []byte) []byte {
+	var buf bytes.Buffer
+	w := zlib.NewWriter(&buf)
+	_, _ = w.Write(b)
+	_ = w.Close()
+	return buf.Bytes()
+}
+
+func zlibDecompress(b []byte) ([]byte, error) {
+	r, err := zlib.NewReader(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// compressBlock seals a column vector under the chosen codec. It returns the
+// stored bytes and the codec actually used (RLE falls back to zlib for
+// non-integer columns).
+func compressBlock(codec Compression, vals []types.Datum) ([]byte, Compression) {
+	switch codec {
+	case CompressionRLEDelta:
+		if allIntLike(vals) {
+			return rleDeltaEncode(vals), CompressionRLEDelta
+		}
+		return zlibCompress(encodeDatums(vals)), CompressionZlib
+	case CompressionZlib:
+		return zlibCompress(encodeDatums(vals)), CompressionZlib
+	default:
+		return encodeDatums(vals), CompressionNone
+	}
+}
+
+// decompressBlock reverses compressBlock.
+func decompressBlock(codec Compression, data []byte, n int) ([]types.Datum, error) {
+	switch codec {
+	case CompressionRLEDelta:
+		return rleDeltaDecode(data)
+	case CompressionZlib:
+		raw, err := zlibDecompress(data)
+		if err != nil {
+			return nil, err
+		}
+		return decodeDatums(raw, n)
+	default:
+		return decodeDatums(data, n)
+	}
+}

@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"sync"
+
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// Heap is the row-oriented MVCC engine: every INSERT or UPDATE appends a new
+// version stamped with the writing transaction; DELETE and UPDATE stamp the
+// old version's xmax. Visibility is decided by the caller from the headers.
+//
+// Suitable for frequent updates and deletes (paper Fig. 5), i.e. the OLTP
+// side of an HTAP workload.
+type Heap struct {
+	mu   sync.RWMutex
+	tups []heapTuple
+}
+
+type heapTuple struct {
+	xmin      txn.XID
+	xmax      txn.XID
+	updatedTo TupleID
+	row       types.Row
+}
+
+// NewHeap returns an empty heap table.
+func NewHeap() *Heap { return &Heap{} }
+
+// Kind implements Engine.
+func (h *Heap) Kind() string { return "heap" }
+
+// Insert implements Engine.
+func (h *Heap) Insert(x txn.XID, row types.Row) TupleID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.tups = append(h.tups, heapTuple{xmin: x, row: row.Clone()})
+	return TupleID(len(h.tups)) // 1-based; 0 is invalid
+}
+
+// ForEach implements Engine.
+func (h *Heap) ForEach(fn func(hdr Header, row types.Row) bool) {
+	h.mu.RLock()
+	n := len(h.tups)
+	h.mu.RUnlock()
+	for i := 0; i < n; i++ {
+		h.mu.RLock()
+		t := h.tups[i]
+		h.mu.RUnlock()
+		if t.row == nil {
+			continue // vacuumed tombstone
+		}
+		hdr := Header{TID: TupleID(i + 1), Xmin: t.xmin, Xmax: t.xmax, UpdatedTo: t.updatedTo}
+		if !fn(hdr, t.row) {
+			return
+		}
+	}
+}
+
+// Fetch implements Engine.
+func (h *Heap) Fetch(tid TupleID) (Header, types.Row, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	i := int(tid) - 1
+	if i < 0 || i >= len(h.tups) || h.tups[i].row == nil {
+		return Header{}, nil, false
+	}
+	t := h.tups[i]
+	return Header{TID: tid, Xmin: t.xmin, Xmax: t.xmax, UpdatedTo: t.updatedTo}, t.row, true
+}
+
+// SetXmax implements Engine.
+func (h *Heap) SetXmax(tid TupleID, x txn.XID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := int(tid) - 1
+	if i < 0 || i >= len(h.tups) {
+		return ErrNotSupported
+	}
+	t := &h.tups[i]
+	if t.xmax != txn.InvalidXID && t.xmax != x {
+		return &ErrConcurrentWrite{Holder: t.xmax}
+	}
+	t.xmax = x
+	return nil
+}
+
+// ClearXmax implements Engine.
+func (h *Heap) ClearXmax(tid TupleID, prev txn.XID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := int(tid) - 1
+	if i < 0 || i >= len(h.tups) {
+		return
+	}
+	t := &h.tups[i]
+	if t.xmax == prev {
+		t.xmax = txn.InvalidXID
+		t.updatedTo = InvalidTupleID
+	}
+}
+
+// LinkUpdate implements Engine.
+func (h *Heap) LinkUpdate(old, new TupleID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := int(old) - 1
+	if i >= 0 && i < len(h.tups) {
+		h.tups[i].updatedTo = new
+	}
+}
+
+// Truncate implements Engine.
+func (h *Heap) Truncate() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.tups = nil
+}
+
+// RowCount implements Engine.
+func (h *Heap) RowCount() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.tups)
+}
+
+// Bytes implements Engine.
+func (h *Heap) Bytes() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var n int64
+	for i := range h.tups {
+		n += h.tups[i].row.Size() + 32 // header overhead
+	}
+	return n
+}
+
+// Vacuum removes dead versions: versions whose xmax committed before the
+// horizon, or whose xmin aborted. It returns the number reclaimed. Slots are
+// compacted away but TupleIDs of surviving tuples are preserved by keeping a
+// tombstone, so the method only frees row payloads (like lazy VACUUM).
+func (h *Heap) Vacuum(isDead func(hdr Header) bool) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for i := range h.tups {
+		t := &h.tups[i]
+		if t.row == nil {
+			continue
+		}
+		hdr := Header{TID: TupleID(i + 1), Xmin: t.xmin, Xmax: t.xmax, UpdatedTo: t.updatedTo}
+		if isDead(hdr) {
+			t.row = nil
+			t.xmin = txn.InvalidXID
+			n++
+		}
+	}
+	return n
+}

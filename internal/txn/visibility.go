@@ -1,0 +1,64 @@
+package txn
+
+// DistributedView lets the visibility check consult distributed-snapshot
+// state without importing internal/dtm (which sits above this package).
+//
+// DistXidFor returns the distributed xid that a local xid maps to, or 0 when
+// the mapping has been truncated (paper §5.1: the mapping is only kept up to
+// the oldest distributed transaction any snapshot can still see as running).
+// DistSees reports whether the *distributed* snapshot carried by the current
+// query considers that distributed xid committed-before-snapshot.
+type DistributedView interface {
+	DistXidFor(local XID) (dist uint64, ok bool)
+	DistSees(dist uint64) bool
+}
+
+// VisibilityChecker bundles everything needed to decide tuple visibility on
+// a segment: the local clog, the local snapshot, and (optionally) the
+// distributed view for the current query.
+type VisibilityChecker struct {
+	Mgr  *Manager
+	Snap *Snapshot
+	Dist DistributedView // nil for purely local transactions
+	// Self is the xid of the observing transaction: its own uncommitted
+	// effects are always visible to it.
+	Self XID
+}
+
+// committedBeforeSnapshot decides whether xid's effects are visible.
+// Distributed info wins when a mapping exists (paper §5.1); otherwise the
+// local snapshot + clog conjunction is used.
+func (v *VisibilityChecker) committedBeforeSnapshot(xid XID) bool {
+	if xid == InvalidXID {
+		return false
+	}
+	if xid == v.Self {
+		return true
+	}
+	if v.Dist != nil {
+		if dist, ok := v.Dist.DistXidFor(xid); ok {
+			// The distributed snapshot decides the ordering question; the
+			// local clog still decides commit vs. abort (an aborted dxid
+			// also leaves the in-progress set, but its local transaction is
+			// marked aborted on every segment).
+			return v.Dist.DistSees(dist) && v.Mgr.Status(xid) == StatusCommitted
+		}
+	}
+	if v.Snap != nil && !v.Snap.Sees(xid) {
+		return false
+	}
+	return v.Mgr.Status(xid) == StatusCommitted
+}
+
+// Visible implements the MVCC rule: a version is visible iff its inserter is
+// committed-before-snapshot (or is the observer itself) and its deleter —
+// if any — is not.
+func (v *VisibilityChecker) Visible(xmin, xmax XID) bool {
+	if !v.committedBeforeSnapshot(xmin) {
+		return false
+	}
+	if xmax == InvalidXID {
+		return true
+	}
+	return !v.committedBeforeSnapshot(xmax)
+}

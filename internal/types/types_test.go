@@ -1,0 +1,227 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDatumKindsAndAccessors(t *testing.T) {
+	cases := []struct {
+		d    Datum
+		kind Kind
+		str  string
+	}{
+		{NewInt(42), KindInt, "42"},
+		{NewInt(-7), KindInt, "-7"},
+		{NewFloat(2.5), KindFloat, "2.5"},
+		{NewText("hi"), KindText, "hi"},
+		{NewBool(true), KindBool, "true"},
+		{NewBool(false), KindBool, "false"},
+		{Null, KindNull, "NULL"},
+		{NewDate(0), KindDate, "1970-01-01"},
+		{NewDate(19723), KindDate, "2024-01-01"},
+	}
+	for _, c := range cases {
+		if c.d.Kind() != c.kind {
+			t.Errorf("%v kind = %v, want %v", c.d, c.d.Kind(), c.kind)
+		}
+		if c.d.String() != c.str {
+			t.Errorf("%v String = %q, want %q", c.d.Kind(), c.d.String(), c.str)
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewInt(2), -1},
+		{NewInt(2), NewFloat(1.5), 1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewText("a"), NewText("b"), -1},
+		{NewText("b"), NewText("b"), 0},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewDate(10), NewDate(20), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHashEqualImpliesSameHash(t *testing.T) {
+	// int/float numeric equality must hash identically (hash distribution
+	// would break otherwise).
+	if NewInt(2).Hash() != NewFloat(2).Hash() {
+		t.Error("NewInt(2) and NewFloat(2) must hash alike")
+	}
+	if NewInt(2).Hash() == NewInt(3).Hash() {
+		t.Error("different values colliding in this trivial case is suspicious")
+	}
+	f := func(v int64) bool {
+		return NewInt(v).Hash() == NewInt(v).Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompareHashConsistency is the property Compare==0 ⇒ Hash equal, over
+// random int/float pairs.
+func TestCompareHashConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		var a, b Datum
+		if rng.Intn(2) == 0 {
+			v := rng.Int63n(1000) - 500
+			a = NewInt(v)
+			b = NewFloat(float64(v))
+		} else {
+			v := rng.Int63n(1000)
+			a = NewInt(v)
+			b = NewInt(v)
+		}
+		if Compare(a, b) == 0 && a.Hash() != b.Hash() {
+			t.Fatalf("equal datums %v and %v hash differently", a, b)
+		}
+	}
+}
+
+func TestCastTo(t *testing.T) {
+	d, err := NewText("123").CastTo(KindInt)
+	if err != nil || d.Int() != 123 {
+		t.Fatalf("text→int: %v %v", d, err)
+	}
+	d, err = NewInt(5).CastTo(KindFloat)
+	if err != nil || d.Float() != 5.0 {
+		t.Fatalf("int→float: %v %v", d, err)
+	}
+	d, err = NewFloat(7.9).CastTo(KindInt)
+	if err != nil || d.Int() != 7 {
+		t.Fatalf("float→int truncation: %v %v", d, err)
+	}
+	d, err = NewText("2024-06-12").CastTo(KindDate)
+	if err != nil {
+		t.Fatalf("text→date: %v", err)
+	}
+	if d.String() != "2024-06-12" {
+		t.Fatalf("date roundtrip: %s", d)
+	}
+	if _, err := NewText("xyz").CastTo(KindInt); err == nil {
+		t.Fatal("bad cast must error")
+	}
+	// NULL casts to anything.
+	if d, err := Null.CastTo(KindInt); err != nil || !d.IsNull() {
+		t.Fatal("NULL cast")
+	}
+}
+
+func TestDateFromTime(t *testing.T) {
+	d := DateFromTime(time.Date(2021, 5, 14, 23, 59, 0, 0, time.UTC))
+	if d.String() != "2021-05-14" {
+		t.Fatalf("DateFromTime = %s", d)
+	}
+}
+
+func TestRowCloneIsIndependent(t *testing.T) {
+	r := Row{NewInt(1), NewText("x")}
+	c := r.Clone()
+	c[0] = NewInt(99)
+	if r[0].Int() != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestRowEqualAndHash(t *testing.T) {
+	a := Row{NewInt(1), NewText("x")}
+	b := Row{NewInt(1), NewText("x")}
+	if !a.Equal(b) {
+		t.Fatal("equal rows not equal")
+	}
+	if a.Hash([]int{0, 1}) != b.Hash([]int{0, 1}) {
+		t.Fatal("equal rows hash differently")
+	}
+	c := Row{NewInt(2), NewText("x")}
+	if a.Equal(c) {
+		t.Fatal("different rows compare equal")
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Row{NewInt(1), Null, NewText("q")}
+	if r.String() != "(1, NULL, q)" {
+		t.Fatalf("Row.String = %q", r.String())
+	}
+}
+
+func TestSchemaOps(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "a", Kind: KindInt},
+		Column{Name: "b", Kind: KindText},
+		Column{Name: "c", Kind: KindFloat},
+	)
+	if s.Len() != 3 {
+		t.Fatal("len")
+	}
+	if s.ColumnIndex("B") != 1 {
+		t.Fatal("case-insensitive lookup")
+	}
+	if s.ColumnIndex("zzz") != -1 {
+		t.Fatal("missing column")
+	}
+	p := s.Project([]int{2, 0})
+	if p.Columns[0].Name != "c" || p.Columns[1].Name != "a" {
+		t.Fatalf("project: %+v", p.Columns)
+	}
+	j := s.Concat(p)
+	if j.Len() != 5 {
+		t.Fatal("concat")
+	}
+}
+
+func TestQuickCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		da, db := NewInt(a), NewInt(b)
+		return Compare(da, db) == -Compare(db, da)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareTransitivityOnInts(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		da, db, dc := NewInt(a), NewInt(b), NewInt(c)
+		if Compare(da, db) <= 0 && Compare(db, dc) <= 0 {
+			return Compare(da, dc) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTextCastRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		d, err := NewInt(v).CastTo(KindText)
+		if err != nil {
+			return false
+		}
+		back, err := d.CastTo(KindInt)
+		return err == nil && back.Int() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

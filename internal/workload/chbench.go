@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// CHBench is a CH-benCHmark-style hybrid workload (paper §7.3, Figs. 16–18):
+// TPC-C-like transactional updates (NewOrder, Payment) running concurrently
+// with TPC-H-like analytical queries over the same schema.
+type CHBench struct {
+	// Warehouses is the TPC-C scale factor.
+	Warehouses int
+	// Items is the catalog size (TPC-C uses 100000; scaled down).
+	Items int
+	// CustomersPerDistrict defaults to 30.
+	CustomersPerDistrict int
+	// InitialOrders seeds the order/order_line tables per district.
+	InitialOrders int
+
+	orderSeq atomic.Int64
+}
+
+func (w *CHBench) customers() int {
+	if w.CustomersPerDistrict <= 0 {
+		return 30
+	}
+	return w.CustomersPerDistrict
+}
+
+// Schema returns the DDL. Transaction-heavy tables are heap; the big fact
+// table (order_line) is heap too — it takes single-row inserts from
+// NewOrder — while the read-mostly item catalog is replicated to make
+// item joins motion-free, and history is AO-row (append only).
+func (w *CHBench) Schema() string {
+	return `
+CREATE TABLE warehouse (w_id int, w_name text, w_ytd float) DISTRIBUTED BY (w_id);
+CREATE TABLE district (d_w_id int, d_id int, d_name text, d_ytd float, d_next_o_id int) DISTRIBUTED BY (d_w_id);
+CREATE TABLE customer (c_w_id int, c_d_id int, c_id int, c_name text, c_balance float, c_ytd_payment float, c_payment_cnt int) DISTRIBUTED BY (c_w_id);
+CREATE TABLE item (i_id int, i_name text, i_price float) DISTRIBUTED REPLICATED;
+CREATE TABLE stock (s_w_id int, s_i_id int, s_quantity int, s_ytd int) DISTRIBUTED BY (s_w_id);
+CREATE TABLE orders (o_w_id int, o_d_id int, o_id int, o_c_id int, o_carrier_id int, o_ol_cnt int, o_entry_d int) DISTRIBUTED BY (o_w_id);
+CREATE TABLE order_line (ol_w_id int, ol_d_id int, ol_o_id int, ol_number int, ol_i_id int, ol_quantity int, ol_amount float, ol_delivery_d int) DISTRIBUTED BY (ol_w_id);
+CREATE TABLE ch_history (h_c_w_id int, h_c_d_id int, h_c_id int, h_amount float, h_date int) WITH (appendonly=true) DISTRIBUTED BY (h_c_w_id);
+CREATE INDEX district_pkey ON district (d_w_id, d_id);
+CREATE INDEX customer_pkey ON customer (c_w_id, c_d_id, c_id);
+CREATE INDEX stock_pkey ON stock (s_w_id, s_i_id);
+CREATE INDEX warehouse_pkey ON warehouse (w_id);
+`
+}
+
+// Load populates the schema.
+func (w *CHBench) Load(ctx context.Context, c Conn) error {
+	items := w.Items
+	if items <= 0 {
+		items = 1000
+	}
+	w.Items = items
+	if err := batchInsert(ctx, c, "item", items, func(i int) string {
+		return fmt.Sprintf("(%d, 'item-%d', %d.99)", i+1, i+1, 1+i%100)
+	}); err != nil {
+		return err
+	}
+	for wid := 1; wid <= w.Warehouses; wid++ {
+		if _, _, err := c.Exec(ctx, fmt.Sprintf("INSERT INTO warehouse VALUES (%d, 'w%d', 0.0)", wid, wid)); err != nil {
+			return err
+		}
+		for d := 1; d <= 10; d++ {
+			if _, _, err := c.Exec(ctx, fmt.Sprintf("INSERT INTO district VALUES (%d, %d, 'd%d', 0.0, 1)", wid, d, d)); err != nil {
+				return err
+			}
+		}
+		wid := wid
+		if err := batchInsert(ctx, c, "customer", 10*w.customers(), func(i int) string {
+			d := i/w.customers() + 1
+			cid := i%w.customers() + 1
+			return fmt.Sprintf("(%d, %d, %d, 'cust-%d-%d-%d', 0.0, 0.0, 0)", wid, d, cid, wid, d, cid)
+		}); err != nil {
+			return err
+		}
+		if err := batchInsert(ctx, c, "stock", items, func(i int) string {
+			return fmt.Sprintf("(%d, %d, %d, 0)", wid, i+1, 50+i%50)
+		}); err != nil {
+			return err
+		}
+	}
+	// Seed historical orders so analytical queries have data at t=0.
+	seed := NewRand(42)
+	for wid := 1; wid <= w.Warehouses; wid++ {
+		for d := 1; d <= 10; d++ {
+			for o := 0; o < w.InitialOrders; o++ {
+				if err := w.insertOrder(ctx, c, seed, wid, d); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// insertOrder writes one order with 5 lines (no surrounding BEGIN: callers
+// choose transactionality).
+func (w *CHBench) insertOrder(ctx context.Context, c Conn, r *Rand, wid, did int) error {
+	oid := w.orderSeq.Add(1)
+	cid := r.Range(1, w.customers())
+	day := r.Intn(365)
+	const lines = 5
+	if _, _, err := c.Exec(ctx, fmt.Sprintf(
+		"INSERT INTO orders VALUES (%d, %d, %d, %d, %d, %d, %d)",
+		wid, did, oid, cid, r.Intn(10), lines, day)); err != nil {
+		return err
+	}
+	for ln := 1; ln <= lines; ln++ {
+		item := r.Range(1, w.Items)
+		qty := r.Range(1, 10)
+		amount := float64(qty) * float64(1+item%100)
+		if _, _, err := c.Exec(ctx, fmt.Sprintf(
+			"INSERT INTO order_line VALUES (%d, %d, %d, %d, %d, %d, %.2f, %d)",
+			wid, did, oid, ln, item, qty, amount, day)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewOrder runs a TPC-C-like NewOrder transaction: allocate the order id
+// from the district, insert the order and its lines, update stock.
+func (w *CHBench) NewOrder(ctx context.Context, c Conn, r *Rand) error {
+	wid := r.Range(1, w.Warehouses)
+	did := r.Range(1, 10)
+	if _, _, err := c.Exec(ctx, "BEGIN"); err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		_, _, _ = c.Exec(ctx, "ROLLBACK")
+		return err
+	}
+	if _, _, err := c.Exec(ctx,
+		"UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = $1 AND d_id = $2",
+		types.NewInt(int64(wid)), types.NewInt(int64(did))); err != nil {
+		return abort(err)
+	}
+	if err := w.insertOrder(ctx, c, r, wid, did); err != nil {
+		return abort(err)
+	}
+	item := r.Range(1, w.Items)
+	if _, _, err := c.Exec(ctx,
+		"UPDATE stock SET s_quantity = s_quantity - 1, s_ytd = s_ytd + 1 WHERE s_w_id = $1 AND s_i_id = $2",
+		types.NewInt(int64(wid)), types.NewInt(int64(item))); err != nil {
+		return abort(err)
+	}
+	_, _, err := c.Exec(ctx, "COMMIT")
+	return err
+}
+
+// Payment runs a TPC-C-like Payment transaction.
+func (w *CHBench) Payment(ctx context.Context, c Conn, r *Rand) error {
+	wid := r.Range(1, w.Warehouses)
+	did := r.Range(1, 10)
+	cid := r.Range(1, w.customers())
+	amount := float64(r.Range(1, 5000)) / 100.0
+	if _, _, err := c.Exec(ctx, "BEGIN"); err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		_, _, _ = c.Exec(ctx, "ROLLBACK")
+		return err
+	}
+	steps := []string{
+		fmt.Sprintf("UPDATE warehouse SET w_ytd = w_ytd + %.2f WHERE w_id = %d", amount, wid),
+		fmt.Sprintf("UPDATE district SET d_ytd = d_ytd + %.2f WHERE d_w_id = %d AND d_id = %d", amount, wid, did),
+		fmt.Sprintf("UPDATE customer SET c_balance = c_balance - %.2f, c_ytd_payment = c_ytd_payment + %.2f, c_payment_cnt = c_payment_cnt + 1 WHERE c_w_id = %d AND c_d_id = %d AND c_id = %d",
+			amount, amount, wid, did, cid),
+		fmt.Sprintf("INSERT INTO ch_history VALUES (%d, %d, %d, %.2f, 0)", wid, did, cid, amount),
+	}
+	for _, q := range steps {
+		if _, _, err := c.Exec(ctx, q); err != nil {
+			return abort(err)
+		}
+	}
+	_, _, err := c.Exec(ctx, "COMMIT")
+	return err
+}
+
+// OLTPMix runs one transactional operation: ~50% NewOrder, ~50% Payment.
+func (w *CHBench) OLTPMix(ctx context.Context, c Conn, r *Rand) error {
+	if r.Intn(2) == 0 {
+		return w.NewOrder(ctx, c, r)
+	}
+	return w.Payment(ctx, c, r)
+}
+
+// AnalyticalQueries returns the CH-benCHmark-style OLAP suite: each query is
+// a TPC-H-flavored analytical question over the live TPC-C data.
+func (w *CHBench) AnalyticalQueries() []string {
+	return []string{
+		// Q1-style: pricing summary over order lines.
+		`SELECT ol_number, sum(ol_quantity), sum(ol_amount), avg(ol_quantity), avg(ol_amount), count(*)
+		 FROM order_line WHERE ol_delivery_d > 5 GROUP BY ol_number ORDER BY ol_number`,
+		// Q6-style: revenue from mid-size orders.
+		`SELECT sum(ol_amount) AS revenue FROM order_line
+		 WHERE ol_delivery_d BETWEEN 10 AND 300 AND ol_quantity BETWEEN 2 AND 8`,
+		// Q4-style: order counts by carrier.
+		`SELECT o_carrier_id, count(*) FROM orders
+		 WHERE o_entry_d BETWEEN 30 AND 330 GROUP BY o_carrier_id ORDER BY o_carrier_id`,
+		// Q14-style: item-class revenue share (join with replicated item).
+		`SELECT i.i_price, sum(ol.ol_amount) FROM order_line ol
+		 JOIN item i ON ol.ol_i_id = i.i_id
+		 WHERE ol.ol_delivery_d > 50 GROUP BY i.i_price ORDER BY i.i_price LIMIT 20`,
+		// Q12-style: shipping mode / delayed lines.
+		`SELECT o.o_ol_cnt, count(*) FROM orders o
+		 JOIN order_line ol ON o.o_w_id = ol.ol_w_id AND o.o_id = ol.ol_o_id
+		 WHERE ol.ol_delivery_d > o.o_entry_d GROUP BY o.o_ol_cnt ORDER BY o.o_ol_cnt`,
+		// Customer activity ranking (join on distribution keys).
+		`SELECT c.c_id, sum(o.o_ol_cnt) FROM customer c
+		 JOIN orders o ON c.c_w_id = o.o_w_id
+		 WHERE c.c_d_id = o.o_d_id AND c.c_id = o.o_c_id
+		 GROUP BY c.c_id ORDER BY 2 DESC LIMIT 10`,
+		// Stock pressure per warehouse.
+		`SELECT s_w_id, count(*), avg(s_quantity) FROM stock
+		 WHERE s_quantity < 60 GROUP BY s_w_id ORDER BY s_w_id`,
+		// District throughput.
+		`SELECT o_w_id, o_d_id, count(*), max(o_id) FROM orders
+		 GROUP BY o_w_id, o_d_id ORDER BY o_w_id, o_d_id LIMIT 30`,
+	}
+}
+
+// OLAPQuery runs one analytical query chosen by r.
+func (w *CHBench) OLAPQuery(ctx context.Context, c Conn, r *Rand) error {
+	qs := w.AnalyticalQueries()
+	_, _, err := c.Exec(ctx, qs[r.Intn(len(qs))])
+	return err
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// UpdateOnly is the paper's update-only microbenchmark (Fig. 14): every
+// transaction is a single-row UPDATE on a shared table. With GDD enabled
+// updates to different rows run in parallel; without it the Exclusive table
+// lock serializes them.
+type UpdateOnly struct {
+	// Rows is the table size.
+	Rows int
+}
+
+// Schema returns the DDL.
+func (w *UpdateOnly) Schema() string {
+	return `
+CREATE TABLE upd_bench (id int, val int, pad text) DISTRIBUTED BY (id);
+CREATE INDEX upd_bench_pkey ON upd_bench (id);
+`
+}
+
+// Load populates the table.
+func (w *UpdateOnly) Load(ctx context.Context, c Conn) error {
+	return batchInsert(ctx, c, "upd_bench", w.Rows, func(i int) string {
+		return fmt.Sprintf("(%d, 0, '')", i+1)
+	})
+}
+
+// Transaction performs one single-row update (auto-commit).
+func (w *UpdateOnly) Transaction(ctx context.Context, c Conn, r *Rand) error {
+	id := r.Range(1, w.Rows)
+	_, _, err := c.Exec(ctx, "UPDATE upd_bench SET val = val + 1 WHERE id = $1",
+		types.NewInt(int64(id)))
+	return err
+}
+
+// InsertOnly is the paper's insert-only microbenchmark (Fig. 15): each
+// transaction inserts one row whose distribution key pins it to a single
+// segment, making it a one-phase-commit candidate.
+type InsertOnly struct {
+	seq atomic.Int64
+}
+
+// Schema returns the DDL.
+func (w *InsertOnly) Schema() string {
+	return `CREATE TABLE ins_bench (id int, val int, pad text) DISTRIBUTED BY (id);`
+}
+
+// Transaction inserts one row (auto-commit). All columns of the row map to
+// one segment, so GPDB6 commits it with the one-phase protocol.
+func (w *InsertOnly) Transaction(ctx context.Context, c Conn, r *Rand) error {
+	id := w.seq.Add(1)
+	_, _, err := c.Exec(ctx, "INSERT INTO ins_bench VALUES ($1, $2, '')",
+		types.NewInt(id), types.NewInt(int64(r.Intn(1000))))
+	return err
+}
+
+// batchInsert inserts n rows in multi-row statements.
+func batchInsert(ctx context.Context, c Conn, table string, n int, rowAt func(i int) string) error {
+	const batch = 500
+	var sb strings.Builder
+	flush := func() error {
+		if sb.Len() == 0 {
+			return nil
+		}
+		_, _, err := c.Exec(ctx, "INSERT INTO "+table+" VALUES "+sb.String())
+		sb.Reset()
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(rowAt(i))
+		if (i+1)%batch == 0 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}

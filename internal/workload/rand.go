@@ -1,0 +1,92 @@
+// Package workload implements the benchmark drivers of the paper's
+// evaluation: the TPC-B (pgbench) transaction mix, update-only and
+// insert-only microbenchmarks, and a CH-benCHmark-style hybrid workload
+// (TPC-C-like transactions plus analytical queries over the same schema).
+package workload
+
+import "math"
+
+// Rand is a small, fast, deterministic PRNG (splitmix64) so workers produce
+// reproducible streams without sharing a lock.
+type Rand struct{ state uint64 }
+
+// NewRand seeds a generator.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed ^ 0x9e3779b97f4a7c15} }
+
+// Next returns the next raw 64-bit value.
+func (r *Rand) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Range returns a uniform value in [lo, hi].
+func (r *Rand) Range(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float returns a uniform value in [0, 1).
+func (r *Rand) Float() float64 {
+	return float64(r.Next()>>11) / float64(1<<53)
+}
+
+// Zipf draws from a Zipf distribution over [0, n) with skew theta in (0,1);
+// higher theta concentrates mass on small values (the YCSB generator).
+type Zipf struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	r     *Rand
+}
+
+// NewZipf builds a Zipf generator over [0, n).
+func NewZipf(r *Rand, n int, theta float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	z := &Zipf{n: n, theta: theta, r: r}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Draw returns the next Zipf value.
+func (z *Zipf) Draw() int {
+	u := z.r.Float()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	c := NewRand(8)
+	same := true
+	a2 := NewRand(7)
+	for i := 0; i < 10; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Range(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("Range out of bounds: %d", v)
+		}
+		f := r.Float()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float out of bounds: %f", f)
+		}
+		if n := r.Intn(3); n < 0 || n > 2 {
+			t.Fatalf("Intn out of bounds: %d", n)
+		}
+	}
+	if r.Intn(0) != 0 || r.Range(5, 5) != 5 {
+		t.Fatal("degenerate ranges")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRand(42)
+	z := NewZipf(r, 1000, 0.9)
+	counts := make([]int, 1000)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// The head of the distribution must dominate: the top-10 values should
+	// hold far more mass than a uniform share (10/1000 = 1%).
+	head := 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	if float64(head)/draws < 0.20 {
+		t.Fatalf("zipf head mass = %.3f, expected heavy skew", float64(head)/draws)
+	}
+}
+
+// scriptConn records executed SQL without a database.
+type scriptConn struct {
+	stmts []string
+	rows  []types.Row
+}
+
+func (c *scriptConn) Exec(_ context.Context, sql string, args ...types.Datum) (int, []types.Row, error) {
+	c.stmts = append(c.stmts, sql)
+	return 1, c.rows, nil
+}
+
+func TestTPCBTransactionShape(t *testing.T) {
+	w := &TPCB{Branches: 2, AccountsPerBranch: 100}
+	if w.Accounts() != 200 {
+		t.Fatalf("accounts = %d", w.Accounts())
+	}
+	c := &scriptConn{}
+	if err := w.Transaction(context.Background(), c, NewRand(1)); err != nil {
+		t.Fatal(err)
+	}
+	// BEGIN + 5 statements + COMMIT.
+	if len(c.stmts) != 7 {
+		t.Fatalf("statement count = %d: %v", len(c.stmts), c.stmts)
+	}
+	if c.stmts[0] != "BEGIN" || c.stmts[6] != "COMMIT" {
+		t.Fatalf("transaction bracketing: %v", c.stmts)
+	}
+	order := []string{"UPDATE pgbench_accounts", "SELECT abalance", "UPDATE pgbench_tellers",
+		"UPDATE pgbench_branches", "INSERT INTO pgbench_history"}
+	for i, prefix := range order {
+		if !strings.HasPrefix(c.stmts[i+1], prefix) {
+			t.Fatalf("statement %d = %q, want prefix %q", i+1, c.stmts[i+1], prefix)
+		}
+	}
+}
+
+func TestSchemasParseable(t *testing.T) {
+	// The schema scripts must at least be well-formed SQL per our parser;
+	// full execution is covered by integration tests.
+	for name, schema := range map[string]string{
+		"tpcb": (&TPCB{Branches: 1}).Schema(),
+		"upd":  (&UpdateOnly{Rows: 10}).Schema(),
+		"ins":  (&InsertOnly{}).Schema(),
+		"ch":   (&CHBench{Warehouses: 1}).Schema(),
+	} {
+		if !strings.Contains(schema, "CREATE TABLE") {
+			t.Errorf("%s schema lacks CREATE TABLE", name)
+		}
+	}
+}
+
+func TestCHBenchQueriesCount(t *testing.T) {
+	w := &CHBench{Warehouses: 1}
+	qs := w.AnalyticalQueries()
+	if len(qs) < 8 {
+		t.Fatalf("analytical suite has %d queries, want >= 8", len(qs))
+	}
+	for i, q := range qs {
+		if !strings.Contains(strings.ToUpper(q), "SELECT") {
+			t.Errorf("query %d is not a SELECT", i)
+		}
+	}
+}
+
+func TestInsertOnlySequencesUnique(t *testing.T) {
+	w := &InsertOnly{}
+	c := &scriptConn{}
+	for i := 0; i < 5; i++ {
+		if err := w.Transaction(context.Background(), c, NewRand(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(c.stmts) != 5 {
+		t.Fatalf("stmts: %v", c.stmts)
+	}
+}
