@@ -33,6 +33,15 @@ type Cluster struct {
 	// truncTick counts completed transactions to pace mapping truncation.
 	truncTick atomic.Int64
 
+	// statsCache caches per-table row counts for the planner (plan.Stats),
+	// invalidated by writes; keyed by canonical table name. statsGen is the
+	// per-table invalidation generation: a count computed concurrently with
+	// a write is only cached if no invalidation happened while it was being
+	// computed, so a stale count can never be pinned.
+	statsMu    sync.Mutex
+	statsCache map[string]int64
+	statsGen   map[string]uint64
+
 	// coordWAL is the coordinator's commit-record log (group commit).
 	coordWAL simWAL
 
@@ -328,6 +337,7 @@ func (c *Cluster) ApplyDropTable(name string) error {
 	for _, s := range c.segments {
 		s.DropTable(t)
 	}
+	c.invalidateStats(t.Name)
 	return nil
 }
 
@@ -347,6 +357,7 @@ func (c *Cluster) ApplyTruncate(ctx context.Context, t *LiveTxn, name string) er
 		t.touched[i] = true
 		s.TruncateTable(tab)
 	}
+	c.invalidateStats(tab.Name)
 	return nil
 }
 
@@ -410,6 +421,7 @@ func (c *Cluster) Vacuum(name string) (int, error) {
 		for _, s := range c.segments {
 			n += s.Vacuum(t)
 		}
+		c.invalidateStats(t.Name)
 	}
 	return n, nil
 }
@@ -427,5 +439,46 @@ func (c *Cluster) TableRowCount(name string) int64 {
 	return n
 }
 
-// RowCount implements plan.Stats.
-func (c *Cluster) RowCount(table string) int64 { return c.TableRowCount(table) }
+// RowCount implements plan.Stats: the planner's per-table row estimate,
+// computed from the segments' storage engines and cached until the next
+// write to the table. This is what drives the OLAP planner's
+// broadcast-vs-redistribute decision with real data sizes.
+func (c *Cluster) RowCount(table string) int64 {
+	t, err := c.catalog.Table(table)
+	if err != nil {
+		return 0
+	}
+	c.statsMu.Lock()
+	if n, ok := c.statsCache[t.Name]; ok {
+		c.statsMu.Unlock()
+		return n
+	}
+	gen := c.statsGen[t.Name]
+	c.statsMu.Unlock()
+	var n int64
+	for _, s := range c.segments {
+		n += int64(s.RowCount(t))
+	}
+	c.statsMu.Lock()
+	if c.statsGen[t.Name] == gen {
+		if c.statsCache == nil {
+			c.statsCache = make(map[string]int64)
+		}
+		c.statsCache[t.Name] = n
+	}
+	c.statsMu.Unlock()
+	return n
+}
+
+// invalidateStats drops the cached row count of a table after a write and
+// bumps its generation so an in-flight RowCount computation cannot re-cache
+// a count taken before the write.
+func (c *Cluster) invalidateStats(name string) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	delete(c.statsCache, name)
+	if c.statsGen == nil {
+		c.statsGen = make(map[string]uint64)
+	}
+	c.statsGen[name]++
+}

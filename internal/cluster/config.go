@@ -7,6 +7,8 @@ package cluster
 
 import (
 	"time"
+
+	"repro/internal/types"
 )
 
 // Config selects cluster topology, HTAP features, and the simulation's cost
@@ -43,8 +45,18 @@ type Config struct {
 	// (the segment's executor capacity; default 4).
 	SegmentWorkers int
 
-	// MotionBuffer is the per-stream interconnect buffer in rows.
+	// MotionBuffer is the per-stream interconnect buffer in rows. The
+	// dispatcher converts it to send slots (batches) for the vectorized
+	// executor so buffering stays at the same row scale in both modes.
 	MotionBuffer int
+
+	// ExecBatchSize is the executor's rows-per-batch for vectorized
+	// execution and interconnect framing (0 = types.DefaultBatchSize).
+	// Per-statement override: QueryResources.BatchSize.
+	ExecBatchSize int
+	// RowAtATime forces the legacy row-at-a-time executor and per-row
+	// motion sends — the compatibility shim, kept for ablation benchmarks.
+	RowAtATime bool
 
 	// CacheRows models the single-host buffer cache for the Fig. 13
 	// experiment: when a segment stores more than CacheRows rows, point
@@ -98,6 +110,9 @@ func (c *Config) withDefaults() *Config {
 	}
 	if out.MotionBuffer < 1 {
 		out.MotionBuffer = 1024
+	}
+	if out.ExecBatchSize <= 0 {
+		out.ExecBatchSize = types.DefaultBatchSize
 	}
 	if out.GDDPeriod <= 0 {
 		out.GDDPeriod = 20 * time.Millisecond

@@ -22,6 +22,9 @@ type QueryResources struct {
 	CPU exec.CPUCharger
 	// CPUBatchCost is the simulated CPU charged per executor row batch.
 	CPUBatchCost time.Duration
+	// BatchSize overrides the executor's rows-per-batch for this statement
+	// (<=0 = Config.ExecBatchSize).
+	BatchSize int
 }
 
 // collectMotions gathers every motion in the plan (post-order).
@@ -71,7 +74,23 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 	motions := collectMotions(root)
 	needSegments := planScans(root)
 
-	fabric := interconnect.NewFabric(nseg, c.cfg.MotionBuffer, 0)
+	batchSize := c.cfg.ExecBatchSize
+	if res != nil && res.BatchSize > 0 {
+		batchSize = res.BatchSize
+	}
+	if batchSize < 1 {
+		batchSize = types.DefaultBatchSize
+	}
+
+	// MotionBuffer is row-denominated; the fabric counts buffer slots in
+	// sends, so in batch mode the slot count shrinks by the batch size to
+	// keep per-stream buffering (and the flow-control/back-pressure
+	// behaviour it models) at the configured row scale.
+	buf := c.cfg.MotionBuffer
+	if !c.cfg.RowAtATime {
+		buf = max(1, buf/batchSize)
+	}
+	fabric := interconnect.NewFabric(nseg, buf, 0)
 	for _, m := range motions {
 		switch m.Type {
 		case plan.MotionGather:
@@ -97,6 +116,8 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 		ec := &exec.Context{
 			Ctx:         qctx,
 			Recv:        func(slice int) exec.Receiver { return fabric.Receiver(slice, segID) },
+			BatchSize:   batchSize,
+			RowMode:     c.cfg.RowAtATime,
 			NumSegments: nseg,
 			SegID:       segID,
 		}
@@ -121,41 +142,14 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 				defer wg.Done()
 				defer fabric.DoneSending(m.SliceID)
 				ec := mkCtx(seg)
-				it := exec.Build(ec, m.Child)
-				defer it.Close()
-				for {
-					row, err := it.Next()
-					if err == io.EOF {
-						return
-					}
-					if err != nil {
-						cancel(err)
-						return
-					}
-					switch m.Type {
-					case plan.MotionGather:
-						if err := fabric.Send(qctx, m.SliceID, -1, row); err != nil {
-							cancel(err)
-							return
-						}
-					case plan.MotionRedistribute:
-						dest, err := exec.HashForRedistribute(m.HashExprs, row, nseg)
-						if err != nil {
-							cancel(err)
-							return
-						}
-						if err := fabric.Send(qctx, m.SliceID, dest, row); err != nil {
-							cancel(err)
-							return
-						}
-					case plan.MotionBroadcast:
-						for d := 0; d < nseg; d++ {
-							if err := fabric.Send(qctx, m.SliceID, d, row.Clone()); err != nil {
-								cancel(err)
-								return
-							}
-						}
-					}
+				var err error
+				if c.cfg.RowAtATime {
+					err = runRowSlice(qctx, ec, m, fabric, nseg)
+				} else {
+					err = runBatchSlice(qctx, ec, m, fabric, nseg)
+				}
+				if err != nil {
+					cancel(err)
 				}
 			}()
 		}
@@ -163,7 +157,13 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 
 	// Top slice runs on the coordinator.
 	top := mkCtx(-1)
-	rows, err := exec.Drain(exec.Build(top, root))
+	var rows []types.Row
+	var err error
+	if c.cfg.RowAtATime {
+		rows, err = exec.Drain(exec.Build(top, root))
+	} else {
+		rows, err = exec.DrainBatches(exec.BuildBatch(top, root))
+	}
 	cancel(nil)
 	wg.Wait()
 	if err != nil {
@@ -173,6 +173,93 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 		return nil, nil, err
 	}
 	return rows, root.Schema(), nil
+}
+
+// runBatchSlice executes one (motion, location) sender in batch mode: it
+// pulls batches from the vectorized iterator tree and pays one interconnect
+// send per (destination) batch. Redistribute motions fan rows out per
+// destination at row granularity, preserving hash routing exactly.
+func runBatchSlice(ctx context.Context, ec *exec.Context, m *plan.Motion, fabric *interconnect.Fabric, nseg int) error {
+	it := exec.BuildBatch(ec, m.Child)
+	defer it.Close()
+	for {
+		b, err := it.NextBatch()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case plan.MotionGather:
+			// The iterator owns b's container; hand the receiver a copy.
+			if err := fabric.SendBatch(ctx, m.SliceID, -1, b.CloneRows()); err != nil {
+				return err
+			}
+		case plan.MotionRedistribute:
+			outs := make([]*types.RowBatch, nseg)
+			for _, row := range b.Rows {
+				dest, err := exec.HashForRedistribute(m.HashExprs, row, nseg)
+				if err != nil {
+					return err
+				}
+				if outs[dest] == nil {
+					outs[dest] = types.NewRowBatch(b.Len())
+				}
+				outs[dest].Append(row)
+			}
+			for d, ob := range outs {
+				if ob == nil {
+					continue
+				}
+				if err := fabric.SendBatch(ctx, m.SliceID, d, ob); err != nil {
+					return err
+				}
+			}
+		case plan.MotionBroadcast:
+			for d := 0; d < nseg; d++ {
+				if err := fabric.SendBatch(ctx, m.SliceID, d, b.DeepClone()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+// runRowSlice is the row-at-a-time sender (Config.RowAtATime): one
+// interconnect send per row, exec.Build iterators throughout.
+func runRowSlice(ctx context.Context, ec *exec.Context, m *plan.Motion, fabric *interconnect.Fabric, nseg int) error {
+	it := exec.Build(ec, m.Child)
+	defer it.Close()
+	for {
+		row, err := it.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case plan.MotionGather:
+			if err := fabric.Send(ctx, m.SliceID, -1, row); err != nil {
+				return err
+			}
+		case plan.MotionRedistribute:
+			dest, err := exec.HashForRedistribute(m.HashExprs, row, nseg)
+			if err != nil {
+				return err
+			}
+			if err := fabric.Send(ctx, m.SliceID, dest, row); err != nil {
+				return err
+			}
+		case plan.MotionBroadcast:
+			for d := 0; d < nseg; d++ {
+				if err := fabric.Send(ctx, m.SliceID, d, row.Clone()); err != nil {
+					return err
+				}
+			}
+		}
+	}
 }
 
 // modeOf converts a Table-1 lock level to a lockmgr.Mode.
@@ -276,6 +363,9 @@ func (c *Cluster) RunInsert(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 		}()
 	}
 	wg.Wait()
+	if total > 0 {
+		c.invalidateStats(ip.Table.Name)
+	}
 	return total, firstErr
 }
 
@@ -301,16 +391,24 @@ func leafFor(t *catalog.Table, row types.Row) (catalog.TableID, error) {
 
 // RunUpdate dispatches an UPDATE to the owning segments.
 func (c *Cluster) RunUpdate(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, up *plan.UpdatePlan, directSeg int) (int, error) {
-	return c.runWrite(ctx, t, directSeg, func(s *Segment) (int, error) {
+	n, err := c.runWrite(ctx, t, directSeg, func(s *Segment) (int, error) {
 		return s.ExecUpdate(ctx, t.dxid, snap, up)
 	})
+	if n > 0 {
+		c.invalidateStats(up.Table.Name)
+	}
+	return n, err
 }
 
 // RunDelete dispatches a DELETE to the owning segments.
 func (c *Cluster) RunDelete(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, dp *plan.DeletePlan, directSeg int) (int, error) {
-	return c.runWrite(ctx, t, directSeg, func(s *Segment) (int, error) {
+	n, err := c.runWrite(ctx, t, directSeg, func(s *Segment) (int, error) {
 		return s.ExecDelete(ctx, t.dxid, snap, dp)
 	})
+	if n > 0 {
+		c.invalidateStats(dp.Table.Name)
+	}
+	return n, err
 }
 
 func (c *Cluster) runWrite(ctx context.Context, t *LiveTxn, directSeg int, f func(*Segment) (int, error)) (int, error) {

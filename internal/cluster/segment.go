@@ -474,6 +474,62 @@ func (a *storeAccess) ScanTable(ctx context.Context, leaf catalog.TableID, forUp
 	return iterErr
 }
 
+// ScanTableBatches implements exec.BatchStoreAccess: visibility-filtered
+// rows are delivered in bounded batches, decoded block-at-a-time by the
+// column store. Each batch handed to fn is fully owned by fn (fresh
+// container, retainable rows). FOR UPDATE scans stay on ScanTable.
+func (a *storeAccess) ScanTableBatches(ctx context.Context, leaf catalog.TableID, cols []int, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
+	st, err := a.seg.table(leaf)
+	if err != nil {
+		return err
+	}
+	if err := a.lockRelation(ctx, st.meta, lockmgr.AccessShare); err != nil {
+		return err
+	}
+	if batchSize < 1 {
+		batchSize = types.DefaultBatchSize
+	}
+	out := types.NewRowBatch(batchSize)
+	var iterErr error
+	stopped := false
+	storage.ScanBatches(st.engine, cols, batchSize, func(hdrs []storage.Header, rows []types.Row) bool {
+		select {
+		case <-ctx.Done():
+			iterErr = ctx.Err()
+			return false
+		default:
+		}
+		for i, h := range hdrs {
+			if !a.check.Visible(h.Xmin, h.Xmax) {
+				continue
+			}
+			out.Append(rows[i])
+			if out.Len() == batchSize {
+				cont, err := fn(out)
+				out = types.NewRowBatch(batchSize) // previous batch handed off
+				if err != nil {
+					iterErr = err
+					return false
+				}
+				if !cont {
+					stopped = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if iterErr != nil || stopped {
+		return iterErr
+	}
+	if out.Len() > 0 {
+		if _, err := fn(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // IndexLookup implements exec.StoreAccess.
 func (a *storeAccess) IndexLookup(ctx context.Context, t *catalog.Table, def *catalog.Index, key []types.Datum, forUpdate bool, fn func(row types.Row) (bool, error)) error {
 	for _, leaf := range leafIDs(t) {

@@ -65,30 +65,50 @@ type group struct {
 	states []aggState
 }
 
-// aggIter implements plain/partial/final hash aggregation.
-type aggIter struct {
+// aggCore is the phase-aware hash aggregation state shared by the
+// row-at-a-time and batch aggregate iterators: rows are absorbed one at a
+// time, grouped output is read from order after finish.
+type aggCore struct {
 	ctx    *Context
 	node   *plan.Agg
-	child  Iterator
 	groups map[uint64][]*group
 	order  []*group
+	bytes  int64
+	// groupCols and scratch avoid per-row allocations on the hot absorb
+	// path: group keys are evaluated into the reused scratch row, which
+	// findGroup only clones when it creates a new group.
+	groupCols []int
+	scratch   types.Row
+}
+
+func newAggCore(ctx *Context, node *plan.Agg) aggCore {
+	cols := make([]int, len(node.GroupBy))
+	for i := range cols {
+		cols[i] = i
+	}
+	return aggCore{
+		ctx: ctx, node: node,
+		groups:    make(map[uint64][]*group),
+		groupCols: cols,
+		scratch:   make(types.Row, len(node.GroupBy)),
+	}
+}
+
+// aggIter implements plain/partial/final hash aggregation row-at-a-time.
+type aggIter struct {
+	core   aggCore
+	child  Iterator
 	pos    int
 	loaded bool
-	bytes  int64
 	tick   cpuTick
 }
 
 func newAggIter(ctx *Context, node *plan.Agg, child Iterator) *aggIter {
-	return &aggIter{ctx: ctx, node: node, child: child,
-		groups: make(map[uint64][]*group), tick: cpuTick{ctx: ctx}}
+	return &aggIter{core: newAggCore(ctx, node), child: child, tick: cpuTick{ctx: ctx}}
 }
 
-func (a *aggIter) findGroup(keys types.Row) (*group, error) {
-	cols := make([]int, len(keys))
-	for i := range cols {
-		cols[i] = i
-	}
-	h := keys.Hash(cols)
+func (a *aggCore) findGroup(keys types.Row) (*group, error) {
+	h := keys.Hash(a.groupCols[:len(keys)])
 	for _, g := range a.groups[h] {
 		if g.keys.Equal(keys) {
 			return g, nil
@@ -102,6 +122,99 @@ func (a *aggIter) findGroup(keys types.Row) (*group, error) {
 	a.groups[h] = append(a.groups[h], g)
 	a.order = append(a.order, g)
 	return g, nil
+}
+
+// absorb folds one input row into its group. The key row is evaluated into
+// the reused scratch buffer; findGroup clones it if the group is new.
+func (a *aggCore) absorb(row types.Row) error {
+	keys := a.scratch
+	for i, g := range a.node.GroupBy {
+		v, err := g.Eval(row)
+		if err != nil {
+			return err
+		}
+		keys[i] = v
+	}
+	grp, err := a.findGroup(keys)
+	if err != nil {
+		return err
+	}
+	if a.node.Phase == plan.AggFinal {
+		return a.mergePartial(grp, row)
+	}
+	for i, spec := range a.node.Specs {
+		st := &grp.states[i]
+		if spec.Arg == nil { // count(*)
+			st.count++
+			st.any = true
+			continue
+		}
+		v, err := spec.Arg.Eval(row)
+		if err != nil {
+			return err
+		}
+		st.add(v, spec.Distinct)
+	}
+	return nil
+}
+
+// absorbFast folds a whole batch of rows whose group keys and aggregate
+// arguments are all bare column references: direct row reads, no expression
+// tree walks. Used by the vectorized aggregate (never for the final phase,
+// which merges partial layouts).
+func (a *aggCore) absorbFast(rows []types.Row, groupIdx, specCols []int) error {
+	keys := a.scratch
+	specs := a.node.Specs
+	for _, row := range rows {
+		for i, c := range groupIdx {
+			keys[i] = row[c]
+		}
+		grp, err := a.findGroup(keys)
+		if err != nil {
+			return err
+		}
+		for i := range specs {
+			st := &grp.states[i]
+			c := specCols[i]
+			if c < 0 { // count(*)
+				st.count++
+				st.any = true
+				continue
+			}
+			st.add(row[c], specs[i].Distinct)
+		}
+	}
+	return nil
+}
+
+// finish handles empty-input scalar aggregates and fixes the output order.
+func (a *aggCore) finish(sawRow bool) error {
+	// Scalar aggregate over an empty input still yields one row; a partial
+	// scalar agg also emits its (empty) transition row so the final phase
+	// can produce count=0 / sum=NULL.
+	if !sawRow && len(a.node.GroupBy) == 0 && len(a.node.Specs) > 0 {
+		if _, err := a.findGroup(types.Row{}); err != nil {
+			return err
+		}
+	}
+	// Deterministic output order (by group key) helps tests; cheap at the
+	// row counts produced by aggregation.
+	sort.SliceStable(a.order, func(i, j int) bool {
+		ki, kj := a.order[i].keys, a.order[j].keys
+		for c := range ki {
+			if cmp := types.Compare(ki[c], kj[c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+func (a *aggCore) close() {
+	a.ctx.shrink(a.bytes)
+	a.groups = nil
+	a.order = nil
 }
 
 func (a *aggIter) load() error {
@@ -118,62 +231,13 @@ func (a *aggIter) load() error {
 			return err
 		}
 		sawRow = true
-		keys := make(types.Row, len(a.node.GroupBy))
-		for i, g := range a.node.GroupBy {
-			v, err := g.Eval(row)
-			if err != nil {
-				return err
-			}
-			keys[i] = v
-		}
-		grp, err := a.findGroup(keys)
-		if err != nil {
-			return err
-		}
-		if a.node.Phase == plan.AggFinal {
-			if err := a.mergePartial(grp, row); err != nil {
-				return err
-			}
-		} else {
-			for i, spec := range a.node.Specs {
-				st := &grp.states[i]
-				if spec.Arg == nil { // count(*)
-					st.count++
-					st.any = true
-					continue
-				}
-				v, err := spec.Arg.Eval(row)
-				if err != nil {
-					return err
-				}
-				st.add(v, spec.Distinct)
-			}
-		}
-	}
-	// Scalar aggregate over an empty input still yields one row.
-	if !sawRow && len(a.node.GroupBy) == 0 && len(a.node.Specs) > 0 && a.node.Phase != plan.AggPartial {
-		if _, err := a.findGroup(types.Row{}); err != nil {
+		if err := a.core.absorb(row); err != nil {
 			return err
 		}
 	}
-	if !sawRow && len(a.node.GroupBy) == 0 && len(a.node.Specs) > 0 && a.node.Phase == plan.AggPartial {
-		// Partial scalar agg also emits its (empty) transition row so the
-		// final phase can produce count=0 / sum=NULL.
-		if _, err := a.findGroup(types.Row{}); err != nil {
-			return err
-		}
+	if err := a.core.finish(sawRow); err != nil {
+		return err
 	}
-	// Deterministic output order (by group key) helps tests; cheap at the
-	// row counts produced by aggregation.
-	sort.SliceStable(a.order, func(i, j int) bool {
-		ki, kj := a.order[i].keys, a.order[j].keys
-		for c := range ki {
-			if cmp := types.Compare(ki[c], kj[c]); cmp != 0 {
-				return cmp < 0
-			}
-		}
-		return false
-	})
 	a.loaded = true
 	return nil
 }
@@ -181,7 +245,7 @@ func (a *aggIter) load() error {
 // mergePartial folds one partial-layout row into the group (final phase).
 // Partial layout: group cols, then per spec: avg → (sum, count); others →
 // single column.
-func (a *aggIter) mergePartial(grp *group, row types.Row) error {
+func (a *aggCore) mergePartial(grp *group, row types.Row) error {
 	col := len(a.node.GroupBy)
 	for i, spec := range a.node.Specs {
 		st := &grp.states[i]
@@ -239,7 +303,7 @@ func (a *aggIter) mergePartial(grp *group, row types.Row) error {
 	return nil
 }
 
-func (a *aggIter) emit(grp *group) types.Row {
+func (a *aggCore) emit(grp *group) types.Row {
 	out := make(types.Row, 0, a.node.Schema().Len())
 	out = append(out, grp.keys...)
 	for i, spec := range a.node.Specs {
@@ -305,17 +369,15 @@ func (a *aggIter) Next() (types.Row, error) {
 			return nil, err
 		}
 	}
-	if a.pos >= len(a.order) {
+	if a.pos >= len(a.core.order) {
 		return nil, io.EOF
 	}
-	g := a.order[a.pos]
+	g := a.core.order[a.pos]
 	a.pos++
-	return a.emit(g), nil
+	return a.core.emit(g), nil
 }
 
 func (a *aggIter) Close() {
-	a.ctx.shrink(a.bytes)
-	a.groups = nil
-	a.order = nil
+	a.core.close()
 	a.child.Close()
 }

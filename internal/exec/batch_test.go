@@ -1,0 +1,206 @@
+package exec
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// memBatchStore extends memStore with the batch scan path so executor tests
+// exercise the vectorized scan (streaming goroutine + bounded batches).
+type memBatchStore struct {
+	memStore
+}
+
+func (m *memBatchStore) ScanTableBatches(ctx context.Context, leaf catalog.TableID, cols []int, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
+	if batchSize < 1 {
+		batchSize = types.DefaultBatchSize
+	}
+	b := types.NewRowBatch(batchSize)
+	for _, row := range m.tables[leaf] {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		b.Append(row.Clone())
+		if b.Len() == batchSize {
+			cont, err := fn(b)
+			if err != nil || !cont {
+				return err
+			}
+			b = types.NewRowBatch(batchSize)
+		}
+	}
+	if b.Len() > 0 {
+		if _, err := fn(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestBatchAdapterRoundTrip(t *testing.T) {
+	var rows []types.Row
+	for i := 0; i < 10; i++ {
+		rows = append(rows, intRow(int64(i)))
+	}
+	// rows → batches of 3 → rows must preserve order and count.
+	got, err := Drain(NewRowAdapter(NewBatchAdapter(&sliceIter{rows: rows}, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("round trip lost rows: %d", len(got))
+	}
+	for i, r := range got {
+		if r[0].Int() != int64(i) {
+			t.Fatalf("row %d out of order: %v", i, r)
+		}
+	}
+}
+
+func TestBatchAdapterBounds(t *testing.T) {
+	var rows []types.Row
+	for i := 0; i < 10; i++ {
+		rows = append(rows, intRow(int64(i)))
+	}
+	it := NewBatchAdapter(&sliceIter{rows: rows}, 4)
+	sizes := []int{}
+	for {
+		b, err := it.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, b.Len())
+	}
+	if len(sizes) != 3 || sizes[0] != 4 || sizes[1] != 4 || sizes[2] != 2 {
+		t.Fatalf("batch sizes: %v", sizes)
+	}
+}
+
+// TestBatchPipelineMatchesRowPipeline runs the same scan→filter→join→agg
+// plan through Build (row shim) and BuildBatch (vectorized) and requires
+// identical results — the core equivalence property of the refactor.
+func TestBatchPipelineMatchesRowPipeline(t *testing.T) {
+	left := testTable(1, "l", "id", "lv")
+	right := testTable(2, "r", "id", "rv")
+	tables := map[catalog.TableID][]types.Row{1: {}, 2: {}}
+	for i := 0; i < 1000; i++ { // spans several default batches
+		tables[1] = append(tables[1], intRow(int64(i%97), int64(i)))
+		if i%3 == 0 {
+			tables[2] = append(tables[2], intRow(int64(i%97), int64(i*2)))
+		}
+	}
+	store := &memBatchStore{memStore{tables: tables}}
+
+	mkPlan := func() plan.Node {
+		scanL := plan.NewScan(left, []catalog.TableID{1}, &plan.BinOp{
+			Op: ">", Left: &plan.ColRef{Idx: 1}, Right: &plan.Const{Val: types.NewInt(10)}})
+		scanR := plan.NewScan(right, []catalog.TableID{2}, nil)
+		join := plan.NewHashJoin(plan.JoinInner, scanL, scanR,
+			[]plan.Expr{&plan.ColRef{Idx: 0}}, []plan.Expr{&plan.ColRef{Idx: 0}}, nil)
+		return plan.NewAgg(join,
+			[]plan.Expr{&plan.ColRef{Idx: 0}},
+			[]plan.AggSpec{
+				{Func: plan.AggCount, Name: "cnt"},
+				{Func: plan.AggSum, Arg: &plan.ColRef{Idx: 3}, Name: "s"},
+				{Func: plan.AggMax, Arg: &plan.ColRef{Idx: 1}, Name: "m"},
+			}, plan.AggPlain)
+	}
+
+	mkCtx := func() *Context {
+		return &Context{Ctx: context.Background(), Store: store, NumSegments: 1, SegID: 0, BatchSize: 64}
+	}
+	rowRes, err := Drain(Build(mkCtx(), mkPlan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRes, err := DrainBatches(BuildBatch(mkCtx(), mkPlan()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rowRes) == 0 || len(rowRes) != len(batchRes) {
+		t.Fatalf("result sizes: row=%d batch=%d", len(rowRes), len(batchRes))
+	}
+	for i := range rowRes {
+		if !rowRes[i].Equal(batchRes[i]) {
+			t.Fatalf("row %d differs: %v vs %v", i, rowRes[i], batchRes[i])
+		}
+	}
+}
+
+func TestBatchScanStreamsAndCloseEarly(t *testing.T) {
+	tab := testTable(1, "t", "a")
+	tables := map[catalog.TableID][]types.Row{1: {}}
+	for i := 0; i < 10000; i++ {
+		tables[1] = append(tables[1], intRow(int64(i)))
+	}
+	store := &memBatchStore{memStore{tables: tables}}
+	ctx := &Context{Ctx: context.Background(), Store: store, NumSegments: 1, SegID: 0, BatchSize: 32}
+	it := BuildBatch(ctx, plan.NewScan(tab, []catalog.TableID{1}, nil))
+	b, err := it.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 32 {
+		t.Fatalf("first batch: %d rows", b.Len())
+	}
+	// Closing mid-stream must not deadlock or leak the producer.
+	it.Close()
+}
+
+func TestBatchLeftJoinNullExtension(t *testing.T) {
+	left := testTable(1, "l", "id")
+	right := testTable(2, "r", "id", "rv")
+	store := &memBatchStore{memStore{tables: map[catalog.TableID][]types.Row{
+		1: {intRow(1), intRow(2), intRow(3)},
+		2: {intRow(1, 10), intRow(3, 30)},
+	}}}
+	join := plan.NewHashJoin(plan.JoinLeft,
+		plan.NewScan(left, []catalog.TableID{1}, nil),
+		plan.NewScan(right, []catalog.TableID{2}, nil),
+		[]plan.Expr{&plan.ColRef{Idx: 0}}, []plan.Expr{&plan.ColRef{Idx: 0}}, nil)
+	ctx := &Context{Ctx: context.Background(), Store: store, NumSegments: 1, SegID: 0}
+	rows, err := DrainBatches(BuildBatch(ctx, join))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("left join rows: %v", rows)
+	}
+	saw2 := false
+	for _, r := range rows {
+		if r[0].Int() == 2 {
+			saw2 = true
+			if !r[1].IsNull() || !r[2].IsNull() {
+				t.Fatalf("unmatched row not null-extended: %v", r)
+			}
+		}
+	}
+	if !saw2 {
+		t.Fatal("unmatched left row dropped")
+	}
+}
+
+func TestBatchMemoryAccountingCancels(t *testing.T) {
+	tab := testTable(1, "t", "v")
+	store := &memBatchStore{memStore{tables: map[catalog.TableID][]types.Row{
+		1: {intRow(1), intRow(2)},
+	}}}
+	ctx := &Context{Ctx: context.Background(), Store: store, NumSegments: 1, SegID: 0, Mem: failMem{}}
+	join := plan.NewHashJoin(plan.JoinInner,
+		plan.NewScan(tab, []catalog.TableID{1}, nil),
+		plan.NewScan(tab, []catalog.TableID{1}, nil),
+		[]plan.Expr{&plan.ColRef{Idx: 0}}, []plan.Expr{&plan.ColRef{Idx: 0}}, nil)
+	if _, err := DrainBatches(BuildBatch(ctx, join)); err == nil {
+		t.Fatal("batch hash join ignored memory accounting")
+	}
+}

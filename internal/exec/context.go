@@ -1,7 +1,8 @@
-// Package exec implements the Volcano-style distributed executor: iterators
-// for every plan node, motion send/receive over the interconnect, two-phase
-// aggregation, hash and nested-loop joins with inner-side prefetch, and
-// memory/CPU accounting hooks for resource groups.
+// Package exec implements the distributed executor: batch-at-a-time
+// (vectorized) iterators for the hot plan nodes with a row-at-a-time Volcano
+// shim kept for compatibility, motion send/receive over the interconnect,
+// two-phase aggregation, hash and nested-loop joins with inner-side
+// prefetch, and memory/CPU accounting hooks for resource groups.
 package exec
 
 import (
@@ -25,6 +26,17 @@ type StoreAccess interface {
 	IndexLookup(ctx context.Context, table *catalog.Table, index *catalog.Index, key []types.Datum, forUpdate bool, fn func(row types.Row) (bool, error)) error
 }
 
+// BatchStoreAccess extends StoreAccess with the batch scan path: the storage
+// layer delivers visibility-filtered rows in bounded batches, so the column
+// store decodes each block once per batch instead of re-buffering
+// row-by-row. Implementations hand each batch to fn with full ownership (a
+// fresh container whose rows may be retained). fn reports whether to
+// continue. FOR UPDATE scans stay on the row path (they lock per kept row).
+type BatchStoreAccess interface {
+	StoreAccess
+	ScanTableBatches(ctx context.Context, leaf catalog.TableID, cols []int, batchSize int, fn func(b *types.RowBatch) (cont bool, err error)) error
+}
+
 // MemAccount abstracts resource-group memory accounting (resgroup.Slot).
 type MemAccount interface {
 	Grow(n int64) error
@@ -42,6 +54,13 @@ type Receiver interface {
 	Recv(ctx context.Context) (types.Row, bool, error)
 }
 
+// BatchReceiver is implemented by receivers that can deliver whole motion
+// batches (one interconnect operation per batch instead of per row). The
+// returned batch is owned by the caller.
+type BatchReceiver interface {
+	RecvBatch(ctx context.Context) (*types.RowBatch, bool, error)
+}
+
 // Context is the per-slice, per-location execution environment.
 type Context struct {
 	Ctx   context.Context
@@ -56,8 +75,22 @@ type Context struct {
 	CPUBatchCost time.Duration
 	// CPUBatchRows is the batch size for CPU charging (default 128).
 	CPUBatchRows int
-	NumSegments  int
-	SegID        int // -1 = coordinator
+	// BatchSize is the executor's rows-per-batch for vectorized operators
+	// (0 = types.DefaultBatchSize).
+	BatchSize int
+	// RowMode forces the legacy row-at-a-time operators even where the
+	// store supports batch scans (Config.RowAtATime ablation shim).
+	RowMode     bool
+	NumSegments int
+	SegID       int // -1 = coordinator
+}
+
+// batchSize returns the effective executor batch size.
+func (c *Context) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return types.DefaultBatchSize
 }
 
 // grow charges n bytes if accounting is enabled.
@@ -80,17 +113,25 @@ type cpuTick struct {
 	rows int
 }
 
-func (t *cpuTick) tick() error {
-	if t.ctx.CPU == nil || t.ctx.CPUBatchCost <= 0 {
+func (t *cpuTick) tick() error { return t.tickRows(1) }
+
+// tickRows advances the charge counter by n rows at once (one call per
+// processed batch in the vectorized operators) and charges a batch quantum
+// for every CPUBatchRows rows crossed.
+func (t *cpuTick) tickRows(n int) error {
+	if t.ctx.CPU == nil || t.ctx.CPUBatchCost <= 0 || n <= 0 {
 		return nil
 	}
-	t.rows++
 	batch := t.ctx.CPUBatchRows
 	if batch <= 0 {
 		batch = 128
 	}
-	if t.rows%batch == 0 {
-		return t.ctx.CPU.ChargeCPU(t.ctx.Ctx, t.ctx.CPUBatchCost)
+	t.rows += n
+	for t.rows >= batch {
+		t.rows -= batch
+		if err := t.ctx.CPU.ChargeCPU(t.ctx.Ctx, t.ctx.CPUBatchCost); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -47,11 +47,23 @@ func (o *oneRowIter) Next() (types.Row, error) {
 
 func (o *oneRowIter) Close() {}
 
-// scanIter drives StoreAccess.ScanTable through a pull interface by
-// buffering into batches (the storage callback pushes; we re-buffer).
-// To keep memory bounded for large tables it streams via a goroutine-free
-// full materialization per leaf — acceptable because segment-local leaf
-// tables fit the simulation scale; the CPU tick still paces it.
+// newScanIter builds the row-at-a-time scan. When the store supports the
+// batch scan path (and the scan doesn't row-lock, which needs per-kept-row
+// locking inside the storage callback), it streams bounded batches through
+// the row adapter instead of materializing whole leaves. The buffering scan
+// remains for plain StoreAccess implementations, FOR UPDATE scans, and
+// Context.RowMode (the ablation shim must measure the legacy pipeline).
+func newScanIter(ctx *Context, node *plan.Scan) Iterator {
+	if _, ok := ctx.Store.(BatchStoreAccess); ok && !node.ForUpdate && !ctx.RowMode {
+		return NewRowAdapter(newBatchScanIter(ctx, node))
+	}
+	return &scanIter{ctx: ctx, node: node, tick: cpuTick{ctx: ctx}}
+}
+
+// scanIter drives StoreAccess.ScanTable through a pull interface by fully
+// materializing each leaf (the storage callback pushes; we re-buffer). Kept
+// as the fallback for plain StoreAccess implementations and FOR UPDATE
+// scans; everything else uses the streaming batch scan.
 type scanIter struct {
 	ctx    *Context
 	node   *plan.Scan
@@ -60,10 +72,6 @@ type scanIter struct {
 	pos    int
 	tick   cpuTick
 	loaded bool
-}
-
-func newScanIter(ctx *Context, node *plan.Scan) *scanIter {
-	return &scanIter{ctx: ctx, node: node, tick: cpuTick{ctx: ctx}}
 }
 
 func (s *scanIter) load() error {

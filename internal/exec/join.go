@@ -51,6 +51,70 @@ func hashKeys(keys []plan.Expr, row types.Row) (uint64, bool, error) {
 	return h, true, nil
 }
 
+// probeHashTable finds every build row joining with probe, re-checking exact
+// key equality (hash collisions) and the residual condition, and hands each
+// combined output row to emit. It reports whether the probe matched. Shared
+// by the row-at-a-time and batch hash joins.
+func probeHashTable(node *plan.HashJoin, table map[uint64][]types.Row, probe types.Row, emit func(types.Row)) (bool, error) {
+	h, ok, err := hashKeys(node.LeftKeys, probe)
+	if err != nil || !ok {
+		return false, err
+	}
+	bucket := table[h]
+	if len(bucket) == 0 {
+		return false, nil
+	}
+	// Evaluate the probe-side key values once; only the build side varies
+	// across bucket candidates.
+	lvals := make([]types.Datum, len(node.LeftKeys))
+	for i, k := range node.LeftKeys {
+		lv, err := k.Eval(probe)
+		if err != nil {
+			return false, err
+		}
+		lvals[i] = lv
+	}
+	matched := false
+	for _, rrow := range bucket {
+		eq := true
+		for i := range node.LeftKeys {
+			rv, err := node.RightKeys[i].Eval(rrow)
+			if err != nil {
+				return matched, err
+			}
+			if lvals[i].IsNull() || rv.IsNull() || types.Compare(lvals[i], rv) != 0 {
+				eq = false
+				break
+			}
+		}
+		if !eq {
+			continue
+		}
+		combined := make(types.Row, 0, len(probe)+len(rrow))
+		combined = append(combined, probe...)
+		combined = append(combined, rrow...)
+		keep, err := plan.EvalBool(node.Extra, combined)
+		if err != nil {
+			return matched, err
+		}
+		if keep {
+			matched = true
+			emit(combined)
+		}
+	}
+	return matched, nil
+}
+
+// nullExtend builds the left-join output row for an unmatched probe row.
+func nullExtend(probe types.Row, rwidth int) types.Row {
+	combined := make(types.Row, 0, len(probe)+rwidth)
+	combined = append(combined, probe...)
+	for i := 0; i < rwidth; i++ {
+		combined = append(combined, types.Null)
+	}
+	return combined
+}
+
 func (j *hashJoinIter) build() error {
 	for {
 		row, err := j.right.Next()
@@ -100,53 +164,14 @@ func (j *hashJoinIter) Next() (types.Row, error) {
 			return nil, err
 		}
 		j.cur = probe
-		matched := false
-		h, ok, err := hashKeys(j.node.LeftKeys, probe)
+		matched, err := probeHashTable(j.node, j.table, probe, func(combined types.Row) {
+			j.pending = append(j.pending, combined)
+		})
 		if err != nil {
 			return nil, err
 		}
-		if ok {
-			for _, rrow := range j.table[h] {
-				// Re-check exact key equality (hash collisions) then the
-				// residual condition.
-				eq := true
-				for i := range j.node.LeftKeys {
-					lv, err := j.node.LeftKeys[i].Eval(probe)
-					if err != nil {
-						return nil, err
-					}
-					rv, err := j.node.RightKeys[i].Eval(rrow)
-					if err != nil {
-						return nil, err
-					}
-					if lv.IsNull() || rv.IsNull() || types.Compare(lv, rv) != 0 {
-						eq = false
-						break
-					}
-				}
-				if !eq {
-					continue
-				}
-				combined := make(types.Row, 0, len(probe)+len(rrow))
-				combined = append(combined, probe...)
-				combined = append(combined, rrow...)
-				keep, err := plan.EvalBool(j.node.Extra, combined)
-				if err != nil {
-					return nil, err
-				}
-				if keep {
-					matched = true
-					j.pending = append(j.pending, combined)
-				}
-			}
-		}
 		if !matched && j.node.Kind == plan.JoinLeft {
-			combined := make(types.Row, 0, len(probe)+j.rwidth)
-			combined = append(combined, probe...)
-			for i := 0; i < j.rwidth; i++ {
-				combined = append(combined, types.Null)
-			}
-			return combined, nil
+			return nullExtend(probe, j.rwidth), nil
 		}
 	}
 }

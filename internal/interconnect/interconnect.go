@@ -4,6 +4,12 @@
 // send-buffer + ACK flow control: a sender whose peer's buffer is full
 // blocks, exactly the waiting relationship that can produce network deadlock
 // when executors demand tuples in the wrong order.
+//
+// Streams are batch-framed: each channel operation carries a whole
+// types.RowBatch, so the vectorized executor pays one send per batch. The
+// row-level Send/Recv API is kept as a shim (one-row batches) for the
+// row-at-a-time executor and the deadlock demonstrations; buffer capacity is
+// counted in sends, so the shim behaves exactly like the old per-row fabric.
 package interconnect
 
 import (
@@ -27,8 +33,9 @@ type Fabric struct {
 	mu      sync.Mutex
 	streams map[streamKey]*stream
 
-	rows  atomic.Int64
-	bytes atomic.Int64
+	rows    atomic.Int64
+	batches atomic.Int64
+	bytes   atomic.Int64
 }
 
 type streamKey struct {
@@ -37,12 +44,12 @@ type streamKey struct {
 }
 
 type stream struct {
-	ch      chan types.Row
+	ch      chan *types.RowBatch
 	senders int32 // open sender count; the last DoneSending closes ch
 }
 
 // NewFabric builds a fabric for nseg segments with the given per-stream
-// buffer capacity (rows) and optional per-send latency.
+// buffer capacity (sends) and optional per-send latency.
 func NewFabric(nseg, bufSize int, delay time.Duration) *Fabric {
 	if bufSize < 1 {
 		bufSize = 1
@@ -75,7 +82,7 @@ func (f *Fabric) open(k streamKey, senders int) {
 	if _, ok := f.streams[k]; ok {
 		return
 	}
-	f.streams[k] = &stream{ch: make(chan types.Row, f.bufSize), senders: int32(senders)}
+	f.streams[k] = &stream{ch: make(chan *types.RowBatch, f.bufSize), senders: int32(senders)}
 }
 
 func (f *Fabric) get(k streamKey) (*stream, error) {
@@ -88,10 +95,14 @@ func (f *Fabric) get(k streamKey) (*stream, error) {
 	return s, nil
 }
 
-// Send delivers row to the given destination of the slice's motion,
-// blocking while the destination buffer is full (flow control). dest -1 is
-// the coordinator.
-func (f *Fabric) Send(ctx context.Context, slice, dest int, row types.Row) error {
+// SendBatch delivers a whole batch to the given destination of the slice's
+// motion in one stream operation, blocking while the destination buffer is
+// full (flow control). dest -1 is the coordinator. The batch is handed off:
+// the sender must not reuse its container afterwards.
+func (f *Fabric) SendBatch(ctx context.Context, slice, dest int, b *types.RowBatch) error {
+	if b == nil || b.Len() == 0 {
+		return nil
+	}
 	s, err := f.get(streamKey{slice: slice, dest: dest})
 	if err != nil {
 		return err
@@ -100,13 +111,19 @@ func (f *Fabric) Send(ctx context.Context, slice, dest int, row types.Row) error
 		time.Sleep(f.delay)
 	}
 	select {
-	case s.ch <- row:
-		f.rows.Add(1)
-		f.bytes.Add(row.Size())
+	case s.ch <- b:
+		f.rows.Add(int64(b.Len()))
+		f.batches.Add(1)
+		f.bytes.Add(b.Size())
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Send delivers one row (a one-row batch) — the row-at-a-time shim.
+func (f *Fabric) Send(ctx context.Context, slice, dest int, row types.Row) error {
+	return f.SendBatch(ctx, slice, dest, &types.RowBatch{Rows: []types.Row{row}})
 }
 
 // TrySend is Send without blocking; it reports false when the buffer is
@@ -116,10 +133,12 @@ func (f *Fabric) TrySend(slice, dest int, row types.Row) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	b := &types.RowBatch{Rows: []types.Row{row}}
 	select {
-	case s.ch <- row:
+	case s.ch <- b:
 		f.rows.Add(1)
-		f.bytes.Add(row.Size())
+		f.batches.Add(1)
+		f.bytes.Add(b.Size())
 		return true, nil
 	default:
 		return false, nil
@@ -155,21 +174,46 @@ func (f *Fabric) Stats() (rows, bytes int64) {
 	return f.rows.Load(), f.bytes.Load()
 }
 
-// StreamReceiver adapts a stream to the executor's Receiver interface.
+// BatchStats returns how many stream operations (batches) carried those
+// rows — the fabric's framing efficiency.
+func (f *Fabric) BatchStats() (batches int64) {
+	return f.batches.Load()
+}
+
+// StreamReceiver adapts a stream to the executor's Receiver and
+// BatchReceiver interfaces. A StreamReceiver is consumed by a single
+// goroutine (one receiving location of one motion).
 type StreamReceiver struct {
 	s   *stream
 	err error
+	cur *types.RowBatch // partially consumed batch for row-at-a-time Recv
+	pos int
 }
 
-// Recv implements exec.Receiver.
-func (r *StreamReceiver) Recv(ctx context.Context) (types.Row, bool, error) {
+// RecvBatch implements exec.BatchReceiver: one stream operation per batch.
+// The returned batch is owned by the caller.
+func (r *StreamReceiver) RecvBatch(ctx context.Context) (*types.RowBatch, bool, error) {
 	if r.err != nil {
 		return nil, false, r.err
 	}
 	select {
-	case row, ok := <-r.s.ch:
-		return row, ok, nil
+	case b, ok := <-r.s.ch:
+		return b, ok, nil
 	case <-ctx.Done():
 		return nil, false, ctx.Err()
 	}
+}
+
+// Recv implements exec.Receiver, unpacking batches row by row.
+func (r *StreamReceiver) Recv(ctx context.Context) (types.Row, bool, error) {
+	for r.cur == nil || r.pos >= r.cur.Len() {
+		b, ok, err := r.RecvBatch(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		r.cur, r.pos = b, 0
+	}
+	row := r.cur.Rows[r.pos]
+	r.pos++
+	return row, true, nil
 }

@@ -1,0 +1,114 @@
+package plan
+
+import "repro/internal/types"
+
+// Predicate is a compiled boolean filter over a row, with SQL three-valued
+// semantics already collapsed to keep/drop (NULL = drop), matching EvalBool.
+type Predicate func(types.Row) (bool, error)
+
+// CompilePredicate specializes the common filter shapes of analytical scans
+// — comparisons between a column and a constant, and conjunctions of those —
+// into direct closures, so the vectorized executor avoids re-walking the
+// expression tree for every row. Anything else falls back to the generic
+// evaluator; a nil expression compiles to keep-everything.
+func CompilePredicate(e Expr) Predicate {
+	if e == nil {
+		return func(types.Row) (bool, error) { return true, nil }
+	}
+	if f := compileCmp(e); f != nil {
+		return f
+	}
+	if b, ok := e.(*BinOp); ok && b.Op == "AND" {
+		l, r := CompilePredicate(b.Left), CompilePredicate(b.Right)
+		return func(row types.Row) (bool, error) {
+			ok, err := l(row)
+			if err != nil || !ok {
+				return false, err
+			}
+			return r(row)
+		}
+	}
+	return func(row types.Row) (bool, error) { return EvalBool(e, row) }
+}
+
+// compileCmp handles `col <op> const` (either operand order); it returns nil
+// when the shape doesn't match.
+func compileCmp(e Expr) Predicate {
+	b, ok := e.(*BinOp)
+	if !ok {
+		return nil
+	}
+	op := b.Op
+	cr, crOk := b.Left.(*ColRef)
+	cn, cnOk := b.Right.(*Const)
+	if !crOk || !cnOk {
+		cr, crOk = b.Right.(*ColRef)
+		cn, cnOk = b.Left.(*Const)
+		if !crOk || !cnOk {
+			return nil
+		}
+		op = flipCmp(op)
+	}
+	switch op {
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+	default:
+		return nil
+	}
+	idx, val := cr.Idx, cn.Val
+	if val.IsNull() {
+		// NULL comparand: never true under three-valued logic.
+		return func(types.Row) (bool, error) { return false, nil }
+	}
+	return func(row types.Row) (bool, error) {
+		if idx < 0 || idx >= len(row) {
+			return EvalBool(e, row) // let the generic path report the error
+		}
+		d := row[idx]
+		if d.IsNull() {
+			return false, nil
+		}
+		c := types.Compare(d, val)
+		switch op {
+		case "=":
+			return c == 0, nil
+		case "<>", "!=":
+			return c != 0, nil
+		case "<":
+			return c < 0, nil
+		case "<=":
+			return c <= 0, nil
+		case ">":
+			return c > 0, nil
+		default: // ">="
+			return c >= 0, nil
+		}
+	}
+}
+
+// flipCmp mirrors a comparison operator for swapped operands
+// (const <op> col → col <flipped> const).
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// ColIndex reports the column offset when e is a bare column reference —
+// the executor's batch operators use it to turn expression evaluation into
+// a direct row read.
+func ColIndex(e Expr) (int, bool) {
+	cr, ok := e.(*ColRef)
+	if !ok {
+		return 0, false
+	}
+	return cr.Idx, true
+}

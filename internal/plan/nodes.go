@@ -75,8 +75,13 @@ type Scan struct {
 	Table      *catalog.Table
 	Partitions []catalog.TableID // leaf table ids to scan; nil = unpartitioned base
 	Filter     Expr
-	ForUpdate  bool
-	schema     *types.Schema
+	// Project lists the column offsets the plan above actually reads
+	// (including filter columns); nil = all. Unread columns surface as NULL
+	// at their original offsets, so ColRef indexes stay valid. Set by the
+	// planner only when the scan's entire read set is known.
+	Project   []int
+	ForUpdate bool
+	schema    *types.Schema
 }
 
 // NewScan builds a scan of t with the given pruned leaf set.

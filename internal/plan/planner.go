@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -168,6 +169,9 @@ func (p *Planner) PlanSelect(s *sql.SelectStmt) (*Planned, error) {
 		}
 		if s.Lock != sql.LockNone {
 			markForUpdate(pn.node)
+		}
+		if scan, ok := pn.node.(*Scan); ok {
+			pruneScanColumns(scan, exprs)
 		}
 		pn.node = NewProject(pn.node, exprs, names)
 		outNames = names
@@ -489,6 +493,16 @@ func (p *Planner) planAggregate(pn *planned, sc *scope, s *sql.SelectStmt) (Node
 		if sp.Distinct {
 			anyDistinct = true
 		}
+	}
+
+	if scan, ok := pn.node.(*Scan); ok {
+		var argExprs []Expr
+		for _, sp := range specs {
+			if sp.Arg != nil {
+				argExprs = append(argExprs, sp.Arg)
+			}
+		}
+		pruneScanColumns(scan, groupBound, argExprs)
 	}
 
 	var aggOut Node
@@ -1039,6 +1053,81 @@ func (p *Planner) tryIndexScan(scan *Scan) *IndexScan {
 		}
 	}
 	return nil
+}
+
+// collectCols adds every column offset e references to set; ok=false means
+// the expression contains a node kind the walker doesn't know, so the
+// caller must assume the whole row is read.
+func collectCols(e Expr, set map[int]struct{}) bool {
+	switch v := e.(type) {
+	case nil:
+		return true
+	case *ColRef:
+		set[v.Idx] = struct{}{}
+		return true
+	case *Const:
+		return true
+	case *BinOp:
+		return collectCols(v.Left, set) && collectCols(v.Right, set)
+	case *NotExpr:
+		return collectCols(v.Operand, set)
+	case *NegExpr:
+		return collectCols(v.Operand, set)
+	case *IsNull:
+		return collectCols(v.Operand, set)
+	case *InList:
+		if !collectCols(v.Operand, set) {
+			return false
+		}
+		for _, it := range v.List {
+			if !collectCols(it, set) {
+				return false
+			}
+		}
+		return true
+	case *Between:
+		return collectCols(v.Operand, set) && collectCols(v.Lo, set) && collectCols(v.Hi, set)
+	case *Case:
+		for _, w := range v.Whens {
+			if !collectCols(w.Cond, set) || !collectCols(w.Then, set) {
+				return false
+			}
+		}
+		return collectCols(v.Else, set)
+	default:
+		return false
+	}
+}
+
+// pruneScanColumns records on a bare scan the union of columns read by its
+// filter and by the given parent expressions, letting the column store skip
+// decoding the rest. Called only where the scan's sole consumer is known
+// (the projection or aggregation directly above it); FOR UPDATE scans stay
+// unpruned (they run on the row-locking path).
+func pruneScanColumns(scan *Scan, parentExprs ...[]Expr) {
+	if scan.ForUpdate {
+		return
+	}
+	set := make(map[int]struct{})
+	if !collectCols(scan.Filter, set) {
+		return
+	}
+	for _, exprs := range parentExprs {
+		for _, e := range exprs {
+			if !collectCols(e, set) {
+				return
+			}
+		}
+	}
+	if len(set) >= scan.Table.Schema.Len() {
+		return // reads everything: nil already means all
+	}
+	cols := make([]int, 0, len(set))
+	for c := range set {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	scan.Project = cols
 }
 
 // CutSlices assigns slice ids to motions (top slice is 0) and returns the

@@ -384,3 +384,58 @@ func TestExprEvaluation(t *testing.T) {
 		t.Error("div by zero")
 	}
 }
+
+// findScan returns the first Scan in the plan tree.
+func findScan(n Node) *Scan {
+	if s, ok := n.(*Scan); ok {
+		return s
+	}
+	for _, c := range n.Children() {
+		if s := findScan(c); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+func TestScanColumnPruning(t *testing.T) {
+	cat := testCatalog(t)
+
+	// Aggregate over a subset: scan should decode only d (1) and amt (2).
+	pl := planSelect(t, cat, "SELECT d, sum(amt) FROM sales WHERE d < 150 GROUP BY d", OptimizerOLTP)
+	scan := findScan(pl.Root)
+	if scan == nil {
+		t.Fatal("no scan in plan")
+	}
+	if len(scan.Project) != 2 || scan.Project[0] != 1 || scan.Project[1] != 2 {
+		t.Fatalf("agg scan projection = %v, want [1 2]", scan.Project)
+	}
+
+	// Plain projection reading 1 of 2 columns (filter on the same column).
+	pl = planSelect(t, cat, "SELECT c2 FROM t1 WHERE c2 > 3", OptimizerOLTP)
+	scan = findScan(pl.Root)
+	if scan == nil || len(scan.Project) != 1 || scan.Project[0] != 1 {
+		t.Fatalf("projection scan columns = %v, want [1]", scan.Project)
+	}
+
+	// Reading every column records no pruning (nil = all).
+	pl = planSelect(t, cat, "SELECT c2 FROM t1 WHERE c1 = 7", OptimizerOLTP)
+	scan = findScan(pl.Root)
+	if scan == nil || scan.Project != nil {
+		t.Fatalf("full-width read should not prune, got %v", scan.Project)
+	}
+
+	// SELECT * reads everything: no pruning recorded.
+	pl = planSelect(t, cat, "SELECT * FROM t1", OptimizerOLTP)
+	scan = findScan(pl.Root)
+	if scan == nil || scan.Project != nil {
+		t.Fatalf("SELECT * should not prune, got %v", scan.Project)
+	}
+
+	// FOR UPDATE scans stay unpruned (row-locking path).
+	pl = planSelect(t, cat, "SELECT c2 FROM t1 WHERE c2 = 1 FOR UPDATE", OptimizerOLTP)
+	scan = findScan(pl.Root)
+	if scan == nil || scan.Project != nil {
+		t.Fatalf("FOR UPDATE scan should not prune, got %v", scan.Project)
+	}
+}

@@ -28,7 +28,10 @@ type AOColumn struct {
 	cache   map[int]*decodedBlock
 }
 
-// decodedBlock is a cache entry of decoded vectors.
+// decodedBlock is a cache entry of decoded vectors. Columns decode lazily:
+// cols[c] is nil until some scan asks for column c, so narrow scans over
+// wide tables decompress proportionally less. Entries are set-once under
+// cacheMu and immutable afterwards.
 type decodedBlock struct {
 	cols  [][]types.Datum
 	xmins []txn.XID
@@ -110,35 +113,66 @@ func (a *AOColumn) Seal() {
 	a.sealLocked()
 }
 
-// decoded returns the decoded vectors of sealed block i, caching them.
-func (a *AOColumn) decoded(i int) (*decodedBlock, error) {
-	a.cacheMu.Lock()
-	if db, ok := a.cache[i]; ok {
-		a.cacheMu.Unlock()
-		return db, nil
-	}
-	a.cacheMu.Unlock()
+// decoded returns the decoded vectors of sealed block i for the requested
+// columns (nil = all), decompressing only the columns not yet cached. The
+// xmin vector is always decoded. Decompression runs outside the cache lock;
+// concurrent scans may duplicate work but each vector is published once.
+func (a *AOColumn) decoded(i int, cols []int) (*decodedBlock, error) {
 	a.mu.RLock()
 	blk := a.sealed[i]
 	a.mu.RUnlock()
-	db := &decodedBlock{cols: make([][]types.Datum, a.ncols)}
-	for c := 0; c < a.ncols; c++ {
+	need := cols
+	if need == nil {
+		need = make([]int, a.ncols)
+		for c := range need {
+			need[c] = c
+		}
+	}
+	a.cacheMu.Lock()
+	db, ok := a.cache[i]
+	if !ok {
+		db = &decodedBlock{cols: make([][]types.Datum, a.ncols)}
+		a.cache[i] = db
+	}
+	var missing []int
+	for _, c := range need {
+		if c >= 0 && c < a.ncols && db.cols[c] == nil {
+			missing = append(missing, c)
+		}
+	}
+	needXmins := db.xmins == nil
+	a.cacheMu.Unlock()
+	if len(missing) == 0 && !needXmins {
+		return db, nil
+	}
+	dec := make(map[int][]types.Datum, len(missing))
+	for _, c := range missing {
 		vals, err := decompressBlock(blk.codecs[c], blk.cols[c], blk.n)
 		if err != nil {
 			return nil, err
 		}
-		db.cols[c] = vals
+		dec[c] = vals
 	}
-	xd, err := rleDeltaDecode(blk.xminsEnc)
-	if err != nil {
-		return nil, err
-	}
-	db.xmins = make([]txn.XID, len(xd))
-	for j, d := range xd {
-		db.xmins[j] = txn.XID(d.Int())
+	var xm []txn.XID
+	if needXmins {
+		xd, err := rleDeltaDecode(blk.xminsEnc)
+		if err != nil {
+			return nil, err
+		}
+		xm = make([]txn.XID, len(xd))
+		for j, d := range xd {
+			xm[j] = txn.XID(d.Int())
+		}
 	}
 	a.cacheMu.Lock()
-	a.cache[i] = db
+	for c, vals := range dec {
+		if db.cols[c] == nil {
+			db.cols[c] = vals
+		}
+	}
+	if db.xmins == nil && xm != nil {
+		db.xmins = xm
+	}
 	a.cacheMu.Unlock()
 	return db, nil
 }
@@ -167,7 +201,7 @@ func (a *AOColumn) ForEachProjected(cols []int, fn func(hdr Header, row types.Ro
 	tid := TupleID(0)
 	row := make(types.Row, a.ncols)
 	for b := 0; b < nSealed; b++ {
-		db, err := a.decoded(b)
+		db, err := a.decoded(b, cols)
 		if err != nil {
 			return
 		}
@@ -246,7 +280,7 @@ func (a *AOColumn) Fetch(tid TupleID) (Header, types.Row, bool) {
 	row := make(types.Row, a.ncols)
 	var xmin txn.XID
 	if blockIdx >= 0 {
-		db, err := a.decoded(blockIdx)
+		db, err := a.decoded(blockIdx, nil)
 		if err != nil {
 			return Header{}, nil, false
 		}

@@ -1,0 +1,243 @@
+package storage
+
+import "repro/internal/types"
+
+// BatchScanner is the batch-at-a-time scan interface of the storage layer.
+// Engines that implement it deliver rows in bounded batches so the executor
+// pays one call (and the column store one block decode) per batch instead of
+// one per row.
+type BatchScanner interface {
+	// ForEachBatch visits every tuple version in tuple-id order, at most
+	// batchSize rows at a time. When cols is non-nil only those column
+	// offsets are populated in the emitted rows (others are NULL) — the
+	// column store decodes proportionally less. hdrs[i] describes rows[i].
+	//
+	// Ownership: the rows themselves may be retained by the callee (they are
+	// freshly built, or stable stored rows that are never mutated in place);
+	// the hdrs and rows container slices are only valid during the call.
+	// Iteration stops when fn returns false.
+	ForEachBatch(cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool)
+}
+
+// ScanBatches drives e's batch scan path when the engine implements
+// BatchScanner, and otherwise adapts the row-at-a-time ForEach by cloning
+// each row into a bounded batch (clone because ForEach's rows are only valid
+// during the callback).
+func ScanBatches(e Engine, cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+	if batchSize < 1 {
+		batchSize = types.DefaultBatchSize
+	}
+	if bs, ok := e.(BatchScanner); ok {
+		bs.ForEachBatch(cols, batchSize, fn)
+		return
+	}
+	hdrs := make([]Header, 0, batchSize)
+	rows := make([]types.Row, 0, batchSize)
+	stopped := false
+	e.ForEach(func(h Header, row types.Row) bool {
+		hdrs = append(hdrs, h)
+		rows = append(rows, row.Clone())
+		if len(rows) == batchSize {
+			if !fn(hdrs, rows) {
+				stopped = true
+				return false
+			}
+			hdrs = hdrs[:0]
+			rows = rows[:0]
+		}
+		return true
+	})
+	if !stopped && len(rows) > 0 {
+		fn(hdrs, rows)
+	}
+}
+
+// ForEachBatch implements BatchScanner for the heap engine. Stored rows are
+// never mutated in place (UPDATE appends a new version), so batches hand out
+// the stored row headers without cloning and take the table lock once per
+// batch instead of once per row.
+func (h *Heap) ForEachBatch(cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+	h.mu.RLock()
+	n := len(h.tups)
+	h.mu.RUnlock()
+	hdrs := make([]Header, 0, batchSize)
+	rows := make([]types.Row, 0, batchSize)
+	for start := 0; start < n; start += batchSize {
+		end := min(start+batchSize, n)
+		h.mu.RLock()
+		for i := start; i < end; i++ {
+			t := h.tups[i]
+			if t.row == nil {
+				continue // vacuumed tombstone
+			}
+			hdrs = append(hdrs, Header{TID: TupleID(i + 1), Xmin: t.xmin, Xmax: t.xmax, UpdatedTo: t.updatedTo})
+			rows = append(rows, t.row)
+		}
+		h.mu.RUnlock()
+		if len(rows) > 0 && !fn(hdrs, rows) {
+			return
+		}
+		hdrs = hdrs[:0]
+		rows = rows[:0]
+	}
+}
+
+// ForEachBatch implements BatchScanner for the AO-row engine: one lock
+// acquisition per batch, stored rows handed out without cloning.
+func (a *AORow) ForEachBatch(cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+	a.mu.RLock()
+	count := a.count
+	a.mu.RUnlock()
+	hdrs := make([]Header, 0, batchSize)
+	rows := make([]types.Row, 0, batchSize)
+	for start := 0; start < count; start += batchSize {
+		end := min(start+batchSize, count)
+		a.mu.RLock()
+		for i := start; i < end; i++ {
+			tid := TupleID(i + 1)
+			r, ok := a.fetchLocked(tid)
+			if !ok {
+				break
+			}
+			hdrs = append(hdrs, Header{TID: tid, Xmin: r.xmin, Xmax: a.visimap[tid], UpdatedTo: a.updated[tid]})
+			rows = append(rows, r.row)
+		}
+		a.mu.RUnlock()
+		if len(rows) > 0 && !fn(hdrs, rows) {
+			return
+		}
+		hdrs = hdrs[:0]
+		rows = rows[:0]
+	}
+}
+
+// ForEachBatch implements BatchScanner for the AO-column engine. This is the
+// column store's fast path: each sealed block is decoded once (and cached),
+// and every emitted row is built directly from the decoded vectors — one
+// allocation per row instead of the copy-into-shared-buffer-then-clone the
+// row-at-a-time path pays. Non-requested columns are NULL when cols is set.
+func (a *AOColumn) ForEachBatch(cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+	a.mu.RLock()
+	nSealed := len(a.sealed)
+	a.mu.RUnlock()
+	hdrs := make([]Header, 0, batchSize)
+	rows := make([]types.Row, 0, batchSize)
+	tid := TupleID(0)
+	flush := func() bool {
+		if len(rows) == 0 {
+			return true
+		}
+		ok := fn(hdrs, rows)
+		hdrs = hdrs[:0]
+		rows = rows[:0]
+		return ok
+	}
+	buildRow := func(get func(c int) types.Datum) types.Row {
+		row := make(types.Row, a.ncols)
+		if cols == nil {
+			for c := range row {
+				row[c] = get(c)
+			}
+			return row
+		}
+		for c := range row {
+			row[c] = types.Null
+		}
+		for _, c := range cols {
+			if c >= 0 && c < a.ncols {
+				row[c] = get(c)
+			}
+		}
+		return row
+	}
+	for b := 0; b < nSealed; b++ {
+		db, err := a.decoded(b, cols)
+		if err != nil {
+			return
+		}
+		n := len(db.xmins)
+		for r := 0; r < n; {
+			chunk := min(batchSize-len(rows), n-r)
+			// Arena allocation: one slab per chunk instead of one Row per
+			// tuple, filled column-at-a-time from the decoded vectors.
+			slab := make([]types.Datum, chunk*a.ncols)
+			if cols != nil {
+				for i := range slab {
+					slab[i] = types.Null
+				}
+				for _, c := range cols {
+					if c < 0 || c >= a.ncols {
+						continue
+					}
+					vec := db.cols[c]
+					for k := 0; k < chunk; k++ {
+						slab[k*a.ncols+c] = vec[r+k]
+					}
+				}
+			} else {
+				for c := 0; c < a.ncols; c++ {
+					vec := db.cols[c]
+					for k := 0; k < chunk; k++ {
+						slab[k*a.ncols+c] = vec[r+k]
+					}
+				}
+			}
+			a.mu.RLock()
+			if len(a.visimap) == 0 && len(a.updated) == 0 {
+				// No deleted/updated tuples: skip the per-row map lookups.
+				for k := 0; k < chunk; k++ {
+					tid++
+					hdrs = append(hdrs, Header{TID: tid, Xmin: db.xmins[r+k]})
+					rows = append(rows, types.Row(slab[k*a.ncols:(k+1)*a.ncols:(k+1)*a.ncols]))
+				}
+			} else {
+				for k := 0; k < chunk; k++ {
+					tid++
+					hdrs = append(hdrs, Header{TID: tid, Xmin: db.xmins[r+k], Xmax: a.visimap[tid], UpdatedTo: a.updated[tid]})
+					rows = append(rows, types.Row(slab[k*a.ncols:(k+1)*a.ncols:(k+1)*a.ncols]))
+				}
+			}
+			a.mu.RUnlock()
+			r += chunk
+			if len(rows) == batchSize && !flush() {
+				return
+			}
+		}
+	}
+	// Tail (unsealed) rows.
+	for {
+		a.mu.RLock()
+		tailLen := len(a.tailX)
+		base := int(tid) - a.tailOffsetLocked()
+		if base < 0 || base >= tailLen {
+			// base < 0 means a concurrent Seal moved our position into a
+			// sealed block; stop rather than re-read (matches the bail-out
+			// behaviour of the row-at-a-time path under concurrent seals).
+			a.mu.RUnlock()
+			break
+		}
+		chunk := min(batchSize-len(rows), tailLen-base)
+		for k := 0; k < chunk; k++ {
+			i := base + k
+			tid++
+			row := buildRow(func(c int) types.Datum { return a.tail[c][i] })
+			hdrs = append(hdrs, Header{TID: tid, Xmin: a.tailX[i], Xmax: a.visimap[tid], UpdatedTo: a.updated[tid]})
+			rows = append(rows, row)
+		}
+		a.mu.RUnlock()
+		if len(rows) == batchSize && !flush() {
+			return
+		}
+	}
+	flush()
+}
+
+// tailOffsetLocked returns the number of rows in sealed blocks (the tuple-id
+// offset of the first tail row). Callers hold a.mu.
+func (a *AOColumn) tailOffsetLocked() int {
+	n := 0
+	for i := range a.sealed {
+		n += a.sealed[i].n
+	}
+	return n
+}

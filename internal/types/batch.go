@@ -1,0 +1,70 @@
+package types
+
+// DefaultBatchSize is the shared batch size of the vectorized executor: the
+// number of rows moved per operator call and per interconnect send when no
+// explicit size is configured (cluster.Config.ExecBatchSize or
+// cluster.QueryResources.BatchSize).
+const DefaultBatchSize = 256
+
+// RowBatch is the unit of batch-at-a-time execution: an ordered slice of
+// rows whose backing array is reused across Reset calls, so a producer that
+// fills, hands out, and resets one batch per operator call allocates the
+// container once.
+//
+// Ownership convention used throughout the executor: the *container*
+// (b.Rows) belongs to the producer and is invalidated by the producer's next
+// batch, while the Row values inside are never overwritten in place —
+// consumers that retain rows past one call may keep the Row headers but must
+// copy the slice (CloneRows) if they need the container itself.
+type RowBatch struct {
+	Rows []Row
+}
+
+// NewRowBatch returns an empty batch with the given row capacity.
+func NewRowBatch(capacity int) *RowBatch {
+	if capacity < 1 {
+		capacity = DefaultBatchSize
+	}
+	return &RowBatch{Rows: make([]Row, 0, capacity)}
+}
+
+// Len returns the number of rows in the batch.
+func (b *RowBatch) Len() int { return len(b.Rows) }
+
+// Append adds a row to the batch.
+func (b *RowBatch) Append(r Row) { b.Rows = append(b.Rows, r) }
+
+// Reset truncates the batch, keeping the backing array for reuse.
+func (b *RowBatch) Reset() { b.Rows = b.Rows[:0] }
+
+// Cap returns the row capacity of the backing array.
+func (b *RowBatch) Cap() int { return cap(b.Rows) }
+
+// Size returns the accounted in-memory footprint of the batched rows.
+func (b *RowBatch) Size() int64 {
+	var n int64
+	for _, r := range b.Rows {
+		n += r.Size()
+	}
+	return n
+}
+
+// CloneRows returns a batch with a fresh container holding the same Row
+// values. Use it to hand a batch across an ownership boundary (e.g. an
+// interconnect send) while the producer keeps reusing its container.
+func (b *RowBatch) CloneRows() *RowBatch {
+	out := &RowBatch{Rows: make([]Row, len(b.Rows))}
+	copy(out.Rows, b.Rows)
+	return out
+}
+
+// DeepClone returns a batch whose rows are themselves cloned. Used where
+// the same rows fan out to multiple destinations that each take ownership
+// (broadcast motions).
+func (b *RowBatch) DeepClone() *RowBatch {
+	out := &RowBatch{Rows: make([]Row, len(b.Rows))}
+	for i, r := range b.Rows {
+		out.Rows[i] = r.Clone()
+	}
+	return out
+}

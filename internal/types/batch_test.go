@@ -1,0 +1,60 @@
+package types
+
+import "testing"
+
+func TestRowBatchReuseKeepsCapacity(t *testing.T) {
+	b := NewRowBatch(8)
+	if b.Cap() != 8 || b.Len() != 0 {
+		t.Fatalf("fresh batch: cap=%d len=%d", b.Cap(), b.Len())
+	}
+	for i := 0; i < 8; i++ {
+		b.Append(Row{NewInt(int64(i))})
+	}
+	if b.Len() != 8 {
+		t.Fatalf("len after fill: %d", b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("len after reset: %d", b.Len())
+	}
+	if b.Cap() != 8 {
+		t.Fatalf("reset lost capacity: %d", b.Cap())
+	}
+	// Refill must not allocate a new backing array.
+	first := &b.Rows[:1][0]
+	b.Append(Row{NewInt(99)})
+	if &b.Rows[0] != first {
+		t.Fatal("reset+append reallocated the backing array")
+	}
+}
+
+func TestRowBatchCloneRowsIsIndependent(t *testing.T) {
+	b := NewRowBatch(4)
+	b.Append(Row{NewInt(1)})
+	b.Append(Row{NewInt(2)})
+	c := b.CloneRows()
+	b.Reset()
+	b.Append(Row{NewInt(77)})
+	if c.Len() != 2 || c.Rows[0][0].Int() != 1 || c.Rows[1][0].Int() != 2 {
+		t.Fatalf("clone corrupted by producer reuse: %v", c.Rows)
+	}
+}
+
+func TestRowBatchSizeAndDeepClone(t *testing.T) {
+	b := NewRowBatch(2)
+	b.Append(Row{NewInt(1), NewText("abc")})
+	if b.Size() != b.Rows[0].Size() {
+		t.Fatalf("size mismatch: %d vs %d", b.Size(), b.Rows[0].Size())
+	}
+	d := b.DeepClone()
+	if d.Len() != 1 || !d.Rows[0].Equal(b.Rows[0]) {
+		t.Fatalf("deep clone rows: %v", d.Rows)
+	}
+}
+
+func TestNewRowBatchDefaultsCapacity(t *testing.T) {
+	b := NewRowBatch(0)
+	if b.Cap() != DefaultBatchSize {
+		t.Fatalf("zero capacity should default to %d, got %d", DefaultBatchSize, b.Cap())
+	}
+}
