@@ -378,6 +378,41 @@ func (s *benchBatchStore) ScanTableBatches(ctx context.Context, _ catalog.TableI
 	return iterErr
 }
 
+// SplitTableRanges implements exec.ParallelStoreAccess over the bare engine.
+func (s *benchBatchStore) SplitTableRanges(_ catalog.TableID, parts int) ([]exec.ScanRange, bool) {
+	sp, ok := s.eng.(storage.BlockSplitter)
+	if !ok {
+		return nil, false
+	}
+	ranges := sp.SplitBlocks(parts)
+	out := make([]exec.ScanRange, len(ranges))
+	for i, r := range ranges {
+		out[i] = exec.ScanRange{Begin: r.Begin, End: r.End}
+	}
+	return out, true
+}
+
+// ScanTableRangeBatches implements exec.ParallelStoreAccess.
+func (s *benchBatchStore) ScanTableRangeBatches(ctx context.Context, _ catalog.TableID, rng exec.ScanRange, cols []int, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
+	sp := s.eng.(storage.BlockSplitter)
+	var iterErr error
+	sp.ForEachBatchRange(storage.BlockRange{Begin: rng.Begin, End: rng.End}, cols, batchSize, func(hdrs []storage.Header, rows []types.Row) bool {
+		select {
+		case <-ctx.Done():
+			iterErr = ctx.Err()
+			return false
+		default:
+		}
+		cont, err := fn(&types.RowBatch{Rows: append([]types.Row(nil), rows...)})
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		return cont
+	})
+	return iterErr
+}
+
 // BenchmarkExecBatchVsRowScanAgg isolates the executor: an analytical
 // scan+filter+aggregate over an AO-column table, run through the
 // row-at-a-time shim (materializing scan, per-row operator calls) and the
@@ -490,6 +525,73 @@ func BenchmarkSQLBatchVsRowExec(b *testing.B) {
 			}
 			b.ReportMetric(float64(nRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
 		})
+	}
+}
+
+// BenchmarkParallelScanAgg measures intra-segment parallel batch execution:
+// the same scan+filter+aggregate pipeline at parallelism 1 vs 4, each with a
+// cold decoded-block cache (every iteration pays decompression) and a warm
+// one (blocks served from the segment-level LRU). The ISSUE's acceptance
+// criterion — ≥1.5× rows/sec at parallelism 4 vs 1 on a warm cache — applies
+// on multi-core runners; a single-core runner only shows the cache effect.
+func BenchmarkParallelScanAgg(b *testing.B) {
+	const nRows = 200_000 // ~49 sealed blocks
+	eng := storage.NewAOColumn(3, storage.CompressionRLEDelta)
+	for i := 0; i < nRows; i++ {
+		eng.Insert(1, types.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % 512)),
+			types.NewInt(int64(i % 7)),
+		})
+	}
+	eng.Seal()
+	sch := types.NewSchema(
+		types.Column{Name: "a", Kind: types.KindInt},
+		types.Column{Name: "g", Kind: types.KindInt},
+		types.Column{Name: "w", Kind: types.KindInt},
+	)
+	tab := &catalog.Table{ID: 1, Name: "f", Schema: sch, PartitionCol: -1}
+	mkPlan := func() plan.Node {
+		scan := plan.NewScan(tab, []catalog.TableID{1}, &plan.BinOp{
+			Op: "<", Left: &plan.ColRef{Idx: 2}, Right: &plan.Const{Val: types.NewInt(5)}})
+		return plan.NewAgg(scan,
+			[]plan.Expr{&plan.ColRef{Idx: 1}},
+			[]plan.AggSpec{
+				{Func: plan.AggCount, Name: "cnt"},
+				{Func: plan.AggSum, Arg: &plan.ColRef{Idx: 0}, Name: "s"},
+			}, plan.AggPlain)
+	}
+	store := &benchBatchStore{benchRowStore{eng: eng}}
+	run := func(b *testing.B, dop int) {
+		ctx := &exec.Context{Ctx: context.Background(), Store: store, NumSegments: 1, SegID: 0, Parallel: dop}
+		rows, err := exec.DrainBatches(exec.BuildBatchParallel(ctx, mkPlan()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 512 {
+			b.Fatalf("groups: %d", len(rows))
+		}
+	}
+	for _, dop := range []int{1, 4} {
+		for _, mode := range []string{"cold", "warm"} {
+			b.Run(fmt.Sprintf("dop=%d/%s", dop, mode), func(b *testing.B) {
+				cache := storage.NewBlockCache(1 << 30)
+				eng.SetBlockCache(cache)
+				if mode == "warm" {
+					run(b, dop) // populate the cache outside the timer
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "cold" {
+						b.StopTimer()
+						eng.SetBlockCache(storage.NewBlockCache(1 << 30))
+						b.StartTimer()
+					}
+					run(b, dop)
+				}
+				b.ReportMetric(float64(nRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+			})
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/gdd"
 	"repro/internal/lockmgr"
 	"repro/internal/resgroup"
+	"repro/internal/storage"
 )
 
 // Cluster is one running database: a coordinator (distributed transaction
@@ -44,6 +45,10 @@ type Cluster struct {
 
 	// coordWAL is the coordinator's commit-record log (group commit).
 	coordWAL simWAL
+
+	// cacheReserved is what the segments' block caches took from the
+	// resource-group global vmem pool at boot; returned on Close.
+	cacheReserved int64
 
 	// Metrics.
 	commits1PC  atomic.Int64
@@ -81,6 +86,13 @@ func New(cfg *Config) *Cluster {
 	for i := 0; i < cfg.NumSegments; i++ {
 		seg := newSegment(i, cfg)
 		seg.distInProgress = c.coord.IsInProgress
+		// The decoded-block cache capacity comes out of the same global vmem
+		// budget queries allocate from; a segment whose share the pool cannot
+		// cover runs without a shared cache.
+		if cfg.BlockCacheBytes > 0 && c.groups.Global().Reserve(cfg.BlockCacheBytes) {
+			seg.blockCache = storage.NewBlockCache(cfg.BlockCacheBytes)
+			c.cacheReserved += cfg.BlockCacheBytes
+		}
 		c.segments = append(c.segments, seg)
 	}
 	for _, def := range c.catalog.ResourceGroups() {
@@ -95,13 +107,16 @@ func New(cfg *Config) *Cluster {
 	return c
 }
 
-// Close stops background daemons.
+// Close stops background daemons and returns the block caches' vmem.
 func (c *Cluster) Close() {
 	if c.closed.Swap(true) {
 		return
 	}
 	if c.daemon != nil {
 		c.daemon.Stop()
+	}
+	if c.cacheReserved > 0 {
+		c.groups.Global().Release(c.cacheReserved)
 	}
 }
 

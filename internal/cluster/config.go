@@ -54,9 +54,22 @@ type Config struct {
 	// execution and interconnect framing (0 = types.DefaultBatchSize).
 	// Per-statement override: QueryResources.BatchSize.
 	ExecBatchSize int
+	// ExecParallelism is the degree of intra-segment parallelism: slices the
+	// planner marks parallel-safe (scan/filter/project chains with at most
+	// one non-DISTINCT aggregate) run as that many worker pipelines over
+	// disjoint block ranges per segment. <= 1 = serial. Per-statement
+	// override: QueryResources.Parallelism; session override: SET
+	// exec_parallelism.
+	ExecParallelism int
 	// RowAtATime forces the legacy row-at-a-time executor and per-row
 	// motion sends — the compatibility shim, kept for ablation benchmarks.
 	RowAtATime bool
+
+	// BlockCacheBytes is the capacity of each segment's LRU cache of decoded
+	// AO-column blocks, charged against the resource-group global vmem pool
+	// at boot. 0 = default (16 MiB); negative = no shared cache (each table
+	// keeps a private unbounded decode cache).
+	BlockCacheBytes int64
 
 	// CacheRows models the single-host buffer cache for the Fig. 13
 	// experiment: when a segment stores more than CacheRows rows, point
@@ -113,6 +126,12 @@ func (c *Config) withDefaults() *Config {
 	}
 	if out.ExecBatchSize <= 0 {
 		out.ExecBatchSize = types.DefaultBatchSize
+	}
+	if out.ExecParallelism < 1 {
+		out.ExecParallelism = 1
+	}
+	if out.BlockCacheBytes == 0 {
+		out.BlockCacheBytes = 16 << 20
 	}
 	if out.GDDPeriod <= 0 {
 		out.GDDPeriod = 20 * time.Millisecond

@@ -25,6 +25,10 @@ type QueryResources struct {
 	// BatchSize overrides the executor's rows-per-batch for this statement
 	// (<=0 = Config.ExecBatchSize).
 	BatchSize int
+	// Parallelism overrides the degree of intra-segment parallelism for this
+	// statement's parallel-safe slices (<=0 = the plan's annotation, which
+	// the planner derived from Config.ExecParallelism).
+	Parallelism int
 }
 
 // collectMotions gathers every motion in the plan (post-order).
@@ -132,6 +136,19 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 		return ec
 	}
 
+	// Effective intra-segment parallelism: the plan's annotation (derived
+	// from Config.ExecParallelism at plan time), overridable per statement.
+	// Only slices the planner marked parallel-safe (Parallel > 0) may split.
+	dopFor := func(m *plan.Motion) int {
+		if m.Parallel <= 0 {
+			return 1
+		}
+		if res != nil && res.Parallelism > 0 {
+			return res.Parallelism
+		}
+		return m.Parallel
+	}
+
 	var wg sync.WaitGroup
 	for _, m := range motions {
 		m := m
@@ -142,6 +159,7 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 				defer wg.Done()
 				defer fabric.DoneSending(m.SliceID)
 				ec := mkCtx(seg)
+				ec.Parallel = dopFor(m)
 				var err error
 				if c.cfg.RowAtATime {
 					err = runRowSlice(qctx, ec, m, fabric, nseg)
@@ -176,11 +194,12 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 }
 
 // runBatchSlice executes one (motion, location) sender in batch mode: it
-// pulls batches from the vectorized iterator tree and pays one interconnect
-// send per (destination) batch. Redistribute motions fan rows out per
-// destination at row granularity, preserving hash routing exactly.
+// pulls batches from the vectorized iterator tree (split into parallel
+// worker pipelines when the slice allows it) and pays one interconnect send
+// per (destination) batch. Redistribute motions fan rows out per destination
+// at row granularity, preserving hash routing exactly.
 func runBatchSlice(ctx context.Context, ec *exec.Context, m *plan.Motion, fabric *interconnect.Fabric, nseg int) error {
-	it := exec.BuildBatch(ec, m.Child)
+	it := exec.BuildBatchParallel(ec, m.Child)
 	defer it.Close()
 	for {
 		b, err := it.NextBatch()

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/dtm"
+	"repro/internal/exec"
 	"repro/internal/lockmgr"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -43,6 +44,10 @@ type Segment struct {
 	// depth): cache misses contend for it, so a working set larger than the
 	// buffer cache throttles throughput rather than just adding latency.
 	diskSem chan struct{}
+
+	// blockCache is the segment's shared LRU cache of decoded AO-column
+	// blocks (nil = disabled; each table then keeps a private cache).
+	blockCache *storage.BlockCache
 
 	// distInProgress asks the coordinator whether a distributed transaction
 	// is still running its commit protocol. Writers must not build on a
@@ -100,16 +105,30 @@ func (s *Segment) Locks() *lockmgr.Manager { return s.locks }
 // Mapping exposes the xid mapping (tests).
 func (s *Segment) Mapping() *dtm.XidMapping { return s.mapping }
 
-// newEngine instantiates the right storage engine for a leaf.
-func newEngine(kind catalog.Storage, ncols int) storage.Engine {
+// newEngine instantiates the right storage engine for a leaf, attaching the
+// segment's shared block cache to column stores.
+func (s *Segment) newEngine(kind catalog.Storage, ncols int) storage.Engine {
 	switch kind {
 	case catalog.AORow:
 		return storage.NewAORow()
 	case catalog.AOColumn:
-		return storage.NewAOColumn(ncols, storage.CompressionRLEDelta)
+		e := storage.NewAOColumn(ncols, storage.CompressionRLEDelta)
+		if s.blockCache != nil {
+			e.SetBlockCache(s.blockCache)
+		}
+		return e
 	default:
 		return storage.NewHeap()
 	}
+}
+
+// BlockCacheStats snapshots the segment's block-cache counters (zero value
+// when the cache is disabled).
+func (s *Segment) BlockCacheStats() storage.CacheStats {
+	if s.blockCache == nil {
+		return storage.CacheStats{}
+	}
+	return s.blockCache.Stats()
 }
 
 // CreateTable instantiates storage for a table and its leaf partitions.
@@ -119,20 +138,25 @@ func (s *Segment) CreateTable(t *catalog.Table) {
 	if t.IsPartitioned() {
 		for i := range t.Partitions {
 			p := &t.Partitions[i]
-			s.tables[p.ID] = &segTable{meta: t, leaf: p.ID, engine: newEngine(p.Storage, t.Schema.Len())}
+			s.tables[p.ID] = &segTable{meta: t, leaf: p.ID, engine: s.newEngine(p.Storage, t.Schema.Len())}
 		}
 		return
 	}
-	s.tables[t.ID] = &segTable{meta: t, leaf: t.ID, engine: newEngine(t.Storage, t.Schema.Len())}
+	s.tables[t.ID] = &segTable{meta: t, leaf: t.ID, engine: s.newEngine(t.Storage, t.Schema.Len())}
 }
 
-// DropTable discards storage for a table.
+// DropTable discards storage for a table, releasing any decoded blocks its
+// engines held in the segment's shared cache.
 func (s *Segment) DropTable(t *catalog.Table) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.tables, t.ID)
-	for i := range t.Partitions {
-		delete(s.tables, t.Partitions[i].ID)
+	for _, leaf := range leafIDs(t) {
+		if st, ok := s.tables[leaf]; ok {
+			if ao, isAO := st.engine.(*storage.AOColumn); isAO {
+				ao.ReleaseCachedBlocks()
+			}
+		}
+		delete(s.tables, leaf)
 	}
 }
 
@@ -479,6 +503,48 @@ func (a *storeAccess) ScanTable(ctx context.Context, leaf catalog.TableID, forUp
 // column store. Each batch handed to fn is fully owned by fn (fresh
 // container, retainable rows). FOR UPDATE scans stay on ScanTable.
 func (a *storeAccess) ScanTableBatches(ctx context.Context, leaf catalog.TableID, cols []int, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
+	return a.scanVisibleBatches(ctx, leaf, batchSize, fn, func(st *segTable, push func(hdrs []storage.Header, rows []types.Row) bool) {
+		storage.ScanBatches(st.engine, cols, batchSize, push)
+	})
+}
+
+// SplitTableRanges implements exec.ParallelStoreAccess: it asks the leaf's
+// engine to partition its row space for parallel workers. ok=false when the
+// engine cannot split.
+func (a *storeAccess) SplitTableRanges(leaf catalog.TableID, parts int) ([]exec.ScanRange, bool) {
+	st, err := a.seg.table(leaf)
+	if err != nil {
+		return nil, false
+	}
+	sp, ok := st.engine.(storage.BlockSplitter)
+	if !ok {
+		return nil, false
+	}
+	ranges := sp.SplitBlocks(parts)
+	out := make([]exec.ScanRange, len(ranges))
+	for i, r := range ranges {
+		out[i] = exec.ScanRange{Begin: r.Begin, End: r.End}
+	}
+	return out, true
+}
+
+// ScanTableRangeBatches implements exec.ParallelStoreAccess: one worker's
+// share of a parallel scan, with the same visibility filtering and batch
+// ownership rules as ScanTableBatches.
+func (a *storeAccess) ScanTableRangeBatches(ctx context.Context, leaf catalog.TableID, rng exec.ScanRange, cols []int, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
+	return a.scanVisibleBatches(ctx, leaf, batchSize, fn, func(st *segTable, push func(hdrs []storage.Header, rows []types.Row) bool) {
+		sp, ok := st.engine.(storage.BlockSplitter)
+		if !ok {
+			return // SplitTableRanges vetted the engine; nothing to scan otherwise
+		}
+		sp.ForEachBatchRange(storage.BlockRange{Begin: rng.Begin, End: rng.End}, cols, batchSize, push)
+	})
+}
+
+// scanVisibleBatches drives one storage-level batch scan (full table or block
+// range), applies MVCC visibility, and regroups survivors into batches of
+// batchSize handed to fn with full ownership.
+func (a *storeAccess) scanVisibleBatches(ctx context.Context, leaf catalog.TableID, batchSize int, fn func(*types.RowBatch) (bool, error), scan func(st *segTable, push func(hdrs []storage.Header, rows []types.Row) bool)) error {
 	st, err := a.seg.table(leaf)
 	if err != nil {
 		return err
@@ -492,7 +558,7 @@ func (a *storeAccess) ScanTableBatches(ctx context.Context, leaf catalog.TableID
 	out := types.NewRowBatch(batchSize)
 	var iterErr error
 	stopped := false
-	storage.ScanBatches(st.engine, cols, batchSize, func(hdrs []storage.Header, rows []types.Row) bool {
+	scan(st, func(hdrs []storage.Header, rows []types.Row) bool {
 		select {
 		case <-ctx.Done():
 			iterErr = ctx.Err()

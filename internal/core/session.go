@@ -242,11 +242,17 @@ func (s *Session) chargeStmtCPU(ctx context.Context) error {
 }
 
 func (s *Session) planner(params []types.Datum) *plan.Planner {
+	cfg := s.engine.cluster.Config()
+	dop := cfg.ExecParallelism
+	if v, ok := s.settings["exec_parallelism"]; ok {
+		dop = plan.ParseLimitInt(v, dop)
+	}
 	return &plan.Planner{
 		Catalog:     s.engine.cluster.Catalog(),
-		NumSegments: s.engine.cluster.Config().NumSegments,
+		NumSegments: cfg.NumSegments,
 		Optimizer:   s.optimizer,
 		Stats:       s.engine.cluster,
+		Parallelism: dop,
 		Params:      params,
 	}
 }

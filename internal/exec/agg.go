@@ -139,7 +139,7 @@ func (a *aggCore) absorb(row types.Row) error {
 	if err != nil {
 		return err
 	}
-	if a.node.Phase == plan.AggFinal {
+	if a.node.Phase == plan.AggFinal || a.node.Phase == plan.AggIntermediate {
 		return a.mergePartial(grp, row)
 	}
 	for i, spec := range a.node.Specs {
@@ -308,7 +308,7 @@ func (a *aggCore) emit(grp *group) types.Row {
 	out = append(out, grp.keys...)
 	for i, spec := range a.node.Specs {
 		st := &grp.states[i]
-		if a.node.Phase == plan.AggPartial {
+		if a.node.Phase == plan.AggPartial || a.node.Phase == plan.AggIntermediate {
 			switch spec.Func {
 			case plan.AggAvg:
 				if st.any {

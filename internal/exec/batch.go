@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 
+	"repro/internal/catalog"
 	"repro/internal/plan"
 	"repro/internal/types"
 )
@@ -116,6 +117,13 @@ func DrainBatches(it BatchIterator) ([]types.Row, error) {
 
 // ---- batch operators ----
 
+// scanUnit is one work item of a batch scan: a whole leaf, or (for parallel
+// workers) a block range of one.
+type scanUnit struct {
+	leaf catalog.TableID
+	rng  *ScanRange // nil = whole leaf
+}
+
 // batchScanIter streams bounded batches from the storage layer: a producer
 // goroutine drives the push-style batch scan while the consumer pulls over a
 // shallow channel, so a leaf is never fully materialized. The scan filter is
@@ -123,6 +131,7 @@ func DrainBatches(it BatchIterator) ([]types.Row, error) {
 type batchScanIter struct {
 	ctx     *Context
 	node    *plan.Scan
+	units   []scanUnit
 	pred    plan.Predicate
 	tick    cpuTick
 	ch      chan *types.RowBatch
@@ -132,7 +141,18 @@ type batchScanIter struct {
 }
 
 func newBatchScanIter(ctx *Context, node *plan.Scan) *batchScanIter {
-	return &batchScanIter{ctx: ctx, node: node, pred: plan.CompilePredicate(node.Filter), tick: cpuTick{ctx: ctx}}
+	units := make([]scanUnit, 0, len(node.Partitions))
+	for _, leaf := range node.Partitions {
+		units = append(units, scanUnit{leaf: leaf})
+	}
+	return newBatchScanIterUnits(ctx, node, units)
+}
+
+// newBatchScanIterUnits builds a scan over an explicit unit list (the
+// parallel builder hands each worker its share of leaves or block ranges).
+func newBatchScanIterUnits(ctx *Context, node *plan.Scan, units []scanUnit) *batchScanIter {
+	return &batchScanIter{ctx: ctx, node: node, units: units,
+		pred: plan.CompilePredicate(node.Filter), tick: cpuTick{ctx: ctx}}
 }
 
 func (s *batchScanIter) start() {
@@ -142,19 +162,25 @@ func (s *batchScanIter) start() {
 	s.ch = make(chan *types.RowBatch, scanStreamDepth)
 	s.errc = make(chan error, 1)
 	size := s.ctx.batchSize()
-	leaves := s.node.Partitions
+	units := s.units
 	cols := s.node.Project
 	go func() {
 		defer close(s.ch)
-		for _, leaf := range leaves {
-			err := store.ScanTableBatches(sctx, leaf, cols, size, func(b *types.RowBatch) (bool, error) {
-				select {
-				case s.ch <- b:
-					return true, nil
-				case <-sctx.Done():
-					return false, sctx.Err()
-				}
-			})
+		push := func(b *types.RowBatch) (bool, error) {
+			select {
+			case s.ch <- b:
+				return true, nil
+			case <-sctx.Done():
+				return false, sctx.Err()
+			}
+		}
+		for _, u := range units {
+			var err error
+			if u.rng != nil {
+				err = store.(ParallelStoreAccess).ScanTableRangeBatches(sctx, u.leaf, *u.rng, cols, size, push)
+			} else {
+				err = store.ScanTableBatches(sctx, u.leaf, cols, size, push)
+			}
 			if err != nil {
 				s.errc <- err
 				return
@@ -407,7 +433,7 @@ func newBatchAggIter(ctx *Context, node *plan.Agg, child BatchIterator) *batchAg
 		tick:  cpuTick{ctx: ctx},
 		out:   types.NewRowBatch(ctx.batchSize()),
 	}
-	if node.Phase != plan.AggFinal { // final phase merges partial layouts
+	if node.Phase != plan.AggFinal && node.Phase != plan.AggIntermediate { // those phases merge partial layouts
 		a.fast = true
 		for _, g := range node.GroupBy {
 			c, ok := plan.ColIndex(g)

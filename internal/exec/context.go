@@ -1,8 +1,10 @@
 // Package exec implements the distributed executor: batch-at-a-time
 // (vectorized) iterators for the hot plan nodes with a row-at-a-time Volcano
-// shim kept for compatibility, motion send/receive over the interconnect,
-// two-phase aggregation, hash and nested-loop joins with inner-side
-// prefetch, and memory/CPU accounting hooks for resource groups.
+// shim kept for compatibility, intra-segment parallel worker pipelines over
+// disjoint block ranges merged by a LocalGather local exchange (with
+// partial→final aggregate rewriting), motion send/receive over the
+// interconnect, two-phase aggregation, hash and nested-loop joins with
+// inner-side prefetch, and memory/CPU accounting hooks for resource groups.
 package exec
 
 import (
@@ -35,6 +37,25 @@ type StoreAccess interface {
 type BatchStoreAccess interface {
 	StoreAccess
 	ScanTableBatches(ctx context.Context, leaf catalog.TableID, cols []int, batchSize int, fn func(b *types.RowBatch) (cont bool, err error)) error
+}
+
+// ScanRange is a half-open range [Begin, End) of row offsets within one leaf
+// table — the executor-side mirror of storage.BlockRange. Parallel workers
+// scan disjoint ranges of the same leaf.
+type ScanRange struct {
+	Begin, End int
+}
+
+// ParallelStoreAccess extends the batch scan path with block-range splitting
+// for intra-segment parallelism: SplitTableRanges plans disjoint ranges of a
+// leaf (aligned to the engine's decode units) and ScanTableRangeBatches scans
+// one of them with ScanTableBatches semantics. SplitTableRanges returns
+// ok=false when the leaf's engine cannot split (no BlockSplitter), in which
+// case the slice must run serially.
+type ParallelStoreAccess interface {
+	BatchStoreAccess
+	SplitTableRanges(leaf catalog.TableID, parts int) ([]ScanRange, bool)
+	ScanTableRangeBatches(ctx context.Context, leaf catalog.TableID, rng ScanRange, cols []int, batchSize int, fn func(b *types.RowBatch) (cont bool, err error)) error
 }
 
 // MemAccount abstracts resource-group memory accounting (resgroup.Slot).
@@ -80,7 +101,11 @@ type Context struct {
 	BatchSize int
 	// RowMode forces the legacy row-at-a-time operators even where the
 	// store supports batch scans (Config.RowAtATime ablation shim).
-	RowMode     bool
+	RowMode bool
+	// Parallel is the slice's degree of intra-segment parallelism: when > 1
+	// (and the slice shape and storage engine allow it) BuildBatchParallel
+	// runs that many worker pipelines over disjoint block ranges.
+	Parallel    int
 	NumSegments int
 	SegID       int // -1 = coordinator
 }

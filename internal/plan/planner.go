@@ -54,6 +54,9 @@ type Planner struct {
 	NumSegments int
 	Optimizer   Optimizer
 	Stats       Stats
+	// Parallelism is the degree of intra-segment parallelism to annotate on
+	// parallel-safe slices (cluster.Config.ExecParallelism; <= 1 = serial).
+	Parallelism int
 	// Params are the values bound to $N placeholders.
 	Params []types.Datum
 }
@@ -235,6 +238,7 @@ func (p *Planner) PlanSelect(s *sql.SelectStmt) (*Planned, error) {
 	res := &Planned{Root: pn.node, DirectSegment: -1, ForUpdate: s.Lock == sql.LockForUpdate}
 	p.attachSelectLocks(res, s)
 	res.Slices = CutSlices(res.Root)
+	MarkParallelSlices(res.Root, p.Parallelism)
 	return res, nil
 }
 
@@ -1204,6 +1208,7 @@ func (p *Planner) PlanInsert(st *sql.InsertStmt) (*Planned, error) {
 		ip.Select = sel.Root
 		res.Root = ip
 		res.Slices = CutSlices(ip.Select)
+		MarkParallelSlices(ip.Select, p.Parallelism)
 		return res, nil
 	}
 	bnd := &binder{scope: &scope{}, params: p.Params}

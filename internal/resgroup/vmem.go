@@ -68,6 +68,15 @@ func (g *GlobalVmem) Free() int64 {
 	return g.free
 }
 
+// Reserve takes n bytes out of the global pool for a long-lived consumer
+// outside any group — e.g. the segments' decoded-block caches, whose capacity
+// must come out of the same budget queries allocate from. It returns false
+// (reserving nothing) when the pool cannot cover the request.
+func (g *GlobalVmem) Reserve(n int64) bool { return g.tryTake(n) }
+
+// Release returns bytes taken with Reserve.
+func (g *GlobalVmem) Release(n int64) { g.give(n) }
+
 // memAccount tracks one running query's usage across the three layers.
 type memAccount struct {
 	mu         sync.Mutex

@@ -2,10 +2,14 @@ package storage
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/txn"
 	"repro/internal/types"
 )
+
+// aoColumnIDs hands out the unique engine ids that key block-cache entries.
+var aoColumnIDs atomic.Uint64
 
 // AOColumn is the append-optimized column-oriented engine: each column lives
 // in its own sequence of compressed blocks (the paper's "each column is
@@ -23,15 +27,18 @@ type AOColumn struct {
 	visimap map[TupleID]txn.XID
 	updated map[TupleID]TupleID
 
-	// decode cache: block index -> decoded columns + xmins (filled lazily).
-	cacheMu sync.Mutex
-	cache   map[int]*decodedBlock
+	// id keys this engine's entries in the block cache; cache holds the
+	// decoded vectors of sealed blocks. By default each table owns a private
+	// unbounded cache; a cluster segment replaces it with its shared bounded
+	// one via SetBlockCache.
+	id    uint64
+	cache *BlockCache
 }
 
 // decodedBlock is a cache entry of decoded vectors. Columns decode lazily:
 // cols[c] is nil until some scan asks for column c, so narrow scans over
-// wide tables decompress proportionally less. Entries are set-once under
-// cacheMu and immutable afterwards.
+// wide tables decompress proportionally less. Slots are set-once under the
+// block cache's lock and immutable afterwards.
 type decodedBlock struct {
 	cols  [][]types.Datum
 	xmins []txn.XID
@@ -50,7 +57,8 @@ type aoColBlock struct {
 // aoColBlockRows is the seal threshold per block.
 const aoColBlockRows = 4096
 
-// NewAOColumn returns an empty AO-column table with ncols columns.
+// NewAOColumn returns an empty AO-column table with ncols columns and a
+// private unbounded decode cache.
 func NewAOColumn(ncols int, codec Compression) *AOColumn {
 	return &AOColumn{
 		ncols:   ncols,
@@ -58,8 +66,33 @@ func NewAOColumn(ncols int, codec Compression) *AOColumn {
 		tail:    make([][]types.Datum, ncols),
 		visimap: make(map[TupleID]txn.XID),
 		updated: make(map[TupleID]TupleID),
-		cache:   make(map[int]*decodedBlock),
+		id:      aoColumnIDs.Add(1),
+		cache:   NewBlockCache(0),
 	}
+}
+
+// SetBlockCache attaches a (typically segment-shared, byte-bounded) decode
+// cache, replacing the table's private one. Call before the first scan.
+func (a *AOColumn) SetBlockCache(c *BlockCache) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if c != nil {
+		a.cache = c
+	}
+}
+
+// BlockCacheID returns the engine's block-cache key (diagnostics/tests).
+func (a *AOColumn) BlockCacheID() uint64 { return a.id }
+
+// ReleaseCachedBlocks drops this table's decoded blocks from the attached
+// cache. Call when the engine is discarded (DROP TABLE) so a shared bounded
+// cache doesn't keep paying for unreachable entries until LRU pressure
+// happens to evict them.
+func (a *AOColumn) ReleaseCachedBlocks() {
+	a.mu.RLock()
+	cache := a.cache
+	a.mu.RUnlock()
+	cache.InvalidateEngine(a.id)
 }
 
 // Kind implements Engine.
@@ -114,12 +147,14 @@ func (a *AOColumn) Seal() {
 }
 
 // decoded returns the decoded vectors of sealed block i for the requested
-// columns (nil = all), decompressing only the columns not yet cached. The
-// xmin vector is always decoded. Decompression runs outside the cache lock;
-// concurrent scans may duplicate work but each vector is published once.
+// columns (nil = all), decompressing only the columns the block cache does
+// not already hold. The xmin vector is always decoded. Decompression runs
+// outside the cache lock; concurrent scans may duplicate work but each
+// vector is published once.
 func (a *AOColumn) decoded(i int, cols []int) (*decodedBlock, error) {
 	a.mu.RLock()
 	blk := a.sealed[i]
+	cache := a.cache
 	a.mu.RUnlock()
 	need := cols
 	if need == nil {
@@ -128,20 +163,7 @@ func (a *AOColumn) decoded(i int, cols []int) (*decodedBlock, error) {
 			need[c] = c
 		}
 	}
-	a.cacheMu.Lock()
-	db, ok := a.cache[i]
-	if !ok {
-		db = &decodedBlock{cols: make([][]types.Datum, a.ncols)}
-		a.cache[i] = db
-	}
-	var missing []int
-	for _, c := range need {
-		if c >= 0 && c < a.ncols && db.cols[c] == nil {
-			missing = append(missing, c)
-		}
-	}
-	needXmins := db.xmins == nil
-	a.cacheMu.Unlock()
+	db, missing, needXmins := cache.plan(blockKey{engine: a.id, block: i}, need, a.ncols)
 	if len(missing) == 0 && !needXmins {
 		return db, nil
 	}
@@ -164,16 +186,7 @@ func (a *AOColumn) decoded(i int, cols []int) (*decodedBlock, error) {
 			xm[j] = txn.XID(d.Int())
 		}
 	}
-	a.cacheMu.Lock()
-	for c, vals := range dec {
-		if db.cols[c] == nil {
-			db.cols[c] = vals
-		}
-	}
-	if db.xmins == nil && xm != nil {
-		db.xmins = xm
-	}
-	a.cacheMu.Unlock()
+	cache.publish(blockKey{engine: a.id, block: i}, db, dec, xm)
 	return db, nil
 }
 
@@ -338,7 +351,8 @@ func (a *AOColumn) LinkUpdate(old, new TupleID) {
 	a.updated[old] = new
 }
 
-// Truncate implements Engine.
+// Truncate implements Engine. The write invalidates this table's decoded
+// blocks in the cache — block indexes restart from zero with new contents.
 func (a *AOColumn) Truncate() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -348,9 +362,7 @@ func (a *AOColumn) Truncate() {
 	a.count = 0
 	a.visimap = make(map[TupleID]txn.XID)
 	a.updated = make(map[TupleID]TupleID)
-	a.cacheMu.Lock()
-	a.cache = make(map[int]*decodedBlock)
-	a.cacheMu.Unlock()
+	a.cache.InvalidateEngine(a.id)
 }
 
 // RowCount implements Engine.

@@ -89,10 +89,8 @@ func TestAOColumnLazyColumnDecode(t *testing.T) {
 		a.Insert(1, types.Row{types.NewInt(int64(i)), types.NewInt(int64(i * 2)), types.NewText("pad")})
 	}
 	a.ForEachBatch([]int{1}, 256, func([]Header, []types.Row) bool { return true })
-	a.cacheMu.Lock()
-	db := a.cache[0]
-	a.cacheMu.Unlock()
-	if db == nil {
+	db, ok := a.cache.peek(blockKey{engine: a.id, block: 0})
+	if !ok || db == nil {
 		t.Fatal("block not cached")
 	}
 	if db.cols[1] == nil {

@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// loadAOColumn builds a sealed AO-column table of nRows rows and 2 columns.
+func loadAOColumn(nRows int) *AOColumn {
+	a := NewAOColumn(2, CompressionRLEDelta)
+	for i := 0; i < nRows; i++ {
+		a.Insert(1, types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 100))})
+	}
+	a.Seal()
+	return a
+}
+
+func fullScan(a *AOColumn) int {
+	n := 0
+	a.ForEachBatch(nil, 256, func(hdrs []Header, rows []types.Row) bool {
+		n += len(rows)
+		return true
+	})
+	return n
+}
+
+func TestBlockCacheHitMiss(t *testing.T) {
+	a := loadAOColumn(2 * aoColBlockRows) // two sealed blocks
+	c := NewBlockCache(1 << 30)
+	a.SetBlockCache(c)
+	if n := fullScan(a); n != 2*aoColBlockRows {
+		t.Fatalf("first scan rows: %d", n)
+	}
+	st := c.Stats()
+	if st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("cold scan: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+	if st.Entries != 2 || st.UsedBytes <= 0 {
+		t.Fatalf("cold scan: entries=%d used=%d", st.Entries, st.UsedBytes)
+	}
+	if n := fullScan(a); n != 2*aoColBlockRows {
+		t.Fatalf("second scan rows: %d", n)
+	}
+	st = c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("warm scan: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+}
+
+// TestBlockCachePartialColumnMiss: asking for a column the cache doesn't hold
+// yet counts as a miss and grows the entry in place.
+func TestBlockCachePartialColumnMiss(t *testing.T) {
+	a := loadAOColumn(aoColBlockRows)
+	c := NewBlockCache(1 << 30)
+	a.SetBlockCache(c)
+	a.ForEachBatch([]int{0}, 256, func([]Header, []types.Row) bool { return true })
+	used1 := c.Stats().UsedBytes
+	a.ForEachBatch([]int{0}, 256, func([]Header, []types.Row) bool { return true })
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("narrow re-scan should hit: %+v", st)
+	}
+	a.ForEachBatch([]int{1}, 256, func([]Header, []types.Row) bool { return true })
+	st := c.Stats()
+	if st.Misses != 2 { // initial decode + the new column
+		t.Fatalf("wider scan should miss: %+v", st)
+	}
+	if st.Entries != 1 || st.UsedBytes <= used1 {
+		t.Fatalf("entry should grow in place: %+v (was %d bytes)", st, used1)
+	}
+}
+
+func TestBlockCacheEviction(t *testing.T) {
+	a := loadAOColumn(4 * aoColBlockRows) // four sealed blocks
+	// Size the cache to roughly one decoded block so a sweep must evict.
+	oneBlock := int64(aoColBlockRows) * 2 * 9 // 2 int columns ≈ 9 bytes/datum
+	c := NewBlockCache(oneBlock)
+	a.SetBlockCache(c)
+	if n := fullScan(a); n != 4*aoColBlockRows {
+		t.Fatalf("scan rows: %d", n)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("bounded cache never evicted: %+v", st)
+	}
+	if st.UsedBytes > oneBlock {
+		t.Fatalf("cache over capacity: used=%d cap=%d", st.UsedBytes, oneBlock)
+	}
+	// Results stay correct when every block has to be re-decoded.
+	if n := fullScan(a); n != 4*aoColBlockRows {
+		t.Fatalf("post-eviction scan rows: %d", n)
+	}
+}
+
+func TestBlockCacheInvalidateOnTruncate(t *testing.T) {
+	a := loadAOColumn(aoColBlockRows)
+	c := NewBlockCache(1 << 30)
+	a.SetBlockCache(c)
+	fullScan(a)
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("expected one cached block: %+v", st)
+	}
+	a.Truncate()
+	if st := c.Stats(); st.Entries != 0 || st.UsedBytes != 0 {
+		t.Fatalf("truncate left stale entries: %+v", st)
+	}
+	// Refill with different data; the scan must see the new contents, not a
+	// stale decode.
+	for i := 0; i < aoColBlockRows; i++ {
+		a.Insert(2, types.Row{types.NewInt(int64(1000000 + i)), types.NewInt(0)})
+	}
+	a.Seal()
+	var first int64 = -1
+	a.ForEachBatch(nil, 256, func(hdrs []Header, rows []types.Row) bool {
+		first = rows[0][0].Int()
+		return false
+	})
+	if first != 1000000 {
+		t.Fatalf("scan after truncate read stale block: first=%d", first)
+	}
+}
+
+// TestBlockCacheReleaseOnDrop: a dropped engine's entries must not linger in
+// a shared bounded cache.
+func TestBlockCacheReleaseOnDrop(t *testing.T) {
+	c := NewBlockCache(1 << 30)
+	a := loadAOColumn(aoColBlockRows)
+	b := loadAOColumn(aoColBlockRows)
+	a.SetBlockCache(c)
+	b.SetBlockCache(c)
+	fullScan(a)
+	fullScan(b)
+	used := c.Stats().UsedBytes
+	a.ReleaseCachedBlocks()
+	st := c.Stats()
+	if st.Entries != 1 || st.UsedBytes >= used {
+		t.Fatalf("drop did not release the engine's blocks: %+v (was %d bytes)", st, used)
+	}
+	if _, ok := c.peek(blockKey{engine: b.id, block: 0}); !ok {
+		t.Fatal("release of one engine evicted another's blocks")
+	}
+}
+
+// TestBlockCacheSharedAcrossTables: a segment-level cache keyed by engine id
+// keeps tables' blocks apart, and invalidation is per table.
+func TestBlockCacheSharedAcrossTables(t *testing.T) {
+	c := NewBlockCache(1 << 30)
+	a := loadAOColumn(aoColBlockRows)
+	b := loadAOColumn(aoColBlockRows)
+	a.SetBlockCache(c)
+	b.SetBlockCache(c)
+	fullScan(a)
+	fullScan(b)
+	if st := c.Stats(); st.Entries != 2 {
+		t.Fatalf("expected one entry per table: %+v", st)
+	}
+	a.Truncate()
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("truncate of one table must keep the other's blocks: %+v", st)
+	}
+	if _, ok := c.peek(blockKey{engine: b.id, block: 0}); !ok {
+		t.Fatal("other table's block was invalidated")
+	}
+}

@@ -4,6 +4,12 @@
 // single scan/insert/update/delete interface, plus a hash index for OLTP
 // point lookups.
 //
+// For analytical scans the engines additionally implement BatchScanner
+// (block-at-a-time batch delivery) and BlockSplitter (disjoint row ranges
+// for intra-segment parallel workers, aligned to the column store's sealed
+// blocks), and decoded AO-column blocks are served from a byte-bounded LRU
+// BlockCache shared per segment.
+//
 // Storage is deliberately "dumb": it stores tuple versions stamped with
 // local transaction ids and answers low-level version operations. Waiting,
 // locking and visibility policy live in the executor and txn layers.

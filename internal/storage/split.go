@@ -1,0 +1,302 @@
+package storage
+
+import (
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// BlockRange is a half-open range [Begin, End) of row offsets within one
+// table (offset = TupleID - 1). Ranges produced by SplitBlocks are disjoint,
+// cover the table's rows at the time of the call, and — for the column store
+// — are aligned to sealed-block boundaries so parallel workers never decode
+// the same block.
+type BlockRange struct {
+	Begin, End int
+}
+
+// Rows returns the number of row offsets the range covers.
+func (r BlockRange) Rows() int { return r.End - r.Begin }
+
+// BlockSplitter is implemented by engines that can partition their row space
+// for intra-segment parallel scans: SplitBlocks plans at most n disjoint
+// ranges and ForEachBatchRange runs the batch scan protocol of BatchScanner
+// over one of them.
+type BlockSplitter interface {
+	BatchScanner
+	// SplitBlocks partitions the current rows into at most n disjoint,
+	// covering, ascending ranges. Fewer than n ranges are returned when the
+	// table has fewer natural split points (e.g. fewer sealed blocks than
+	// workers); an empty table yields nil.
+	SplitBlocks(n int) []BlockRange
+	// ForEachBatchRange is ForEachBatch restricted to r: it visits the tuple
+	// versions whose offsets fall in [r.Begin, r.End) in tuple-id order, at
+	// most batchSize rows per callback, with the same ownership rules as
+	// ForEachBatch. Rows appended concurrently with the scan may be skipped
+	// (the range was planned against a snapshot of the table).
+	ForEachBatchRange(r BlockRange, cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool)
+}
+
+// splitEven divides [0, count) into at most n near-equal ranges (no natural
+// block boundaries — the heap and AO-row engines address rows directly).
+func splitEven(count, n int) []BlockRange {
+	if count <= 0 || n < 1 {
+		return nil
+	}
+	if n > count {
+		n = count
+	}
+	out := make([]BlockRange, 0, n)
+	for i := 0; i < n; i++ {
+		begin := count * i / n
+		end := count * (i + 1) / n
+		if end > begin {
+			out = append(out, BlockRange{Begin: begin, End: end})
+		}
+	}
+	return out
+}
+
+// SplitBlocks implements BlockSplitter for the heap engine.
+func (h *Heap) SplitBlocks(n int) []BlockRange {
+	h.mu.RLock()
+	count := len(h.tups)
+	h.mu.RUnlock()
+	return splitEven(count, n)
+}
+
+// ForEachBatchRange implements BlockSplitter for the heap engine.
+func (h *Heap) ForEachBatchRange(r BlockRange, cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+	h.mu.RLock()
+	n := len(h.tups)
+	h.mu.RUnlock()
+	begin, end := clampRange(r, n)
+	hdrs := make([]Header, 0, batchSize)
+	rows := make([]types.Row, 0, batchSize)
+	for start := begin; start < end; start += batchSize {
+		stop := min(start+batchSize, end)
+		h.mu.RLock()
+		for i := start; i < stop; i++ {
+			t := h.tups[i]
+			if t.row == nil {
+				continue // vacuumed tombstone
+			}
+			hdrs = append(hdrs, Header{TID: TupleID(i + 1), Xmin: t.xmin, Xmax: t.xmax, UpdatedTo: t.updatedTo})
+			rows = append(rows, t.row)
+		}
+		h.mu.RUnlock()
+		if len(rows) > 0 && !fn(hdrs, rows) {
+			return
+		}
+		hdrs = hdrs[:0]
+		rows = rows[:0]
+	}
+}
+
+// SplitBlocks implements BlockSplitter for the AO-row engine.
+func (a *AORow) SplitBlocks(n int) []BlockRange {
+	a.mu.RLock()
+	count := a.count
+	a.mu.RUnlock()
+	return splitEven(count, n)
+}
+
+// ForEachBatchRange implements BlockSplitter for the AO-row engine.
+func (a *AORow) ForEachBatchRange(r BlockRange, cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+	a.mu.RLock()
+	count := a.count
+	a.mu.RUnlock()
+	begin, end := clampRange(r, count)
+	hdrs := make([]Header, 0, batchSize)
+	rows := make([]types.Row, 0, batchSize)
+	for start := begin; start < end; start += batchSize {
+		stop := min(start+batchSize, end)
+		a.mu.RLock()
+		for i := start; i < stop; i++ {
+			tid := TupleID(i + 1)
+			rw, ok := a.fetchLocked(tid)
+			if !ok {
+				break
+			}
+			hdrs = append(hdrs, Header{TID: tid, Xmin: rw.xmin, Xmax: a.visimap[tid], UpdatedTo: a.updated[tid]})
+			rows = append(rows, rw.row)
+		}
+		a.mu.RUnlock()
+		if len(rows) > 0 && !fn(hdrs, rows) {
+			return
+		}
+		hdrs = hdrs[:0]
+		rows = rows[:0]
+	}
+}
+
+// SplitBlocks implements BlockSplitter for the AO-column engine: ranges are
+// aligned to sealed-block boundaries (the decode unit), balancing rows per
+// range; the unsealed tail rides with the last range. A table with fewer
+// sealed blocks than requested workers yields fewer ranges.
+func (a *AOColumn) SplitBlocks(n int) []BlockRange {
+	a.mu.RLock()
+	units := make([]int, 0, len(a.sealed)+1)
+	for i := range a.sealed {
+		units = append(units, a.sealed[i].n)
+	}
+	if len(a.tailX) > 0 {
+		units = append(units, len(a.tailX))
+	}
+	count := a.count
+	a.mu.RUnlock()
+	if count <= 0 || n < 1 {
+		return nil
+	}
+	if n == 1 || len(units) == 1 {
+		return []BlockRange{{Begin: 0, End: count}}
+	}
+	// Greedy bin close: a range closes once it reaches the ideal share, so at
+	// most n ranges are produced while respecting unit boundaries.
+	ideal := (count + n - 1) / n
+	out := make([]BlockRange, 0, n)
+	begin, acc := 0, 0
+	off := 0
+	for _, u := range units {
+		off += u
+		acc += u
+		if acc >= ideal && len(out) < n-1 {
+			out = append(out, BlockRange{Begin: begin, End: off})
+			begin, acc = off, 0
+		}
+	}
+	if begin < count {
+		out = append(out, BlockRange{Begin: begin, End: count})
+	}
+	return out
+}
+
+// ForEachBatchRange implements BlockSplitter for the AO-column engine. Like
+// ForEachBatch it decodes each sealed block once via the block cache and
+// builds rows directly from the decoded vectors; unlike the full scan it
+// covers a static snapshot of the range (tail rows appended after SplitBlocks
+// planned the ranges are not chased).
+func (a *AOColumn) ForEachBatchRange(r BlockRange, cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+	a.mu.RLock()
+	nSealed := len(a.sealed)
+	blockRows := make([]int, nSealed)
+	for i := range a.sealed {
+		blockRows[i] = a.sealed[i].n
+	}
+	count := a.count
+	a.mu.RUnlock()
+	begin, end := clampRange(r, count)
+	if begin >= end {
+		return
+	}
+	hdrs := make([]Header, 0, batchSize)
+	rows := make([]types.Row, 0, batchSize)
+	flush := func() bool {
+		if len(rows) == 0 {
+			return true
+		}
+		ok := fn(hdrs, rows)
+		hdrs = hdrs[:0]
+		rows = rows[:0]
+		return ok
+	}
+	emit := func(get func(row, col int) types.Datum, xmin func(row int) txn.XID, off, lo, hi int) bool {
+		for rr := lo; rr < hi; {
+			chunk := min(batchSize-len(rows), hi-rr)
+			slab := make([]types.Datum, chunk*a.ncols)
+			if cols != nil {
+				for i := range slab {
+					slab[i] = types.Null
+				}
+				for _, c := range cols {
+					if c < 0 || c >= a.ncols {
+						continue
+					}
+					for k := 0; k < chunk; k++ {
+						slab[k*a.ncols+c] = get(rr+k, c)
+					}
+				}
+			} else {
+				for c := 0; c < a.ncols; c++ {
+					for k := 0; k < chunk; k++ {
+						slab[k*a.ncols+c] = get(rr+k, c)
+					}
+				}
+			}
+			a.mu.RLock()
+			noDead := len(a.visimap) == 0 && len(a.updated) == 0
+			for k := 0; k < chunk; k++ {
+				tid := TupleID(off + rr + k + 1)
+				h := Header{TID: tid, Xmin: xmin(rr + k)}
+				if !noDead {
+					h.Xmax = a.visimap[tid]
+					h.UpdatedTo = a.updated[tid]
+				}
+				hdrs = append(hdrs, h)
+				rows = append(rows, types.Row(slab[k*a.ncols:(k+1)*a.ncols:(k+1)*a.ncols]))
+			}
+			a.mu.RUnlock()
+			rr += chunk
+			if len(rows) == batchSize && !flush() {
+				return false
+			}
+		}
+		return true
+	}
+	off := 0
+	for b := 0; b < nSealed && off < end; b++ {
+		bn := blockRows[b]
+		if off+bn <= begin {
+			off += bn
+			continue
+		}
+		db, err := a.decoded(b, cols)
+		if err != nil {
+			return
+		}
+		lo := max(0, begin-off)
+		hi := min(bn, end-off)
+		if !emit(func(row, col int) types.Datum { return db.cols[col][row] },
+			func(row int) txn.XID { return db.xmins[row] }, off, lo, hi) {
+			return
+		}
+		off += bn
+	}
+	// Tail (unsealed) portion of the range. The tail's backing arrays are
+	// reused by a concurrent Seal, so rows are copied out under the table
+	// lock; if a seal moved the tail offset since the range was planned, the
+	// scan bails (matching ForEachBatch's behaviour under concurrent seals).
+	if off < end {
+		lo := max(0, begin-off)
+		a.mu.RLock()
+		if a.tailOffsetLocked() != off {
+			a.mu.RUnlock()
+			flush()
+			return
+		}
+		hi := min(end-off, len(a.tailX))
+		var tcols [][]types.Datum
+		var txm []txn.XID
+		if lo < hi {
+			tcols = make([][]types.Datum, a.ncols)
+			for c := range tcols {
+				tcols[c] = append([]types.Datum(nil), a.tail[c][lo:hi]...)
+			}
+			txm = append([]txn.XID(nil), a.tailX[lo:hi]...)
+		}
+		a.mu.RUnlock()
+		if lo < hi {
+			if !emit(func(row, col int) types.Datum { return tcols[col][row-lo] },
+				func(row int) txn.XID { return txm[row-lo] }, off, lo, hi) {
+				return
+			}
+		}
+	}
+	flush()
+}
+
+// clampRange bounds r to [0, count).
+func clampRange(r BlockRange, count int) (begin, end int) {
+	begin = max(0, r.Begin)
+	end = min(r.End, count)
+	return begin, end
+}

@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// checkCover verifies ranges are ascending, disjoint, and cover [0, count).
+func checkCover(t *testing.T, ranges []BlockRange, count, maxParts int) {
+	t.Helper()
+	if count == 0 {
+		if len(ranges) != 0 {
+			t.Fatalf("empty table produced ranges: %v", ranges)
+		}
+		return
+	}
+	if len(ranges) == 0 || len(ranges) > maxParts {
+		t.Fatalf("range count %d (max %d)", len(ranges), maxParts)
+	}
+	pos := 0
+	for i, r := range ranges {
+		if r.Begin != pos || r.End <= r.Begin {
+			t.Fatalf("range %d = %+v; want Begin=%d, non-empty", i, r, pos)
+		}
+		pos = r.End
+	}
+	if pos != count {
+		t.Fatalf("ranges cover [0,%d), table has %d rows", pos, count)
+	}
+}
+
+func TestSplitBlocksEngines(t *testing.T) {
+	engines := map[string]func(n int) BlockSplitter{
+		"heap": func(n int) BlockSplitter {
+			h := NewHeap()
+			for i := 0; i < n; i++ {
+				h.Insert(1, types.Row{types.NewInt(int64(i))})
+			}
+			return h
+		},
+		"aorow": func(n int) BlockSplitter {
+			a := NewAORow()
+			for i := 0; i < n; i++ {
+				a.Insert(1, types.Row{types.NewInt(int64(i))})
+			}
+			return a
+		},
+		"aocolumn": func(n int) BlockSplitter {
+			a := NewAOColumn(1, CompressionRLEDelta)
+			for i := 0; i < n; i++ {
+				a.Insert(1, types.Row{types.NewInt(int64(i))})
+			}
+			return a // unsealed tail left in place on purpose
+		},
+	}
+	for name, mk := range engines {
+		for _, rows := range []int{0, 1, 5, 4096, 10000} {
+			for _, parts := range []int{1, 3, 8, 64} {
+				e := mk(rows)
+				checkCover(t, e.SplitBlocks(parts), rows, parts)
+			}
+		}
+		// parallelism far beyond row count must not produce empty ranges.
+		e := mk(2)
+		if got := e.SplitBlocks(16); len(got) > 2 {
+			t.Fatalf("%s: %d ranges for 2 rows", name, len(got))
+		}
+	}
+}
+
+// TestSplitBlocksAOColumnAlignment: AO-column ranges respect sealed-block
+// boundaries so workers never share a decode unit.
+func TestSplitBlocksAOColumnAlignment(t *testing.T) {
+	a := NewAOColumn(1, CompressionRLEDelta)
+	for i := 0; i < 3*aoColBlockRows+100; i++ { // 3 sealed blocks + tail
+		a.Insert(1, types.Row{types.NewInt(int64(i))})
+	}
+	ranges := a.SplitBlocks(2)
+	checkCover(t, ranges, 3*aoColBlockRows+100, 2)
+	for _, r := range ranges {
+		if r.Begin%aoColBlockRows != 0 {
+			t.Fatalf("range %+v not aligned to block boundary", r)
+		}
+	}
+	// More workers than natural split units: one range per unit at most.
+	ranges = a.SplitBlocks(100)
+	checkCover(t, ranges, 3*aoColBlockRows+100, 4) // 3 blocks + tail
+}
+
+// TestForEachBatchRangeMatchesFullScan: concatenating the per-range scans
+// reproduces the full batch scan exactly, headers included.
+func TestForEachBatchRangeMatchesFullScan(t *testing.T) {
+	engines := map[string]BlockSplitter{}
+	{
+		h := NewHeap()
+		a := NewAORow()
+		c := NewAOColumn(2, CompressionRLEDelta)
+		for i := 0; i < 9000; i++ {
+			row := types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 13))}
+			h.Insert(1, row)
+			a.Insert(1, row)
+			c.Insert(1, row)
+		}
+		// Mark a few versions deleted so headers carry xmax.
+		for _, tid := range []TupleID{5, 4097, 8999} {
+			_ = h.SetXmax(tid, 7)
+			_ = a.SetXmax(tid, 7)
+			_ = c.SetXmax(tid, 7)
+		}
+		engines["heap"], engines["aorow"], engines["aocolumn"] = h, a, c
+	}
+	for name, e := range engines {
+		var fullH []Header
+		var fullR []types.Row
+		e.ForEachBatch(nil, 256, func(hdrs []Header, rows []types.Row) bool {
+			fullH = append(fullH, hdrs...)
+			for _, r := range rows {
+				fullR = append(fullR, r.Clone())
+			}
+			return true
+		})
+		var gotH []Header
+		var gotR []types.Row
+		for _, rng := range e.SplitBlocks(4) {
+			e.ForEachBatchRange(rng, nil, 256, func(hdrs []Header, rows []types.Row) bool {
+				gotH = append(gotH, hdrs...)
+				for _, r := range rows {
+					gotR = append(gotR, r.Clone())
+				}
+				return true
+			})
+		}
+		if len(gotH) != len(fullH) {
+			t.Fatalf("%s: rows %d vs %d", name, len(gotH), len(fullH))
+		}
+		for i := range fullH {
+			if gotH[i] != fullH[i] {
+				t.Fatalf("%s: header %d differs: %+v vs %+v", name, i, gotH[i], fullH[i])
+			}
+			if !gotR[i].Equal(fullR[i]) {
+				t.Fatalf("%s: row %d differs: %v vs %v", name, i, gotR[i], fullR[i])
+			}
+		}
+	}
+}
+
+// TestForEachBatchRangeProjection: range scans honour column projection.
+func TestForEachBatchRangeProjection(t *testing.T) {
+	a := NewAOColumn(3, CompressionRLEDelta)
+	for i := 0; i < 5000; i++ {
+		a.Insert(1, types.Row{types.NewInt(int64(i)), types.NewInt(int64(i * 2)), types.NewText("pad")})
+	}
+	a.Seal()
+	ranges := a.SplitBlocks(2)
+	seen := 0
+	for _, rng := range ranges {
+		a.ForEachBatchRange(rng, []int{1}, 256, func(hdrs []Header, rows []types.Row) bool {
+			for k, r := range rows {
+				i := int(hdrs[k].TID) - 1
+				if !r[0].IsNull() || !r[2].IsNull() || r[1].Int() != int64(i*2) {
+					t.Fatalf("row %d: %v", i, r)
+				}
+				seen++
+			}
+			return true
+		})
+	}
+	if seen != 5000 {
+		t.Fatalf("rows: %d", seen)
+	}
+}
