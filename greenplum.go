@@ -160,6 +160,10 @@ type Stats struct {
 	DeadlockVictims int64
 	LockWaitTime    time.Duration
 	LockWaits       int64
+	// BlocksScanned/BlocksSkipped count storage blocks visited vs skipped
+	// via zone-map predicate pushdown (also surfaced by SHOW scan_stats).
+	BlocksScanned int64
+	BlocksSkipped int64
 }
 
 // Stats returns cluster counters.
@@ -167,6 +171,7 @@ func (db *DB) Stats() Stats {
 	c := db.engine.Cluster()
 	one, two, ro, ab := c.CommitStats()
 	waited, waits := c.LockWaitStats()
+	scanned, skipped := c.ScanBlockStats()
 	return Stats{
 		OnePhaseCommits: one,
 		TwoPhaseCommits: two,
@@ -175,6 +180,8 @@ func (db *DB) Stats() Stats {
 		DeadlockVictims: c.DeadlockVictims(),
 		LockWaitTime:    waited,
 		LockWaits:       waits,
+		BlocksScanned:   scanned,
+		BlocksSkipped:   skipped,
 	}
 }
 

@@ -148,6 +148,31 @@ func (c *Cluster) CommitStats() (onePhase, twoPhase, readOnly, aborts int64) {
 	return c.commits1PC.Load(), c.commits2PC.Load(), c.commitsRO.Load(), c.aborts.Load()
 }
 
+// ScanBlockStats aggregates the segments' cumulative block-scan counters:
+// blocks (or row-engine pages) visited vs skipped via zone maps since boot.
+func (c *Cluster) ScanBlockStats() (scanned, skipped int64) {
+	for _, s := range c.segments {
+		sc, sk := s.ScanBlockStats()
+		scanned += sc
+		skipped += sk
+	}
+	return scanned, skipped
+}
+
+// BlockCacheStats aggregates the segments' decoded-block cache counters.
+func (c *Cluster) BlockCacheStats() storage.CacheStats {
+	var out storage.CacheStats
+	for _, s := range c.segments {
+		st := s.BlockCacheStats()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Evictions += st.Evictions
+		out.UsedBytes += st.UsedBytes
+		out.Entries += st.Entries
+	}
+	return out
+}
+
 // LockWaitStats aggregates lock-wait accounting across the cluster (Fig. 2).
 func (c *Cluster) LockWaitStats() (waited time.Duration, waits int64) {
 	w, n, _ := c.locks.WaitStats()

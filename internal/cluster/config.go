@@ -71,6 +71,13 @@ type Config struct {
 	// keeps a private unbounded decode cache).
 	BlockCacheBytes int64
 
+	// EnableZoneMaps turns on predicate pushdown: the planner extracts
+	// sargable WHERE conjuncts onto scan nodes and the storage layer skips
+	// blocks whose zone map (per-block min/max/null-count) cannot satisfy
+	// them. On in the GPDB presets; session override: SET enable_zonemaps.
+	// Results are identical either way — only the work done differs.
+	EnableZoneMaps bool
+
 	// CacheRows models the single-host buffer cache for the Fig. 13
 	// experiment: when a segment stores more than CacheRows rows, point
 	// accesses pay DiskDelay scaled by the estimated miss ratio. Zero
@@ -98,6 +105,7 @@ func GPDB6(nseg int) *Config {
 		GDDPeriod:      20 * time.Millisecond,
 		OnePhase:       true,
 		DirectDispatch: true,
+		EnableZoneMaps: true,
 		MotionBuffer:   1024,
 		LockTimeout:    10 * time.Second,
 		Cores:          32,

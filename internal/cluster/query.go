@@ -29,6 +29,16 @@ type QueryResources struct {
 	// statement's parallel-safe slices (<=0 = the plan's annotation, which
 	// the planner derived from Config.ExecParallelism).
 	Parallelism int
+	// Scan, when non-nil, receives the statement's block-scan counters
+	// (zone-map pushdown effectiveness) after the query finishes — the
+	// EXPLAIN ANALYZE "blocks: scanned/skipped" numbers.
+	Scan *ScanCounters
+}
+
+// ScanCounters is a statement's block-granular scan accounting.
+type ScanCounters struct {
+	BlocksScanned int64
+	BlocksSkipped int64
 }
 
 // collectMotions gathers every motion in the plan (post-order).
@@ -184,6 +194,18 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 	}
 	cancel(nil)
 	wg.Wait()
+	// Fold the statement's scan counters into the per-segment cumulative
+	// totals (SHOW scan_stats) and the caller's collector (EXPLAIN ANALYZE).
+	for i, acc := range accs {
+		if acc == nil {
+			continue
+		}
+		acc.stats.AddTo(&c.segments[i].scanStats)
+		if res != nil && res.Scan != nil {
+			res.Scan.BlocksScanned += acc.stats.BlocksScanned.Load()
+			res.Scan.BlocksSkipped += acc.stats.BlocksSkipped.Load()
+		}
+	}
 	if err != nil {
 		if cause := context.Cause(qctx); cause != nil && cause != context.Canceled {
 			err = cause
@@ -217,7 +239,8 @@ func runBatchSlice(ctx context.Context, ec *exec.Context, m *plan.Motion, fabric
 			}
 		case plan.MotionRedistribute:
 			outs := make([]*types.RowBatch, nseg)
-			for _, row := range b.Rows {
+			for i, l := 0, b.Len(); i < l; i++ {
+				row := b.Live(i)
 				dest, err := exec.HashForRedistribute(m.HashExprs, row, nseg)
 				if err != nil {
 					return err

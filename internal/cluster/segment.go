@@ -49,6 +49,11 @@ type Segment struct {
 	// blocks (nil = disabled; each table then keeps a private cache).
 	blockCache *storage.BlockCache
 
+	// scanStats accumulates block-granular scan counters (zone-map skips)
+	// across every statement this segment executed; per-statement collectors
+	// fold into it when the statement's scans finish.
+	scanStats storage.ScanStats
+
 	// distInProgress asks the coordinator whether a distributed transaction
 	// is still running its commit protocol. Writers must not build on a
 	// predecessor's version until its distributed commit fully acknowledges
@@ -129,6 +134,12 @@ func (s *Segment) BlockCacheStats() storage.CacheStats {
 		return storage.CacheStats{}
 	}
 	return s.blockCache.Stats()
+}
+
+// ScanBlockStats returns the segment's cumulative (scanned, skipped) block
+// counters.
+func (s *Segment) ScanBlockStats() (scanned, skipped int64) {
+	return s.scanStats.BlocksScanned.Load(), s.scanStats.BlocksSkipped.Load()
 }
 
 // CreateTable instantiates storage for a table and its leaf partitions.
@@ -432,6 +443,10 @@ type storeAccess struct {
 	dxid  dtm.DXID
 	st    *segTxn
 	check *txn.VisibilityChecker
+	// stats collects this statement's block-scan counters; the dispatcher
+	// folds them into the segment's cumulative totals (and the statement's
+	// QueryResources) when the statement finishes.
+	stats storage.ScanStats
 }
 
 // newAccess builds the statement's view: a fresh local snapshot combined
@@ -498,13 +513,34 @@ func (a *storeAccess) ScanTable(ctx context.Context, leaf catalog.TableID, forUp
 	return iterErr
 }
 
+// scanOpts converts the executor's scan spec to the storage layer's options:
+// the planner's sargable predicate becomes a zone-map predicate and the
+// statement's stats collector rides along. Whether to push at all is decided
+// once, at plan time (Planner.Pushdown, from Config.EnableZoneMaps or the
+// session's SET enable_zonemaps) — a plan without a ScanPred skips nothing,
+// and a plan with one skips even when the cluster default is off, so the
+// session override works in both directions.
+func (a *storeAccess) scanOpts(spec exec.ScanSpec) *storage.ScanOpts {
+	opts := &storage.ScanOpts{Cols: spec.Cols, Stats: &a.stats}
+	if spec.Pred != nil {
+		zp := &storage.ZonePredicate{Conjuncts: make([]storage.PredConjunct, len(spec.Pred.Conjuncts))}
+		for i, c := range spec.Pred.Conjuncts {
+			zp.Conjuncts[i] = storage.PredConjunct{Col: c.Col, Op: c.Op, Val: c.Val, In: c.In}
+		}
+		opts.Pred = zp
+	}
+	return opts
+}
+
 // ScanTableBatches implements exec.BatchStoreAccess: visibility-filtered
 // rows are delivered in bounded batches, decoded block-at-a-time by the
-// column store. Each batch handed to fn is fully owned by fn (fresh
-// container, retainable rows). FOR UPDATE scans stay on ScanTable.
-func (a *storeAccess) ScanTableBatches(ctx context.Context, leaf catalog.TableID, cols []int, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
+// column store, skipping blocks the pushed predicate's zone maps rule out.
+// Each batch handed to fn is fully owned by fn (fresh container, retainable
+// rows). FOR UPDATE scans stay on ScanTable.
+func (a *storeAccess) ScanTableBatches(ctx context.Context, leaf catalog.TableID, spec exec.ScanSpec, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
+	opts := a.scanOpts(spec)
 	return a.scanVisibleBatches(ctx, leaf, batchSize, fn, func(st *segTable, push func(hdrs []storage.Header, rows []types.Row) bool) {
-		storage.ScanBatches(st.engine, cols, batchSize, push)
+		storage.ScanBatches(st.engine, opts, batchSize, push)
 	})
 }
 
@@ -529,15 +565,17 @@ func (a *storeAccess) SplitTableRanges(leaf catalog.TableID, parts int) ([]exec.
 }
 
 // ScanTableRangeBatches implements exec.ParallelStoreAccess: one worker's
-// share of a parallel scan, with the same visibility filtering and batch
+// share of a parallel scan, with the same visibility filtering, zone-map
+// skipping (each worker skips its own blocks independently) and batch
 // ownership rules as ScanTableBatches.
-func (a *storeAccess) ScanTableRangeBatches(ctx context.Context, leaf catalog.TableID, rng exec.ScanRange, cols []int, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
+func (a *storeAccess) ScanTableRangeBatches(ctx context.Context, leaf catalog.TableID, rng exec.ScanRange, spec exec.ScanSpec, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
+	opts := a.scanOpts(spec)
 	return a.scanVisibleBatches(ctx, leaf, batchSize, fn, func(st *segTable, push func(hdrs []storage.Header, rows []types.Row) bool) {
 		sp, ok := st.engine.(storage.BlockSplitter)
 		if !ok {
 			return // SplitTableRanges vetted the engine; nothing to scan otherwise
 		}
-		sp.ForEachBatchRange(storage.BlockRange{Begin: rng.Begin, End: rng.End}, cols, batchSize, push)
+		sp.ForEachBatchRange(storage.BlockRange{Begin: rng.Begin, End: rng.End}, opts, batchSize, push)
 	})
 }
 

@@ -253,7 +253,24 @@ func (s *Session) planner(params []types.Datum) *plan.Planner {
 		Optimizer:   s.optimizer,
 		Stats:       s.engine.cluster,
 		Parallelism: dop,
+		Pushdown:    s.settingBool("enable_zonemaps", cfg.EnableZoneMaps),
 		Params:      params,
+	}
+}
+
+// settingBool reads an on/off session setting with a config-level default.
+func (s *Session) settingBool(name string, def bool) bool {
+	v, ok := s.settings[name]
+	if !ok {
+		return def
+	}
+	switch strings.ToLower(v) {
+	case "on", "true", "1", "yes":
+		return true
+	case "off", "false", "0", "no":
+		return false
+	default:
+		return def
 	}
 }
 
@@ -267,21 +284,9 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, params []
 		if err != nil {
 			return nil, err
 		}
-		if pl.ForUpdate && !cfg.GDD {
-			// GPDB 5 locking: FOR UPDATE serializes at the coordinator.
-			pl.LockModeLevel = 7
-		}
-		if pl.LockTable != "" {
-			if err := cl.LockCoordinator(ctx, s.txn, pl.LockTable, lockModeOf(pl.LockModeLevel)); err != nil {
-				return nil, wrapLockErr(err)
-			}
-		}
-		if err := s.chargeStmtCPU(ctx); err != nil {
-			return nil, err
-		}
-		rows, schema, err := cl.RunSelect(ctx, s.txn, cl.Snapshot(), pl, s.resources())
+		rows, schema, _, err := s.runPlannedSelect(ctx, pl, nil)
 		if err != nil {
-			return nil, wrapLockErr(err)
+			return nil, err
 		}
 		return &Result{Columns: columnNames(schema), Rows: rows, Tag: "SELECT"}, nil
 
@@ -350,7 +355,7 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, params []
 		return &Result{Tag: "LOCK TABLE"}, nil
 
 	case *sql.ExplainStmt:
-		return s.execExplain(x, params)
+		return s.execExplain(ctx, x, params)
 
 	case *sql.CreateTableStmt:
 		if err := s.engine.applyCreateTable(x); err != nil {
@@ -431,13 +436,80 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, params []
 		s.settings[strings.ToLower(x.Name)] = x.Value
 		return &Result{Tag: "SET"}, nil
 
+	case *sql.ShowStmt:
+		return s.execShow(x)
+
 	default:
 		return nil, fmt.Errorf("core: unsupported statement %T", st)
 	}
 }
 
-func (s *Session) execExplain(x *sql.ExplainStmt, params []types.Datum) (*Result, error) {
+// execShow answers SHOW statements: the virtual scan_stats counter set
+// (zone-map block skipping plus the decoded-block cache), or the value of a
+// plain session setting.
+func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
+	name := strings.ToLower(x.Name)
+	if name == "scan_stats" {
+		cl := s.engine.cluster
+		scanned, skipped := cl.ScanBlockStats()
+		cache := cl.BlockCacheStats()
+		res := &Result{Columns: []string{"stat", "value"}, Tag: "SHOW"}
+		add := func(k string, v int64) {
+			res.Rows = append(res.Rows, types.Row{types.NewText(k), types.NewInt(v)})
+		}
+		add("blocks_scanned", scanned)
+		add("blocks_skipped", skipped)
+		add("cache_hits", cache.Hits)
+		add("cache_misses", cache.Misses)
+		add("cache_evictions", cache.Evictions)
+		add("cache_used_bytes", cache.UsedBytes)
+		add("cache_entries", int64(cache.Entries))
+		return res, nil
+	}
+	v, ok := s.settings[name]
+	if !ok {
+		// Surface the config-backed defaults for the knobs sessions can set.
+		cfg := s.engine.cluster.Config()
+		switch name {
+		case "enable_zonemaps":
+			v = onOff(cfg.EnableZoneMaps)
+		case "exec_parallelism":
+			v = fmt.Sprintf("%d", cfg.ExecParallelism)
+		case "optimizer":
+			v = s.optimizer.String()
+		default:
+			return nil, fmt.Errorf("core: unrecognized configuration parameter %q", x.Name)
+		}
+	}
+	return &Result{
+		Columns: []string{name},
+		Rows:    []types.Row{{types.NewText(v)}},
+		Tag:     "SHOW",
+	}, nil
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+func (s *Session) execExplain(ctx context.Context, x *sql.ExplainStmt, params []types.Datum) (*Result, error) {
 	p := s.planner(params)
+	if x.Analyze {
+		t, ok := x.Target.(*sql.SelectStmt)
+		if !ok {
+			// Executing DML as a side effect of EXPLAIN is surprising;
+			// refuse loudly rather than silently showing the bare plan.
+			return nil, fmt.Errorf("core: EXPLAIN ANALYZE supports only SELECT (got %T)", x.Target)
+		}
+		pl, err := p.PlanSelect(t)
+		if err != nil {
+			return nil, err
+		}
+		return s.explainAnalyzeSelect(ctx, pl)
+	}
 	var root plan.Node
 	switch t := x.Target.(type) {
 	case *sql.SelectStmt:
@@ -473,6 +545,63 @@ func (s *Session) execExplain(x *sql.ExplainStmt, params []types.Datum) (*Result
 		res.Rows = append(res.Rows, types.Row{types.NewText(line)})
 	}
 	return res, nil
+}
+
+// runPlannedSelect executes a planned SELECT: the coordinator lock (with the
+// GPDB 5 FOR UPDATE serialization upgrade), the per-statement CPU charge,
+// and the cluster dispatch. Both the plain SELECT path and EXPLAIN ANALYZE
+// go through here so the measured execution is exactly the real one. When
+// scan is non-nil it receives the statement's block counters.
+func (s *Session) runPlannedSelect(ctx context.Context, pl *plan.Planned, scan *cluster.ScanCounters) ([]types.Row, *types.Schema, time.Duration, error) {
+	cl := s.engine.cluster
+	if pl.ForUpdate && !cl.Config().GDD {
+		// GPDB 5 locking: FOR UPDATE serializes at the coordinator.
+		pl.LockModeLevel = 7
+	}
+	if pl.LockTable != "" {
+		if err := cl.LockCoordinator(ctx, s.txn, pl.LockTable, lockModeOf(pl.LockModeLevel)); err != nil {
+			return nil, nil, 0, wrapLockErr(err)
+		}
+	}
+	if err := s.chargeStmtCPU(ctx); err != nil {
+		return nil, nil, 0, err
+	}
+	res := s.resources()
+	if scan != nil {
+		if res == nil {
+			res = &cluster.QueryResources{}
+		}
+		res.Scan = scan
+	}
+	start := time.Now()
+	rows, schema, err := cl.RunSelect(ctx, s.txn, cl.Snapshot(), pl, res)
+	if err != nil {
+		return nil, nil, 0, wrapLockErr(err)
+	}
+	return rows, schema, time.Since(start), nil
+}
+
+// explainAnalyzeSelect runs the planned SELECT for real and appends runtime
+// counters — rows returned, elapsed time, and the zone-map pushdown's
+// blocks scanned/skipped — to the plan text. Only SELECT is supported under
+// ANALYZE; execExplain rejects DML targets.
+func (s *Session) explainAnalyzeSelect(ctx context.Context, pl *plan.Planned) (*Result, error) {
+	var scan cluster.ScanCounters
+	rows, _, elapsed, err := s.runPlannedSelect(ctx, pl, &scan)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Columns: []string{"QUERY PLAN"}, Tag: "EXPLAIN"}
+	for _, line := range strings.Split(strings.TrimRight(plan.Explain(pl.Root), "\n"), "\n") {
+		out.Rows = append(out.Rows, types.Row{types.NewText(line)})
+	}
+	out.Rows = append(out.Rows,
+		types.Row{types.NewText(fmt.Sprintf("blocks: scanned=%d skipped=%d",
+			scan.BlocksScanned, scan.BlocksSkipped))},
+		types.Row{types.NewText(fmt.Sprintf("rows: %d", len(rows)))},
+		types.Row{types.NewText(fmt.Sprintf("execution time: %.3f ms", float64(elapsed.Microseconds())/1000))},
+	)
+	return out, nil
 }
 
 func columnNames(s *types.Schema) []string {

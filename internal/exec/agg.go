@@ -158,14 +158,15 @@ func (a *aggCore) absorb(row types.Row) error {
 	return nil
 }
 
-// absorbFast folds a whole batch of rows whose group keys and aggregate
-// arguments are all bare column references: direct row reads, no expression
-// tree walks. Used by the vectorized aggregate (never for the final phase,
-// which merges partial layouts).
-func (a *aggCore) absorbFast(rows []types.Row, groupIdx, specCols []int) error {
+// absorbFast folds a whole batch whose group keys and aggregate arguments
+// are all bare column references: direct row reads, no expression tree
+// walks, honouring the batch's selection vector. Used by the vectorized
+// aggregate (never for the final phase, which merges partial layouts).
+func (a *aggCore) absorbFast(b *types.RowBatch, groupIdx, specCols []int) error {
 	keys := a.scratch
 	specs := a.node.Specs
-	for _, row := range rows {
+	for ri, l := 0, b.Len(); ri < l; ri++ {
+		row := b.Live(ri)
 		for i, c := range groupIdx {
 			keys[i] = row[c]
 		}

@@ -91,7 +91,7 @@ func (r *rowsFromBatch) Next() (types.Row, error) {
 		}
 		r.cur, r.pos = b, 0
 	}
-	row := r.cur.Rows[r.pos]
+	row := r.cur.Live(r.pos)
 	r.pos++
 	return row, nil
 }
@@ -111,7 +111,9 @@ func DrainBatches(it BatchIterator) ([]types.Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, b.Rows...)
+		for i, l := 0, b.Len(); i < l; i++ {
+			out = append(out, b.Live(i))
+		}
 	}
 }
 
@@ -163,7 +165,7 @@ func (s *batchScanIter) start() {
 	s.errc = make(chan error, 1)
 	size := s.ctx.batchSize()
 	units := s.units
-	cols := s.node.Project
+	spec := ScanSpec{Cols: s.node.Project, Pred: s.node.ScanPred}
 	go func() {
 		defer close(s.ch)
 		push := func(b *types.RowBatch) (bool, error) {
@@ -177,9 +179,9 @@ func (s *batchScanIter) start() {
 		for _, u := range units {
 			var err error
 			if u.rng != nil {
-				err = store.(ParallelStoreAccess).ScanTableRangeBatches(sctx, u.leaf, *u.rng, cols, size, push)
+				err = store.(ParallelStoreAccess).ScanTableRangeBatches(sctx, u.leaf, *u.rng, spec, size, push)
 			} else {
-				err = store.ScanTableBatches(sctx, u.leaf, cols, size, push)
+				err = store.ScanTableBatches(sctx, u.leaf, spec, size, push)
 			}
 			if err != nil {
 				s.errc <- err
@@ -208,7 +210,7 @@ func (s *batchScanIter) NextBatch() (*types.RowBatch, error) {
 			return nil, err
 		}
 		if s.node.Filter != nil {
-			if err := compactBatch(b, s.pred); err != nil {
+			if err := selectBatch(b, s.pred); err != nil {
 				return nil, err
 			}
 		}
@@ -228,8 +230,10 @@ func (s *batchScanIter) Close() {
 	}
 }
 
-// batchFilterIter drops rows failing the (compiled) predicate, compacting
-// each child batch in place.
+// batchFilterIter drops rows failing the (compiled) predicate by narrowing
+// each child batch's selection vector — survivors are marked, not copied;
+// densification is deferred to the next ownership boundary (a motion send or
+// an explicit clone).
 type batchFilterIter struct {
 	child BatchIterator
 	pred  plan.Predicate
@@ -245,7 +249,7 @@ func (f *batchFilterIter) NextBatch() (*types.RowBatch, error) {
 		if err := f.tick.tickRows(b.Len()); err != nil {
 			return nil, err
 		}
-		if err := compactBatch(b, f.pred); err != nil {
+		if err := selectBatch(b, f.pred); err != nil {
 			return nil, err
 		}
 		if b.Len() > 0 {
@@ -256,20 +260,54 @@ func (f *batchFilterIter) NextBatch() (*types.RowBatch, error) {
 
 func (f *batchFilterIter) Close() { f.child.Close() }
 
-// compactBatch drops rows failing pred, compacting the batch in place (the
-// caller owns the container until its next NextBatch call).
-func compactBatch(b *types.RowBatch, pred plan.Predicate) error {
-	kept := b.Rows[:0]
-	for _, row := range b.Rows {
-		ok, err := pred(row)
+// selectBatch narrows b's selection to the rows passing pred. A batch that
+// already carries a selection is narrowed in place (the kept prefix of the
+// existing vector is rewritten, which is safe because selections ascend); a
+// dense batch gets a vector of its own, so the batch's ownership status is
+// unchanged — whoever owned the container now also owns the selection.
+func selectBatch(b *types.RowBatch, pred plan.Predicate) error {
+	if b.Sel == nil {
+		n := len(b.Rows)
+		first := 0
+		for ; first < n; first++ {
+			ok, err := pred(b.Rows[first])
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+		}
+		if first == n {
+			return nil // every row passes: the batch stays dense
+		}
+		sel := make([]int, first, n-1)
+		for j := 0; j < first; j++ {
+			sel[j] = j
+		}
+		for i := first + 1; i < n; i++ {
+			ok, err := pred(b.Rows[i])
+			if err != nil {
+				return err
+			}
+			if ok {
+				sel = append(sel, i)
+			}
+		}
+		b.Sel = sel
+		return nil
+	}
+	sel := b.Sel[:0]
+	for _, i := range b.Sel {
+		ok, err := pred(b.Rows[i])
 		if err != nil {
 			return err
 		}
 		if ok {
-			kept = append(kept, row)
+			sel = append(sel, i)
 		}
 	}
-	b.Rows = kept
+	b.Sel = sel
 	return nil
 }
 
@@ -290,14 +328,15 @@ func (p *batchProjectIter) NextBatch() (*types.RowBatch, error) {
 		return nil, err
 	}
 	p.out.Reset()
-	for _, row := range b.Rows {
+	for i, l := 0, b.Len(); i < l; i++ {
+		row := b.Live(i)
 		out := make(types.Row, len(p.exprs))
-		for i, e := range p.exprs {
+		for j, e := range p.exprs {
 			v, err := e.Eval(row)
 			if err != nil {
 				return nil, err
 			}
-			out[i] = v
+			out[j] = v
 		}
 		p.out.Append(out)
 	}
@@ -346,7 +385,8 @@ func (j *batchHashJoinIter) build() error {
 			return err
 		}
 		var grew int64
-		for _, row := range b.Rows {
+		for i, l := 0, b.Len(); i < l; i++ {
+			row := b.Live(i)
 			h, ok, err := hashKeys(j.node.RightKeys, row)
 			if err != nil {
 				return err
@@ -382,7 +422,8 @@ func (j *batchHashJoinIter) NextBatch() (*types.RowBatch, error) {
 			return nil, err
 		}
 		j.out.Reset()
-		for _, probe := range b.Rows {
+		for i, l := 0, b.Len(); i < l; i++ {
+			probe := b.Live(i)
 			matched, err := probeHashTable(j.node, j.table, probe, func(combined types.Row) {
 				j.out.Append(combined)
 			})
@@ -478,13 +519,13 @@ func (a *batchAggIter) load() error {
 			sawRow = true
 		}
 		if a.fast {
-			if err := a.core.absorbFast(b.Rows, a.groupIdx, a.specCols); err != nil {
+			if err := a.core.absorbFast(b, a.groupIdx, a.specCols); err != nil {
 				return err
 			}
 			continue
 		}
-		for _, row := range b.Rows {
-			if err := a.core.absorb(row); err != nil {
+		for i, l := 0, b.Len(); i < l; i++ {
+			if err := a.core.absorb(b.Live(i)); err != nil {
 				return err
 			}
 		}

@@ -16,7 +16,7 @@ type memBatchStore struct {
 	memStore
 }
 
-func (m *memBatchStore) ScanTableBatches(ctx context.Context, leaf catalog.TableID, cols []int, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
+func (m *memBatchStore) ScanTableBatches(ctx context.Context, leaf catalog.TableID, _ ScanSpec, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
 	if batchSize < 1 {
 		batchSize = types.DefaultBatchSize
 	}
@@ -202,5 +202,82 @@ func TestBatchMemoryAccountingCancels(t *testing.T) {
 		[]plan.Expr{&plan.ColRef{Idx: 0}}, []plan.Expr{&plan.ColRef{Idx: 0}}, nil)
 	if _, err := DrainBatches(BuildBatch(ctx, join)); err == nil {
 		t.Fatal("batch hash join ignored memory accounting")
+	}
+}
+
+// TestSelectBatchSelectionVector: filtering marks survivors in a selection
+// vector without moving rows; chained filters narrow the same vector; an
+// all-pass filter leaves the batch dense.
+func TestSelectBatchSelectionVector(t *testing.T) {
+	mk := func() *types.RowBatch {
+		b := types.NewRowBatch(8)
+		for i := 0; i < 8; i++ {
+			b.Append(intRow(int64(i)))
+		}
+		return b
+	}
+	even := plan.CompilePredicate(&plan.BinOp{Op: "=",
+		Left:  &plan.BinOp{Op: "%", Left: &plan.ColRef{Idx: 0}, Right: &plan.Const{Val: types.NewInt(2)}},
+		Right: &plan.Const{Val: types.NewInt(0)}})
+	b := mk()
+	if err := selectBatch(b, even); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Rows) != 8 {
+		t.Fatalf("filter moved rows: container %d", len(b.Rows))
+	}
+	if b.Len() != 4 || b.Live(0)[0].Int() != 0 || b.Live(3)[0].Int() != 6 {
+		t.Fatalf("selection: sel=%v", b.Sel)
+	}
+	// Second filter narrows the existing selection in place.
+	ge4 := plan.CompilePredicate(&plan.BinOp{Op: ">=", Left: &plan.ColRef{Idx: 0}, Right: &plan.Const{Val: types.NewInt(4)}})
+	if err := selectBatch(b, ge4); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 || b.Live(0)[0].Int() != 4 || b.Live(1)[0].Int() != 6 {
+		t.Fatalf("chained selection: sel=%v", b.Sel)
+	}
+	// All-pass predicate on a dense batch keeps it dense (no allocation).
+	b2 := mk()
+	if err := selectBatch(b2, plan.CompilePredicate(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if b2.Sel != nil {
+		t.Fatalf("all-pass filter built a selection: %v", b2.Sel)
+	}
+	// All-fail yields an empty (non-nil) selection.
+	b3 := mk()
+	none := plan.CompilePredicate(&plan.BinOp{Op: "<", Left: &plan.ColRef{Idx: 0}, Right: &plan.Const{Val: types.NewInt(0)}})
+	if err := selectBatch(b3, none); err != nil {
+		t.Fatal(err)
+	}
+	if b3.Sel == nil || b3.Len() != 0 {
+		t.Fatalf("all-fail: sel=%v", b3.Sel)
+	}
+}
+
+// TestBatchFilterEmitsSelectionDownstream: a scan's filtered batches flow
+// through the row adapter and drain with only live rows visible.
+func TestFilteredScanDrainsLiveRowsOnly(t *testing.T) {
+	tables := map[catalog.TableID][]types.Row{1: {}}
+	for i := 0; i < 500; i++ {
+		tables[1] = append(tables[1], intRow(int64(i)))
+	}
+	store := &memBatchStore{memStore{tables: tables}}
+	tbl := testTable(1, "t", "id")
+	scan := plan.NewScan(tbl, []catalog.TableID{1}, &plan.BinOp{
+		Op: "<", Left: &plan.ColRef{Idx: 0}, Right: &plan.Const{Val: types.NewInt(10)}})
+	ctx := &Context{Ctx: context.Background(), Store: store, NumSegments: 1, SegID: 0, BatchSize: 64}
+	rows, err := DrainBatches(BuildBatch(ctx, scan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("drained %d rows, want 10", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].Int() != int64(i) {
+			t.Fatalf("row %d: %v", i, r)
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/plan"
 	"repro/internal/types"
 )
 
@@ -28,6 +29,18 @@ type StoreAccess interface {
 	IndexLookup(ctx context.Context, table *catalog.Table, index *catalog.Index, key []types.Datum, forUpdate bool, fn func(row types.Row) (bool, error)) error
 }
 
+// ScanSpec carries the per-scan options of the batch scan path: the column
+// projection and the pushed-down predicate the storage layer may use to
+// skip whole blocks via zone maps. The zero ScanSpec scans everything.
+type ScanSpec struct {
+	// Cols lists the column offsets to populate (nil = all).
+	Cols []int
+	// Pred is the sargable predicate extracted by the planner; the store
+	// converts it to its zone-map representation. Skipping is advisory —
+	// rows of surviving blocks are NOT filtered by the store.
+	Pred *plan.ScanPredicate
+}
+
 // BatchStoreAccess extends StoreAccess with the batch scan path: the storage
 // layer delivers visibility-filtered rows in bounded batches, so the column
 // store decodes each block once per batch instead of re-buffering
@@ -36,7 +49,7 @@ type StoreAccess interface {
 // continue. FOR UPDATE scans stay on the row path (they lock per kept row).
 type BatchStoreAccess interface {
 	StoreAccess
-	ScanTableBatches(ctx context.Context, leaf catalog.TableID, cols []int, batchSize int, fn func(b *types.RowBatch) (cont bool, err error)) error
+	ScanTableBatches(ctx context.Context, leaf catalog.TableID, spec ScanSpec, batchSize int, fn func(b *types.RowBatch) (cont bool, err error)) error
 }
 
 // ScanRange is a half-open range [Begin, End) of row offsets within one leaf
@@ -55,7 +68,7 @@ type ScanRange struct {
 type ParallelStoreAccess interface {
 	BatchStoreAccess
 	SplitTableRanges(leaf catalog.TableID, parts int) ([]ScanRange, bool)
-	ScanTableRangeBatches(ctx context.Context, leaf catalog.TableID, rng ScanRange, cols []int, batchSize int, fn func(b *types.RowBatch) (cont bool, err error)) error
+	ScanTableRangeBatches(ctx context.Context, leaf catalog.TableID, rng ScanRange, spec ScanSpec, batchSize int, fn func(b *types.RowBatch) (cont bool, err error)) error
 }
 
 // MemAccount abstracts resource-group memory accounting (resgroup.Slot).

@@ -34,9 +34,9 @@ func (s *engineStore) IndexLookup(context.Context, *catalog.Table, *catalog.Inde
 	return nil
 }
 
-func (s *engineStore) ScanTableBatches(ctx context.Context, _ catalog.TableID, cols []int, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
+func (s *engineStore) ScanTableBatches(ctx context.Context, _ catalog.TableID, spec ScanSpec, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
 	var iterErr error
-	storage.ScanBatches(s.eng, cols, batchSize, func(hdrs []storage.Header, rows []types.Row) bool {
+	storage.ScanBatches(s.eng, &storage.ScanOpts{Cols: spec.Cols}, batchSize, func(hdrs []storage.Header, rows []types.Row) bool {
 		cont, err := fn(&types.RowBatch{Rows: append([]types.Row(nil), rows...)})
 		if err != nil {
 			iterErr = err
@@ -60,10 +60,10 @@ func (s *engineStore) SplitTableRanges(_ catalog.TableID, parts int) ([]ScanRang
 	return out, true
 }
 
-func (s *engineStore) ScanTableRangeBatches(_ context.Context, _ catalog.TableID, rng ScanRange, cols []int, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
+func (s *engineStore) ScanTableRangeBatches(_ context.Context, _ catalog.TableID, rng ScanRange, spec ScanSpec, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
 	sp := s.eng.(storage.BlockSplitter)
 	var iterErr error
-	sp.ForEachBatchRange(storage.BlockRange{Begin: rng.Begin, End: rng.End}, cols, batchSize, func(hdrs []storage.Header, rows []types.Row) bool {
+	sp.ForEachBatchRange(storage.BlockRange{Begin: rng.Begin, End: rng.End}, &storage.ScanOpts{Cols: spec.Cols}, batchSize, func(hdrs []storage.Header, rows []types.Row) bool {
 		cont, err := fn(&types.RowBatch{Rows: append([]types.Row(nil), rows...)})
 		if err != nil {
 			iterErr = err
@@ -232,16 +232,16 @@ func (m *multiLeafStore) IndexLookup(context.Context, *catalog.Table, *catalog.I
 	return nil
 }
 
-func (m *multiLeafStore) ScanTableBatches(ctx context.Context, leaf catalog.TableID, cols []int, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
-	return m.leaves[leaf].ScanTableBatches(ctx, leaf, cols, batchSize, fn)
+func (m *multiLeafStore) ScanTableBatches(ctx context.Context, leaf catalog.TableID, spec ScanSpec, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
+	return m.leaves[leaf].ScanTableBatches(ctx, leaf, spec, batchSize, fn)
 }
 
 func (m *multiLeafStore) SplitTableRanges(leaf catalog.TableID, parts int) ([]ScanRange, bool) {
 	return m.leaves[leaf].SplitTableRanges(leaf, parts)
 }
 
-func (m *multiLeafStore) ScanTableRangeBatches(ctx context.Context, leaf catalog.TableID, rng ScanRange, cols []int, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
-	return m.leaves[leaf].ScanTableRangeBatches(ctx, leaf, rng, cols, batchSize, fn)
+func (m *multiLeafStore) ScanTableRangeBatches(ctx context.Context, leaf catalog.TableID, rng ScanRange, spec ScanSpec, batchSize int, fn func(*types.RowBatch) (bool, error)) error {
+	return m.leaves[leaf].ScanTableRangeBatches(ctx, leaf, rng, spec, batchSize, fn)
 }
 
 // TestParallelMultiLeafOrderedMatchesSerial: a partitioned scan deals whole

@@ -213,7 +213,7 @@ func (r *StreamReceiver) Recv(ctx context.Context) (types.Row, bool, error) {
 		}
 		r.cur, r.pos = b, 0
 	}
-	row := r.cur.Rows[r.pos]
+	row := r.cur.Live(r.pos) // motion batches arrive dense; Live is belt-and-braces
 	r.pos++
 	return row, true, nil
 }

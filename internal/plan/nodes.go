@@ -79,7 +79,11 @@ type Scan struct {
 	// (including filter columns); nil = all. Unread columns surface as NULL
 	// at their original offsets, so ColRef indexes stay valid. Set by the
 	// planner only when the scan's entire read set is known.
-	Project   []int
+	Project []int
+	// ScanPred is the sargable part of Filter, pushed into the storage
+	// layer for zone-map block skipping (AttachPushdown). Advisory: Filter
+	// still runs row-by-row over the blocks that survive.
+	ScanPred  *ScanPredicate
 	ForUpdate bool
 	schema    *types.Schema
 }
@@ -103,6 +107,9 @@ func (s *Scan) Explain() string {
 	}
 	if s.Filter != nil {
 		out += " Filter: " + s.Filter.String()
+	}
+	if s.ScanPred != nil {
+		out += " Pushdown: " + s.ScanPred.String()
 	}
 	return out
 }

@@ -57,6 +57,10 @@ type Planner struct {
 	// Parallelism is the degree of intra-segment parallelism to annotate on
 	// parallel-safe slices (cluster.Config.ExecParallelism; <= 1 = serial).
 	Parallelism int
+	// Pushdown enables sargable-predicate extraction onto scan nodes for
+	// zone-map block skipping (cluster.Config.EnableZoneMaps, overridable
+	// per session with SET enable_zonemaps).
+	Pushdown bool
 	// Params are the values bound to $N placeholders.
 	Params []types.Datum
 }
@@ -239,6 +243,9 @@ func (p *Planner) PlanSelect(s *sql.SelectStmt) (*Planned, error) {
 	p.attachSelectLocks(res, s)
 	res.Slices = CutSlices(res.Root)
 	MarkParallelSlices(res.Root, p.Parallelism)
+	if p.Pushdown {
+		AttachPushdown(res.Root)
+	}
 	return res, nil
 }
 

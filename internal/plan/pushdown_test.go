@@ -1,0 +1,104 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func col(i int, name string) *ColRef { return &ColRef{Idx: i, Name: name, Typ: types.KindInt} }
+func lit(v int64) *Const             { return &Const{Val: types.NewInt(v)} }
+
+func cmp(op string, l, r Expr) Expr { return &BinOp{Op: op, Left: l, Right: r} }
+
+func TestExtractPushdownShapes(t *testing.T) {
+	// col >= 10 AND col < 20 AND b = 3 — all sargable.
+	e := cmp("AND", cmp("AND", cmp(">=", col(0, "k"), lit(10)), cmp("<", col(0, "k"), lit(20))), cmp("=", col(1, "b"), lit(3)))
+	p := ExtractPushdown(e)
+	if p == nil || len(p.Conjuncts) != 3 {
+		t.Fatalf("conjuncts: %+v", p)
+	}
+	if p.Conjuncts[0].Op != ">=" || p.Conjuncts[0].Col != 0 ||
+		p.Conjuncts[1].Op != "<" ||
+		p.Conjuncts[2].Op != "=" || p.Conjuncts[2].Col != 1 {
+		t.Fatalf("wrong conjuncts: %+v", p.Conjuncts)
+	}
+
+	// Reversed operand order flips the comparison.
+	p = ExtractPushdown(cmp("<", lit(10), col(0, "k"))) // 10 < k  ⇒  k > 10
+	if p == nil || p.Conjuncts[0].Op != ">" || p.Conjuncts[0].Val.Int() != 10 {
+		t.Fatalf("flip: %+v", p)
+	}
+
+	// != normalizes to <>.
+	p = ExtractPushdown(cmp("!=", col(0, "k"), lit(5)))
+	if p == nil || p.Conjuncts[0].Op != "<>" {
+		t.Fatalf("!=: %+v", p)
+	}
+
+	// BETWEEN decomposes into both bounds.
+	p = ExtractPushdown(&Between{Operand: col(0, "k"), Lo: lit(3), Hi: lit(9)})
+	if p == nil || len(p.Conjuncts) != 2 || p.Conjuncts[0].Op != ">=" || p.Conjuncts[1].Op != "<=" {
+		t.Fatalf("between: %+v", p)
+	}
+
+	// IN list of constants pushes, dropping NULL candidates.
+	p = ExtractPushdown(&InList{Operand: col(0, "k"),
+		List: []Expr{lit(1), &Const{Val: types.Null}, lit(7)}})
+	if p == nil || p.Conjuncts[0].Op != "in" || len(p.Conjuncts[0].In) != 2 {
+		t.Fatalf("in: %+v", p)
+	}
+}
+
+func TestExtractPushdownRejects(t *testing.T) {
+	cases := map[string]Expr{
+		"or tree":            cmp("OR", cmp("=", col(0, "k"), lit(1)), cmp("=", col(0, "k"), lit(2))),
+		"col vs col":         cmp("=", col(0, "a"), col(1, "b")),
+		"null comparand":     cmp("=", col(0, "k"), &Const{Val: types.Null}),
+		"arith comparand":    cmp("=", col(0, "k"), cmp("+", lit(1), lit(2))),
+		"like":               cmp("LIKE", col(0, "k"), &Const{Val: types.NewText("a%")}),
+		"not in":             &InList{Operand: col(0, "k"), List: []Expr{lit(1)}, Negate: true},
+		"in with expr":       &InList{Operand: col(0, "k"), List: []Expr{cmp("+", lit(1), lit(1))}},
+		"in all null":        &InList{Operand: col(0, "k"), List: []Expr{&Const{Val: types.Null}}},
+		"not between":        &Between{Operand: col(0, "k"), Lo: lit(1), Hi: lit(2), Negate: true},
+		"between null bound": &Between{Operand: col(0, "k"), Lo: lit(1), Hi: &Const{Val: types.Null}},
+		"is null":            &IsNull{Operand: col(0, "k")},
+	}
+	for name, e := range cases {
+		if p := ExtractPushdown(e); p != nil {
+			t.Errorf("%s: pushed %+v, want nil", name, p)
+		}
+	}
+
+	// A mixed conjunction pushes only the sargable half.
+	e := cmp("AND", cmp("=", col(0, "k"), lit(1)), cmp("=", col(0, "k"), col(1, "b")))
+	p := ExtractPushdown(e)
+	if p == nil || len(p.Conjuncts) != 1 || p.Conjuncts[0].Val.Int() != 1 {
+		t.Fatalf("mixed conjunction: %+v", p)
+	}
+}
+
+// TestPushdownTypeMismatchedConstant: a constant of a different kind still
+// pushes — zone checks use the same types.Compare total order as the row
+// filter, so skipping stays exactly as conservative as row-level
+// evaluation.
+func TestPushdownTypeMismatchedConstant(t *testing.T) {
+	p := ExtractPushdown(cmp("=", col(0, "k"), &Const{Val: types.NewText("zzz")}))
+	if p == nil || p.Conjuncts[0].Val.Kind() != types.KindText {
+		t.Fatalf("text constant: %+v", p)
+	}
+	p = ExtractPushdown(cmp(">", col(0, "k"), &Const{Val: types.NewFloat(1.5)}))
+	if p == nil || p.Conjuncts[0].Val.Kind() != types.KindFloat {
+		t.Fatalf("float constant: %+v", p)
+	}
+}
+
+func TestScanPredicateString(t *testing.T) {
+	p := &ScanPredicate{Conjuncts: []ScanConjunct{
+		{Col: 0, Op: ">=", Val: types.NewInt(10), name: "k"},
+		{Col: 1, Op: "in", In: []types.Datum{types.NewInt(1), types.NewInt(2)}, name: "b"},
+	}}
+	if got := p.String(); got != "k >= 10 AND b IN (1, 2)" {
+		t.Fatalf("string: %q", got)
+	}
+}

@@ -554,11 +554,28 @@ type AlterRoleStmt struct {
 func (*AlterRoleStmt) stmt()            {}
 func (a *AlterRoleStmt) String() string { return "ALTER ROLE " + a.Name }
 
-// ExplainStmt wraps another statement for plan display.
-type ExplainStmt struct{ Target Statement }
+// ExplainStmt wraps another statement for plan display. With Analyze set
+// the statement is executed and runtime counters (blocks scanned/skipped,
+// rows, elapsed time) are appended to the plan text.
+type ExplainStmt struct {
+	Target  Statement
+	Analyze bool
+}
 
-func (*ExplainStmt) stmt()            {}
-func (e *ExplainStmt) String() string { return "EXPLAIN " + e.Target.String() }
+func (*ExplainStmt) stmt() {}
+func (e *ExplainStmt) String() string {
+	if e.Analyze {
+		return "EXPLAIN ANALYZE " + e.Target.String()
+	}
+	return "EXPLAIN " + e.Target.String()
+}
+
+// ShowStmt is SHOW name: session settings plus the virtual counters the
+// engine exposes (e.g. SHOW scan_stats).
+type ShowStmt struct{ Name string }
+
+func (*ShowStmt) stmt()            {}
+func (s *ShowStmt) String() string { return "SHOW " + s.Name }
 
 // SetStmt is SET name = value (session settings, e.g. optimizer choice).
 type SetStmt struct {

@@ -211,11 +211,27 @@ func (p *Parser) parseStatement() (Statement, error) {
 		if err := p.next(); err != nil {
 			return nil, err
 		}
+		analyze := false
+		if p.isWord("ANALYZE") {
+			analyze = true
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Target: inner}, nil
+		return &ExplainStmt{Target: inner, Analyze: analyze}, nil
+	case p.isWord("SHOW"): // unreserved: matches the bare identifier
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ShowStmt{Name: name}, nil
 	case p.isKw("SET"):
 		if err := p.next(); err != nil {
 			return nil, err

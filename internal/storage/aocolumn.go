@@ -46,12 +46,16 @@ type decodedBlock struct {
 
 // aoColBlock is one sealed group of rows with per-column compressed
 // vectors. The xmin vector is RLE-delta encoded too: bulk loads stamp long
-// runs of identical xids, so it compresses to almost nothing.
+// runs of identical xids, so it compresses to almost nothing. zone is the
+// block's per-column min/max/null-count summary, computed at seal time while
+// the uncompressed values are still in hand; predicated scans consult it to
+// skip the block without decompressing anything.
 type aoColBlock struct {
 	n        int
 	xminsEnc []byte
 	cols     [][]byte
 	codecs   []Compression
+	zone     ZoneMap
 }
 
 // aoColBlockRows is the seal threshold per block.
@@ -130,6 +134,7 @@ func (a *AOColumn) sealLocked() {
 		xminsEnc: rleDeltaEncode(xminDatums),
 		cols:     make([][]byte, a.ncols),
 		codecs:   make([]Compression, a.ncols),
+		zone:     buildZoneFromColumns(a.tail, len(a.tailX)),
 	}
 	for c := 0; c < a.ncols; c++ {
 		blk.cols[c], blk.codecs[c] = compressBlock(a.codec, a.tail[c])

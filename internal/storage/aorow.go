@@ -20,6 +20,11 @@ type AORow struct {
 	visimap map[TupleID]txn.XID
 	// updated maps an old row number to its replacement (ctid chain).
 	updated map[TupleID]TupleID
+
+	// zones lazily summarizes full zonePageRows pages for predicated scans;
+	// appended rows are never rewritten, so summaries stay conservative and
+	// only Truncate resets them.
+	zones lazyZones
 }
 
 type aoRow struct {
@@ -129,11 +134,35 @@ func (a *AORow) LinkUpdate(old, new TupleID) {
 // Truncate implements Engine.
 func (a *AORow) Truncate() {
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	a.blocks = nil
 	a.count = 0
 	a.visimap = make(map[TupleID]txn.XID)
 	a.updated = make(map[TupleID]TupleID)
+	a.mu.Unlock()
+	a.zones.reset()
+}
+
+// pageZone builds (or fetches) the zone map of one full page.
+func (a *AORow) pageZone(page int) *ZoneMap {
+	return a.zones.zone(page, func() *ZoneMap {
+		a.mu.RLock()
+		defer a.mu.RUnlock()
+		begin := page * zonePageRows
+		end := min(begin+zonePageRows, a.count)
+		ncols := 0
+		for i := begin; i < end; i++ {
+			if r, ok := a.fetchLocked(TupleID(i + 1)); ok && len(r.row) > ncols {
+				ncols = len(r.row)
+			}
+		}
+		z := newZoneBuilder(ncols)
+		for i := begin; i < end; i++ {
+			if r, ok := a.fetchLocked(TupleID(i + 1)); ok {
+				z.absorb(r.row)
+			}
+		}
+		return z
+	})
 }
 
 // RowCount implements Engine.

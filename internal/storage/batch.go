@@ -8,27 +8,32 @@ import "repro/internal/types"
 // one per row.
 type BatchScanner interface {
 	// ForEachBatch visits every tuple version in tuple-id order, at most
-	// batchSize rows at a time. When cols is non-nil only those column
-	// offsets are populated in the emitted rows (others are NULL) — the
-	// column store decodes proportionally less. hdrs[i] describes rows[i].
+	// batchSize rows at a time, honouring opts: when opts.Cols is non-nil
+	// only those column offsets are populated in the emitted rows (others
+	// are NULL) — the column store decodes proportionally less — and when
+	// opts.Pred is non-nil, blocks whose zone map proves no row can satisfy
+	// the predicate are skipped without being decoded or visited (rows of
+	// surviving blocks are NOT filtered). hdrs[i] describes rows[i]. A nil
+	// opts scans everything.
 	//
 	// Ownership: the rows themselves may be retained by the callee (they are
 	// freshly built, or stable stored rows that are never mutated in place);
 	// the hdrs and rows container slices are only valid during the call.
 	// Iteration stops when fn returns false.
-	ForEachBatch(cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool)
+	ForEachBatch(opts *ScanOpts, batchSize int, fn func(hdrs []Header, rows []types.Row) bool)
 }
 
 // ScanBatches drives e's batch scan path when the engine implements
 // BatchScanner, and otherwise adapts the row-at-a-time ForEach by cloning
 // each row into a bounded batch (clone because ForEach's rows are only valid
-// during the callback).
-func ScanBatches(e Engine, cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+// during the callback). The fallback cannot skip blocks — zone maps are a
+// property of the batch engines.
+func ScanBatches(e Engine, opts *ScanOpts, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
 	if batchSize < 1 {
 		batchSize = types.DefaultBatchSize
 	}
 	if bs, ok := e.(BatchScanner); ok {
-		bs.ForEachBatch(cols, batchSize, fn)
+		bs.ForEachBatch(opts, batchSize, fn)
 		return
 	}
 	hdrs := make([]Header, 0, batchSize)
@@ -52,74 +57,160 @@ func ScanBatches(e Engine, cols []int, batchSize int, fn func(hdrs []Header, row
 	}
 }
 
+// scanRowPages drives the page-granular scan shared by the row engines
+// (heap, AO-row) over row offsets [begin, end): full pages whose lazy zone
+// map rules out the pushed predicate are skipped wholesale, everything else
+// is handed to emit in page units. Without a predicate or stats sink the
+// page structure is bypassed entirely (no zone maps are built). rowCount
+// snapshots the engine's current row count — only full pages are
+// summarized, since a partial trailing page is still growing; zone fetches
+// (or builds) one page's summary; emit scans [lo, hi) under the engine's
+// batch protocol and returns false to stop.
+func scanRowPages(begin, end int, opts *ScanOpts, rowCount func() int, zone func(page int) *ZoneMap, emit func(lo, hi int) bool) {
+	pred := opts.pred()
+	if pred == nil {
+		// Nothing to skip: emit the whole range in the caller's batch size
+		// (no per-page chunking) and count its pages in one shot.
+		if opts != nil && opts.Stats != nil && end > begin {
+			pages := (end-1)/zonePageRows - begin/zonePageRows + 1
+			opts.Stats.BlocksScanned.Add(int64(pages))
+		}
+		emit(begin, end)
+		return
+	}
+	// One count snapshot for the whole loop: row counts only grow, and a
+	// stale count merely classifies a newly-filled page as partial (scanned,
+	// not skipped) — under-skipping is always safe.
+	count := rowCount()
+	for p := begin / zonePageRows; p*zonePageRows < end; p++ {
+		lo := max(begin, p*zonePageRows)
+		hi := min(end, (p+1)*zonePageRows)
+		full := (p+1)*zonePageRows <= count
+		if pred != nil && full && !pred.MatchZone(zone(p)) {
+			opts.noteSkipped()
+			continue
+		}
+		opts.noteScanned()
+		if !emit(lo, hi) {
+			return
+		}
+	}
+}
+
+// scanPages runs the heap's batched row emission over [begin, end) through
+// the shared page-skip loop.
+func (h *Heap) scanPages(begin, end int, opts *ScanOpts, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+	hdrs := make([]Header, 0, batchSize)
+	rows := make([]types.Row, 0, batchSize)
+	emit := func(lo, hi int) bool {
+		for start := lo; start < hi; start += batchSize {
+			stop := min(start+batchSize, hi)
+			h.mu.RLock()
+			for i := start; i < stop; i++ {
+				t := h.tups[i]
+				if t.row == nil {
+					continue // vacuumed tombstone
+				}
+				hdrs = append(hdrs, Header{TID: TupleID(i + 1), Xmin: t.xmin, Xmax: t.xmax, UpdatedTo: t.updatedTo})
+				rows = append(rows, t.row)
+			}
+			h.mu.RUnlock()
+			if len(rows) > 0 && !fn(hdrs, rows) {
+				return false
+			}
+			hdrs = hdrs[:0]
+			rows = rows[:0]
+		}
+		return true
+	}
+	count := func() int {
+		h.mu.RLock()
+		defer h.mu.RUnlock()
+		return len(h.tups)
+	}
+	scanRowPages(begin, end, opts, count, h.pageZone, emit)
+}
+
 // ForEachBatch implements BatchScanner for the heap engine. Stored rows are
 // never mutated in place (UPDATE appends a new version), so batches hand out
 // the stored row headers without cloning and take the table lock once per
 // batch instead of once per row.
-func (h *Heap) ForEachBatch(cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+func (h *Heap) ForEachBatch(opts *ScanOpts, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
 	h.mu.RLock()
 	n := len(h.tups)
 	h.mu.RUnlock()
+	h.scanPages(0, n, opts, batchSize, fn)
+}
+
+// scanPages runs the AO-row engine's batched row emission over [begin, end)
+// through the shared page-skip loop.
+func (a *AORow) scanPages(begin, end int, opts *ScanOpts, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
 	hdrs := make([]Header, 0, batchSize)
 	rows := make([]types.Row, 0, batchSize)
-	for start := 0; start < n; start += batchSize {
-		end := min(start+batchSize, n)
-		h.mu.RLock()
-		for i := start; i < end; i++ {
-			t := h.tups[i]
-			if t.row == nil {
-				continue // vacuumed tombstone
+	emit := func(lo, hi int) bool {
+		for start := lo; start < hi; start += batchSize {
+			stop := min(start+batchSize, hi)
+			a.mu.RLock()
+			for i := start; i < stop; i++ {
+				tid := TupleID(i + 1)
+				r, ok := a.fetchLocked(tid)
+				if !ok {
+					break
+				}
+				hdrs = append(hdrs, Header{TID: tid, Xmin: r.xmin, Xmax: a.visimap[tid], UpdatedTo: a.updated[tid]})
+				rows = append(rows, r.row)
 			}
-			hdrs = append(hdrs, Header{TID: TupleID(i + 1), Xmin: t.xmin, Xmax: t.xmax, UpdatedTo: t.updatedTo})
-			rows = append(rows, t.row)
+			a.mu.RUnlock()
+			if len(rows) > 0 && !fn(hdrs, rows) {
+				return false
+			}
+			hdrs = hdrs[:0]
+			rows = rows[:0]
 		}
-		h.mu.RUnlock()
-		if len(rows) > 0 && !fn(hdrs, rows) {
-			return
-		}
-		hdrs = hdrs[:0]
-		rows = rows[:0]
+		return true
 	}
+	count := func() int {
+		a.mu.RLock()
+		defer a.mu.RUnlock()
+		return a.count
+	}
+	scanRowPages(begin, end, opts, count, a.pageZone, emit)
 }
 
 // ForEachBatch implements BatchScanner for the AO-row engine: one lock
 // acquisition per batch, stored rows handed out without cloning.
-func (a *AORow) ForEachBatch(cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+func (a *AORow) ForEachBatch(opts *ScanOpts, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
 	a.mu.RLock()
 	count := a.count
 	a.mu.RUnlock()
-	hdrs := make([]Header, 0, batchSize)
-	rows := make([]types.Row, 0, batchSize)
-	for start := 0; start < count; start += batchSize {
-		end := min(start+batchSize, count)
-		a.mu.RLock()
-		for i := start; i < end; i++ {
-			tid := TupleID(i + 1)
-			r, ok := a.fetchLocked(tid)
-			if !ok {
-				break
-			}
-			hdrs = append(hdrs, Header{TID: tid, Xmin: r.xmin, Xmax: a.visimap[tid], UpdatedTo: a.updated[tid]})
-			rows = append(rows, r.row)
-		}
-		a.mu.RUnlock()
-		if len(rows) > 0 && !fn(hdrs, rows) {
-			return
-		}
-		hdrs = hdrs[:0]
-		rows = rows[:0]
+	a.scanPages(0, count, opts, batchSize, fn)
+}
+
+// sealedZones snapshots the sealed blocks' row counts and zone maps under
+// one lock acquisition (both are immutable once a block is sealed).
+func (a *AOColumn) sealedZones() (blockRows []int, zones []*ZoneMap) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	blockRows = make([]int, len(a.sealed))
+	zones = make([]*ZoneMap, len(a.sealed))
+	for i := range a.sealed {
+		blockRows[i] = a.sealed[i].n
+		zones[i] = &a.sealed[i].zone
 	}
+	return blockRows, zones
 }
 
 // ForEachBatch implements BatchScanner for the AO-column engine. This is the
 // column store's fast path: each sealed block is decoded once (and cached),
 // and every emitted row is built directly from the decoded vectors — one
 // allocation per row instead of the copy-into-shared-buffer-then-clone the
-// row-at-a-time path pays. Non-requested columns are NULL when cols is set.
-func (a *AOColumn) ForEachBatch(cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
-	a.mu.RLock()
-	nSealed := len(a.sealed)
-	a.mu.RUnlock()
+// row-at-a-time path pays. Non-requested columns are NULL when opts.Cols is
+// set, and blocks ruled out by their seal-time zone map are skipped before
+// any decompression happens.
+func (a *AOColumn) ForEachBatch(opts *ScanOpts, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+	cols := opts.cols()
+	pred := opts.pred()
+	blockRows, zones := a.sealedZones()
 	hdrs := make([]Header, 0, batchSize)
 	rows := make([]types.Row, 0, batchSize)
 	tid := TupleID(0)
@@ -150,7 +241,15 @@ func (a *AOColumn) ForEachBatch(cols []int, batchSize int, fn func(hdrs []Header
 		}
 		return row
 	}
-	for b := 0; b < nSealed; b++ {
+	for b := range blockRows {
+		if pred != nil && !pred.MatchZone(zones[b]) {
+			// The zone map proves no row of this block passes the pushed
+			// predicate: advance past it without decoding a single column.
+			opts.noteSkipped()
+			tid += TupleID(blockRows[b])
+			continue
+		}
+		opts.noteScanned()
 		db, err := a.decoded(b, cols)
 		if err != nil {
 			return
@@ -204,7 +303,9 @@ func (a *AOColumn) ForEachBatch(cols []int, batchSize int, fn func(hdrs []Header
 			}
 		}
 	}
-	// Tail (unsealed) rows.
+	// Tail (unsealed) rows. The tail has no zone map (it is still growing);
+	// it counts as one scanned unit when it holds rows.
+	tailCounted := false
 	for {
 		a.mu.RLock()
 		tailLen := len(a.tailX)
@@ -225,6 +326,10 @@ func (a *AOColumn) ForEachBatch(cols []int, batchSize int, fn func(hdrs []Header
 			rows = append(rows, row)
 		}
 		a.mu.RUnlock()
+		if !tailCounted && chunk > 0 {
+			tailCounted = true
+			opts.noteScanned()
+		}
 		if len(rows) == batchSize && !flush() {
 			return
 		}

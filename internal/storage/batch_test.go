@@ -11,9 +11,13 @@ import (
 // exceeds batchSize.
 func collectBatches(t *testing.T, e Engine, cols []int, batchSize int) ([]Header, []types.Row) {
 	t.Helper()
+	var opts *ScanOpts
+	if cols != nil {
+		opts = &ScanOpts{Cols: cols}
+	}
 	var hdrs []Header
 	var rows []types.Row
-	ScanBatches(e, cols, batchSize, func(hs []Header, rs []types.Row) bool {
+	ScanBatches(e, opts, batchSize, func(hs []Header, rs []types.Row) bool {
 		if len(hs) != len(rs) {
 			t.Fatalf("hdrs/rows length mismatch: %d vs %d", len(hs), len(rs))
 		}
@@ -88,7 +92,7 @@ func TestAOColumnLazyColumnDecode(t *testing.T) {
 	for i := 0; i < aoColBlockRows; i++ { // exactly one sealed block
 		a.Insert(1, types.Row{types.NewInt(int64(i)), types.NewInt(int64(i * 2)), types.NewText("pad")})
 	}
-	a.ForEachBatch([]int{1}, 256, func([]Header, []types.Row) bool { return true })
+	a.ForEachBatch(&ScanOpts{Cols: []int{1}}, 256, func([]Header, []types.Row) bool { return true })
 	db, ok := a.cache.peek(blockKey{engine: a.id, block: 0})
 	if !ok || db == nil {
 		t.Fatal("block not cached")

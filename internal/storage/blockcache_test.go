@@ -54,13 +54,13 @@ func TestBlockCachePartialColumnMiss(t *testing.T) {
 	a := loadAOColumn(aoColBlockRows)
 	c := NewBlockCache(1 << 30)
 	a.SetBlockCache(c)
-	a.ForEachBatch([]int{0}, 256, func([]Header, []types.Row) bool { return true })
+	a.ForEachBatch(&ScanOpts{Cols: []int{0}}, 256, func([]Header, []types.Row) bool { return true })
 	used1 := c.Stats().UsedBytes
-	a.ForEachBatch([]int{0}, 256, func([]Header, []types.Row) bool { return true })
+	a.ForEachBatch(&ScanOpts{Cols: []int{0}}, 256, func([]Header, []types.Row) bool { return true })
 	if st := c.Stats(); st.Hits != 1 {
 		t.Fatalf("narrow re-scan should hit: %+v", st)
 	}
-	a.ForEachBatch([]int{1}, 256, func([]Header, []types.Row) bool { return true })
+	a.ForEachBatch(&ScanOpts{Cols: []int{1}}, 256, func([]Header, []types.Row) bool { return true })
 	st := c.Stats()
 	if st.Misses != 2 { // initial decode + the new column
 		t.Fatalf("wider scan should miss: %+v", st)

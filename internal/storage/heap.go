@@ -16,6 +16,12 @@ import (
 type Heap struct {
 	mu   sync.RWMutex
 	tups []heapTuple
+
+	// zones lazily summarizes full zonePageRows pages for predicated scans.
+	// Stored row values at an offset never change (UPDATE appends a new
+	// version, VACUUM only nils rows out), so built summaries stay
+	// conservative; only Truncate resets them.
+	zones lazyZones
 }
 
 type heapTuple struct {
@@ -114,8 +120,32 @@ func (h *Heap) LinkUpdate(old, new TupleID) {
 // Truncate implements Engine.
 func (h *Heap) Truncate() {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.tups = nil
+	h.mu.Unlock()
+	h.zones.reset()
+}
+
+// pageZone builds (or fetches) the zone map of one full page.
+func (h *Heap) pageZone(page int) *ZoneMap {
+	return h.zones.zone(page, func() *ZoneMap {
+		h.mu.RLock()
+		defer h.mu.RUnlock()
+		begin := page * zonePageRows
+		end := min(begin+zonePageRows, len(h.tups))
+		ncols := 0
+		for i := begin; i < end; i++ {
+			if r := h.tups[i].row; r != nil && len(r) > ncols {
+				ncols = len(r)
+			}
+		}
+		z := newZoneBuilder(ncols)
+		for i := begin; i < end; i++ {
+			if r := h.tups[i].row; r != nil {
+				z.absorb(r)
+			}
+		}
+		return z
+	})
 }
 
 // RowCount implements Engine.

@@ -19,39 +19,54 @@ func (r BlockRange) Rows() int { return r.End - r.Begin }
 
 // BlockSplitter is implemented by engines that can partition their row space
 // for intra-segment parallel scans: SplitBlocks plans at most n disjoint
-// ranges and ForEachBatchRange runs the batch scan protocol of BatchScanner
-// over one of them.
+// ranges and ForEachBatchRange runs the batch scan protocol of
+// BatchScanner.ForEachBatch over one of them.
 type BlockSplitter interface {
 	BatchScanner
 	// SplitBlocks partitions the current rows into at most n disjoint,
 	// covering, ascending ranges. Fewer than n ranges are returned when the
 	// table has fewer natural split points (e.g. fewer sealed blocks than
-	// workers); an empty table yields nil.
+	// workers); a zero-row table yields an explicit empty (non-nil,
+	// zero-length) split so callers can tell "nothing to scan" apart from
+	// "cannot split" (nil from an engine without the capability).
 	SplitBlocks(n int) []BlockRange
-	// ForEachBatchRange is ForEachBatch restricted to r: it visits the tuple
-	// versions whose offsets fall in [r.Begin, r.End) in tuple-id order, at
-	// most batchSize rows per callback, with the same ownership rules as
-	// ForEachBatch. Rows appended concurrently with the scan may be skipped
-	// (the range was planned against a snapshot of the table).
-	ForEachBatchRange(r BlockRange, cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool)
+	// ForEachBatchRange restricts the batch scan protocol to r: it visits
+	// the tuple versions whose offsets fall in [r.Begin, r.End) in tuple-id
+	// order, at most batchSize rows per callback, honouring opts (column
+	// projection, zone-map block skipping, scan counters) with the same
+	// ownership rules as the full scan. Rows appended concurrently with the
+	// scan may be skipped (the range was planned against a snapshot of the
+	// table).
+	ForEachBatchRange(r BlockRange, opts *ScanOpts, batchSize int, fn func(hdrs []Header, rows []types.Row) bool)
 }
 
-// splitEven divides [0, count) into at most n near-equal ranges (no natural
-// block boundaries — the heap and AO-row engines address rows directly).
+// splitEven divides [0, count) into at most n near-equal ranges for the
+// heap and AO-row engines, aligning interior boundaries to zonePageRows so
+// a zone-map page is never shared by two workers — each worker skips (and
+// counts) whole pages independently, mirroring the AO-column engine's
+// sealed-block alignment. Tables smaller than a page yield fewer (possibly
+// one) ranges. Zero rows yield an explicit empty split.
 func splitEven(count, n int) []BlockRange {
 	if count <= 0 || n < 1 {
-		return nil
+		return []BlockRange{}
 	}
 	if n > count {
 		n = count
 	}
 	out := make([]BlockRange, 0, n)
-	for i := 0; i < n; i++ {
-		begin := count * i / n
-		end := count * (i + 1) / n
-		if end > begin {
-			out = append(out, BlockRange{Begin: begin, End: end})
+	begin := 0
+	for i := 1; i <= n && begin < count; i++ {
+		end := count * i / n
+		if i < n {
+			end = end / zonePageRows * zonePageRows // align down to a page boundary
+		} else {
+			end = count
 		}
+		if end <= begin {
+			continue // alignment collapsed this share into the next one
+		}
+		out = append(out, BlockRange{Begin: begin, End: end})
+		begin = end
 	}
 	return out
 }
@@ -65,31 +80,12 @@ func (h *Heap) SplitBlocks(n int) []BlockRange {
 }
 
 // ForEachBatchRange implements BlockSplitter for the heap engine.
-func (h *Heap) ForEachBatchRange(r BlockRange, cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+func (h *Heap) ForEachBatchRange(r BlockRange, opts *ScanOpts, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
 	h.mu.RLock()
 	n := len(h.tups)
 	h.mu.RUnlock()
 	begin, end := clampRange(r, n)
-	hdrs := make([]Header, 0, batchSize)
-	rows := make([]types.Row, 0, batchSize)
-	for start := begin; start < end; start += batchSize {
-		stop := min(start+batchSize, end)
-		h.mu.RLock()
-		for i := start; i < stop; i++ {
-			t := h.tups[i]
-			if t.row == nil {
-				continue // vacuumed tombstone
-			}
-			hdrs = append(hdrs, Header{TID: TupleID(i + 1), Xmin: t.xmin, Xmax: t.xmax, UpdatedTo: t.updatedTo})
-			rows = append(rows, t.row)
-		}
-		h.mu.RUnlock()
-		if len(rows) > 0 && !fn(hdrs, rows) {
-			return
-		}
-		hdrs = hdrs[:0]
-		rows = rows[:0]
-	}
+	h.scanPages(begin, end, opts, batchSize, fn)
 }
 
 // SplitBlocks implements BlockSplitter for the AO-row engine.
@@ -101,38 +97,19 @@ func (a *AORow) SplitBlocks(n int) []BlockRange {
 }
 
 // ForEachBatchRange implements BlockSplitter for the AO-row engine.
-func (a *AORow) ForEachBatchRange(r BlockRange, cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+func (a *AORow) ForEachBatchRange(r BlockRange, opts *ScanOpts, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
 	a.mu.RLock()
 	count := a.count
 	a.mu.RUnlock()
 	begin, end := clampRange(r, count)
-	hdrs := make([]Header, 0, batchSize)
-	rows := make([]types.Row, 0, batchSize)
-	for start := begin; start < end; start += batchSize {
-		stop := min(start+batchSize, end)
-		a.mu.RLock()
-		for i := start; i < stop; i++ {
-			tid := TupleID(i + 1)
-			rw, ok := a.fetchLocked(tid)
-			if !ok {
-				break
-			}
-			hdrs = append(hdrs, Header{TID: tid, Xmin: rw.xmin, Xmax: a.visimap[tid], UpdatedTo: a.updated[tid]})
-			rows = append(rows, rw.row)
-		}
-		a.mu.RUnlock()
-		if len(rows) > 0 && !fn(hdrs, rows) {
-			return
-		}
-		hdrs = hdrs[:0]
-		rows = rows[:0]
-	}
+	a.scanPages(begin, end, opts, batchSize, fn)
 }
 
 // SplitBlocks implements BlockSplitter for the AO-column engine: ranges are
 // aligned to sealed-block boundaries (the decode unit), balancing rows per
 // range; the unsealed tail rides with the last range. A table with fewer
-// sealed blocks than requested workers yields fewer ranges.
+// sealed blocks than requested workers yields fewer ranges; a zero-row table
+// yields an explicit empty split.
 func (a *AOColumn) SplitBlocks(n int) []BlockRange {
 	a.mu.RLock()
 	units := make([]int, 0, len(a.sealed)+1)
@@ -145,7 +122,7 @@ func (a *AOColumn) SplitBlocks(n int) []BlockRange {
 	count := a.count
 	a.mu.RUnlock()
 	if count <= 0 || n < 1 {
-		return nil
+		return []BlockRange{}
 	}
 	if n == 1 || len(units) == 1 {
 		return []BlockRange{{Begin: 0, End: count}}
@@ -171,17 +148,17 @@ func (a *AOColumn) SplitBlocks(n int) []BlockRange {
 }
 
 // ForEachBatchRange implements BlockSplitter for the AO-column engine. Like
-// ForEachBatch it decodes each sealed block once via the block cache and
-// builds rows directly from the decoded vectors; unlike the full scan it
-// covers a static snapshot of the range (tail rows appended after SplitBlocks
-// planned the ranges are not chased).
-func (a *AOColumn) ForEachBatchRange(r BlockRange, cols []int, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+// the full batch scan it decodes each sealed block once via the block cache,
+// builds rows directly from the decoded vectors, and skips blocks whose zone
+// map rules out the pushed predicate — each parallel worker skips its own
+// blocks independently; unlike the full scan it covers a static snapshot of
+// the range (tail rows appended after SplitBlocks planned the ranges are not
+// chased).
+func (a *AOColumn) ForEachBatchRange(r BlockRange, opts *ScanOpts, batchSize int, fn func(hdrs []Header, rows []types.Row) bool) {
+	cols := opts.cols()
+	pred := opts.pred()
+	blockRows, zones := a.sealedZones()
 	a.mu.RLock()
-	nSealed := len(a.sealed)
-	blockRows := make([]int, nSealed)
-	for i := range a.sealed {
-		blockRows[i] = a.sealed[i].n
-	}
 	count := a.count
 	a.mu.RUnlock()
 	begin, end := clampRange(r, count)
@@ -243,12 +220,18 @@ func (a *AOColumn) ForEachBatchRange(r BlockRange, cols []int, batchSize int, fn
 		return true
 	}
 	off := 0
-	for b := 0; b < nSealed && off < end; b++ {
+	for b := 0; b < len(blockRows) && off < end; b++ {
 		bn := blockRows[b]
 		if off+bn <= begin {
 			off += bn
 			continue
 		}
+		if pred != nil && !pred.MatchZone(zones[b]) {
+			opts.noteSkipped()
+			off += bn
+			continue
+		}
+		opts.noteScanned()
 		db, err := a.decoded(b, cols)
 		if err != nil {
 			return
@@ -264,7 +247,8 @@ func (a *AOColumn) ForEachBatchRange(r BlockRange, cols []int, batchSize int, fn
 	// Tail (unsealed) portion of the range. The tail's backing arrays are
 	// reused by a concurrent Seal, so rows are copied out under the table
 	// lock; if a seal moved the tail offset since the range was planned, the
-	// scan bails (matching ForEachBatch's behaviour under concurrent seals).
+	// scan bails (matching the full batch scan's behaviour under concurrent
+	// seals). The tail has no zone map and counts as one scanned unit.
 	if off < end {
 		lo := max(0, begin-off)
 		a.mu.RLock()
@@ -285,6 +269,7 @@ func (a *AOColumn) ForEachBatchRange(r BlockRange, cols []int, batchSize int, fn
 		}
 		a.mu.RUnlock()
 		if lo < hi {
+			opts.noteScanned()
 			if !emit(func(row, col int) types.Datum { return tcols[col][row-lo] },
 				func(row int) txn.XID { return txm[row-lo] }, off, lo, hi) {
 				return

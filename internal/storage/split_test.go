@@ -155,7 +155,7 @@ func TestForEachBatchRangeProjection(t *testing.T) {
 	ranges := a.SplitBlocks(2)
 	seen := 0
 	for _, rng := range ranges {
-		a.ForEachBatchRange(rng, []int{1}, 256, func(hdrs []Header, rows []types.Row) bool {
+		a.ForEachBatchRange(rng, &ScanOpts{Cols: []int{1}}, 256, func(hdrs []Header, rows []types.Row) bool {
 			for k, r := range rows {
 				i := int(hdrs[k].TID) - 1
 				if !r[0].IsNull() || !r[2].IsNull() || r[1].Int() != int64(i*2) {

@@ -12,12 +12,23 @@ const DefaultBatchSize = 256
 // container once.
 //
 // Ownership convention used throughout the executor: the *container*
-// (b.Rows) belongs to the producer and is invalidated by the producer's next
-// batch, while the Row values inside are never overwritten in place —
-// consumers that retain rows past one call may keep the Row headers but must
-// copy the slice (CloneRows) if they need the container itself.
+// (b.Rows and b.Sel) belongs to the producer and is invalidated by the
+// producer's next batch, while the Row values inside are never overwritten in
+// place — consumers that retain rows past one call may keep the Row headers
+// but must copy the slice (CloneRows) if they need the container itself.
+//
+// Filtering uses a selection vector instead of compaction: when Sel is
+// non-nil the live rows are Rows[Sel[0]], Rows[Sel[1]], ... and the rest of
+// Rows is dead weight that downstream operators must not look at. Operators
+// iterate live rows via Len/Live; a batch only becomes dense again when it
+// crosses an ownership boundary that copies it (CloneRows/DeepClone, e.g. a
+// motion send) or when Densify is called explicitly.
 type RowBatch struct {
 	Rows []Row
+	// Sel is the selection vector: ascending indexes into Rows marking the
+	// rows that survived filtering. nil means every row is live. An empty
+	// non-nil Sel means the whole batch was filtered out.
+	Sel []int
 }
 
 // NewRowBatch returns an empty batch with the given row capacity.
@@ -28,43 +39,79 @@ func NewRowBatch(capacity int) *RowBatch {
 	return &RowBatch{Rows: make([]Row, 0, capacity)}
 }
 
-// Len returns the number of rows in the batch.
-func (b *RowBatch) Len() int { return len(b.Rows) }
+// Len returns the number of live rows in the batch (the selection's length
+// when a selection vector is set).
+func (b *RowBatch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return len(b.Rows)
+}
 
-// Append adds a row to the batch.
+// Live returns the i-th live row (0 <= i < Len()).
+func (b *RowBatch) Live(i int) Row {
+	if b.Sel != nil {
+		return b.Rows[b.Sel[i]]
+	}
+	return b.Rows[i]
+}
+
+// Append adds a row to the batch. Producers fill dense batches; appending to
+// a batch that carries a selection vector is a misuse (the new row's index
+// would not be selected).
 func (b *RowBatch) Append(r Row) { b.Rows = append(b.Rows, r) }
 
-// Reset truncates the batch, keeping the backing array for reuse.
-func (b *RowBatch) Reset() { b.Rows = b.Rows[:0] }
+// Reset truncates the batch, keeping the backing array for reuse and
+// clearing any selection.
+func (b *RowBatch) Reset() {
+	b.Rows = b.Rows[:0]
+	b.Sel = nil
+}
 
 // Cap returns the row capacity of the backing array.
 func (b *RowBatch) Cap() int { return cap(b.Rows) }
 
-// Size returns the accounted in-memory footprint of the batched rows.
+// Densify compacts the live rows to the front of Rows and clears the
+// selection vector, so the batch can be handed to selection-unaware code
+// (e.g. appended to). A dense batch is returned unchanged.
+func (b *RowBatch) Densify() {
+	if b.Sel == nil {
+		return
+	}
+	for i, s := range b.Sel {
+		b.Rows[i] = b.Rows[s]
+	}
+	b.Rows = b.Rows[:len(b.Sel)]
+	b.Sel = nil
+}
+
+// Size returns the accounted in-memory footprint of the live batched rows.
 func (b *RowBatch) Size() int64 {
 	var n int64
-	for _, r := range b.Rows {
-		n += r.Size()
+	for i, l := 0, b.Len(); i < l; i++ {
+		n += b.Live(i).Size()
 	}
 	return n
 }
 
-// CloneRows returns a batch with a fresh container holding the same Row
-// values. Use it to hand a batch across an ownership boundary (e.g. an
+// CloneRows returns a dense batch with a fresh container holding the live
+// Row values. Use it to hand a batch across an ownership boundary (e.g. an
 // interconnect send) while the producer keeps reusing its container.
 func (b *RowBatch) CloneRows() *RowBatch {
-	out := &RowBatch{Rows: make([]Row, len(b.Rows))}
-	copy(out.Rows, b.Rows)
+	out := &RowBatch{Rows: make([]Row, b.Len())}
+	for i := range out.Rows {
+		out.Rows[i] = b.Live(i)
+	}
 	return out
 }
 
-// DeepClone returns a batch whose rows are themselves cloned. Used where
-// the same rows fan out to multiple destinations that each take ownership
-// (broadcast motions).
+// DeepClone returns a dense batch whose rows are themselves cloned. Used
+// where the same rows fan out to multiple destinations that each take
+// ownership (broadcast motions).
 func (b *RowBatch) DeepClone() *RowBatch {
-	out := &RowBatch{Rows: make([]Row, len(b.Rows))}
-	for i, r := range b.Rows {
-		out.Rows[i] = r.Clone()
+	out := &RowBatch{Rows: make([]Row, b.Len())}
+	for i := range out.Rows {
+		out.Rows[i] = b.Live(i).Clone()
 	}
 	return out
 }

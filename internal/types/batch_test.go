@@ -58,3 +58,56 @@ func TestNewRowBatchDefaultsCapacity(t *testing.T) {
 		t.Fatalf("zero capacity should default to %d, got %d", DefaultBatchSize, b.Cap())
 	}
 }
+
+func TestRowBatchSelectionVector(t *testing.T) {
+	b := NewRowBatch(4)
+	for i := 0; i < 4; i++ {
+		b.Append(Row{NewInt(int64(i))})
+	}
+	b.Sel = []int{1, 3}
+	if b.Len() != 2 {
+		t.Fatalf("len under selection: %d", b.Len())
+	}
+	if b.Live(0)[0].Int() != 1 || b.Live(1)[0].Int() != 3 {
+		t.Fatalf("live rows: %v %v", b.Live(0), b.Live(1))
+	}
+	want := b.Live(0).Size() + b.Live(1).Size()
+	if b.Size() != want {
+		t.Fatalf("size counts dead rows: %d vs %d", b.Size(), want)
+	}
+
+	// Clones densify: only live rows, no selection vector.
+	c := b.CloneRows()
+	if c.Sel != nil || c.Len() != 2 || c.Rows[0][0].Int() != 1 || c.Rows[1][0].Int() != 3 {
+		t.Fatalf("clone of selected batch: sel=%v rows=%v", c.Sel, c.Rows)
+	}
+	d := b.DeepClone()
+	if d.Sel != nil || d.Len() != 2 || d.Rows[1][0].Int() != 3 {
+		t.Fatalf("deep clone of selected batch: sel=%v rows=%v", d.Sel, d.Rows)
+	}
+
+	// Densify compacts in place.
+	b.Densify()
+	if b.Sel != nil || len(b.Rows) != 2 || b.Rows[0][0].Int() != 1 || b.Rows[1][0].Int() != 3 {
+		t.Fatalf("densify: sel=%v rows=%v", b.Sel, b.Rows)
+	}
+
+	// Reset clears a selection.
+	b.Sel = []int{0}
+	b.Reset()
+	if b.Sel != nil || b.Len() != 0 {
+		t.Fatalf("reset kept selection: %v", b.Sel)
+	}
+}
+
+func TestRowBatchEmptySelection(t *testing.T) {
+	b := NewRowBatch(2)
+	b.Append(Row{NewInt(1)})
+	b.Sel = []int{}
+	if b.Len() != 0 || b.Size() != 0 {
+		t.Fatalf("empty selection: len=%d size=%d", b.Len(), b.Size())
+	}
+	if c := b.CloneRows(); c.Len() != 0 {
+		t.Fatalf("clone of empty selection: %v", c.Rows)
+	}
+}
