@@ -1,7 +1,12 @@
 // Command gpshell is an interactive SQL shell over an in-process cluster —
 // a tiny psql for exploring the engine.
 //
-//	gpshell [-segments 4] [-mode gpdb6|gpdb5] [-f script.sql]
+//	gpshell [-segments 4] [-mode gpdb6|gpdb5] [-mem bytes] [-rg] [-f script.sql]
+//
+// -rg runs the session under its resource group (admission, CPU and memory
+// enforcement — including the memory_spill_ratio spill budget); -mem sizes
+// the simulated cluster memory, so a small value plus -rg makes analytical
+// queries spill (watch SHOW spill_stats).
 //
 // Shell commands: \d (list tables), \dg (resource groups), \locks (lock
 // tables), \stats (cluster counters), \timing, \q.
@@ -23,11 +28,13 @@ func main() {
 	var (
 		segments = flag.Int("segments", 4, "number of segments")
 		mode     = flag.String("mode", "gpdb6", "gpdb6 (HTAP features) or gpdb5 (baseline)")
+		mem      = flag.Int64("mem", 0, "simulated cluster memory in bytes (0 = default 8 GiB)")
+		useRG    = flag.Bool("rg", false, "enforce the session's resource group (memory budget + spilling)")
 		file     = flag.String("f", "", "run a SQL script and exit")
 	)
 	flag.Parse()
 
-	opts := greenplum.Options{Segments: *segments}
+	opts := greenplum.Options{Segments: *segments, MemoryBytes: *mem}
 	if strings.EqualFold(*mode, "gpdb5") {
 		opts.Mode = greenplum.ModeGPDB5
 	}
@@ -41,6 +48,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *useRG {
+		conn.UseResourceGroup(true, 0, 0)
 	}
 	ctx := context.Background()
 

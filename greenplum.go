@@ -164,6 +164,19 @@ type Stats struct {
 	// via zone-map predicate pushdown (also surfaced by SHOW scan_stats).
 	BlocksScanned int64
 	BlocksSkipped int64
+	// Spills/SpillBytes/SpillFiles count executor spill activity — blocking
+	// operators degrading to temp files when their resource group's
+	// memory_spill_ratio budget is exhausted (also SHOW spill_stats).
+	// SpillMemPeak is the highest per-statement budget-tracked operator
+	// memory (bounded by the spill budget); VmemPeak is the highest true
+	// resource-group vmem high water, which also sees growth past the
+	// budget (spill-chunk floors, skewed partition reloads, file buffers,
+	// non-spillable operators).
+	Spills       int64
+	SpillBytes   int64
+	SpillFiles   int64
+	SpillMemPeak int64
+	VmemPeak     int64
 }
 
 // Stats returns cluster counters.
@@ -172,6 +185,7 @@ func (db *DB) Stats() Stats {
 	one, two, ro, ab := c.CommitStats()
 	waited, waits := c.LockWaitStats()
 	scanned, skipped := c.ScanBlockStats()
+	spills, spillBytes, spillFiles, spillPeak := c.SpillStats()
 	return Stats{
 		OnePhaseCommits: one,
 		TwoPhaseCommits: two,
@@ -182,6 +196,11 @@ func (db *DB) Stats() Stats {
 		LockWaits:       waits,
 		BlocksScanned:   scanned,
 		BlocksSkipped:   skipped,
+		Spills:          spills,
+		SpillBytes:      spillBytes,
+		SpillFiles:      spillFiles,
+		SpillMemPeak:    spillPeak,
+		VmemPeak:        c.VmemPeak(),
 	}
 }
 

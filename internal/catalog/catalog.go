@@ -124,7 +124,11 @@ type ResourceGroupDef struct {
 	CPUSet         string // "0-3" style hard core assignment; "" = unset
 	MemoryLimit    int    // percentage of global memory for the group
 	MemSharedQuota int    // percentage of group memory shared between slots
-	MemSpillRatio  int    // accepted, unused in the model
+	// MemSpillRatio is the percentage of the slot quota a query's blocking
+	// operators may hold in memory before spilling to disk (the executor's
+	// spill budget; see resgroup.Group.SpillBudget). 0 = use the cluster
+	// default (cluster.Config.MemorySpillRatio).
+	MemSpillRatio int
 }
 
 // Catalog is the metadata store. All methods are safe for concurrent use.
@@ -145,6 +149,9 @@ func New() *Catalog {
 		roles:  make(map[string]*Role),
 		groups: make(map[string]*ResourceGroupDef),
 	}
+	// The built-in groups leave MemSpillRatio at 0 so they track the
+	// cluster default (cluster.Config.MemorySpillRatio) instead of pinning
+	// their own ratio.
 	c.groups["default_group"] = &ResourceGroupDef{
 		Name: "default_group", Concurrency: 20, CPURateLimit: 30,
 		MemoryLimit: 30, MemSharedQuota: 50,

@@ -57,6 +57,15 @@ type Cluster struct {
 	aborts      atomic.Int64
 	deadlockErr atomic.Int64
 
+	// Cumulative executor spill accounting (SHOW spill_stats): spill events,
+	// bytes and files written, and the highest per-statement operator-memory
+	// peak observed.
+	spills     atomic.Int64
+	spillBytes atomic.Int64
+	spillFiles atomic.Int64
+	spillPeak  atomic.Int64
+	vmemPeak   atomic.Int64 // highest per-statement resgroup vmem high water
+
 	closed atomic.Bool
 }
 
@@ -171,6 +180,28 @@ func (c *Cluster) BlockCacheStats() storage.CacheStats {
 		out.Entries += st.Entries
 	}
 	return out
+}
+
+// SpillStats reports the cumulative executor spill counters: spill events,
+// bytes and files written to temp storage, and the highest per-statement
+// operator-memory peak (the vmem high-water the spill budget bounds).
+func (c *Cluster) SpillStats() (spills, bytes, files, memPeak int64) {
+	return c.spills.Load(), c.spillBytes.Load(), c.spillFiles.Load(), c.spillPeak.Load()
+}
+
+// VmemPeak reports the highest per-statement resource-group memory high
+// water observed (resgroup.Slot.MemoryHighWater): the Vmemtracker-accounted
+// truth, including any growth past the spill budget.
+func (c *Cluster) VmemPeak() int64 { return c.vmemPeak.Load() }
+
+// atomicMax raises a to v if v is larger.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // LockWaitStats aggregates lock-wait accounting across the cluster (Fig. 2).

@@ -91,6 +91,14 @@ type Config struct {
 	// by serializing writers, but LOCK TABLE orderings can still hang).
 	LockTimeout time.Duration
 
+	// MemorySpillRatio is the cluster-default memory_spill_ratio percentage:
+	// a statement's blocking operators (sort, hash agg, hash join) may hold
+	// slot-quota × ratio/100 bytes in memory before spilling to per-segment
+	// temp files. A resource group's MEMORY_SPILL_RATIO and a session's SET
+	// memory_spill_ratio override it. 0 = default (20); negative = spilling
+	// disabled (operators grow until the Vmemtracker cancels the query).
+	MemorySpillRatio int
+
 	// Cores and MemoryBytes size the resource-group substrate.
 	Cores       int
 	MemoryBytes int64
@@ -146,6 +154,13 @@ func (c *Config) withDefaults() *Config {
 	}
 	if out.LockTimeout <= 0 {
 		out.LockTimeout = 10 * time.Second
+	}
+	if out.MemorySpillRatio == 0 {
+		out.MemorySpillRatio = 20
+	} else if out.MemorySpillRatio < 0 {
+		out.MemorySpillRatio = 0
+	} else if out.MemorySpillRatio > 100 {
+		out.MemorySpillRatio = 100
 	}
 	if out.Cores < 1 {
 		out.Cores = 8

@@ -33,12 +33,34 @@ type QueryResources struct {
 	// (zone-map pushdown effectiveness) after the query finishes — the
 	// EXPLAIN ANALYZE "blocks: scanned/skipped" numbers.
 	Scan *ScanCounters
+	// SpillBudget is the statement's operator-memory budget in bytes (slot
+	// quota × memory_spill_ratio; resgroup.Group.SpillBudget): blocking
+	// operators exceeding it spill to per-segment temp files instead of
+	// growing. 0 disables spilling.
+	SpillBudget int64
+	// Spill, when non-nil, receives the statement's spill counters after the
+	// query finishes — the EXPLAIN ANALYZE "spill:" numbers.
+	Spill *SpillCounters
 }
 
 // ScanCounters is a statement's block-granular scan accounting.
 type ScanCounters struct {
 	BlocksScanned int64
 	BlocksSkipped int64
+}
+
+// SpillCounters is a statement's spill accounting: spill events (run dumps
+// and hash-table flushes), bytes and files written, the high-water mark of
+// budget-tracked operator memory (never above the budget by construction),
+// and the true resource-group vmem high water (VmemPeak) — which also sees
+// budget overshoot: spill-chunk floors, skewed partition reloads, file
+// buffers, and non-spillable operators.
+type SpillCounters struct {
+	Spills     int64
+	SpillBytes int64
+	SpillFiles int64
+	MemPeak    int64
+	VmemPeak   int64
 }
 
 // collectMotions gathers every motion in the plan (post-order).
@@ -114,6 +136,22 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 		}
 	}
 
+	// One spill manager per statement: all slices, segments and workers
+	// share the operator-memory budget and the temp-file registry. nil when
+	// the statement has no budget (no resource group, or spilling disabled).
+	var spill *exec.SpillManager
+	if res != nil && res.SpillBudget > 0 {
+		spill = exec.NewSpillManager(res.SpillBudget)
+	}
+	// Rebase the slot's memory high water so the peak captured below
+	// belongs to this statement, not to earlier statements of the same
+	// transaction (the slot lives for the whole transaction).
+	if res != nil && res.Mem != nil {
+		if hw, ok := res.Mem.(interface{ ResetMemoryHighWater() }); ok {
+			hw.ResetMemoryHighWater()
+		}
+	}
+
 	// One storage access (one local snapshot) per segment per statement.
 	var accs []*storeAccess
 	if needSegments {
@@ -132,6 +170,7 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 			Recv:        func(slice int) exec.Receiver { return fabric.Receiver(slice, segID) },
 			BatchSize:   batchSize,
 			RowMode:     c.cfg.RowAtATime,
+			Spill:       spill,
 			NumSegments: nseg,
 			SegID:       segID,
 		}
@@ -192,6 +231,15 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 	} else {
 		rows, err = exec.DrainBatches(exec.BuildBatch(top, root))
 	}
+	// A failed sender cancels qctx with its error before closing its stream,
+	// so the top drain can race past the cancellation and "succeed" with a
+	// truncated stream. Consult the recorded cause even on a clean drain —
+	// otherwise a segment-side error would silently yield partial results.
+	if err == nil {
+		if cause := context.Cause(qctx); cause != nil && cause != context.Canceled {
+			err = cause
+		}
+	}
 	cancel(nil)
 	wg.Wait()
 	// Fold the statement's scan counters into the per-segment cumulative
@@ -204,6 +252,38 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 		if res != nil && res.Scan != nil {
 			res.Scan.BlocksScanned += acc.stats.BlocksScanned.Load()
 			res.Scan.BlocksSkipped += acc.stats.BlocksSkipped.Load()
+		}
+	}
+	// Fold the statement's spill counters into the cluster totals (SHOW
+	// spill_stats) and the caller's collector (EXPLAIN ANALYZE), then remove
+	// any temp files an error path left behind. All slices have retired.
+	if spill != nil {
+		spills, sbytes, sfiles, peak := spill.Stats()
+		spill.Cleanup()
+		c.spills.Add(spills)
+		c.spillBytes.Add(sbytes)
+		c.spillFiles.Add(sfiles)
+		atomicMax(&c.spillPeak, peak)
+		if res.Spill != nil {
+			res.Spill.Spills += spills
+			res.Spill.SpillBytes += sbytes
+			res.Spill.SpillFiles += sfiles
+			if peak > res.Spill.MemPeak {
+				res.Spill.MemPeak = peak
+			}
+		}
+	}
+	// Record the statement's true resource-group memory high water too (the
+	// Vmemtracker's view): budget overshoot from spill-chunk floors, skewed
+	// partition reloads, spill-file buffers and non-spillable operators is
+	// visible here but not in the budget-tracked peak above.
+	if res != nil && res.Mem != nil {
+		if hw, ok := res.Mem.(interface{ MemoryHighWater() int64 }); ok {
+			v := hw.MemoryHighWater()
+			atomicMax(&c.vmemPeak, v)
+			if res.Spill != nil && v > res.Spill.VmemPeak {
+				res.Spill.VmemPeak = v
+			}
 		}
 	}
 	if err != nil {

@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/catalog"
@@ -124,7 +125,18 @@ func (e *Engine) applyResourceGroup(st *sql.CreateResourceGroupStmt) error {
 		case "MEMORY_SHARED_QUOTA":
 			def.MemSharedQuota = atoiDefault(opt.Value, 20)
 		case "MEMORY_SPILL_RATIO":
-			def.MemSpillRatio = atoiDefault(opt.Value, 0)
+			// Unlike the other knobs this one is validated strictly: a typo
+			// silently defaulting would silently mis-size the spill budget
+			// of every query in the group. 0 is rejected too — on a group
+			// def 0 means "inherit the cluster default", so accepting it
+			// would silently NOT disable spilling; disabling is a session
+			// (SET memory_spill_ratio 0) or cluster (negative
+			// Config.MemorySpillRatio) decision.
+			v, err := strconv.Atoi(opt.Value)
+			if err != nil || v < 1 || v > 100 {
+				return fmt.Errorf("core: MEMORY_SPILL_RATIO must be an integer between 1 and 100 (got %q); to disable spilling use SET memory_spill_ratio 0", opt.Value)
+			}
+			def.MemSpillRatio = v
 		default:
 			return fmt.Errorf("core: unknown resource group option %q", opt.Name)
 		}

@@ -229,7 +229,26 @@ func (s *Session) resources() *cluster.QueryResources {
 	if !s.useRG || s.slot == nil {
 		return nil
 	}
-	return &cluster.QueryResources{Mem: s.slot, CPU: s.slot, CPUBatchCost: s.batchCPU}
+	return &cluster.QueryResources{
+		Mem: s.slot, CPU: s.slot, CPUBatchCost: s.batchCPU,
+		SpillBudget: s.spillBudget(),
+	}
+}
+
+// spillBudget derives the statement's operator-memory budget from the
+// session's resource group: slot quota × memory_spill_ratio, where a SET
+// memory_spill_ratio overrides the group's MEMORY_SPILL_RATIO, which
+// overrides Config.MemorySpillRatio. 0 = spilling disabled.
+func (s *Session) spillBudget() int64 {
+	g, ok := s.engine.cluster.Groups().Group(s.role.ResourceGroup)
+	if !ok {
+		return 0
+	}
+	sessionRatio := -1
+	if v, ok := s.settings["memory_spill_ratio"]; ok {
+		sessionRatio = plan.ParseLimitInt(v, -1)
+	}
+	return g.SpillBudget(sessionRatio, s.engine.cluster.Config().MemorySpillRatio)
 }
 
 // chargeStmtCPU pays the per-statement CPU quantum under the session's
@@ -284,7 +303,7 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, params []
 		if err != nil {
 			return nil, err
 		}
-		rows, schema, _, err := s.runPlannedSelect(ctx, pl, nil)
+		rows, schema, _, err := s.runPlannedSelect(ctx, pl, nil, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -433,6 +452,11 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, params []
 				return nil, err
 			}
 		}
+		if strings.EqualFold(x.Name, "memory_spill_ratio") {
+			if v := plan.ParseLimitInt(x.Value, -1); v < 0 || v > 100 {
+				return nil, fmt.Errorf("core: memory_spill_ratio must be between 0 and 100 (got %q)", x.Value)
+			}
+		}
 		s.settings[strings.ToLower(x.Name)] = x.Value
 		return &Result{Tag: "SET"}, nil
 
@@ -444,11 +468,23 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, params []
 	}
 }
 
-// execShow answers SHOW statements: the virtual scan_stats counter set
-// (zone-map block skipping plus the decoded-block cache), or the value of a
-// plain session setting.
+// execShow answers SHOW statements: the virtual scan_stats / spill_stats
+// counter sets, or the value of a plain session setting.
 func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
 	name := strings.ToLower(x.Name)
+	if name == "spill_stats" {
+		spills, sbytes, sfiles, peak := s.engine.cluster.SpillStats()
+		res := &Result{Columns: []string{"stat", "value"}, Tag: "SHOW"}
+		add := func(k string, v int64) {
+			res.Rows = append(res.Rows, types.Row{types.NewText(k), types.NewInt(v)})
+		}
+		add("spills", spills)
+		add("spill_bytes", sbytes)
+		add("spill_files", sfiles)
+		add("spill_mem_peak", peak)
+		add("vmem_peak", s.engine.cluster.VmemPeak())
+		return res, nil
+	}
 	if name == "scan_stats" {
 		cl := s.engine.cluster
 		scanned, skipped := cl.ScanBlockStats()
@@ -475,6 +511,8 @@ func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
 			v = onOff(cfg.EnableZoneMaps)
 		case "exec_parallelism":
 			v = fmt.Sprintf("%d", cfg.ExecParallelism)
+		case "memory_spill_ratio":
+			v = fmt.Sprintf("%d", cfg.MemorySpillRatio)
 		case "optimizer":
 			v = s.optimizer.String()
 		default:
@@ -551,8 +589,9 @@ func (s *Session) execExplain(ctx context.Context, x *sql.ExplainStmt, params []
 // GPDB 5 FOR UPDATE serialization upgrade), the per-statement CPU charge,
 // and the cluster dispatch. Both the plain SELECT path and EXPLAIN ANALYZE
 // go through here so the measured execution is exactly the real one. When
-// scan is non-nil it receives the statement's block counters.
-func (s *Session) runPlannedSelect(ctx context.Context, pl *plan.Planned, scan *cluster.ScanCounters) ([]types.Row, *types.Schema, time.Duration, error) {
+// scan/spill are non-nil they receive the statement's block and spill
+// counters.
+func (s *Session) runPlannedSelect(ctx context.Context, pl *plan.Planned, scan *cluster.ScanCounters, spill *cluster.SpillCounters) ([]types.Row, *types.Schema, time.Duration, error) {
 	cl := s.engine.cluster
 	if pl.ForUpdate && !cl.Config().GDD {
 		// GPDB 5 locking: FOR UPDATE serializes at the coordinator.
@@ -567,11 +606,12 @@ func (s *Session) runPlannedSelect(ctx context.Context, pl *plan.Planned, scan *
 		return nil, nil, 0, err
 	}
 	res := s.resources()
-	if scan != nil {
+	if scan != nil || spill != nil {
 		if res == nil {
 			res = &cluster.QueryResources{}
 		}
 		res.Scan = scan
+		res.Spill = spill
 	}
 	start := time.Now()
 	rows, schema, err := cl.RunSelect(ctx, s.txn, cl.Snapshot(), pl, res)
@@ -582,12 +622,13 @@ func (s *Session) runPlannedSelect(ctx context.Context, pl *plan.Planned, scan *
 }
 
 // explainAnalyzeSelect runs the planned SELECT for real and appends runtime
-// counters — rows returned, elapsed time, and the zone-map pushdown's
-// blocks scanned/skipped — to the plan text. Only SELECT is supported under
-// ANALYZE; execExplain rejects DML targets.
+// counters — rows returned, elapsed time, the zone-map pushdown's blocks
+// scanned/skipped, and the executor's spill activity — to the plan text.
+// Only SELECT is supported under ANALYZE; execExplain rejects DML targets.
 func (s *Session) explainAnalyzeSelect(ctx context.Context, pl *plan.Planned) (*Result, error) {
 	var scan cluster.ScanCounters
-	rows, _, elapsed, err := s.runPlannedSelect(ctx, pl, &scan)
+	var spill cluster.SpillCounters
+	rows, _, elapsed, err := s.runPlannedSelect(ctx, pl, &scan, &spill)
 	if err != nil {
 		return nil, err
 	}
@@ -598,6 +639,8 @@ func (s *Session) explainAnalyzeSelect(ctx context.Context, pl *plan.Planned) (*
 	out.Rows = append(out.Rows,
 		types.Row{types.NewText(fmt.Sprintf("blocks: scanned=%d skipped=%d",
 			scan.BlocksScanned, scan.BlocksSkipped))},
+		types.Row{types.NewText(fmt.Sprintf("spill: spills=%d bytes=%d files=%d",
+			spill.Spills, spill.SpillBytes, spill.SpillFiles))},
 		types.Row{types.NewText(fmt.Sprintf("rows: %d", len(rows)))},
 		types.Row{types.NewText(fmt.Sprintf("execution time: %.3f ms", float64(elapsed.Microseconds())/1000))},
 	)

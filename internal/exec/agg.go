@@ -67,18 +67,39 @@ type group struct {
 
 // aggCore is the phase-aware hash aggregation state shared by the
 // row-at-a-time and batch aggregate iterators: rows are absorbed one at a
-// time, grouped output is read from order after finish.
+// time, grouped output is read via nextOutput after finish.
+//
+// Under a spill budget the core degrades gracefully: when the hash table
+// outgrows the budget, every group's transition state is written as a
+// partial-layout row to one of fanout partition files (by group-key hash) and
+// the table is cleared. After input ends, partitions are re-aggregated one at
+// a time — mergePartial folds the dumped states back together — so the
+// working set is bounded by max(budget, one partition) instead of the number
+// of distinct groups. DISTINCT aggregates pin their dedup sets in memory and
+// cannot spill.
 type aggCore struct {
 	ctx    *Context
 	node   *plan.Agg
 	groups map[uint64][]*group
 	order  []*group
-	bytes  int64
+	mem    opMem
 	// groupCols and scratch avoid per-row allocations on the hot absorb
 	// path: group keys are evaluated into the reused scratch row, which
 	// findGroup only clones when it creates a new group.
 	groupCols []int
 	scratch   types.Row
+
+	// Spill state.
+	spillable bool // spilling enabled and every spec is mergeable
+	spilled   bool
+	reloading bool // re-aggregating a partition; never re-spill
+	parts     []*spillFile
+	curPart   int
+	emitPos   int
+	// reloadTick charges CPU for the second pass over dumped rows, so the
+	// disk-replay half of a spilled aggregate stays under the group's CPU
+	// governor like the absorb pass.
+	reloadTick cpuTick
 }
 
 func newAggCore(ctx *Context, node *plan.Agg) aggCore {
@@ -86,11 +107,20 @@ func newAggCore(ctx *Context, node *plan.Agg) aggCore {
 	for i := range cols {
 		cols[i] = i
 	}
+	spillable := ctx.Spill.Enabled()
+	for _, sp := range node.Specs {
+		if sp.Distinct {
+			spillable = false // dedup sets are not mergeable across dumps
+		}
+	}
 	return aggCore{
 		ctx: ctx, node: node,
-		groups:    make(map[uint64][]*group),
-		groupCols: cols,
-		scratch:   make(types.Row, len(node.GroupBy)),
+		mem:        opMem{ctx: ctx},
+		groups:     make(map[uint64][]*group),
+		groupCols:  cols,
+		scratch:    make(types.Row, len(node.GroupBy)),
+		spillable:  spillable,
+		reloadTick: cpuTick{ctx: ctx},
 	}
 }
 
@@ -98,7 +128,6 @@ func newAggCore(ctx *Context, node *plan.Agg) aggCore {
 type aggIter struct {
 	core   aggCore
 	child  Iterator
-	pos    int
 	loaded bool
 	tick   cpuTick
 }
@@ -114,14 +143,142 @@ func (a *aggCore) findGroup(keys types.Row) (*group, error) {
 			return g, nil
 		}
 	}
-	g := &group{keys: keys.Clone(), states: make([]aggState, len(a.node.Specs))}
-	if err := a.ctx.grow(keys.Size() + int64(64*len(a.node.Specs))); err != nil {
+	cost := keys.Size() + int64(64*len(a.node.Specs))
+	ok, err := a.mem.grow(cost)
+	if err != nil {
 		return nil, err
 	}
-	a.bytes += keys.Size() + int64(64*len(a.node.Specs))
+	if !ok {
+		if a.spillable && !a.reloading && a.mem.charged >= spillChunk(a.ctx.Spill.Budget()) {
+			if err := a.dumpGroups(); err != nil {
+				return nil, err
+			}
+			ok, err = a.mem.grow(cost)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !ok {
+			// Spilling cannot help (DISTINCT, a skewed partition reload, a
+			// table still below the spill-chunk floor): charge the resource
+			// group directly.
+			if err := a.mem.forceGrow(cost); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g := &group{keys: keys.Clone(), states: make([]aggState, len(a.node.Specs))}
 	a.groups[h] = append(a.groups[h], g)
 	a.order = append(a.order, g)
 	return g, nil
+}
+
+// dumpGroups flushes every in-memory group's transition state as a
+// partial-layout row to its hash partition file and clears the table.
+func (a *aggCore) dumpGroups() error {
+	if a.parts == nil {
+		fanout := spillFanout(a.node.EstMemBytes, a.ctx.Spill.Budget())
+		if err := a.mem.growFiles(int64(fanout) * spillFileOverhead); err != nil {
+			return err
+		}
+		a.parts = make([]*spillFile, fanout)
+		for i := range a.parts {
+			sf, err := a.ctx.Spill.newFile(fmt.Sprintf("seg%d-agg-part%d", a.ctx.SegID, i))
+			if err != nil {
+				return err
+			}
+			a.parts[i] = sf
+		}
+	}
+	fanout := uint64(len(a.parts))
+	for h, bucket := range a.groups {
+		sf := a.parts[h%fanout]
+		for _, g := range bucket {
+			if err := sf.writeRow(a.emitTransition(g)); err != nil {
+				return err
+			}
+		}
+	}
+	a.groups = make(map[uint64][]*group)
+	a.order = nil
+	a.mem.freeAll()
+	a.spilled = true
+	a.ctx.Spill.noteSpill()
+	return nil
+}
+
+// sortGroups fixes the deterministic (by group key) output order of the
+// in-memory groups.
+func (a *aggCore) sortGroups() {
+	sort.SliceStable(a.order, func(i, j int) bool {
+		ki, kj := a.order[i].keys, a.order[j].keys
+		for c := range ki {
+			if cmp := types.Compare(ki[c], kj[c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+}
+
+// loadPartition re-aggregates one spilled partition into a fresh in-memory
+// table: the dumped rows are the partial layout, so mergePartial folds states
+// of the same group (possibly dumped several times) back together exactly.
+func (a *aggCore) loadPartition(sf *spillFile) error {
+	a.groups = make(map[uint64][]*group)
+	a.order = nil
+	a.emitPos = 0
+	a.mem.freeAll()
+	a.reloading = true
+	defer func() { a.reloading = false }()
+	if err := sf.startRead(); err != nil {
+		return err
+	}
+	nkeys := len(a.node.GroupBy)
+	for {
+		row, err := sf.readRow()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := a.reloadTick.tick(); err != nil {
+			return err
+		}
+		grp, err := a.findGroup(row[:nkeys])
+		if err != nil {
+			return err
+		}
+		if err := a.mergePartial(grp, row); err != nil {
+			return err
+		}
+	}
+	sf.close()
+	a.sortGroups()
+	return nil
+}
+
+// nextOutput returns the next output row after finish: the sorted in-memory
+// groups, then — when the aggregate spilled — each partition re-aggregated
+// and emitted in turn (sorted by key within a partition). io.EOF at the end.
+func (a *aggCore) nextOutput() (types.Row, error) {
+	for {
+		if a.emitPos < len(a.order) {
+			g := a.order[a.emitPos]
+			a.emitPos++
+			return a.emit(g), nil
+		}
+		if !a.spilled || a.curPart >= len(a.parts) {
+			return nil, io.EOF
+		}
+		sf := a.parts[a.curPart]
+		a.parts[a.curPart] = nil // loadPartition closes (removes) it
+		a.curPart++
+		if err := a.loadPartition(sf); err != nil {
+			return nil, err
+		}
+	}
 }
 
 // absorb folds one input row into its group. The key row is evaluated into
@@ -198,22 +355,30 @@ func (a *aggCore) finish(sawRow bool) error {
 			return err
 		}
 	}
-	// Deterministic output order (by group key) helps tests; cheap at the
-	// row counts produced by aggregation.
-	sort.SliceStable(a.order, func(i, j int) bool {
-		ki, kj := a.order[i].keys, a.order[j].keys
-		for c := range ki {
-			if cmp := types.Compare(ki[c], kj[c]); cmp != 0 {
-				return cmp < 0
+	if a.spilled {
+		// Route the stragglers through their partitions too, so every group
+		// is re-aggregated (its state may be split across dumps).
+		if len(a.order) > 0 {
+			if err := a.dumpGroups(); err != nil {
+				return err
 			}
 		}
-		return false
-	})
+		return nil
+	}
+	// Deterministic output order (by group key) helps tests; cheap at the
+	// row counts produced by aggregation.
+	a.sortGroups()
 	return nil
 }
 
 func (a *aggCore) close() {
-	a.ctx.shrink(a.bytes)
+	a.mem.closeAll()
+	for _, sf := range a.parts {
+		if sf != nil {
+			sf.close()
+		}
+	}
+	a.parts = nil
 	a.groups = nil
 	a.order = nil
 }
@@ -304,38 +469,51 @@ func (a *aggCore) mergePartial(grp *group, row types.Row) error {
 	return nil
 }
 
+// emitTransition renders the group in the partial (transition-state) layout:
+// group keys, then per spec avg → (sum, count), others → one column. It is
+// both what partial/intermediate phases send upstream and what spilled
+// aggregates write to partition files (mergePartial reads it back).
+func (a *aggCore) emitTransition(grp *group) types.Row {
+	out := make(types.Row, 0, len(grp.keys)+len(a.node.Specs)+1)
+	out = append(out, grp.keys...)
+	for i, spec := range a.node.Specs {
+		st := &grp.states[i]
+		switch spec.Func {
+		case plan.AggAvg:
+			if st.any {
+				out = append(out, types.NewFloat(st.sumFloat), types.NewInt(st.count))
+			} else {
+				out = append(out, types.Null, types.NewInt(0))
+			}
+		case plan.AggCount:
+			out = append(out, types.NewInt(st.count))
+		case plan.AggSum:
+			out = append(out, st.sumDatum())
+		case plan.AggMin:
+			if st.any {
+				out = append(out, st.min)
+			} else {
+				out = append(out, types.Null)
+			}
+		case plan.AggMax:
+			if st.any {
+				out = append(out, st.max)
+			} else {
+				out = append(out, types.Null)
+			}
+		}
+	}
+	return out
+}
+
 func (a *aggCore) emit(grp *group) types.Row {
+	if a.node.Phase == plan.AggPartial || a.node.Phase == plan.AggIntermediate {
+		return a.emitTransition(grp)
+	}
 	out := make(types.Row, 0, a.node.Schema().Len())
 	out = append(out, grp.keys...)
 	for i, spec := range a.node.Specs {
 		st := &grp.states[i]
-		if a.node.Phase == plan.AggPartial || a.node.Phase == plan.AggIntermediate {
-			switch spec.Func {
-			case plan.AggAvg:
-				if st.any {
-					out = append(out, types.NewFloat(st.sumFloat), types.NewInt(st.count))
-				} else {
-					out = append(out, types.Null, types.NewInt(0))
-				}
-			case plan.AggCount:
-				out = append(out, types.NewInt(st.count))
-			case plan.AggSum:
-				out = append(out, st.sumDatum())
-			case plan.AggMin:
-				if st.any {
-					out = append(out, st.min)
-				} else {
-					out = append(out, types.Null)
-				}
-			case plan.AggMax:
-				if st.any {
-					out = append(out, st.max)
-				} else {
-					out = append(out, types.Null)
-				}
-			}
-			continue
-		}
 		switch spec.Func {
 		case plan.AggCount:
 			out = append(out, types.NewInt(st.count))
@@ -370,12 +548,7 @@ func (a *aggIter) Next() (types.Row, error) {
 			return nil, err
 		}
 	}
-	if a.pos >= len(a.core.order) {
-		return nil, io.EOF
-	}
-	g := a.core.order[a.pos]
-	a.pos++
-	return a.core.emit(g), nil
+	return a.core.nextOutput()
 }
 
 func (a *aggIter) Close() {

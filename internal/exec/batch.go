@@ -350,25 +350,21 @@ func (p *batchProjectIter) Close() { p.child.Close() }
 // probe batch is pulled — the same deadlock-safe order as the row path
 // (paper Appendix B).
 type batchHashJoinIter struct {
-	ctx         *Context
-	node        *plan.HashJoin
+	core        hashJoinCore
 	left, right BatchIterator
 
-	built  bool
-	table  map[uint64][]types.Row
-	bytes  int64
-	rwidth int
-	tick   cpuTick
-	out    *types.RowBatch
+	built    bool
+	draining bool
+	tick     cpuTick
+	out      *types.RowBatch
 }
 
 func newBatchHashJoinIter(ctx *Context, node *plan.HashJoin, left, right BatchIterator) *batchHashJoinIter {
 	return &batchHashJoinIter{
-		ctx: ctx, node: node, left: left, right: right,
-		table:  make(map[uint64][]types.Row),
-		rwidth: node.Right.Schema().Len(),
-		tick:   cpuTick{ctx: ctx},
-		out:    types.NewRowBatch(ctx.batchSize()),
+		core: newHashJoinCore(ctx, node),
+		left: left, right: right,
+		tick: cpuTick{ctx: ctx},
+		out:  types.NewRowBatch(ctx.batchSize()),
 	}
 }
 
@@ -384,24 +380,9 @@ func (j *batchHashJoinIter) build() error {
 		if err := j.tick.tickRows(b.Len()); err != nil {
 			return err
 		}
-		var grew int64
-		for i, l := 0, b.Len(); i < l; i++ {
-			row := b.Live(i)
-			h, ok, err := hashKeys(j.node.RightKeys, row)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				continue
-			}
-			grew += row.Size()
-			j.table[h] = append(j.table[h], row)
-		}
-		// Memory is charged once per build batch rather than per row.
-		if err := j.ctx.grow(grew); err != nil {
+		if err := j.core.addBuildBatch(b); err != nil {
 			return err
 		}
-		j.bytes += grew
 	}
 	j.built = true
 	return nil
@@ -414,7 +395,35 @@ func (j *batchHashJoinIter) NextBatch() (*types.RowBatch, error) {
 		}
 	}
 	for {
+		if j.draining {
+			// Spilled partitions are joined pairwise and their output rows
+			// re-batched (no-op when the join stayed in memory).
+			j.out.Reset()
+			size := j.out.Cap()
+			for j.out.Len() < size {
+				row, err := j.core.drainNext()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return nil, err
+				}
+				j.out.Append(row)
+			}
+			if j.out.Len() == 0 {
+				return nil, io.EOF
+			}
+			// Charge CPU for the disk-replay pass like the probe pass.
+			if err := j.tick.tickRows(j.out.Len()); err != nil {
+				return nil, err
+			}
+			return j.out, nil
+		}
 		b, err := j.left.NextBatch()
+		if err == io.EOF {
+			j.draining = true
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -424,14 +433,10 @@ func (j *batchHashJoinIter) NextBatch() (*types.RowBatch, error) {
 		j.out.Reset()
 		for i, l := 0, b.Len(); i < l; i++ {
 			probe := b.Live(i)
-			matched, err := probeHashTable(j.node, j.table, probe, func(combined types.Row) {
+			if err := j.core.probeRow(probe, func(combined types.Row) {
 				j.out.Append(combined)
-			})
-			if err != nil {
+			}); err != nil {
 				return nil, err
-			}
-			if !matched && j.node.Kind == plan.JoinLeft {
-				j.out.Append(nullExtend(probe, j.rwidth))
 			}
 		}
 		if j.out.Len() > 0 {
@@ -441,8 +446,7 @@ func (j *batchHashJoinIter) NextBatch() (*types.RowBatch, error) {
 }
 
 func (j *batchHashJoinIter) Close() {
-	j.ctx.shrink(j.bytes)
-	j.table = nil
+	j.core.closeCore()
 	j.left.Close()
 	j.right.Close()
 }
@@ -453,7 +457,6 @@ func (j *batchHashJoinIter) Close() {
 type batchAggIter struct {
 	core   aggCore
 	child  BatchIterator
-	pos    int
 	loaded bool
 	tick   cpuTick
 	out    *types.RowBatch
@@ -543,14 +546,20 @@ func (a *batchAggIter) NextBatch() (*types.RowBatch, error) {
 			return nil, err
 		}
 	}
-	if a.pos >= len(a.core.order) {
-		return nil, io.EOF
-	}
 	a.out.Reset()
 	size := a.out.Cap()
-	for a.pos < len(a.core.order) && a.out.Len() < size {
-		a.out.Append(a.core.emit(a.core.order[a.pos]))
-		a.pos++
+	for a.out.Len() < size {
+		row, err := a.core.nextOutput()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		a.out.Append(row)
+	}
+	if a.out.Len() == 0 {
+		return nil, io.EOF
 	}
 	return a.out, nil
 }

@@ -5,6 +5,11 @@
 // partial→final aggregate rewriting), motion send/receive over the
 // interconnect, two-phase aggregation, hash and nested-loop joins with
 // inner-side prefetch, and memory/CPU accounting hooks for resource groups.
+// Blocking operators (sort, hash agg, hash join) are memory-governed: past
+// the statement's spill budget (slot quota × memory_spill_ratio) they spill
+// to per-segment temp files — external merge sort, partition-spill
+// aggregation, Grace hash join — instead of growing until cancellation
+// (see spill.go).
 package exec
 
 import (
@@ -104,6 +109,11 @@ type Context struct {
 	Recv func(sliceID int) Receiver
 	Mem  MemAccount
 	CPU  CPUCharger
+	// Spill is the statement's spill manager: the shared operator-memory
+	// budget blocking operators reserve against, and the temp-file registry
+	// they spill to when it is exhausted. nil = spilling disabled (operators
+	// grow in memory until the resource group cancels the query).
+	Spill *SpillManager
 	// CPUBatchCost is the simulated CPU time charged per processed batch of
 	// rows; zero disables charging.
 	CPUBatchCost time.Duration

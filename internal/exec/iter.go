@@ -222,7 +222,12 @@ func (p *projectIter) Next() (types.Row, error) {
 
 func (p *projectIter) Close() { p.child.Close() }
 
-// sortIter materializes and sorts.
+// sortIter materializes and sorts. Under a spill budget it is an external
+// merge sort: when the accumulated rows exceed the budget they are sorted and
+// dumped as a run file, and after input is exhausted the run files plus the
+// in-memory residual are merged by a loser tree. Runs are numbered in input
+// order and ties break toward the lower run, so the merged output is
+// byte-identical to the stable in-memory sort.
 type sortIter struct {
 	ctx    *Context
 	child  Iterator
@@ -230,10 +235,75 @@ type sortIter struct {
 	rows   []types.Row
 	pos    int
 	loaded bool
-	bytes  int64
+	mem    opMem
+	runs   []*spillFile
+	tree   *loserTree
+}
+
+// compareKeys orders two rows under the ORDER BY keys.
+func (s *sortIter) compareKeys(a, b types.Row) (int, error) {
+	for _, k := range s.keys {
+		av, err := k.Expr.Eval(a)
+		if err != nil {
+			return 0, err
+		}
+		bv, err := k.Expr.Eval(b)
+		if err != nil {
+			return 0, err
+		}
+		c := types.Compare(av, bv)
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return -c, nil
+		}
+		return c, nil
+	}
+	return 0, nil
+}
+
+// sortBuffered stably sorts the in-memory rows.
+func (s *sortIter) sortBuffered() error {
+	var sortErr error
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		c, err := s.compareKeys(s.rows[i], s.rows[j])
+		if err != nil && sortErr == nil {
+			sortErr = err
+		}
+		return c < 0
+	})
+	return sortErr
+}
+
+// spillRun sorts the buffered rows, writes them as one run file, and releases
+// their memory.
+func (s *sortIter) spillRun() error {
+	if err := s.sortBuffered(); err != nil {
+		return err
+	}
+	sf, err := s.ctx.Spill.newFile(fmt.Sprintf("seg%d-sort-run%d", s.ctx.SegID, len(s.runs)))
+	if err != nil {
+		return err
+	}
+	if err := s.mem.growFiles(spillFileOverhead); err != nil {
+		sf.close()
+		return err
+	}
+	for _, row := range s.rows {
+		if err := sf.writeRow(row); err != nil {
+			return err
+		}
+	}
+	s.runs = append(s.runs, sf)
+	s.rows = nil
+	s.mem.freeAll()
+	s.ctx.Spill.noteSpill()
+	return nil
 }
 
 func (s *sortIter) load() error {
+	s.mem.ctx = s.ctx
 	for {
 		row, err := s.child.Next()
 		if err == io.EOF {
@@ -242,38 +312,53 @@ func (s *sortIter) load() error {
 		if err != nil {
 			return err
 		}
-		if err := s.ctx.grow(row.Size()); err != nil {
+		sz := row.Size()
+		ok, err := s.mem.grow(sz)
+		if err != nil {
 			return err
 		}
-		s.bytes += row.Size()
+		if !ok && s.mem.charged >= spillChunk(s.ctx.Spill.Budget()) {
+			if err := s.spillRun(); err != nil {
+				return err
+			}
+			ok, err = s.mem.grow(sz)
+			if err != nil {
+				return err
+			}
+		}
+		if !ok {
+			// Below the spill-chunk floor (or a single row beyond the whole
+			// budget): grow past the budget rather than shed a tiny run.
+			if err := s.mem.forceGrow(sz); err != nil {
+				return err
+			}
+		}
 		s.rows = append(s.rows, row)
 	}
-	var sortErr error
-	sort.SliceStable(s.rows, func(i, j int) bool {
-		for _, k := range s.keys {
-			a, err := k.Expr.Eval(s.rows[i])
-			if err != nil {
-				sortErr = err
-				return false
+	if err := s.sortBuffered(); err != nil {
+		return err
+	}
+	if len(s.runs) > 0 {
+		// Merge the run files plus the residual rows (the final, highest-
+		// numbered run, kept in memory).
+		srcs := make([]mergeSource, 0, len(s.runs)+1)
+		for _, sf := range s.runs {
+			if err := sf.startRead(); err != nil {
+				return err
 			}
-			b, err := k.Expr.Eval(s.rows[j])
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			c := types.Compare(a, b)
-			if c == 0 {
-				continue
-			}
-			if k.Desc {
-				return c > 0
-			}
-			return c < 0
+			srcs = append(srcs, fileSource{sf})
 		}
-		return false
-	})
+		if len(s.rows) > 0 {
+			srcs = append(srcs, &memSource{rows: s.rows})
+		}
+		tree, err := newLoserTree(srcs, s.compareKeys)
+		if err != nil {
+			return err
+		}
+		s.tree = tree
+	}
 	s.loaded = true
-	return sortErr
+	return nil
 }
 
 func (s *sortIter) Next() (types.Row, error) {
@@ -281,6 +366,9 @@ func (s *sortIter) Next() (types.Row, error) {
 		if err := s.load(); err != nil {
 			return nil, err
 		}
+	}
+	if s.tree != nil {
+		return s.tree.pop()
 	}
 	if s.pos >= len(s.rows) {
 		return nil, io.EOF
@@ -291,7 +379,12 @@ func (s *sortIter) Next() (types.Row, error) {
 }
 
 func (s *sortIter) Close() {
-	s.ctx.shrink(s.bytes)
+	s.mem.ctx = s.ctx
+	s.mem.closeAll()
+	for _, sf := range s.runs {
+		sf.close()
+	}
+	s.runs = nil
 	s.rows = nil
 	s.child.Close()
 }

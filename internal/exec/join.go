@@ -1,11 +1,312 @@
 package exec
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/plan"
 	"repro/internal/types"
 )
+
+// hashJoinCore is the build/probe state shared by the row-at-a-time and batch
+// hash joins, including the Grace-style partitioned spill path: when the
+// build side outgrows the spill budget, build rows are scattered by key hash
+// into fanout partition files (the in-memory table is flushed first), probe
+// rows follow into matching probe partitions, and after the probe input ends
+// each partition pair is joined in turn — build partition loaded into a fresh
+// table, probe partition streamed against it. Rows with NULL keys never join
+// and are resolved immediately in either mode.
+type hashJoinCore struct {
+	ctx    *Context
+	node   *plan.HashJoin
+	mem    opMem
+	table  map[uint64][]types.Row
+	rwidth int
+
+	spilled    bool
+	buildParts []*spillFile
+	probeParts []*spillFile
+
+	// Batch-build scratch (addBuildBatch), reused across batches.
+	hashScratch []uint64
+	rowScratch  []types.Row
+
+	// Spilled-partition drain state.
+	drainPart int
+	curProbe  *spillFile
+	pending   []types.Row
+}
+
+func newHashJoinCore(ctx *Context, node *plan.HashJoin) hashJoinCore {
+	return hashJoinCore{
+		ctx: ctx, node: node,
+		mem:    opMem{ctx: ctx},
+		table:  make(map[uint64][]types.Row),
+		rwidth: node.Right.Schema().Len(),
+	}
+}
+
+// addBuild folds one build-side row into the join state.
+func (c *hashJoinCore) addBuild(row types.Row) error {
+	h, ok, err := hashKeys(c.node.RightKeys, row)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil // NULL keys never join
+	}
+	if c.spilled {
+		return c.buildParts[h%uint64(len(c.buildParts))].writeRow(row)
+	}
+	okm, err := c.mem.grow(row.Size())
+	if err != nil {
+		return err
+	}
+	if !okm {
+		if c.ctx.Spill.Enabled() && c.mem.charged >= spillChunk(c.ctx.Spill.Budget()) {
+			if err := c.beginSpill(); err != nil {
+				return err
+			}
+			return c.buildParts[h%uint64(len(c.buildParts))].writeRow(row)
+		}
+		// Below the spill-chunk floor (a starved budget or a single row
+		// beyond all of it): keep building in memory for now.
+		if err := c.mem.forceGrow(row.Size()); err != nil {
+			return err
+		}
+	}
+	c.table[h] = append(c.table[h], row)
+	return nil
+}
+
+// addBuildBatch folds a whole build batch with one memory decision per batch
+// instead of one per row — grow takes the slot mutex and a budget CAS, which
+// the vectorized build must not pay per row. Once spilled, rows route to
+// their partition files individually (no memory is charged on that path).
+func (c *hashJoinCore) addBuildBatch(b *types.RowBatch) error {
+	if c.spilled {
+		for i, l := 0, b.Len(); i < l; i++ {
+			if err := c.addBuild(b.Live(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	c.hashScratch = c.hashScratch[:0]
+	c.rowScratch = c.rowScratch[:0]
+	var total int64
+	for i, l := 0, b.Len(); i < l; i++ {
+		row := b.Live(i)
+		h, ok, err := hashKeys(c.node.RightKeys, row)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue // NULL keys never join
+		}
+		c.hashScratch = append(c.hashScratch, h)
+		c.rowScratch = append(c.rowScratch, row)
+		total += row.Size()
+	}
+	if len(c.rowScratch) == 0 {
+		return nil
+	}
+	okm, err := c.mem.grow(total)
+	if err != nil {
+		return err
+	}
+	if !okm {
+		if c.ctx.Spill.Enabled() && c.mem.charged >= spillChunk(c.ctx.Spill.Budget()) {
+			if err := c.beginSpill(); err != nil {
+				return err
+			}
+			for i, row := range c.rowScratch {
+				if err := c.buildParts[c.hashScratch[i]%uint64(len(c.buildParts))].writeRow(row); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := c.mem.forceGrow(total); err != nil {
+			return err
+		}
+	}
+	for i, row := range c.rowScratch {
+		c.table[c.hashScratch[i]] = append(c.table[c.hashScratch[i]], row)
+	}
+	return nil
+}
+
+// beginSpill creates the partition files and flushes the in-memory table.
+func (c *hashJoinCore) beginSpill() error {
+	fanout := spillFanout(c.node.EstMemBytes, c.ctx.Spill.Budget())
+	if err := c.mem.growFiles(2 * int64(fanout) * spillFileOverhead); err != nil {
+		return err
+	}
+	c.buildParts = make([]*spillFile, fanout)
+	c.probeParts = make([]*spillFile, fanout)
+	for i := 0; i < fanout; i++ {
+		bf, err := c.ctx.Spill.newFile(fmt.Sprintf("seg%d-join-build%d", c.ctx.SegID, i))
+		if err != nil {
+			return err
+		}
+		pf, err := c.ctx.Spill.newFile(fmt.Sprintf("seg%d-join-probe%d", c.ctx.SegID, i))
+		if err != nil {
+			return err
+		}
+		c.buildParts[i], c.probeParts[i] = bf, pf
+	}
+	for h, bucket := range c.table {
+		sf := c.buildParts[h%uint64(fanout)]
+		for _, row := range bucket {
+			if err := sf.writeRow(row); err != nil {
+				return err
+			}
+		}
+	}
+	c.table = make(map[uint64][]types.Row)
+	c.mem.freeAll()
+	c.spilled = true
+	c.ctx.Spill.noteSpill()
+	return nil
+}
+
+// probeRow handles one probe-side row. In memory it emits matches (and the
+// left-join null extension) immediately; once spilled, rows are buffered to
+// their probe partition and the matches surface later via drainNext.
+func (c *hashJoinCore) probeRow(probe types.Row, emit func(types.Row)) error {
+	if !c.spilled {
+		matched, err := probeHashTable(c.node, c.table, probe, emit)
+		if err != nil {
+			return err
+		}
+		if !matched && c.node.Kind == plan.JoinLeft {
+			emit(nullExtend(probe, c.rwidth))
+		}
+		return nil
+	}
+	h, ok, err := hashKeys(c.node.LeftKeys, probe)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		// NULL keys match nothing in any partition; resolve now.
+		if c.node.Kind == plan.JoinLeft {
+			emit(nullExtend(probe, c.rwidth))
+		}
+		return nil
+	}
+	return c.probeParts[h%uint64(len(c.probeParts))].writeRow(probe)
+}
+
+// drainNext returns the next output row of the spilled partitions, loading
+// each build partition into a fresh in-memory table and streaming its probe
+// partition against it. io.EOF when every partition is joined. When the join
+// never spilled there is nothing to drain.
+func (c *hashJoinCore) drainNext() (types.Row, error) {
+	for {
+		if len(c.pending) > 0 {
+			row := c.pending[0]
+			c.pending = c.pending[1:]
+			return row, nil
+		}
+		if !c.spilled {
+			return nil, io.EOF
+		}
+		if c.curProbe == nil {
+			if c.drainPart >= len(c.buildParts) {
+				return nil, io.EOF
+			}
+			if err := c.loadBuildPartition(c.drainPart); err != nil {
+				return nil, err
+			}
+			c.curProbe = c.probeParts[c.drainPart]
+			if err := c.curProbe.startRead(); err != nil {
+				return nil, err
+			}
+		}
+		probe, err := c.curProbe.readRow()
+		if err == io.EOF {
+			// Partition pair done: release its table and files.
+			c.probeParts[c.drainPart].close()
+			c.probeParts[c.drainPart] = nil
+			c.table = make(map[uint64][]types.Row)
+			c.mem.freeAll()
+			c.curProbe = nil
+			c.drainPart++
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		matched, err := probeHashTable(c.node, c.table, probe, func(combined types.Row) {
+			c.pending = append(c.pending, combined)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !matched && c.node.Kind == plan.JoinLeft {
+			c.pending = append(c.pending, nullExtend(probe, c.rwidth))
+		}
+	}
+}
+
+// loadBuildPartition reads one build partition into the in-memory table. A
+// partition is sized by the fanout to fit the budget; when key skew defeats
+// that, the resource group is charged directly rather than re-partitioning
+// (one level of Grace partitioning, as in the paper's executor).
+func (c *hashJoinCore) loadBuildPartition(p int) error {
+	sf := c.buildParts[p]
+	c.buildParts[p] = nil
+	if err := sf.startRead(); err != nil {
+		return err
+	}
+	for {
+		row, err := sf.readRow()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		h, ok, err := hashKeys(c.node.RightKeys, row)
+		if err != nil || !ok {
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		okm, err := c.mem.grow(row.Size())
+		if err != nil {
+			return err
+		}
+		if !okm {
+			if err := c.mem.forceGrow(row.Size()); err != nil {
+				return err
+			}
+		}
+		c.table[h] = append(c.table[h], row)
+	}
+	sf.close()
+	return nil
+}
+
+// closeCore releases memory and removes any remaining partition files.
+func (c *hashJoinCore) closeCore() {
+	c.mem.closeAll()
+	for _, sf := range c.buildParts {
+		if sf != nil {
+			sf.close()
+		}
+	}
+	for _, sf := range c.probeParts {
+		if sf != nil {
+			sf.close()
+		}
+	}
+	c.buildParts, c.probeParts = nil, nil
+	c.table = nil
+}
 
 // hashJoinIter implements hash join with the right (build/inner) side fully
 // prefetched and materialized before the left (probe/outer) side is pulled.
@@ -13,26 +314,21 @@ import (
 // against interconnect deadlock (paper Appendix B) — the inner motion is
 // drained completely before any outer tuple is requested.
 type hashJoinIter struct {
-	ctx   *Context
-	node  *plan.HashJoin
+	core  hashJoinCore
 	left  Iterator
 	right Iterator
 
-	built   bool
-	table   map[uint64][]types.Row
-	bytes   int64
-	rwidth  int
-	tick    cpuTick
-	pending []types.Row // matches for the current probe row
-	cur     types.Row
+	built    bool
+	draining bool
+	tick     cpuTick
+	pending  []types.Row // matches for the current probe row
 }
 
 func newHashJoinIter(ctx *Context, node *plan.HashJoin, left, right Iterator) *hashJoinIter {
 	return &hashJoinIter{
-		ctx: ctx, node: node, left: left, right: right,
-		table:  make(map[uint64][]types.Row),
-		rwidth: node.Right.Schema().Len(),
-		tick:   cpuTick{ctx: ctx},
+		core: newHashJoinCore(ctx, node),
+		left: left, right: right,
+		tick: cpuTick{ctx: ctx},
 	}
 }
 
@@ -127,18 +423,9 @@ func (j *hashJoinIter) build() error {
 		if err := j.tick.tick(); err != nil {
 			return err
 		}
-		h, ok, err := hashKeys(j.node.RightKeys, row)
-		if err != nil {
+		if err := j.core.addBuild(row); err != nil {
 			return err
 		}
-		if !ok {
-			continue
-		}
-		if err := j.ctx.grow(row.Size()); err != nil {
-			return err
-		}
-		j.bytes += row.Size()
-		j.table[h] = append(j.table[h], row)
 	}
 	j.built = true
 	return nil
@@ -156,29 +443,41 @@ func (j *hashJoinIter) Next() (types.Row, error) {
 			j.pending = j.pending[1:]
 			return r, nil
 		}
+		if j.draining {
+			row, err := j.core.drainNext()
+			if err != nil {
+				return nil, err
+			}
+			// The drain re-reads and re-joins spilled rows: charge CPU so
+			// the disk-replay pass stays governed like the first pass.
+			if err := j.tick.tick(); err != nil {
+				return nil, err
+			}
+			return row, nil
+		}
 		probe, err := j.left.Next()
+		if err == io.EOF {
+			// Probe input done; surface the spilled partitions (a no-op when
+			// the join stayed in memory).
+			j.draining = true
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
 		if err := j.tick.tick(); err != nil {
 			return nil, err
 		}
-		j.cur = probe
-		matched, err := probeHashTable(j.node, j.table, probe, func(combined types.Row) {
+		if err := j.core.probeRow(probe, func(combined types.Row) {
 			j.pending = append(j.pending, combined)
-		})
-		if err != nil {
+		}); err != nil {
 			return nil, err
-		}
-		if !matched && j.node.Kind == plan.JoinLeft {
-			return nullExtend(probe, j.rwidth), nil
 		}
 	}
 }
 
 func (j *hashJoinIter) Close() {
-	j.ctx.shrink(j.bytes)
-	j.table = nil
+	j.core.closeCore()
 	j.left.Close()
 	j.right.Close()
 }

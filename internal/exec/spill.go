@@ -1,0 +1,564 @@
+package exec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// Spilling: every blocking operator (sort, hash aggregate, hash join build)
+// routes its working-set growth through an opMem, which charges the resource
+// group's Vmemtracker AND reserves against the statement's spill budget
+// (slot quota × memory_spill_ratio). When the budget cannot cover a growth
+// request the operator degrades gracefully — it moves state to per-segment
+// temp files and keeps going — instead of cancelling the query or starving
+// concurrent OLTP work of memory (paper §6's motivation for resource-group
+// memory isolation).
+
+// SpillManager is one statement's spill state: the shared operator-memory
+// budget, the temp directory holding every spill file, and the counters
+// surfaced by EXPLAIN ANALYZE / SHOW spill_stats. One manager serves all
+// slices, segments and parallel workers of the statement; it is safe for
+// concurrent use.
+type SpillManager struct {
+	budget int64
+
+	used atomic.Int64 // budget-reserved operator bytes
+	hwm  atomic.Int64 // high-water mark of used
+
+	spills     atomic.Int64 // spill events (run dumps, table flushes)
+	spillBytes atomic.Int64 // bytes written to spill files
+	spillFiles atomic.Int64 // spill files created
+
+	mu    sync.Mutex
+	dir   string
+	files map[*spillFile]struct{}
+	seq   int
+}
+
+// NewSpillManager returns a manager enforcing the given operator-memory
+// budget in bytes. budget <= 0 disables spilling (a nil manager does too).
+func NewSpillManager(budget int64) *SpillManager {
+	if budget <= 0 {
+		return nil
+	}
+	return &SpillManager{budget: budget, files: make(map[*spillFile]struct{})}
+}
+
+// Enabled reports whether spilling is active.
+func (m *SpillManager) Enabled() bool { return m != nil && m.budget > 0 }
+
+// Budget returns the operator-memory budget in bytes.
+func (m *SpillManager) Budget() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.budget
+}
+
+// reserve takes n bytes of the budget, failing (reserving nothing) when the
+// budget cannot cover the request — the caller's cue to spill.
+func (m *SpillManager) reserve(n int64) bool {
+	for {
+		cur := m.used.Load()
+		if cur+n > m.budget {
+			return false
+		}
+		if m.used.CompareAndSwap(cur, cur+n) {
+			for {
+				h := m.hwm.Load()
+				if cur+n <= h || m.hwm.CompareAndSwap(h, cur+n) {
+					return true
+				}
+			}
+		}
+	}
+}
+
+// release returns bytes taken with reserve.
+func (m *SpillManager) release(n int64) {
+	if n > 0 {
+		m.used.Add(-n)
+	}
+}
+
+// noteSpill counts one spill event (a sorted run dump or a hash-table flush).
+func (m *SpillManager) noteSpill() { m.spills.Add(1) }
+
+// Stats snapshots the manager's counters: spill events, bytes written, files
+// created, and the high-water mark of budget-tracked operator memory.
+func (m *SpillManager) Stats() (spills, bytes, files, memPeak int64) {
+	return m.spills.Load(), m.spillBytes.Load(), m.spillFiles.Load(), m.hwm.Load()
+}
+
+// spillFileOverhead is the accounted in-memory cost of one open spill file:
+// the bufio buffer (the write buffer is dropped when the reader opens, so
+// only one is live at a time). Charged to the resource group by the owning
+// operator so buffer memory is visible to the model it serves, and released
+// when the operator closes.
+const spillFileOverhead = spillBufSize
+
+// spillBufSize sizes a spill file's write and read buffers.
+const spillBufSize = 4 << 10
+
+// newFile creates a spill file in the manager's (lazily created) temp
+// directory. label names the file for diagnostics, e.g. "seg0-sort-run3".
+func (m *SpillManager) newFile(label string) (*spillFile, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dir == "" {
+		dir, err := os.MkdirTemp("", "gpspill-")
+		if err != nil {
+			return nil, fmt.Errorf("exec: creating spill directory: %w", err)
+		}
+		m.dir = dir
+	}
+	m.seq++
+	path := filepath.Join(m.dir, fmt.Sprintf("%04d-%s.spill", m.seq, label))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("exec: creating spill file: %w", err)
+	}
+	sf := &spillFile{m: m, f: f, w: bufio.NewWriterSize(f, spillBufSize)}
+	m.files[sf] = struct{}{}
+	m.spillFiles.Add(1)
+	return sf, nil
+}
+
+func (m *SpillManager) untrack(sf *spillFile) {
+	m.mu.Lock()
+	delete(m.files, sf)
+	m.mu.Unlock()
+}
+
+// Cleanup closes and removes every spill file still on disk plus the temp
+// directory itself. Operators close their files as they finish, so on a clean
+// run this only removes the empty directory; after a query error it is the
+// backstop guaranteeing no temp files leak. It returns how many files it had
+// to remove. Call only after all slices have retired.
+func (m *SpillManager) Cleanup() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	leaked := len(m.files)
+	for sf := range m.files {
+		sf.f.Close()
+		os.Remove(sf.f.Name())
+	}
+	m.files = make(map[*spillFile]struct{})
+	dir := m.dir
+	m.dir = ""
+	m.mu.Unlock()
+	if dir != "" {
+		os.RemoveAll(dir)
+	}
+	return leaked
+}
+
+// spillFile is one write-once-then-read temp file of encoded rows. It is used
+// by a single operator goroutine at a time.
+type spillFile struct {
+	m     *SpillManager
+	f     *os.File
+	w     *bufio.Writer
+	r     *bufio.Reader
+	buf   []byte
+	rows  int64
+	bytes int64
+}
+
+// writeRow appends one encoded row.
+func (sf *spillFile) writeRow(row types.Row) error {
+	sf.buf = appendRow(sf.buf[:0], row)
+	n, err := sf.w.Write(sf.buf)
+	sf.bytes += int64(n)
+	sf.m.spillBytes.Add(int64(n))
+	if err == nil {
+		sf.rows++
+	}
+	return err
+}
+
+// startRead flushes pending writes, drops the write buffer, and rewinds for
+// reading. Safe to call more than once; writes must not follow.
+func (sf *spillFile) startRead() error {
+	if sf.r != nil {
+		return nil
+	}
+	if err := sf.w.Flush(); err != nil {
+		return err
+	}
+	sf.w = nil // the reader replaces the writer in the accounted footprint
+	if _, err := sf.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	sf.r = bufio.NewReaderSize(sf.f, spillBufSize)
+	return nil
+}
+
+// readRow decodes the next row, returning io.EOF cleanly at end of file.
+func (sf *spillFile) readRow() (types.Row, error) {
+	return readRow(sf.r)
+}
+
+// close removes the file from disk and the manager's tracking.
+func (sf *spillFile) close() {
+	sf.f.Close()
+	os.Remove(sf.f.Name())
+	sf.m.untrack(sf)
+}
+
+// ---- row codec ----
+
+// Spill files hold rows in a simple self-framing binary format: a uvarint
+// column count, then per datum a kind tag byte and a payload (varint for
+// int/date, fixed 8 bytes for float, uvarint-length-prefixed bytes for text,
+// one byte for bool, nothing for NULL).
+
+const (
+	tagNull = iota
+	tagInt
+	tagFloat
+	tagText
+	tagBool
+	tagDate
+)
+
+func appendRow(buf []byte, row types.Row) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(row)))
+	for _, d := range row {
+		switch d.Kind() {
+		case types.KindNull:
+			buf = append(buf, tagNull)
+		case types.KindInt:
+			buf = append(buf, tagInt)
+			buf = binary.AppendVarint(buf, d.Int())
+		case types.KindFloat:
+			buf = append(buf, tagFloat)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.Float()))
+		case types.KindText:
+			s := d.Text()
+			buf = append(buf, tagText)
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		case types.KindBool:
+			b := byte(0)
+			if d.Bool() {
+				b = 1
+			}
+			buf = append(buf, tagBool, b)
+		case types.KindDate:
+			buf = append(buf, tagDate)
+			buf = binary.AppendVarint(buf, d.Int())
+		}
+	}
+	return buf
+}
+
+func readRow(r *bufio.Reader) (types.Row, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF // clean end at a row boundary
+		}
+		return nil, err
+	}
+	row := make(types.Row, n)
+	for i := range row {
+		tag, err := r.ReadByte()
+		if err != nil {
+			return nil, unexpectedEOF(err)
+		}
+		switch tag {
+		case tagNull:
+			row[i] = types.Null
+		case tagInt:
+			v, err := binary.ReadVarint(r)
+			if err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			row[i] = types.NewInt(v)
+		case tagFloat:
+			var b [8]byte
+			if _, err := io.ReadFull(r, b[:]); err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			row[i] = types.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b[:])))
+		case tagText:
+			l, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			b := make([]byte, l)
+			if _, err := io.ReadFull(r, b); err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			row[i] = types.NewText(string(b))
+		case tagBool:
+			b, err := r.ReadByte()
+			if err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			row[i] = types.NewBool(b != 0)
+		case tagDate:
+			v, err := binary.ReadVarint(r)
+			if err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			row[i] = types.NewDate(v)
+		default:
+			return nil, fmt.Errorf("exec: corrupt spill file: unknown datum tag %d", tag)
+		}
+	}
+	return row, nil
+}
+
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ---- operator memory accounting ----
+
+// opMem is one operator's working-set account. grow charges both layers —
+// the resource group's Vmemtracker (hard: exhaustion cancels the query) and
+// the statement's spill budget (soft: exhaustion tells the operator to
+// spill). freeAll unwinds both, e.g. after state has moved to disk.
+type opMem struct {
+	ctx      *Context
+	charged  int64 // resgroup-charged bytes
+	reserved int64 // spill-budget-reserved bytes
+	files    int64 // resgroup-charged spill-file buffer bytes
+}
+
+// grow charges n bytes. ok=false (with nil error) means the spill budget is
+// exhausted and the operator should spill; a non-nil error is a hard
+// out-of-memory cancellation from the resource group.
+func (o *opMem) grow(n int64) (ok bool, err error) {
+	sm := o.ctx.Spill
+	if sm.Enabled() {
+		if !sm.reserve(n) {
+			return false, nil
+		}
+		o.reserved += n
+	}
+	if err := o.ctx.grow(n); err != nil {
+		if sm.Enabled() {
+			sm.release(n)
+			o.reserved -= n
+		}
+		return false, err
+	}
+	o.charged += n
+	return true, nil
+}
+
+// forceGrow charges the resource group only, bypassing the spill budget. Used
+// when spilling cannot help: a single row larger than the whole budget, a
+// non-spillable operator (DISTINCT aggregates), or reloading one spilled
+// partition whose size the fanout underestimated.
+func (o *opMem) forceGrow(n int64) error {
+	if err := o.ctx.grow(n); err != nil {
+		return err
+	}
+	o.charged += n
+	return nil
+}
+
+// growFiles charges the resource group for spill-file buffer memory. Unlike
+// charged, the file charge survives freeAll (the files stay open after their
+// state's memory is released) and is returned only by closeAll.
+func (o *opMem) growFiles(n int64) error {
+	if err := o.ctx.grow(n); err != nil {
+		return err
+	}
+	o.files += n
+	return nil
+}
+
+// freeAll returns the operator's state memory in both layers. Spill-file
+// buffer charges are kept until closeAll.
+func (o *opMem) freeAll() {
+	if o.charged > 0 {
+		o.ctx.shrink(o.charged)
+	}
+	if o.reserved > 0 && o.ctx.Spill.Enabled() {
+		o.ctx.Spill.release(o.reserved)
+	}
+	o.charged, o.reserved = 0, 0
+}
+
+// closeAll returns everything, including file buffer charges. Call when the
+// operator closes.
+func (o *opMem) closeAll() {
+	o.freeAll()
+	if o.files > 0 {
+		o.ctx.shrink(o.files)
+		o.files = 0
+	}
+}
+
+// minSpillChunk is the smallest working set worth dumping to disk. The
+// statement budget is shared by every blocking operator, so an operator
+// starved by its neighbours would otherwise degenerate into one temp file per
+// handful of rows; below the chunk floor it grows past the budget instead
+// (bounding per-operator overshoot by this constant).
+const minSpillChunk = 16 << 10
+
+// spillChunk is the working set an operator accumulates before dumping: a
+// quarter of the budget, floored at minSpillChunk.
+func spillChunk(budget int64) int64 {
+	c := budget / 4
+	if c < minSpillChunk {
+		c = minSpillChunk
+	}
+	return c
+}
+
+// spillFanout picks the partition count for a Grace hash join or aggregate
+// spill: enough partitions that one partition's share of the estimated
+// working set fits the budget, clamped to [4, 64] and rounded to a power of
+// two (the partition function is hash % fanout).
+func spillFanout(estBytes, budget int64) int {
+	f := 16
+	if estBytes > 0 && budget > 0 {
+		need := estBytes/budget + 1
+		f = 4
+		for int64(f) < need && f < 64 {
+			f *= 2
+		}
+	}
+	return f
+}
+
+// ---- loser-tree merge ----
+
+// mergeSource yields rows in sorted order; io.EOF ends the stream.
+type mergeSource interface {
+	next() (types.Row, error)
+}
+
+// fileSource replays a sorted run file.
+type fileSource struct{ sf *spillFile }
+
+func (s fileSource) next() (types.Row, error) { return s.sf.readRow() }
+
+// memSource replays an in-memory sorted run.
+type memSource struct {
+	rows []types.Row
+	pos  int
+}
+
+func (s *memSource) next() (types.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, io.EOF
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// loserTree merges k sorted sources with ⌈log₂k⌉ comparisons per row (the
+// classic tournament tree of losers). Ties break toward the lower source
+// index, which — with runs numbered in input order — reproduces exactly the
+// stable in-memory sort.
+type loserTree struct {
+	cmp   func(a, b types.Row) (int, error)
+	srcs  []mergeSource
+	heads []types.Row // current head per source; nil = exhausted
+	tree  []int       // tree[0] = winner; tree[1..k-1] = loser at that node
+	k     int
+}
+
+func newLoserTree(srcs []mergeSource, cmp func(a, b types.Row) (int, error)) (*loserTree, error) {
+	k := len(srcs)
+	t := &loserTree{cmp: cmp, srcs: srcs, heads: make([]types.Row, k), tree: make([]int, k), k: k}
+	for i, s := range srcs {
+		row, err := s.next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.heads[i] = row
+	}
+	// Play the full tournament bottom-up over the implicit heap-shaped tree
+	// (internal nodes 1..k-1, leaves k..2k-1).
+	win := make([]int, 2*k)
+	for i := 0; i < k; i++ {
+		win[k+i] = i
+	}
+	for p := k - 1; p >= 1; p-- {
+		w, l, err := t.play(win[2*p], win[2*p+1])
+		if err != nil {
+			return nil, err
+		}
+		win[p] = w
+		t.tree[p] = l
+	}
+	if k == 1 {
+		t.tree[0] = 0
+	} else {
+		t.tree[0] = win[1]
+	}
+	return t, nil
+}
+
+// play decides one match; an exhausted source always loses, ties go to the
+// lower index.
+func (t *loserTree) play(a, b int) (winner, loser int, err error) {
+	if t.heads[a] == nil {
+		return b, a, nil
+	}
+	if t.heads[b] == nil {
+		return a, b, nil
+	}
+	c, err := t.cmp(t.heads[a], t.heads[b])
+	if err != nil {
+		return a, b, err
+	}
+	if c < 0 || (c == 0 && a < b) {
+		return a, b, nil
+	}
+	return b, a, nil
+}
+
+// pop removes and returns the smallest head row, refilling its source and
+// replaying its path to the root. io.EOF once every source is exhausted.
+func (t *loserTree) pop() (types.Row, error) {
+	w := t.tree[0]
+	if t.heads[w] == nil {
+		return nil, io.EOF
+	}
+	row := t.heads[w]
+	nxt, err := t.srcs[w].next()
+	if err == io.EOF {
+		t.heads[w] = nil
+	} else if err != nil {
+		return nil, err
+	} else {
+		t.heads[w] = nxt
+	}
+	s := w
+	for p := (w + t.k) / 2; p >= 1; p /= 2 {
+		winner, loser, err := t.play(s, t.tree[p])
+		if err != nil {
+			return nil, err
+		}
+		s, t.tree[p] = winner, loser
+	}
+	t.tree[0] = s
+	return row, nil
+}

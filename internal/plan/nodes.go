@@ -216,8 +216,11 @@ type HashJoin struct {
 	LeftKeys, RightKeys []Expr
 	// Extra is a residual non-equality condition evaluated on the combined
 	// row (left columns then right columns).
-	Extra  Expr
-	schema *types.Schema
+	Extra Expr
+	// EstMemBytes estimates the build-side working set (AnnotateMemory). The
+	// executor sizes the Grace spill partition fanout from it.
+	EstMemBytes int64
+	schema      *types.Schema
 }
 
 // NewHashJoin builds a hash join node.
@@ -236,7 +239,18 @@ func (j *HashJoin) Schema() *types.Schema { return j.schema }
 func (j *HashJoin) Children() []Node { return []Node{j.Left, j.Right} }
 
 // Explain implements Node.
-func (j *HashJoin) Explain() string { return fmt.Sprintf("Hash Join (%s)", j.Kind) }
+func (j *HashJoin) Explain() string {
+	return fmt.Sprintf("Hash Join (%s)%s", j.Kind, estMemSuffix(j.EstMemBytes))
+}
+
+// estMemSuffix renders a node's estimated working set for EXPLAIN.
+func estMemSuffix(b int64) string {
+	if b <= 0 {
+		return ""
+	}
+	kb := (b + 1023) / 1024
+	return fmt.Sprintf(" est_mem=%dKB", kb)
+}
 
 // NestLoop joins with an arbitrary condition; the right side is
 // materialized (prefetched) and rescanned per left row.
@@ -331,7 +345,10 @@ type Agg struct {
 	GroupBy []Expr
 	Specs   []AggSpec
 	Phase   AggPhase
-	schema  *types.Schema
+	// EstMemBytes estimates the hash table's working set (AnnotateMemory).
+	// The executor sizes the spill partition fanout from it.
+	EstMemBytes int64
+	schema      *types.Schema
 }
 
 // NewAgg builds an aggregation node and computes its output schema.
@@ -392,7 +409,7 @@ func (a *Agg) Explain() string {
 		ph = " (intermediate)"
 	}
 	if len(a.GroupBy) > 0 {
-		return "HashAggregate" + ph
+		return "HashAggregate" + ph + estMemSuffix(a.EstMemBytes)
 	}
 	return "Aggregate" + ph
 }
@@ -407,6 +424,9 @@ type SortKey struct {
 type Sort struct {
 	Child Node
 	Keys  []SortKey
+	// EstMemBytes estimates the materialized input's working set
+	// (AnnotateMemory); surfaced by EXPLAIN.
+	EstMemBytes int64
 }
 
 // Schema implements Node.
@@ -416,7 +436,7 @@ func (s *Sort) Schema() *types.Schema { return s.Child.Schema() }
 func (s *Sort) Children() []Node { return []Node{s.Child} }
 
 // Explain implements Node.
-func (s *Sort) Explain() string { return "Sort" }
+func (s *Sort) Explain() string { return "Sort" + estMemSuffix(s.EstMemBytes) }
 
 // Limit caps output.
 type Limit struct {

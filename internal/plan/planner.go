@@ -246,6 +246,7 @@ func (p *Planner) PlanSelect(s *sql.SelectStmt) (*Planned, error) {
 	if p.Pushdown {
 		AttachPushdown(res.Root)
 	}
+	AnnotateMemory(res.Root, p.stats())
 	return res, nil
 }
 

@@ -214,6 +214,16 @@ func (s *Slot) Shrink(n int64) { s.acct.Shrink(n) }
 // MemoryUsed returns the slot's accounted bytes.
 func (s *Slot) MemoryUsed() int64 { return s.acct.Used() }
 
+// MemoryHighWater returns the slot's peak accounted bytes — the vmem
+// high-water mark a spilling executor is expected to keep near the spill
+// budget instead of the full working set.
+func (s *Slot) MemoryHighWater() int64 { return s.acct.HighWater() }
+
+// ResetMemoryHighWater rebases the peak to current usage; the executor
+// calls it per statement so peaks attribute to the statement that caused
+// them, not the slot's (transaction's) lifetime.
+func (s *Slot) ResetMemoryHighWater() { s.acct.resetHighWater() }
+
 // Release frees all memory and the concurrency slot. Idempotent.
 func (s *Slot) Release() {
 	s.mu.Lock()
@@ -236,6 +246,30 @@ func (g *Group) Stats() (admitted, cancelled int64) {
 
 // SlotQuota returns the per-query private memory budget (for tests).
 func (g *Group) SlotQuota() int64 { return g.vmem.slotQuota }
+
+// SpillBudget derives a statement's operator-memory budget — the bytes its
+// blocking operators (sort, hash agg, hash join) may hold before spilling to
+// disk: slot quota × memory_spill_ratio percent. Precedence for the ratio:
+// sessionRatio (SET memory_spill_ratio; < 0 = unset), then the group's
+// MEMORY_SPILL_RATIO, then defRatio (the cluster default). A resolved ratio
+// of 0 disables spilling: operators grow in memory until the Vmemtracker
+// cancels the query.
+func (g *Group) SpillBudget(sessionRatio, defRatio int) int64 {
+	ratio := defRatio
+	if g.def.MemSpillRatio > 0 {
+		ratio = g.def.MemSpillRatio
+	}
+	if sessionRatio >= 0 {
+		ratio = sessionRatio
+	}
+	if ratio <= 0 {
+		return 0
+	}
+	if ratio > 100 {
+		ratio = 100
+	}
+	return g.vmem.slotQuota * int64(ratio) / 100
+}
 
 // GroupSharedFree returns the remaining group-shared bytes (for tests).
 func (g *Group) GroupSharedFree() int64 {

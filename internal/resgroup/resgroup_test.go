@@ -290,3 +290,64 @@ func TestDuplicateGroupRejected(t *testing.T) {
 		t.Fatal("duplicate accepted")
 	}
 }
+
+func TestMemoryHighWaterAndSpillBudget(t *testing.T) {
+	m := testManager(t)
+	g, err := m.CreateGroup(catalog.ResourceGroupDef{
+		Name: "g", Concurrency: 2, MemoryLimit: 40, MemSharedQuota: 50, MemSpillRatio: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group memory 400, shared 200, slot quota 100. Group ratio 25 → budget
+	// 25; a session SET overrides it; with neither, the default applies.
+	if b := g.SpillBudget(-1, 20); b != 25 {
+		t.Fatalf("group-ratio budget = %d, want 25", b)
+	}
+	if b := g.SpillBudget(50, 20); b != 50 {
+		t.Fatalf("session-ratio budget = %d, want 50", b)
+	}
+	if b := g.SpillBudget(0, 20); b != 0 {
+		t.Fatalf("SET memory_spill_ratio 0 should disable spilling, got %d", b)
+	}
+	noRatio, err := m.CreateGroup(catalog.ResourceGroupDef{
+		Name: "plain", Concurrency: 1, MemoryLimit: 10, MemSharedQuota: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := noRatio.SpillBudget(-1, 20); b != 100*20/100 {
+		t.Fatalf("default-ratio budget = %d, want 20", b)
+	}
+
+	s, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grow(80); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grow(40); err != nil { // spills into group shared
+		t.Fatal(err)
+	}
+	s.Shrink(100)
+	if got := s.MemoryUsed(); got != 20 {
+		t.Fatalf("used = %d", got)
+	}
+	if got := s.MemoryHighWater(); got != 120 {
+		t.Fatalf("high water = %d, want 120", got)
+	}
+	// Per-statement rebase: the next statement's peak starts from current
+	// usage, not the slot's lifetime maximum.
+	s.ResetMemoryHighWater()
+	if got := s.MemoryHighWater(); got != 20 {
+		t.Fatalf("high water after reset = %d, want 20", got)
+	}
+	if err := s.Grow(50); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MemoryHighWater(); got != 70 {
+		t.Fatalf("high water after reset+grow = %d, want 70", got)
+	}
+	s.Release()
+}

@@ -84,6 +84,7 @@ type memAccount struct {
 	slotUsed   int64
 	groupUsed  int64 // taken from group shared
 	globalUsed int64 // taken from global shared
+	hwm        int64 // high-water mark of total usage
 }
 
 // Grow charges n more bytes to the query, spilling from slot quota to group
@@ -96,6 +97,7 @@ func (a *memAccount) Grow(n int64) error {
 	// Layer 1: slot quota.
 	if a.slotUsed+n <= g.vmem.slotQuota {
 		a.slotUsed += n
+		a.noteHighWater()
 		return nil
 	}
 	fromSlot := g.vmem.slotQuota - a.slotUsed
@@ -110,6 +112,7 @@ func (a *memAccount) Grow(n int64) error {
 		g.mu.Unlock()
 		a.slotUsed += fromSlot
 		a.groupUsed += rest
+		a.noteHighWater()
 		return nil
 	}
 	fromGroup := g.vmem.groupShared
@@ -121,6 +124,7 @@ func (a *memAccount) Grow(n int64) error {
 		a.slotUsed += fromSlot
 		a.groupUsed += fromGroup
 		a.globalUsed += rest
+		a.noteHighWater()
 		return nil
 	}
 	// Exhausted: roll back the partial group-shared take and cancel.
@@ -170,6 +174,30 @@ func (a *memAccount) Used() int64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.slotUsed + a.groupUsed + a.globalUsed
+}
+
+// noteHighWater records the current total as the high-water mark if it is a
+// new maximum. Callers hold a.mu.
+func (a *memAccount) noteHighWater() {
+	if t := a.slotUsed + a.groupUsed + a.globalUsed; t > a.hwm {
+		a.hwm = t
+	}
+}
+
+// HighWater returns the account's peak total bytes.
+func (a *memAccount) HighWater() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.hwm
+}
+
+// resetHighWater rebases the peak to the current usage. The executor calls
+// it at statement start so a multi-statement transaction attributes each
+// statement its own peak instead of the slot's lifetime maximum.
+func (a *memAccount) resetHighWater() {
+	a.mu.Lock()
+	a.hwm = a.slotUsed + a.groupUsed + a.globalUsed
+	a.mu.Unlock()
 }
 
 func min64(a, b int64) int64 {
