@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -751,6 +752,122 @@ func BenchmarkSpillSortAgg(b *testing.B) {
 	tmpAfter, _ := filepath.Glob(filepath.Join(os.TempDir(), "gpspill-*"))
 	if len(tmpAfter) > len(tmpBefore) {
 		b.Fatalf("spill temp dirs leaked: %d before, %d after", len(tmpBefore), len(tmpAfter))
+	}
+}
+
+// BenchmarkWALOverheadAndFailover measures the price of fault tolerance and
+// the speed of recovery:
+//
+//  1. steady-state DML throughput under three durability configurations —
+//     no WAL, WAL only, WAL + async mirror replication — asserting that
+//     replicated throughput stays ≥ 0.6× the no-WAL baseline (the
+//     acceptance gate for the replication hot path);
+//  2. failover latency: kill a primary mid-steady-state and measure
+//     kill→first-successful-query, reporting the p50 over several rounds.
+func BenchmarkWALOverheadAndFailover(b *testing.B) {
+	ctx := context.Background()
+	const opsPerRun = 600
+
+	runDML := func(cfg *cluster.Config) (opsPerSec float64) {
+		e := core.NewEngine(cfg)
+		defer e.Close()
+		admin, _ := e.NewSession("")
+		if _, err := admin.Exec(ctx, "CREATE TABLE wt (k int, v int) DISTRIBUTED BY (k)"); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			if _, err := admin.Exec(ctx, fmt.Sprintf("INSERT INTO wt VALUES (%d, 0)", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		t0 := time.Now()
+		for i := 0; i < opsPerRun; i++ {
+			var err error
+			if i%3 == 0 {
+				_, err = admin.Exec(ctx, fmt.Sprintf("UPDATE wt SET v = v + 1 WHERE k = %d", i%200))
+			} else {
+				_, err = admin.Exec(ctx, fmt.Sprintf("INSERT INTO wt VALUES (%d, %d)", 200+i, i))
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(t0)
+		if cfg.ReplicaMode != cluster.ReplicaNone {
+			// Replication must actually have streamed the workload.
+			st := e.Cluster().WALStats()
+			if st.Records == 0 || st.Bytes == 0 {
+				b.Fatalf("replicated run logged nothing: %+v", st)
+			}
+		}
+		return float64(opsPerRun) / elapsed.Seconds()
+	}
+
+	var baseline, walOnly, replicated float64
+	for i := 0; i < b.N; i++ {
+		noWAL := cluster.GPDB6(2)
+		noWAL.WAL = false
+		baseline = runDML(noWAL)
+
+		wal := cluster.GPDB6(2)
+		walOnly = runDML(wal)
+
+		repl := cluster.GPDB6(2)
+		repl.ReplicaMode = cluster.ReplicaAsync
+		repl.FTSInterval = 5 * time.Millisecond
+		replicated = runDML(repl)
+	}
+	b.ReportMetric(baseline, "nowal_ops/sec")
+	b.ReportMetric(walOnly, "wal_ops/sec")
+	b.ReportMetric(replicated, "replica_ops/sec")
+	ratio := replicated / baseline
+	b.ReportMetric(ratio, "replica/nowal_ratio")
+	if ratio < 0.6 {
+		b.Fatalf("async-replication DML throughput %.2f× the no-WAL baseline (< 0.6×): %.0f vs %.0f ops/sec",
+			ratio, replicated, baseline)
+	}
+
+	// Failover-to-first-successful-query latency, p50 over five rounds.
+	cfg := cluster.GPDB6(2)
+	cfg.ReplicaMode = cluster.ReplicaSync
+	cfg.FTSInterval = 2 * time.Millisecond
+	e := core.NewEngine(cfg)
+	defer e.Close()
+	admin, _ := e.NewSession("")
+	if _, err := admin.Exec(ctx, "CREATE TABLE ft (k int, v int) DISTRIBUTED BY (k)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := admin.Exec(ctx, fmt.Sprintf("INSERT INTO ft VALUES (%d, %d)", i, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var lat []time.Duration
+	for round := 0; round < 5; round++ {
+		victim := round % 2
+		if err := e.Cluster().KillSegment(victim); err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		for {
+			res, err := admin.Exec(ctx, "SELECT count(*) FROM ft")
+			if err == nil && res.Rows[0][0].Int() == 500 {
+				break
+			}
+			if time.Since(t0) > 10*time.Second {
+				b.Fatalf("round %d: no successful query within 10s of kill (last err: %v)", round, err)
+			}
+		}
+		lat = append(lat, time.Since(t0))
+		if err := e.Cluster().Recover(victim); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 := lat[len(lat)/2]
+	b.ReportMetric(float64(p50.Microseconds())/1000, "failover_p50_ms")
+	if e.Cluster().Failovers() != 5 {
+		b.Fatalf("failovers = %d, want 5", e.Cluster().Failovers())
 	}
 }
 

@@ -1,15 +1,19 @@
 // Command gpshell is an interactive SQL shell over an in-process cluster —
 // a tiny psql for exploring the engine.
 //
-//	gpshell [-segments 4] [-mode gpdb6|gpdb5] [-mem bytes] [-rg] [-f script.sql]
+//	gpshell [-segments 4] [-mode gpdb6|gpdb5] [-mem bytes] [-rg] [-replica sync|async] [-f script.sql]
 //
 // -rg runs the session under its resource group (admission, CPU and memory
 // enforcement — including the memory_spill_ratio spill budget); -mem sizes
 // the simulated cluster memory, so a small value plus -rg makes analytical
-// queries spill (watch SHOW spill_stats).
+// queries spill (watch SHOW spill_stats). -replica gives every segment a
+// WAL-streaming mirror so failover is drivable interactively: \kill N
+// fails segment N's primary (FTS promotes the mirror), \recover N rebuilds
+// redundancy.
 //
 // Shell commands: \d (list tables), \dg (resource groups), \locks (lock
-// tables), \stats (cluster counters), \timing, \q.
+// tables), \stats (cluster counters), \kill <seg>, \recover <seg>,
+// \timing, \q.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,11 +35,12 @@ func main() {
 		mode     = flag.String("mode", "gpdb6", "gpdb6 (HTAP features) or gpdb5 (baseline)")
 		mem      = flag.Int64("mem", 0, "simulated cluster memory in bytes (0 = default 8 GiB)")
 		useRG    = flag.Bool("rg", false, "enforce the session's resource group (memory budget + spilling)")
+		replica  = flag.String("replica", "", "mirror replication: sync or async (default off)")
 		file     = flag.String("f", "", "run a SQL script and exit")
 	)
 	flag.Parse()
 
-	opts := greenplum.Options{Segments: *segments, MemoryBytes: *mem}
+	opts := greenplum.Options{Segments: *segments, MemoryBytes: *mem, Replica: *replica}
 	if strings.EqualFold(*mode, "gpdb5") {
 		opts.Mode = greenplum.ModeGPDB5
 	}
@@ -144,18 +150,54 @@ func metaCommand(ctx context.Context, db *greenplum.DB, conn *greenplum.Conn, cm
 		}
 	case cmd == "\\stats":
 		st := db.Stats()
-		fmt.Printf("  one-phase commits: %d\n  two-phase commits: %d\n  read-only commits: %d\n  aborts: %d\n  deadlock victims: %d\n  lock waits: %d (%.1f ms total)\n",
+		fmt.Printf("  one-phase commits: %d\n  two-phase commits: %d\n  read-only commits: %d\n  aborts: %d\n  deadlock victims: %d\n  lock waits: %d (%.1f ms total)\n  wal: %d bytes, %d flushes\n  failovers: %d (replay lsn %d)\n",
 			st.OnePhaseCommits, st.TwoPhaseCommits, st.ReadOnlyCommits, st.Aborts,
-			st.DeadlockVictims, st.LockWaits, float64(st.LockWaitTime.Microseconds())/1000)
+			st.DeadlockVictims, st.LockWaits, float64(st.LockWaitTime.Microseconds())/1000,
+			st.WALBytes, st.WALFlushes, st.Failovers, st.ReplayLSN)
+		for i, state := range db.SegmentStates() {
+			fmt.Printf("  segment %d: %s\n", i, state)
+		}
+	case strings.HasPrefix(cmd, "\\kill"):
+		seg, ok := segArg(cmd, "\\kill")
+		if !ok {
+			fmt.Println("usage: \\kill <segment>")
+			break
+		}
+		if err := db.KillSegment(seg); err != nil {
+			fmt.Println("ERROR:", err)
+			break
+		}
+		fmt.Printf("segment %d primary killed; FTS will promote its mirror if one exists\n", seg)
+	case strings.HasPrefix(cmd, "\\recover"):
+		seg, ok := segArg(cmd, "\\recover")
+		if !ok {
+			fmt.Println("usage: \\recover <segment>")
+			break
+		}
+		if err := db.Recover(seg); err != nil {
+			fmt.Println("ERROR:", err)
+			break
+		}
+		fmt.Printf("segment %d recovered\n", seg)
 	case cmd == "\\timing":
 		*timing = !*timing
 		fmt.Println("timing:", *timing)
 	default:
-		fmt.Println("unknown command; try \\d \\dg \\locks \\stats \\timing \\q")
+		fmt.Println("unknown command; try \\d \\dg \\locks \\stats \\kill \\recover \\timing \\q")
 	}
 	_ = ctx
 	_ = conn
 	return true
+}
+
+// segArg parses the segment number of "\kill N" / "\recover N".
+func segArg(cmd, prefix string) (int, bool) {
+	rest := strings.TrimSpace(strings.TrimPrefix(cmd, prefix))
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 func printResult(res *greenplum.Result) {

@@ -97,6 +97,13 @@ type Options struct {
 	DiskDelay time.Duration
 	// LockTimeout bounds lock waits when GDD is disabled.
 	LockTimeout time.Duration
+	// Replica selects mirror replication: "" or "none" (no mirrors),
+	// "async" (mirrors trail the WAL stream), or "sync" (every commit
+	// flush waits for the mirror's apply). With mirrors on, the FTS daemon
+	// probes primaries and promotes mirrors of dead ones automatically.
+	Replica string
+	// FTSInterval overrides the fault-tolerance probe period (default 25ms).
+	FTSInterval time.Duration
 }
 
 // DB is one running database instance.
@@ -133,7 +140,46 @@ func Open(opts Options) (*DB, error) {
 	if opts.LockTimeout > 0 {
 		cfg.LockTimeout = opts.LockTimeout
 	}
+	if opts.Replica != "" {
+		mode, ok := cluster.ParseReplicaMode(opts.Replica)
+		if !ok {
+			return nil, fmt.Errorf("greenplum: unknown replica mode %q (want none, async or sync)", opts.Replica)
+		}
+		cfg.ReplicaMode = mode
+	}
+	if opts.FTSInterval > 0 {
+		cfg.FTSInterval = opts.FTSInterval
+	}
 	return &DB{engine: core.NewEngine(cfg)}, nil
+}
+
+// KillSegment simulates losing segment seg's primary host: dispatch to it
+// starts failing and — when replication is on — the FTS daemon promotes its
+// mirror. The chaos/test hook behind the failover scenarios.
+func (db *DB) KillSegment(seg int) error {
+	return db.engine.Cluster().KillSegment(seg)
+}
+
+// Recover restores segment seg: promotes its mirror if the primary is dead,
+// revives a mirrorless dead primary from its own WAL, or rebuilds a missing
+// mirror by full resync (gprecoverseg).
+func (db *DB) Recover(seg int) error {
+	return db.engine.Cluster().Recover(seg)
+}
+
+// SegmentStates reports each segment's health as the FTS daemon sees it
+// (empty when replication is off).
+func (db *DB) SegmentStates() []string {
+	d := db.engine.Cluster().FTS()
+	if d == nil {
+		return nil
+	}
+	states := d.States()
+	out := make([]string, len(states))
+	for i, s := range states {
+		out[i] = s.String()
+	}
+	return out
 }
 
 // Close shuts the instance down.
@@ -177,6 +223,14 @@ type Stats struct {
 	SpillFiles   int64
 	SpillMemPeak int64
 	VmemPeak     int64
+	// WALBytes/WALFlushes count write-ahead log volume and durable flushes
+	// across the segments (also SHOW wal_stats). Failovers counts completed
+	// mirror promotions; ReplayLSN is the log position the most recent
+	// promotion had replayed when it took over.
+	WALBytes   int64
+	WALFlushes int64
+	Failovers  int64
+	ReplayLSN  int64
 }
 
 // Stats returns cluster counters.
@@ -186,6 +240,7 @@ func (db *DB) Stats() Stats {
 	waited, waits := c.LockWaitStats()
 	scanned, skipped := c.ScanBlockStats()
 	spills, spillBytes, spillFiles, spillPeak := c.SpillStats()
+	walStats := c.WALStats()
 	return Stats{
 		OnePhaseCommits: one,
 		TwoPhaseCommits: two,
@@ -201,6 +256,10 @@ func (db *DB) Stats() Stats {
 		SpillFiles:      spillFiles,
 		SpillMemPeak:    spillPeak,
 		VmemPeak:        c.VmemPeak(),
+		WALBytes:        walStats.Bytes,
+		WALFlushes:      walStats.Flushes,
+		Failovers:       walStats.Failovers,
+		ReplayLSN:       int64(walStats.ReplayLSN),
 	}
 }
 

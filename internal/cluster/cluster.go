@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/dtm"
+	"repro/internal/fts"
 	"repro/internal/gdd"
 	"repro/internal/lockmgr"
 	"repro/internal/resgroup"
@@ -18,13 +19,47 @@ import (
 // Cluster is one running database: a coordinator (distributed transaction
 // manager, catalog, lock table, GDD daemon, resource groups) plus segments.
 type Cluster struct {
-	cfg      *Config
-	catalog  *catalog.Catalog
-	coord    *dtm.Coordinator
-	locks    *lockmgr.Manager // coordinator's lock table (segment id -1)
-	segments []*Segment
+	cfg     *Config
+	catalog *catalog.Catalog
+	coord   *dtm.Coordinator
+	locks   *lockmgr.Manager // coordinator's lock table (segment id -1)
+	// segments holds each worker slot as an atomic pointer: mirror
+	// promotion replaces a slot's Segment while dispatch is running, so
+	// readers go through seg(i) and never see a torn update.
+	segments []atomic.Pointer[Segment]
 	groups   *resgroup.Manager
 	daemon   *gdd.Daemon
+
+	// ddlMu serializes table DDL against mirror promotion/resync: a CREATE
+	// or DROP TABLE racing the window where a mirror is detached but the
+	// promoted segment not yet published would otherwise reach neither
+	// copy. Ordering: ddlMu is always taken before topoMu.
+	ddlMu sync.Mutex
+
+	// Fault tolerance: per-slot mirrors and the in-flight-promotion marks
+	// (guarded by topoMu), the probe daemon, and topoCh — closed and
+	// replaced on every topology change so dispatch waits can wake.
+	topoMu    sync.Mutex
+	mirrors   []*Mirror
+	promoting []bool
+	topoCh    chan struct{}
+	ftsd      *fts.Daemon
+	// replicaMode is the live replication mode (SET replica_mode switches
+	// sync↔async at runtime); segments hold a pointer to it.
+	replicaMode atomic.Int32
+
+	failovers atomic.Int64
+	// replayLSN is the LSN the most recent promotion had replayed/applied
+	// when it took over.
+	replayLSN atomic.Uint64
+	// retiredScan/retiredCache fold the cumulative counters of dead
+	// (failed-over) segment incarnations so SHOW scan_stats survives a
+	// failover instead of silently dropping the dead primary's totals.
+	retiredScanned   atomic.Int64
+	retiredSkipped   atomic.Int64
+	retiredCacheHits atomic.Int64
+	retiredCacheMiss atomic.Int64
+	retiredCacheEvic atomic.Int64
 
 	// txns tracks live distributed transactions for GDD liveness checks and
 	// victim kills.
@@ -73,28 +108,38 @@ type Cluster struct {
 type LiveTxn struct {
 	dxid dtm.DXID
 	// touched[i] is true when segment i participated at all; writers[i]
-	// when it wrote.
-	touched []bool
-	writers []bool
-	coordLk bool // holds coordinator locks
-	killed  atomic.Bool
-	started time.Time
+	// when it wrote. wroteGen[i] records the segment incarnation the first
+	// write landed on: if the slot's generation has moved on by commit time
+	// (a mirror was promoted), those writes died with the old primary and
+	// the transaction must abort.
+	touched  []bool
+	writers  []bool
+	wroteGen []int
+	coordLk  bool // holds coordinator locks
+	killed   atomic.Bool
+	started  time.Time
 }
 
 // New boots a cluster.
 func New(cfg *Config) *Cluster {
 	cfg = cfg.withDefaults()
 	c := &Cluster{
-		cfg:     cfg,
-		catalog: catalog.New(),
-		coord:   dtm.NewCoordinator(),
-		locks:   lockmgr.NewManager(),
-		groups:  resgroup.NewManager(cfg.Cores, cfg.MemoryBytes),
-		txns:    make(map[dtm.DXID]*LiveTxn),
+		cfg:       cfg,
+		catalog:   catalog.New(),
+		coord:     dtm.NewCoordinator(),
+		locks:     lockmgr.NewManager(),
+		groups:    resgroup.NewManager(cfg.Cores, cfg.MemoryBytes),
+		txns:      make(map[dtm.DXID]*LiveTxn),
+		segments:  make([]atomic.Pointer[Segment], cfg.NumSegments),
+		mirrors:   make([]*Mirror, cfg.NumSegments),
+		promoting: make([]bool, cfg.NumSegments),
+		topoCh:    make(chan struct{}),
 	}
+	c.replicaMode.Store(int32(cfg.ReplicaMode))
 	for i := 0; i < cfg.NumSegments; i++ {
 		seg := newSegment(i, cfg)
 		seg.distInProgress = c.coord.IsInProgress
+		seg.repMode = &c.replicaMode
 		// The decoded-block cache capacity comes out of the same global vmem
 		// budget queries allocate from; a segment whose share the pool cannot
 		// cover runs without a shared cache.
@@ -102,7 +147,16 @@ func New(cfg *Config) *Cluster {
 			seg.blockCache = storage.NewBlockCache(cfg.BlockCacheBytes)
 			c.cacheReserved += cfg.BlockCacheBytes
 		}
-		c.segments = append(c.segments, seg)
+		if cfg.ReplicaMode != ReplicaNone {
+			m := newMirror(i, cfg)
+			if err := seg.log.AttachShip(m.Receive); err != nil {
+				panic(fmt.Sprintf("cluster: attaching mirror: %v", err))
+			}
+			m.start()
+			c.mirrors[i] = m
+			seg.mirror.Store(m)
+		}
+		c.segments[i].Store(seg)
 	}
 	for _, def := range c.catalog.ResourceGroups() {
 		if _, err := c.groups.CreateGroup(*def); err != nil {
@@ -113,7 +167,21 @@ func New(cfg *Config) *Cluster {
 		c.daemon = gdd.NewDaemon(c, cfg.GDDPeriod)
 		c.daemon.Start()
 	}
+	if cfg.ReplicaMode != ReplicaNone {
+		c.ftsd = fts.NewDaemon(c, cfg.FTSInterval)
+		c.ftsd.Start()
+	}
 	return c
+}
+
+// seg returns the current primary for slot i.
+func (c *Cluster) seg(i int) *Segment { return c.segments[i].Load() }
+
+// eachSeg visits the current primary of every slot.
+func (c *Cluster) eachSeg(fn func(i int, s *Segment)) {
+	for i := range c.segments {
+		fn(i, c.seg(i))
+	}
 }
 
 // Close stops background daemons and returns the block caches' vmem.
@@ -121,8 +189,19 @@ func (c *Cluster) Close() {
 	if c.closed.Swap(true) {
 		return
 	}
+	if c.ftsd != nil {
+		c.ftsd.Stop()
+	}
 	if c.daemon != nil {
 		c.daemon.Stop()
+	}
+	c.topoMu.Lock()
+	mirrors := append([]*Mirror(nil), c.mirrors...)
+	c.topoMu.Unlock()
+	for _, m := range mirrors {
+		if m != nil {
+			_ = m.drainAndStop()
+		}
 	}
 	if c.cacheReserved > 0 {
 		c.groups.Global().Release(c.cacheReserved)
@@ -138,8 +217,16 @@ func (c *Cluster) Catalog() *catalog.Catalog { return c.catalog }
 // Groups returns the resource-group manager.
 func (c *Cluster) Groups() *resgroup.Manager { return c.groups }
 
-// Segments returns the worker list (tests and benchmarks).
-func (c *Cluster) Segments() []*Segment { return c.segments }
+// Segments returns a snapshot of the current primaries (tests, benchmarks
+// and diagnostics; a concurrent promotion may replace a slot after the
+// snapshot is taken).
+func (c *Cluster) Segments() []*Segment {
+	out := make([]*Segment, len(c.segments))
+	for i := range c.segments {
+		out[i] = c.seg(i)
+	}
+	return out
+}
 
 // CoordinatorLocks exposes the coordinator's lock table.
 func (c *Cluster) CoordinatorLocks() *lockmgr.Manager { return c.locks }
@@ -159,26 +246,35 @@ func (c *Cluster) CommitStats() (onePhase, twoPhase, readOnly, aborts int64) {
 
 // ScanBlockStats aggregates the segments' cumulative block-scan counters:
 // blocks (or row-engine pages) visited vs skipped via zone maps since boot.
+// Totals of failed-over (dead) incarnations are folded in at promotion so
+// the counters survive a failover.
 func (c *Cluster) ScanBlockStats() (scanned, skipped int64) {
-	for _, s := range c.segments {
+	scanned, skipped = c.retiredScanned.Load(), c.retiredSkipped.Load()
+	c.eachSeg(func(_ int, s *Segment) {
 		sc, sk := s.ScanBlockStats()
 		scanned += sc
 		skipped += sk
-	}
+	})
 	return scanned, skipped
 }
 
 // BlockCacheStats aggregates the segments' decoded-block cache counters.
+// Hit/miss/eviction totals of dead incarnations are folded in at promotion;
+// the gauges (used bytes, entries) reflect only the live caches.
 func (c *Cluster) BlockCacheStats() storage.CacheStats {
-	var out storage.CacheStats
-	for _, s := range c.segments {
+	out := storage.CacheStats{
+		Hits:      c.retiredCacheHits.Load(),
+		Misses:    c.retiredCacheMiss.Load(),
+		Evictions: c.retiredCacheEvic.Load(),
+	}
+	c.eachSeg(func(_ int, s *Segment) {
 		st := s.BlockCacheStats()
 		out.Hits += st.Hits
 		out.Misses += st.Misses
 		out.Evictions += st.Evictions
 		out.UsedBytes += st.UsedBytes
 		out.Entries += st.Entries
-	}
+	})
 	return out
 }
 
@@ -208,20 +304,20 @@ func atomicMax(a *atomic.Int64, v int64) {
 func (c *Cluster) LockWaitStats() (waited time.Duration, waits int64) {
 	w, n, _ := c.locks.WaitStats()
 	waited, waits = w, n
-	for _, s := range c.segments {
+	c.eachSeg(func(_ int, s *Segment) {
 		w, n, _ := s.locks.WaitStats()
 		waited += w
 		waits += n
-	}
+	})
 	return waited, waits
 }
 
 // ResetLockWaitStats zeroes lock-wait accounting.
 func (c *Cluster) ResetLockWaitStats() {
 	c.locks.ResetWaitStats()
-	for _, s := range c.segments {
+	c.eachSeg(func(_ int, s *Segment) {
 		s.locks.ResetWaitStats()
-	}
+	})
 }
 
 // ---- transaction lifecycle ----
@@ -230,10 +326,11 @@ func (c *Cluster) ResetLockWaitStats() {
 func (c *Cluster) BeginTxn() *LiveTxn {
 	dxid := c.coord.Begin()
 	lt := &LiveTxn{
-		dxid:    dxid,
-		touched: make([]bool, c.cfg.NumSegments),
-		writers: make([]bool, c.cfg.NumSegments),
-		started: time.Now(),
+		dxid:     dxid,
+		touched:  make([]bool, c.cfg.NumSegments),
+		writers:  make([]bool, c.cfg.NumSegments),
+		wroteGen: make([]int, c.cfg.NumSegments),
+		started:  time.Now(),
 	}
 	c.txmu.Lock()
 	c.txns[dxid] = lt
@@ -252,20 +349,36 @@ func (t *LiveTxn) Killed() bool { return t.killed.Load() }
 func (c *Cluster) Snapshot() *dtm.DistSnapshot { return c.coord.Snapshot() }
 
 // CommitTxn runs the appropriate commit protocol and releases all locks.
+// Writer participants are stable segment references that resolve the
+// current primary on every protocol call, so a failover mid-commit retries
+// against the promoted mirror (whose replayed clog makes the commit calls
+// idempotent). A transaction whose earlier writes landed on a since-dead
+// incarnation is aborted here — those writes were rolled back by crash
+// recovery on the new primary.
 func (c *Cluster) CommitTxn(t *LiveTxn) (dtm.CommitStats, error) {
-	var writers []dtm.Participant
-	var readers []*Segment
-	for i, s := range c.segments {
-		switch {
-		case t.writers[i]:
-			writers = append(writers, s)
-		case t.touched[i]:
-			readers = append(readers, s)
+	for i := range t.writers {
+		if !t.writers[i] {
+			continue
+		}
+		s := c.seg(i)
+		if s.down.Load() || s.gen != t.wroteGen[i] {
+			c.AbortTxn(t)
+			return dtm.CommitStats{}, fmt.Errorf("cluster: segment %d failed over after this transaction wrote it: %w", i, ErrTxnLostWrites)
 		}
 	}
-	st, err := dtm.Commit(c.coord, t.dxid, writers, c.cfg.OnePhase, c.coordFsync)
-	for _, r := range readers {
-		r.FinishReadOnly(t.dxid)
+	var writers []dtm.Participant
+	var readers []int
+	for i := range c.segments {
+		switch {
+		case t.writers[i]:
+			writers = append(writers, segRef{c: c, id: i})
+		case t.touched[i]:
+			readers = append(readers, i)
+		}
+	}
+	st, err := dtm.Commit(c.coord, t.dxid, writers, c.cfg.OnePhase, c.coordCommitRecord)
+	for _, i := range readers {
+		c.seg(i).FinishReadOnly(t.dxid)
 	}
 	c.locks.ReleaseAll(lockmgr.TxnID(t.dxid))
 	c.forget(t)
@@ -288,9 +401,9 @@ func (c *Cluster) CommitTxn(t *LiveTxn) (dtm.CommitStats, error) {
 // AbortTxn rolls back everywhere and releases all locks.
 func (c *Cluster) AbortTxn(t *LiveTxn) {
 	var parts []dtm.Participant
-	for i, s := range c.segments {
+	for i := range c.segments {
 		if t.touched[i] || t.writers[i] {
-			parts = append(parts, s)
+			parts = append(parts, segRef{c: c, id: i})
 		}
 	}
 	dtm.Abort(c.coord, t.dxid, parts)
@@ -299,8 +412,11 @@ func (c *Cluster) AbortTxn(t *LiveTxn) {
 	c.aborts.Add(1)
 }
 
-// coordFsync durably writes the coordinator's commit record.
-func (c *Cluster) coordFsync() {
+// coordCommitRecord durably writes the coordinator's commit record for
+// dxid: the decision itself (consulted by promotion-time 2PC recovery) plus
+// the simulated fsync cost.
+func (c *Cluster) coordCommitRecord(dxid dtm.DXID) {
+	c.coord.LogCommitRecord(dxid)
 	c.coordWAL.Fsync(c.cfg.FsyncDelay)
 }
 
@@ -317,9 +433,10 @@ func (c *Cluster) maybeTruncateMappings() {
 		return
 	}
 	horizon := c.coord.OldestInProgress()
-	for _, s := range c.segments {
+	c.eachSeg(func(_ int, s *Segment) {
 		s.TruncateMapping(horizon)
-	}
+	})
+	c.coord.TruncateCommitLog(horizon)
 }
 
 // ---- gdd.Cluster implementation ----
@@ -329,9 +446,9 @@ func (c *Cluster) maybeTruncateMappings() {
 func (c *Cluster) CollectWaitGraphs() *gdd.GlobalGraph {
 	g := &gdd.GlobalGraph{}
 	g.Locals = append(g.Locals, gdd.LocalGraph{Segment: gdd.CoordinatorSeg, Edges: c.locks.WaitGraph()})
-	for _, s := range c.segments {
+	c.eachSeg(func(_ int, s *Segment) {
 		g.Locals = append(g.Locals, gdd.LocalGraph{Segment: gdd.SegmentID(s.id), Edges: s.locks.WaitGraph()})
-	}
+	})
 	return g
 }
 
@@ -354,9 +471,9 @@ func (c *Cluster) KillTxn(txid uint64) {
 		lt.killed.Store(true)
 	}
 	c.locks.Kill(lockmgr.TxnID(txid))
-	for _, s := range c.segments {
+	c.eachSeg(func(_ int, s *Segment) {
 		s.KillTxn(dtm.DXID(txid))
-	}
+	})
 	c.deadlockErr.Add(1)
 }
 
@@ -385,19 +502,38 @@ func (c *Cluster) LockCoordinator(ctx context.Context, t *LiveTxn, table string,
 
 // ---- DDL ----
 
-// ApplyCreateTable registers the table and instantiates storage everywhere.
+// ApplyCreateTable registers the table and instantiates storage everywhere
+// — primaries and mirror standbys (DDL is coordinator-applied on both
+// sides; only DML flows through the WAL stream).
 func (c *Cluster) ApplyCreateTable(t *catalog.Table) error {
+	c.ddlMu.Lock()
+	defer c.ddlMu.Unlock()
 	if err := c.catalog.CreateTable(t); err != nil {
 		return err
 	}
-	for _, s := range c.segments {
+	c.eachSeg(func(_ int, s *Segment) {
 		s.CreateTable(t)
-	}
+	})
+	c.eachMirror(func(m *Mirror) { m.CreateTable(t) })
 	return nil
+}
+
+// eachMirror visits the live mirror standbys.
+func (c *Cluster) eachMirror(fn func(*Mirror)) {
+	c.topoMu.Lock()
+	mirrors := append([]*Mirror(nil), c.mirrors...)
+	c.topoMu.Unlock()
+	for _, m := range mirrors {
+		if m != nil {
+			fn(m)
+		}
+	}
 }
 
 // ApplyDropTable removes the table everywhere.
 func (c *Cluster) ApplyDropTable(name string) error {
+	c.ddlMu.Lock()
+	defer c.ddlMu.Unlock()
 	t, err := c.catalog.Table(name)
 	if err != nil {
 		return err
@@ -405,9 +541,10 @@ func (c *Cluster) ApplyDropTable(name string) error {
 	if err := c.catalog.DropTable(name); err != nil {
 		return err
 	}
-	for _, s := range c.segments {
+	c.eachSeg(func(_ int, s *Segment) {
 		s.DropTable(t)
-	}
+	})
+	c.eachMirror(func(m *Mirror) { m.DropTable(t) })
 	c.invalidateStats(t.Name)
 	return nil
 }
@@ -421,7 +558,13 @@ func (c *Cluster) ApplyTruncate(ctx context.Context, t *LiveTxn, name string) er
 	if err := c.LockCoordinator(ctx, t, name, lockmgr.AccessExclusive); err != nil {
 		return err
 	}
-	for i, s := range c.segments {
+	for i := range c.segments {
+		// segUp, like every other statement's dispatch: a TRUNCATE issued
+		// during a failover window waits for the promotion.
+		s, err := c.segUp(ctx, i)
+		if err != nil {
+			return err
+		}
 		if err := s.LockRelation(ctx, t.dxid, tab, lockmgr.AccessExclusive); err != nil {
 			return err
 		}
@@ -432,7 +575,13 @@ func (c *Cluster) ApplyTruncate(ctx context.Context, t *LiveTxn, name string) er
 	return nil
 }
 
-// ApplyCreateIndex registers and builds an index everywhere.
+// ApplyCreateIndex registers and builds an index everywhere. Locks come
+// first and the catalog entry second, so a lock failure (e.g. a dead
+// segment) leaves no registered-but-unbuilt index behind; the catalog
+// write plus the per-segment builds run under ddlMu against the freshly
+// resolved primaries, so a promotion cannot slip between the catalog entry
+// and the builds (promote's index-rebuild loop reads the catalog under the
+// same mutex).
 func (c *Cluster) ApplyCreateIndex(ctx context.Context, t *LiveTxn, table string, idx *catalog.Index) error {
 	tab, err := c.catalog.Table(table)
 	if err != nil {
@@ -441,15 +590,19 @@ func (c *Cluster) ApplyCreateIndex(ctx context.Context, t *LiveTxn, table string
 	if err := c.LockCoordinator(ctx, t, table, lockmgr.Share); err != nil {
 		return err
 	}
-	if err := c.catalog.AddIndex(table, idx); err != nil {
-		return err
-	}
-	for i, s := range c.segments {
-		if err := s.LockRelation(ctx, t.dxid, tab, lockmgr.Share); err != nil {
+	for i := range c.segments {
+		if err := c.seg(i).LockRelation(ctx, t.dxid, tab, lockmgr.Share); err != nil {
 			return err
 		}
 		t.touched[i] = true
-		s.CreateIndex(tab, idx)
+	}
+	c.ddlMu.Lock()
+	defer c.ddlMu.Unlock()
+	if err := c.catalog.AddIndex(table, idx); err != nil {
+		return err
+	}
+	for i := range c.segments {
+		c.seg(i).CreateIndex(tab, idx)
 	}
 	return nil
 }
@@ -489,9 +642,9 @@ func (c *Cluster) Vacuum(name string) (int, error) {
 	}
 	n := 0
 	for _, t := range tables {
-		for _, s := range c.segments {
+		c.eachSeg(func(_ int, s *Segment) {
 			n += s.Vacuum(t)
-		}
+		})
 		c.invalidateStats(t.Name)
 	}
 	return n, nil
@@ -504,9 +657,9 @@ func (c *Cluster) TableRowCount(name string) int64 {
 		return 0
 	}
 	var n int64
-	for _, s := range c.segments {
+	c.eachSeg(func(_ int, s *Segment) {
 		n += int64(s.RowCount(t))
-	}
+	})
 	return n
 }
 
@@ -527,9 +680,9 @@ func (c *Cluster) RowCount(table string) int64 {
 	gen := c.statsGen[t.Name]
 	c.statsMu.Unlock()
 	var n int64
-	for _, s := range c.segments {
+	c.eachSeg(func(_ int, s *Segment) {
 		n += int64(s.RowCount(t))
-	}
+	})
 	c.statsMu.Lock()
 	if c.statsGen[t.Name] == gen {
 		if c.statsCache == nil {

@@ -91,6 +91,29 @@ type Config struct {
 	// by serializing writers, but LOCK TABLE orderings can still hang).
 	LockTimeout time.Duration
 
+	// WAL enables the per-segment write-ahead log: every storage mutation
+	// and transaction state change appends a CRC-framed record, and commit
+	// durability (FsyncDelay) is charged through the log's group-commit
+	// flush. Required for crash recovery and replication; on in the GPDB
+	// presets. ReplicaMode != ReplicaNone forces it on.
+	WAL bool
+
+	// ReplicaMode gives every primary segment a mirror standby that applies
+	// the shipped WAL stream. ReplicaSync makes each commit flush wait until
+	// the mirror has applied (zero-lag failover); ReplicaAsync lets the
+	// mirror trail and only promotion drains the backlog. ReplicaNone (the
+	// default) runs without mirrors. Runtime sync↔async switching: SET
+	// replica_mode.
+	ReplicaMode ReplicaMode
+
+	// FTSInterval is the fault-tolerance service's probe period (default
+	// 25ms). The FTS daemon runs whenever ReplicaMode != ReplicaNone.
+	FTSInterval time.Duration
+
+	// FailoverTimeout bounds how long dispatch waits for a downed segment to
+	// fail over to its mirror before erroring out (default 10s).
+	FailoverTimeout time.Duration
+
 	// MemorySpillRatio is the cluster-default memory_spill_ratio percentage:
 	// a statement's blocking operators (sort, hash agg, hash join) may hold
 	// slot-quota × ratio/100 bytes in memory before spilling to per-segment
@@ -104,6 +127,44 @@ type Config struct {
 	MemoryBytes int64
 }
 
+// ReplicaMode selects the mirror-replication policy.
+type ReplicaMode int
+
+// Replication modes.
+const (
+	// ReplicaNone runs primaries without mirrors.
+	ReplicaNone ReplicaMode = iota
+	// ReplicaAsync ships the WAL stream to mirrors without waiting.
+	ReplicaAsync
+	// ReplicaSync makes every commit flush wait for the mirror's apply.
+	ReplicaSync
+)
+
+func (m ReplicaMode) String() string {
+	switch m {
+	case ReplicaAsync:
+		return "async"
+	case ReplicaSync:
+		return "sync"
+	default:
+		return "none"
+	}
+}
+
+// ParseReplicaMode converts a mode name ("none", "async", "sync").
+func ParseReplicaMode(s string) (ReplicaMode, bool) {
+	switch s {
+	case "none", "off", "":
+		return ReplicaNone, true
+	case "async":
+		return ReplicaAsync, true
+	case "sync":
+		return ReplicaSync, true
+	default:
+		return ReplicaNone, false
+	}
+}
+
 // GPDB6 returns the paper's HTAP configuration: GDD on, one-phase commit
 // on, direct dispatch on.
 func GPDB6(nseg int) *Config {
@@ -114,6 +175,7 @@ func GPDB6(nseg int) *Config {
 		OnePhase:       true,
 		DirectDispatch: true,
 		EnableZoneMaps: true,
+		WAL:            true,
 		MotionBuffer:   1024,
 		LockTimeout:    10 * time.Second,
 		Cores:          32,
@@ -151,6 +213,15 @@ func (c *Config) withDefaults() *Config {
 	}
 	if out.GDDPeriod <= 0 {
 		out.GDDPeriod = 20 * time.Millisecond
+	}
+	if out.ReplicaMode != ReplicaNone {
+		out.WAL = true // mirrors are fed from the log
+	}
+	if out.FTSInterval <= 0 {
+		out.FTSInterval = 25 * time.Millisecond
+	}
+	if out.FailoverTimeout <= 0 {
+		out.FailoverTimeout = 10 * time.Second
 	}
 	if out.LockTimeout <= 0 {
 		out.LockTimeout = 10 * time.Second

@@ -23,14 +23,17 @@ func (s *Segment) acquire(ctx context.Context, who lockmgr.TxnID, tag lockmgr.Ta
 	if !s.cfg.GDD && s.cfg.LockTimeout > 0 {
 		tctx, cancel := context.WithTimeout(ctx, s.cfg.LockTimeout)
 		defer cancel()
-		return s.locks.Acquire(tctx, who, tag, mode)
+		return s.mapLockErr(s.locks.Acquire(tctx, who, tag, mode))
 	}
-	return s.locks.Acquire(ctx, who, tag, mode)
+	return s.mapLockErr(s.locks.Acquire(ctx, who, tag, mode))
 }
 
 // ExecInsert stores rows on this segment, grouped by leaf table. The rows
 // were routed by the coordinator.
 func (s *Segment) ExecInsert(ctx context.Context, dxid dtm.DXID, snap *dtm.DistSnapshot, t *catalog.Table, byLeaf map[catalog.TableID][]types.Row) (int, error) {
+	if err := s.checkUp(); err != nil {
+		return 0, err
+	}
 	s.netHop()
 	s.stmtOverhead()
 	a := s.newAccess(dxid, snap)
@@ -272,6 +275,9 @@ func (s *Segment) waitForWriter(ctx context.Context, me lockmgr.TxnID, holder tx
 
 // ExecUpdate applies an UPDATE plan on this segment.
 func (s *Segment) ExecUpdate(ctx context.Context, dxid dtm.DXID, snap *dtm.DistSnapshot, up *plan.UpdatePlan) (int, error) {
+	if err := s.checkUp(); err != nil {
+		return 0, err
+	}
 	s.netHop()
 	s.stmtOverhead()
 	a := s.newAccess(dxid, snap)
@@ -323,6 +329,9 @@ func (s *Segment) ExecUpdate(ctx context.Context, dxid dtm.DXID, snap *dtm.DistS
 
 // ExecDelete applies a DELETE plan on this segment.
 func (s *Segment) ExecDelete(ctx context.Context, dxid dtm.DXID, snap *dtm.DistSnapshot, dp *plan.DeletePlan) (int, error) {
+	if err := s.checkUp(); err != nil {
+		return 0, err
+	}
 	s.netHop()
 	s.stmtOverhead()
 	a := s.newAccess(dxid, snap)
@@ -356,6 +365,9 @@ func (s *Segment) ExecDelete(ctx context.Context, dxid dtm.DXID, snap *dtm.DistS
 
 // LockRelation takes an explicit LOCK TABLE lock on this segment.
 func (s *Segment) LockRelation(ctx context.Context, dxid dtm.DXID, t *catalog.Table, mode lockmgr.Mode) error {
+	if err := s.checkUp(); err != nil {
+		return err
+	}
 	s.netHop()
 	s.beginLocal(dxid)
 	return s.acquire(ctx, lockmgr.TxnID(dxid), lockmgr.RelationTag(uint64(t.ID)), mode)

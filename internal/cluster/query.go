@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -97,10 +98,29 @@ func planScans(root plan.Node) bool {
 	return found
 }
 
-// RunSelect executes a SELECT plan: it opens the interconnect fabric,
+// RunSelect executes a SELECT plan, retrying the whole statement when a
+// segment dies under it mid-scan: reads have no side effects beyond
+// counters, so the retry simply waits for the mirror's promotion (inside
+// segUp) and re-dispatches. A transaction that had written the dead segment
+// is not retried — its writes are gone and only an abort is honest.
+func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, pl *plan.Planned, res *QueryResources) ([]types.Row, *types.Schema, error) {
+	for attempt := 0; ; attempt++ {
+		rows, schema, err := c.runSelectOnce(ctx, t, snap, pl, res)
+		var sde *SegmentDownError
+		if err != nil && errors.As(err, &sde) && attempt < 2 {
+			if sde.Seg >= 0 && sde.Seg < len(t.writers) && t.writers[sde.Seg] {
+				return nil, nil, fmt.Errorf("cluster: segment %d failed over after this transaction wrote it: %w", sde.Seg, ErrTxnLostWrites)
+			}
+			continue
+		}
+		return rows, schema, err
+	}
+}
+
+// runSelectOnce is one dispatch attempt: it opens the interconnect fabric,
 // launches every (slice, segment) sender, and drains the top slice on the
 // coordinator.
-func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, pl *plan.Planned, res *QueryResources) ([]types.Row, *types.Schema, error) {
+func (c *Cluster) runSelectOnce(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, pl *plan.Planned, res *QueryResources) ([]types.Row, *types.Schema, error) {
 	root := pl.Root
 	nseg := c.cfg.NumSegments
 
@@ -153,10 +173,25 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 	}
 
 	// One storage access (one local snapshot) per segment per statement.
+	// Segments are resolved through segUp so a SELECT arriving while a
+	// primary is being failed over waits for the promotion and reads the
+	// promoted mirror instead of erroring.
 	var accs []*storeAccess
+	segsnap := make([]*Segment, nseg)
 	if needSegments {
 		accs = make([]*storeAccess, nseg)
-		for i, s := range c.segments {
+		for i := range segsnap {
+			s, err := c.segUp(ctx, i)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Same lost-writes guard as the write path: reading a promoted
+			// segment after this transaction's own writes died with the old
+			// incarnation would silently violate read-your-writes.
+			if t.writers[i] && t.wroteGen[i] != s.gen {
+				return nil, nil, fmt.Errorf("cluster: segment %d failed over after this transaction wrote it: %w", i, ErrTxnLostWrites)
+			}
+			segsnap[i] = s
 			s.netHop()
 			s.stmtOverhead()
 			accs[i] = s.newAccess(t.dxid, snap)
@@ -239,37 +274,57 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 		if cause := context.Cause(qctx); cause != nil && cause != context.Canceled {
 			err = cause
 		}
+	} else if cause := context.Cause(qctx); cause != nil && cause != context.Canceled {
+		err = cause
 	}
 	cancel(nil)
 	wg.Wait()
 	// Fold the statement's scan counters into the per-segment cumulative
-	// totals (SHOW scan_stats) and the caller's collector (EXPLAIN ANALYZE).
-	for i, acc := range accs {
-		if acc == nil {
-			continue
-		}
-		acc.stats.AddTo(&c.segments[i].scanStats)
-		if res != nil && res.Scan != nil {
-			res.Scan.BlocksScanned += acc.stats.BlocksScanned.Load()
-			res.Scan.BlocksSkipped += acc.stats.BlocksSkipped.Load()
+	// totals (SHOW scan_stats) and the caller's collector (EXPLAIN ANALYZE)
+	// — unless the attempt died with the segment (RunSelect will retry and
+	// recount; the dead incarnation's partial work is gone with it, and
+	// folding it here would double-count the retried blocks).
+	if !IsSegmentDown(err) {
+		for i, acc := range accs {
+			if acc == nil {
+				continue
+			}
+			// A promotion that raced this statement already folded the dead
+			// incarnation's totals into the retired counters; route the
+			// statement's counts there too so they are not lost on an
+			// object nobody aggregates anymore.
+			if c.seg(i) != segsnap[i] {
+				c.retiredScanned.Add(acc.stats.BlocksScanned.Load())
+				c.retiredSkipped.Add(acc.stats.BlocksSkipped.Load())
+			} else {
+				acc.stats.AddTo(&segsnap[i].scanStats)
+			}
+			if res != nil && res.Scan != nil {
+				res.Scan.BlocksScanned += acc.stats.BlocksScanned.Load()
+				res.Scan.BlocksSkipped += acc.stats.BlocksSkipped.Load()
+			}
 		}
 	}
 	// Fold the statement's spill counters into the cluster totals (SHOW
 	// spill_stats) and the caller's collector (EXPLAIN ANALYZE), then remove
 	// any temp files an error path left behind. All slices have retired.
+	// Like the scan counters, a dead attempt's partial spills are dropped
+	// (the retry recounts); the temp-file cleanup always runs.
 	if spill != nil {
 		spills, sbytes, sfiles, peak := spill.Stats()
 		spill.Cleanup()
-		c.spills.Add(spills)
-		c.spillBytes.Add(sbytes)
-		c.spillFiles.Add(sfiles)
-		atomicMax(&c.spillPeak, peak)
-		if res.Spill != nil {
-			res.Spill.Spills += spills
-			res.Spill.SpillBytes += sbytes
-			res.Spill.SpillFiles += sfiles
-			if peak > res.Spill.MemPeak {
-				res.Spill.MemPeak = peak
+		if !IsSegmentDown(err) {
+			c.spills.Add(spills)
+			c.spillBytes.Add(sbytes)
+			c.spillFiles.Add(sfiles)
+			atomicMax(&c.spillPeak, peak)
+			if res.Spill != nil {
+				res.Spill.Spills += spills
+				res.Spill.SpillBytes += sbytes
+				res.Spill.SpillFiles += sfiles
+				if peak > res.Spill.MemPeak {
+					res.Spill.MemPeak = peak
+				}
 			}
 		}
 	}
@@ -287,9 +342,6 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 		}
 	}
 	if err != nil {
-		if cause := context.Cause(qctx); cause != nil && cause != context.Canceled {
-			err = cause
-		}
 		return nil, nil, err
 	}
 	return rows, root.Schema(), nil
@@ -471,11 +523,19 @@ func (c *Cluster) RunInsert(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 			if byLeaf == nil {
 				byLeaf = map[catalog.TableID][]types.Row{}
 			}
-			n, err := c.segments[segID].ExecInsert(ctx, t.dxid, snap, ip.Table, byLeaf)
+			n, gen, err := c.execOnSeg(ctx, t, segID, func(s *Segment) (int, error) {
+				return s.ExecInsert(ctx, t.dxid, snap, ip.Table, byLeaf)
+			})
 			mu.Lock()
 			defer mu.Unlock()
 			t.touched[segID] = true
-			if n > 0 || !c.cfg.DirectDispatch {
+			// Writer bookkeeping only for attempts that ran: a segUp
+			// failure returns gen 0, which must not be recorded as a
+			// written incarnation.
+			if err == nil && (n > 0 || !c.cfg.DirectDispatch) {
+				if !t.writers[segID] {
+					t.wroteGen[segID] = gen
+				}
 				t.writers[segID] = true
 			}
 			total += n
@@ -551,11 +611,14 @@ func (c *Cluster) runWrite(ctx context.Context, t *LiveTxn, directSeg int, f fun
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			n, err := f(c.segments[segID])
+			n, gen, err := c.execOnSeg(ctx, t, segID, f)
 			mu.Lock()
 			defer mu.Unlock()
 			t.touched[segID] = true
-			if n > 0 || !c.cfg.DirectDispatch {
+			if err == nil && (n > 0 || !c.cfg.DirectDispatch) {
+				if !t.writers[segID] {
+					t.wroteGen[segID] = gen
+				}
 				t.writers[segID] = true
 			}
 			total += n
@@ -578,7 +641,11 @@ func (c *Cluster) LockTableEverywhere(ctx context.Context, t *LiveTxn, table str
 	if err := c.LockCoordinator(ctx, t, table, modeOf(level)); err != nil {
 		return err
 	}
-	for i, s := range c.segments {
+	for i := range c.segments {
+		s, err := c.segUp(ctx, i)
+		if err != nil {
+			return err
+		}
 		if err := s.LockRelation(ctx, t.dxid, tab, modeOf(level)); err != nil {
 			return err
 		}

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -13,12 +15,17 @@ import (
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // Segment is one worker: local storage engines, a local transaction
 // manager, a lock manager, and the local↔distributed xid mapping.
 type Segment struct {
-	id      int
+	id int
+	// gen is the segment's incarnation: promotion replaces the Segment
+	// object and bumps gen, which is how the coordinator detects that a
+	// transaction's earlier writes landed on a now-dead incarnation.
+	gen     int
 	cfg     *Config
 	txns    *txn.Manager
 	locks   *lockmgr.Manager
@@ -30,11 +37,25 @@ type Segment struct {
 	txmu sync.Mutex
 	open map[dtm.DXID]*segTxn
 
-	// wal simulates the segment's write-ahead log: a serial append stream
-	// with group commit — committers that queue while another fsync is in
-	// flight are covered by the next one. This is what makes whole-gang
-	// two-phase commit expensive at saturation.
-	wal simWAL
+	// log is the segment's write-ahead log (nil when Config.WAL is off):
+	// storage engines append DML records, the transaction paths append
+	// begin/prepare/commit/abort records, and commit durability goes
+	// through its group-commit Flush. With replication on, the attached
+	// mirror receives every frame.
+	log *wal.Log
+	// legacyWAL models commit durability when Config.WAL is off (the
+	// pre-log group-commit fsync simulation).
+	legacyWAL simWAL
+
+	// down marks a killed primary: dispatch entry points refuse with
+	// *SegmentDownError and the FTS daemon promotes the mirror.
+	down atomic.Bool
+	// mirror is the standby applying this primary's WAL stream (nil when
+	// replication is off or redundancy was lost to a promotion).
+	mirror atomic.Pointer[Mirror]
+	// repMode points at the cluster's live replication mode (SET
+	// replica_mode switches sync↔async at runtime).
+	repMode *atomic.Int32
 	// execSem bounds concurrently-handled statements per segment (the
 	// paper's segments have finite CPU; whole-gang dispatch burns a slot on
 	// every segment even when the statement touches no tuple there).
@@ -88,7 +109,7 @@ func newSegment(id int, cfg *Config) *Segment {
 	if workers < 1 {
 		workers = 4
 	}
-	return &Segment{
+	s := &Segment{
 		id:      id,
 		cfg:     cfg,
 		txns:    txn.NewManager(),
@@ -99,10 +120,40 @@ func newSegment(id int, cfg *Config) *Segment {
 		execSem: make(chan struct{}, workers),
 		diskSem: make(chan struct{}, 2),
 	}
+	if cfg.WAL {
+		s.log = wal.New()
+	}
+	return s
 }
 
 // ID returns the segment id.
 func (s *Segment) ID() int { return s.id }
+
+// Gen returns the segment's incarnation number (bumped by promotion).
+func (s *Segment) Gen() int { return s.gen }
+
+// Down reports whether the primary has been declared dead.
+func (s *Segment) Down() bool { return s.down.Load() }
+
+// WAL exposes the segment's log (tests, stats).
+func (s *Segment) WAL() *wal.Log { return s.log }
+
+// checkUp guards a dispatch entry point: a killed primary refuses work.
+func (s *Segment) checkUp() error {
+	if s.down.Load() {
+		return &SegmentDownError{Seg: s.id}
+	}
+	return nil
+}
+
+// mapLockErr converts the dead lock manager's refusal into the segment-down
+// error so dispatch-side retry recognizes it.
+func (s *Segment) mapLockErr(err error) error {
+	if errors.Is(err, lockmgr.ErrShutdown) {
+		return &SegmentDownError{Seg: s.id}
+	}
+	return err
+}
 
 // Locks exposes the lock manager (GDD graph collection).
 func (s *Segment) Locks() *lockmgr.Manager { return s.locks }
@@ -149,11 +200,67 @@ func (s *Segment) CreateTable(t *catalog.Table) {
 	if t.IsPartitioned() {
 		for i := range t.Partitions {
 			p := &t.Partitions[i]
-			s.tables[p.ID] = &segTable{meta: t, leaf: p.ID, engine: s.newEngine(p.Storage, t.Schema.Len())}
+			eng := s.newEngine(p.Storage, t.Schema.Len())
+			s.attachWAL(eng, p.ID)
+			s.tables[p.ID] = &segTable{meta: t, leaf: p.ID, engine: eng}
 		}
 		return
 	}
-	s.tables[t.ID] = &segTable{meta: t, leaf: t.ID, engine: s.newEngine(t.Storage, t.Schema.Len())}
+	eng := s.newEngine(t.Storage, t.Schema.Len())
+	s.attachWAL(eng, t.ID)
+	s.tables[t.ID] = &segTable{meta: t, leaf: t.ID, engine: eng}
+}
+
+// reconcileTables aligns the segment's table set with the catalog: leaves
+// the catalog knows but the segment lacks get fresh empty engines, leaves
+// the catalog dropped are discarded. Promotion runs this (under the DDL
+// mutex) because DDL racing the promotion window may have reached neither
+// the detached mirror nor the not-yet-published segment.
+func (s *Segment) reconcileTables(tables []*catalog.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := make(map[catalog.TableID]*catalog.Table)
+	for _, t := range tables {
+		for _, leaf := range leafIDs(t) {
+			live[leaf] = t
+		}
+	}
+	for leaf, t := range live {
+		if _, ok := s.tables[leaf]; ok {
+			continue
+		}
+		kind := t.Storage
+		if t.IsPartitioned() {
+			for i := range t.Partitions {
+				if t.Partitions[i].ID == leaf {
+					kind = t.Partitions[i].Storage
+				}
+			}
+		}
+		eng := s.newEngine(kind, t.Schema.Len())
+		s.attachWAL(eng, leaf)
+		s.tables[leaf] = &segTable{meta: t, leaf: leaf, engine: eng}
+	}
+	for leaf, st := range s.tables {
+		if _, ok := live[leaf]; ok {
+			continue
+		}
+		if ao, isAO := st.engine.(*storage.AOColumn); isAO {
+			ao.ReleaseCachedBlocks()
+		}
+		delete(s.tables, leaf)
+	}
+}
+
+// attachWAL wires an engine to the segment log so its mutations are logged
+// under the engine's own lock, stamped with the leaf id.
+func (s *Segment) attachWAL(eng storage.Engine, leaf catalog.TableID) {
+	if s.log == nil {
+		return
+	}
+	if wl, ok := eng.(storage.WALLogged); ok {
+		wl.SetWAL(s.log, uint64(leaf))
+	}
 }
 
 // DropTable discards storage for a table, releasing any decoded blocks its
@@ -250,6 +357,11 @@ func (s *Segment) beginLocal(dxid dtm.DXID) *segTxn {
 	s.mapping.Register(local, dxid)
 	st := &segTxn{local: local}
 	s.open[dxid] = st
+	// The begin record carries the local↔distributed identity the mirror
+	// needs to rebuild the xid mapping — and with it, 2PC in-doubt
+	// resolution — on promotion. Logged under txmu so replayed xids appear
+	// in allocation order.
+	s.logTxn(wal.TypeBegin, local, dxid)
 	// Every transaction exclusively holds its own transaction lock; waiting
 	// for an uncommitted writer means share-locking this tag (paper §4.2's
 	// "locking tuple using the transaction lock"). Cannot block: the tag is
@@ -315,9 +427,30 @@ func (w *simWAL) Fsync(d time.Duration) {
 	w.mu.Unlock()
 }
 
-// fsync appends the transaction's durable record to the segment WAL.
+// logTxn appends a transaction state-change record to the segment log.
+func (s *Segment) logTxn(t wal.Type, local txn.XID, dxid dtm.DXID) {
+	if s.log == nil {
+		return
+	}
+	r := wal.Record{Type: t, Xid: uint64(local), Dxid: uint64(dxid)}
+	s.log.Append(&r)
+}
+
+// fsync makes the transaction's log records durable: a group-commit flush
+// charged FsyncDelay and — under synchronous replication — a wait until the
+// mirror has applied everything flushed, so a committed transaction
+// survives losing the primary with zero lag.
 func (s *Segment) fsync() {
-	s.wal.Fsync(s.cfg.FsyncDelay)
+	if s.log == nil {
+		s.legacyWAL.Fsync(s.cfg.FsyncDelay)
+		return
+	}
+	flushed := s.log.Flush(s.cfg.FsyncDelay)
+	if s.repMode != nil && ReplicaMode(s.repMode.Load()) == ReplicaSync {
+		if m := s.mirror.Load(); m != nil {
+			m.WaitApplied(flushed)
+		}
+	}
 }
 
 // stmtOverhead occupies one of the segment's bounded executor workers for
@@ -333,73 +466,159 @@ func (s *Segment) stmtOverhead() {
 
 // Prepare implements the 2PC first phase.
 func (s *Segment) Prepare(dxid dtm.DXID) error {
+	if err := s.checkUp(); err != nil {
+		return err
+	}
 	s.netHop()
 	st, ok := s.openTxn(dxid)
 	if !ok {
+		// A promoted segment has no live state for a transaction whose
+		// writes died with the old primary: refuse, so the coordinator
+		// aborts — exactly what crash recovery decided for those writes.
 		return fmt.Errorf("cluster: segment %d: prepare of unknown txn %d", s.id, dxid)
 	}
 	if err := s.txns.Prepare(st.local); err != nil {
 		return err
 	}
+	s.logTxn(wal.TypePrepare, st.local, dxid)
 	s.fsync()
+	return s.ackOrDown()
+}
+
+// ackOrDown guards a commit-protocol acknowledgement: if the segment was
+// declared dead while the call was in flight, the just-appended record may
+// have missed the mirror stream (promotion detaches it), so the only honest
+// answer is "segment down" — the protocol's stable reference then retries
+// against the promoted mirror, whose replayed clog resolves the outcome
+// authoritatively (idempotent success if the record shipped, failure if it
+// did not). Acknowledging here instead could report COMMIT for a record the
+// promoted primary never saw.
+func (s *Segment) ackOrDown() error {
+	if s.down.Load() {
+		return &SegmentDownError{Seg: s.id}
+	}
 	return nil
 }
 
+// recoveredStatus looks up the replayed clog state for a distributed
+// transaction this segment has no live (open) entry for — the promoted-
+// mirror case, where the commit protocol may retry an operation the old
+// primary already performed (or that recovery already resolved).
+func (s *Segment) recoveredStatus(dxid dtm.DXID) (txn.XID, txn.Status, bool) {
+	local, ok := s.mapping.LocalFor(dxid)
+	if !ok {
+		return 0, 0, false
+	}
+	return local, s.txns.Status(local), true
+}
+
 // CommitPrepared implements the 2PC second phase: durable commit, then lock
-// release.
+// release. On a recovered segment the call is idempotent against the
+// replayed clog: a transaction the log (or in-doubt resolution) already
+// committed acknowledges success, so the coordinator's durable commit
+// decision always wins (paper's 2PC recovery).
 func (s *Segment) CommitPrepared(dxid dtm.DXID) error {
+	if err := s.checkUp(); err != nil {
+		return err
+	}
 	s.netHop()
 	st, ok := s.openTxn(dxid)
 	if !ok {
+		if local, status, found := s.recoveredStatus(dxid); found {
+			switch status {
+			case txn.StatusCommitted:
+				return nil // already durably committed before/at recovery
+			case txn.StatusPrepared:
+				if err := s.txns.Commit(local); err != nil {
+					return err
+				}
+				s.logTxn(wal.TypeCommit, local, dxid)
+				s.fsync()
+				return s.ackOrDown()
+			}
+		}
 		return fmt.Errorf("cluster: segment %d: commit-prepared of unknown txn %d", s.id, dxid)
 	}
 	if err := s.txns.Commit(st.local); err != nil {
 		return err
 	}
+	s.logTxn(wal.TypeCommit, st.local, dxid)
 	s.fsync()
 	s.locks.ReleaseAll(lockmgr.TxnID(dxid))
 	s.closeTxn(dxid)
-	return nil
+	return s.ackOrDown()
 }
 
 // AbortPrepared rolls back a prepared transaction.
 func (s *Segment) AbortPrepared(dxid dtm.DXID) error { return s.Abort(dxid) }
 
 // CommitOnePhase is the single-segment fast path: one round trip, one
-// fsync, no prepare (paper §5.2).
+// fsync, no prepare (paper §5.2). Like CommitPrepared it is idempotent
+// against a recovered segment's replayed clog, which is what resolves the
+// indeterminate window of a primary dying between its durable commit and
+// the acknowledgement: if the commit record reached the mirror the retry
+// reports success, otherwise recovery aborted the transaction and the
+// retry reports failure.
 func (s *Segment) CommitOnePhase(dxid dtm.DXID) error {
+	if err := s.checkUp(); err != nil {
+		return err
+	}
 	s.netHop()
 	st, ok := s.openTxn(dxid)
 	if !ok {
+		if _, status, found := s.recoveredStatus(dxid); found && status == txn.StatusCommitted {
+			return nil
+		}
 		return fmt.Errorf("cluster: segment %d: one-phase commit of unknown txn %d", s.id, dxid)
 	}
 	if err := s.txns.Commit(st.local); err != nil {
 		return err
 	}
+	s.logTxn(wal.TypeCommit, st.local, dxid)
 	s.fsync()
 	s.locks.ReleaseAll(lockmgr.TxnID(dxid))
 	s.closeTxn(dxid)
-	return nil
+	return s.ackOrDown()
 }
 
-// Abort rolls back the local transaction and releases its locks.
+// Abort rolls back the local transaction and releases its locks. On a dead
+// primary it is a no-op (recovery aborts in-flight transactions anyway); on
+// a recovered segment it resolves a replayed prepared transaction as
+// aborted (the coordinator never durably decided to commit).
 func (s *Segment) Abort(dxid dtm.DXID) error {
+	if s.down.Load() {
+		return nil
+	}
 	st, ok := s.openTxn(dxid)
 	if ok {
+		// Always logged (a begin record always was): without the abort
+		// record the mirror's replica clog would keep the xid in-progress
+		// forever — an unbounded standby leak under rollback-heavy load.
+		s.logTxn(wal.TypeAbort, st.local, dxid)
 		_ = s.txns.Abort(st.local)
+	} else if local, status, found := s.recoveredStatus(dxid); found && status == txn.StatusPrepared {
+		_ = s.txns.Abort(local)
+		s.logTxn(wal.TypeAbort, local, dxid)
 	}
 	s.locks.ReleaseAll(lockmgr.TxnID(dxid))
 	s.closeTxn(dxid)
 	return nil
 }
 
-// FinishReadOnly releases a reader's locks without touching the clog.
+// FinishReadOnly releases a reader's locks without an fsync.
 func (s *Segment) FinishReadOnly(dxid dtm.DXID) {
+	if s.down.Load() {
+		return
+	}
 	st, ok := s.openTxn(dxid)
 	if ok {
 		// A read-only local transaction still occupied a local xid; commit
-		// it so snapshots don't keep treating it as running.
+		// it so snapshots don't keep treating it as running. The commit-ro
+		// record keeps the mirror's clog in step without charging either
+		// side a flush — durability is irrelevant for a transaction that
+		// wrote nothing.
 		_ = s.txns.Commit(st.local)
+		s.logTxn(wal.TypeCommitRO, st.local, dxid)
 	}
 	s.locks.ReleaseAll(lockmgr.TxnID(dxid))
 	s.closeTxn(dxid)
@@ -469,7 +688,7 @@ func (s *Segment) newAccess(dxid dtm.DXID, snap *dtm.DistSnapshot) *storeAccess 
 
 // lockRelation takes the local relation lock for a statement.
 func (a *storeAccess) lockRelation(ctx context.Context, t *catalog.Table, mode lockmgr.Mode) error {
-	return a.seg.locks.Acquire(ctx, lockmgr.TxnID(a.dxid), lockmgr.RelationTag(uint64(t.ID)), mode)
+	return a.seg.mapLockErr(a.seg.locks.Acquire(ctx, lockmgr.TxnID(a.dxid), lockmgr.RelationTag(uint64(t.ID)), mode))
 }
 
 // ScanTable implements exec.StoreAccess. With forUpdate set, only rows the
@@ -690,7 +909,7 @@ func (a *storeAccess) IndexLookup(ctx context.Context, t *catalog.Table, def *ca
 func (s *Segment) lockRowForUpdate(ctx context.Context, a *storeAccess, st *segTable, tid storage.TupleID) error {
 	me := lockmgr.TxnID(a.dxid)
 	tag := lockmgr.TupleTag(uint64(st.leaf), uint64(tid))
-	if err := s.locks.Acquire(ctx, me, tag, lockmgr.Exclusive); err != nil {
+	if err := s.mapLockErr(s.locks.Acquire(ctx, me, tag, lockmgr.Exclusive)); err != nil {
 		return err
 	}
 	for {
@@ -716,7 +935,7 @@ func (s *Segment) lockRowForUpdate(ctx context.Context, a *storeAccess, st *segT
 				return fmt.Errorf("cluster: no mapping for in-progress writer %d", h.Xmax)
 			}
 			holder := lockmgr.TxnID(holderDist)
-			if err := s.locks.Acquire(ctx, me, lockmgr.TransactionTag(holder), lockmgr.Share); err != nil {
+			if err := s.mapLockErr(s.locks.Acquire(ctx, me, lockmgr.TransactionTag(holder), lockmgr.Share)); err != nil {
 				return err
 			}
 			s.locks.Release(me, lockmgr.TransactionTag(holder))

@@ -452,6 +452,18 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, params []
 				return nil, err
 			}
 		}
+		if strings.EqualFold(x.Name, "replica_mode") {
+			// Cluster-wide, applied live (the sync↔async switch); not stored
+			// in the session settings so SHOW reads the cluster's actual mode.
+			m, ok := cluster.ParseReplicaMode(strings.ToLower(x.Value))
+			if !ok {
+				return nil, fmt.Errorf("core: replica_mode must be none, async or sync (got %q)", x.Value)
+			}
+			if err := cl.SetReplicaMode(m); err != nil {
+				return nil, err
+			}
+			return &Result{Tag: "SET"}, nil
+		}
 		if strings.EqualFold(x.Name, "memory_spill_ratio") {
 			if v := plan.ParseLimitInt(x.Value, -1); v < 0 || v > 100 {
 				return nil, fmt.Errorf("core: memory_spill_ratio must be between 0 and 100 (got %q)", x.Value)
@@ -468,10 +480,24 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, params []
 	}
 }
 
-// execShow answers SHOW statements: the virtual scan_stats / spill_stats
-// counter sets, or the value of a plain session setting.
+// execShow answers SHOW statements: the virtual scan_stats / spill_stats /
+// wal_stats counter sets, or the value of a plain session setting.
 func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
 	name := strings.ToLower(x.Name)
+	if name == "wal_stats" {
+		st := s.engine.cluster.WALStats()
+		res := &Result{Columns: []string{"stat", "value"}, Tag: "SHOW"}
+		add := func(k string, v int64) {
+			res.Rows = append(res.Rows, types.Row{types.NewText(k), types.NewInt(v)})
+		}
+		add("wal_records", st.Records)
+		add("wal_bytes", st.Bytes)
+		add("wal_flushes", st.Flushes)
+		add("mirror_applied_lsn", int64(st.MirrorAppliedLSN))
+		add("failovers", st.Failovers)
+		add("replay_lsn", int64(st.ReplayLSN))
+		return res, nil
+	}
 	if name == "spill_stats" {
 		spills, sbytes, sfiles, peak := s.engine.cluster.SpillStats()
 		res := &Result{Columns: []string{"stat", "value"}, Tag: "SHOW"}
@@ -513,6 +539,8 @@ func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
 			v = fmt.Sprintf("%d", cfg.ExecParallelism)
 		case "memory_spill_ratio":
 			v = fmt.Sprintf("%d", cfg.MemorySpillRatio)
+		case "replica_mode":
+			v = s.engine.cluster.ReplicaModeNow().String()
 		case "optimizer":
 			v = s.optimizer.String()
 		default:

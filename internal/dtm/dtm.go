@@ -47,6 +47,12 @@ type Coordinator struct {
 	nextDxid     DXID
 	inProgress   map[DXID]struct{}
 	maxCommitted DXID
+	// commitLog is the set of dxids whose two-phase commit decision was
+	// durably recorded between the PREPARE and COMMIT waves. Promotion-time
+	// 2PC recovery resolves an in-doubt prepared transaction by this set:
+	// commit record present → commit wins; absent (and the protocol is no
+	// longer running) → abort (the paper's presumed-abort resolution).
+	commitLog map[DXID]struct{}
 }
 
 // NewCoordinator returns a coordinator whose first transaction gets dxid 1.
@@ -54,7 +60,44 @@ func NewCoordinator() *Coordinator {
 	return &Coordinator{
 		nextDxid:   1,
 		inProgress: make(map[DXID]struct{}),
+		commitLog:  make(map[DXID]struct{}),
 	}
+}
+
+// LogCommitRecord durably notes the commit decision for dxid (called by the
+// cluster's coordinator-WAL hook between the 2PC waves).
+func (c *Coordinator) LogCommitRecord(dxid DXID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.commitLog[dxid] = struct{}{}
+}
+
+// HasCommitRecord reports whether the commit decision for dxid was durably
+// recorded.
+func (c *Coordinator) HasCommitRecord(dxid DXID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.commitLog[dxid]
+	return ok
+}
+
+// TruncateCommitLog discards commit records below the horizon (the oldest
+// in-progress dxid): a transaction below it has fully acknowledged, so its
+// outcome record reached every segment log — and therefore every mirror's
+// queue — and promotion-time recovery can never need the coordinator copy
+// again. Same role as XidMapping.Truncate: keep the metadata small. It
+// returns the number of records removed.
+func (c *Coordinator) TruncateCommitLog(horizon DXID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for d := range c.commitLog {
+		if d < horizon {
+			delete(c.commitLog, d)
+			n++
+		}
+	}
+	return n
 }
 
 // Begin assigns a new distributed transaction id.

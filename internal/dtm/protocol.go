@@ -79,9 +79,11 @@ func fanOut(ws []Participant, fn func(Participant) error) error {
 // With onePhase enabled and exactly one writer, the PREPARE wave and the
 // coordinator commit record are skipped (paper Fig. 10); otherwise full
 // two-phase commit runs and coordLog — when non-nil — durably records the
-// commit decision between the waves. The coordinator's in-progress entry is
-// cleared only after the protocol fully acknowledges.
-func Commit(coord *Coordinator, dxid DXID, writers []Participant, onePhase bool, coordLog ...func()) (CommitStats, error) {
+// commit decision for dxid between the waves (the record promotion-time
+// recovery consults to resolve in-doubt prepared transactions). The
+// coordinator's in-progress entry is cleared only after the protocol fully
+// acknowledges.
+func Commit(coord *Coordinator, dxid DXID, writers []Participant, onePhase bool, coordLog ...func(DXID)) (CommitStats, error) {
 	switch {
 	case len(writers) == 0:
 		coord.MarkCommitted(dxid)
@@ -122,7 +124,7 @@ func Commit(coord *Coordinator, dxid DXID, writers []Participant, onePhase bool,
 		// Coordinator durably records the commit decision.
 		for _, log := range coordLog {
 			if log != nil {
-				log()
+				log(dxid)
 			}
 		}
 		st.Fsyncs += len(writers) + 1
@@ -131,9 +133,14 @@ func Commit(coord *Coordinator, dxid DXID, writers []Participant, onePhase bool,
 		st.Rounds++
 		st.Fsyncs += len(writers)
 		if err := fanOut(writers, func(w Participant) error { return w.CommitPrepared(dxid) }); err != nil {
-			// The decision is durably committed; a real system retries
-			// until the segment acknowledges. The in-memory participant
-			// cannot fail here.
+			// The decision is durably committed — an unreachable participant
+			// (a segment whose failover failed or timed out) resolves it
+			// from the commit record when it recovers. The coordinator
+			// honors its own durable decision either way: leaving the dxid
+			// in-progress would hide the committed rows on the participants
+			// that did acknowledge and pin the truncation horizons forever.
+			// The caller still sees the error (outcome reached, ack missing).
+			coord.MarkCommitted(dxid)
 			return st, fmt.Errorf("dtm: commit prepared failed: %w", err)
 		}
 		coord.MarkCommitted(dxid)

@@ -1,0 +1,182 @@
+// Package fts implements the fault-tolerance service: the coordinator-side
+// daemon that periodically probes every primary segment and, when a probe
+// fails and the segment has a mirror standby, drives the mirror's promotion
+// to primary. It mirrors Greenplum's FTS process: the daemon is the only
+// component allowed to declare a primary dead, so dispatch never has to
+// make that call — it just waits for the topology to change.
+//
+// The per-segment state machine:
+//
+//	Up ──probe fails──▶ Promoting ──promotion ok──▶ Mirrorless
+//	 │                        │
+//	 │                        └─promotion fails──▶ Down
+//	 └─probe fails, no mirror─────────────────────▶ Down
+//
+//	Mirrorless ──operator rebuilds a mirror (Recover)──▶ Up
+//	Down ──────operator revives the primary (Recover)──▶ Up / Mirrorless
+package fts
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is one segment's health as the daemon sees it.
+type State int
+
+// Segment states.
+const (
+	// StateUp: primary answering probes, mirror standby attached.
+	StateUp State = iota
+	// StateMirrorless: primary answering probes but without a standby —
+	// typically the state right after a promotion, until Recover rebuilds
+	// redundancy.
+	StateMirrorless
+	// StatePromoting: primary declared dead, mirror promotion in progress.
+	StatePromoting
+	// StateDown: primary dead and no mirror to promote; the segment's data
+	// is unavailable until an operator intervenes.
+	StateDown
+)
+
+func (s State) String() string {
+	switch s {
+	case StateUp:
+		return "up"
+	case StateMirrorless:
+		return "up (no mirror)"
+	case StatePromoting:
+		return "promoting"
+	case StateDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// Target is the cluster surface the daemon drives.
+type Target interface {
+	// SegmentCount returns the number of primaries to probe.
+	SegmentCount() int
+	// ProbePrimary returns nil when segment i's primary answers.
+	ProbePrimary(i int) error
+	// HasMirror reports whether segment i has a live mirror standby.
+	HasMirror(i int) bool
+	// Promote fails segment i over to its mirror.
+	Promote(i int) error
+}
+
+// Daemon is the probe loop.
+type Daemon struct {
+	target   Target
+	interval time.Duration
+
+	mu     sync.Mutex
+	states []State
+
+	probes     atomic.Int64
+	failures   atomic.Int64
+	promotions atomic.Int64
+
+	stop chan struct{}
+	poke chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewDaemon returns a daemon probing target every interval.
+func NewDaemon(target Target, interval time.Duration) *Daemon {
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	return &Daemon{
+		target:   target,
+		interval: interval,
+		states:   make([]State, target.SegmentCount()),
+		stop:     make(chan struct{}),
+		poke:     make(chan struct{}, 1),
+	}
+}
+
+// Start launches the probe loop.
+func (d *Daemon) Start() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTicker(d.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-t.C:
+			case <-d.poke:
+			}
+			d.ProbeAll()
+		}
+	}()
+}
+
+// Stop terminates the probe loop.
+func (d *Daemon) Stop() {
+	close(d.stop)
+	d.wg.Wait()
+}
+
+// Poke requests an immediate probe pass (used right after an explicit
+// segment kill so failover latency is probe-bound, not interval-bound).
+func (d *Daemon) Poke() {
+	select {
+	case d.poke <- struct{}{}:
+	default:
+	}
+}
+
+// ProbeAll runs one synchronous probe pass over every segment, promoting
+// mirrors of dead primaries.
+func (d *Daemon) ProbeAll() {
+	for i := 0; i < d.target.SegmentCount(); i++ {
+		d.probes.Add(1)
+		err := d.target.ProbePrimary(i)
+		if err == nil {
+			if d.target.HasMirror(i) {
+				d.setState(i, StateUp)
+			} else {
+				d.setState(i, StateMirrorless)
+			}
+			continue
+		}
+		d.failures.Add(1)
+		if !d.target.HasMirror(i) {
+			d.setState(i, StateDown)
+			continue
+		}
+		d.setState(i, StatePromoting)
+		if perr := d.target.Promote(i); perr != nil {
+			d.setState(i, StateDown)
+			continue
+		}
+		d.promotions.Add(1)
+		d.setState(i, StateMirrorless)
+	}
+}
+
+func (d *Daemon) setState(i int, s State) {
+	d.mu.Lock()
+	d.states[i] = s
+	d.mu.Unlock()
+}
+
+// States snapshots the per-segment states.
+func (d *Daemon) States() []State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]State, len(d.states))
+	copy(out, d.states)
+	return out
+}
+
+// Stats returns cumulative probe-loop counters.
+func (d *Daemon) Stats() (probes, failures, promotions int64) {
+	return d.probes.Load(), d.failures.Load(), d.promotions.Load()
+}

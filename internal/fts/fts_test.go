@@ -1,0 +1,107 @@
+package fts
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+type fakeTarget struct {
+	mu       sync.Mutex
+	down     []bool
+	mirrors  []bool
+	promoted []int
+	failNext bool
+}
+
+func (f *fakeTarget) SegmentCount() int { return len(f.down) }
+
+func (f *fakeTarget) ProbePrimary(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down[i] {
+		return errors.New("down")
+	}
+	return nil
+}
+
+func (f *fakeTarget) HasMirror(i int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mirrors[i]
+}
+
+func (f *fakeTarget) Promote(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNext {
+		return errors.New("promotion failed")
+	}
+	f.promoted = append(f.promoted, i)
+	f.down[i] = false
+	f.mirrors[i] = false
+	return nil
+}
+
+func TestProbePromotesDeadPrimary(t *testing.T) {
+	ft := &fakeTarget{down: []bool{false, true, false}, mirrors: []bool{true, true, true}}
+	d := NewDaemon(ft, time.Hour) // driven manually
+	d.ProbeAll()
+	if len(ft.promoted) != 1 || ft.promoted[0] != 1 {
+		t.Fatalf("promoted %v", ft.promoted)
+	}
+	st := d.States()
+	if st[0] != StateUp || st[1] != StateMirrorless || st[2] != StateUp {
+		t.Fatalf("states %v", st)
+	}
+	probes, failures, promotions := d.Stats()
+	if probes != 3 || failures != 1 || promotions != 1 {
+		t.Fatalf("stats %d %d %d", probes, failures, promotions)
+	}
+}
+
+func TestDeadPrimaryWithoutMirrorGoesDown(t *testing.T) {
+	ft := &fakeTarget{down: []bool{true}, mirrors: []bool{false}}
+	d := NewDaemon(ft, time.Hour)
+	d.ProbeAll()
+	if st := d.States(); st[0] != StateDown {
+		t.Fatalf("state %v", st[0])
+	}
+	if len(ft.promoted) != 0 {
+		t.Fatal("promoted a mirrorless segment")
+	}
+}
+
+func TestFailedPromotionGoesDown(t *testing.T) {
+	ft := &fakeTarget{down: []bool{true}, mirrors: []bool{true}, failNext: true}
+	d := NewDaemon(ft, time.Hour)
+	d.ProbeAll()
+	if st := d.States(); st[0] != StateDown {
+		t.Fatalf("state %v", st[0])
+	}
+}
+
+func TestDaemonLoopAndPoke(t *testing.T) {
+	ft := &fakeTarget{down: []bool{false, false}, mirrors: []bool{true, true}}
+	d := NewDaemon(ft, 5*time.Millisecond)
+	d.Start()
+	defer d.Stop()
+	ft.mu.Lock()
+	ft.down[0] = true
+	ft.mu.Unlock()
+	d.Poke()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ft.mu.Lock()
+		n := len(ft.promoted)
+		ft.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never promoted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -82,6 +82,12 @@ var ErrDeadlockVictim = errors.New("lockmgr: transaction killed as deadlock vict
 // ErrLockTimeout is returned when the caller's context expires while waiting.
 var ErrLockTimeout = errors.New("lockmgr: lock wait cancelled")
 
+// ErrShutdown is returned from Acquire — immediately, including to waiters
+// already queued — after the manager is shut down: the segment owning this
+// lock table died, so its lock state is gone and every conversation with it
+// is over (the moral equivalent of connections breaking with the host).
+var ErrShutdown = errors.New("lockmgr: lock manager shut down")
+
 // waiter is one queued lock request.
 type waiter struct {
 	txn   TxnID
@@ -120,6 +126,10 @@ type Manager struct {
 	// killed marks transactions chosen as deadlock victims so future
 	// acquires fail fast until the transaction releases its locks.
 	killed map[TxnID]struct{}
+
+	// down marks the whole manager dead (segment failure); every wait —
+	// queued or future — fails with ErrShutdown.
+	down bool
 
 	// Wait accounting for the Fig. 2 experiment.
 	waitNanos  atomic.Int64
@@ -171,6 +181,10 @@ func queueConflicts(l *lock, txn TxnID, mode Mode, upto int) bool {
 func (m *Manager) Acquire(ctx context.Context, txn TxnID, tag Tag, mode Mode) error {
 	m.acquireCnt.Add(1)
 	m.mu.Lock()
+	if m.down {
+		m.mu.Unlock()
+		return ErrShutdown
+	}
 	if _, dead := m.killed[txn]; dead {
 		m.mu.Unlock()
 		return ErrDeadlockVictim
@@ -220,6 +234,9 @@ func (m *Manager) TryAcquire(txn TxnID, tag Tag, mode Mode) bool {
 	m.acquireCnt.Add(1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		return false
+	}
 	if _, dead := m.killed[txn]; dead {
 		return false
 	}
@@ -348,6 +365,27 @@ func (m *Manager) Kill(txn TxnID) {
 		if changed {
 			m.promoteLocked(tag)
 		}
+	}
+}
+
+// Shutdown declares the owning segment dead: every queued waiter wakes with
+// ErrShutdown and all future acquisitions fail the same way. Without this a
+// statement that entered the segment just before it was killed could wait
+// forever on a lock whose holder's release will never arrive (the dead
+// incarnation's lock table is no longer part of any deadlock detection).
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return
+	}
+	m.down = true
+	for _, l := range m.locks {
+		for _, w := range l.queue {
+			w.err = ErrShutdown
+			close(w.ready)
+		}
+		l.queue = nil
 	}
 }
 

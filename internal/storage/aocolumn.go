@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/txn"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // aoColumnIDs hands out the unique engine ids that key block-cache entries.
@@ -33,6 +34,17 @@ type AOColumn struct {
 	// one via SetBlockCache.
 	id    uint64
 	cache *BlockCache
+
+	// wal, when attached, receives one record per mutation, appended under
+	// a.mu so the log order equals the mutation order.
+	wal walRef
+}
+
+// SetWAL implements WALLogged.
+func (a *AOColumn) SetWAL(l *wal.Log, leaf uint64) {
+	a.mu.Lock()
+	a.wal = walRef{log: l, leaf: leaf}
+	a.mu.Unlock()
 }
 
 // decodedBlock is a cache entry of decoded vectors. Columns decode lazily:
@@ -115,10 +127,12 @@ func (a *AOColumn) Insert(x txn.XID, row types.Row) TupleID {
 	}
 	a.tailX = append(a.tailX, x)
 	a.count++
+	tid := TupleID(a.count)
+	a.wal.logInsert(tid, x, row)
 	if len(a.tailX) >= aoColBlockRows {
 		a.sealLocked()
 	}
-	return TupleID(a.count)
+	return tid
 }
 
 func (a *AOColumn) sealLocked() {
@@ -336,6 +350,7 @@ func (a *AOColumn) SetXmax(tid TupleID, x txn.XID) error {
 		return &ErrConcurrentWrite{Holder: holder}
 	}
 	a.visimap[tid] = x
+	a.wal.logOp(wal.TypeSetXmax, tid, x, 0)
 	return nil
 }
 
@@ -346,6 +361,7 @@ func (a *AOColumn) ClearXmax(tid TupleID, prev txn.XID) {
 	if a.visimap[tid] == prev {
 		delete(a.visimap, tid)
 		delete(a.updated, tid)
+		a.wal.logOp(wal.TypeClearXmax, tid, prev, 0)
 	}
 }
 
@@ -354,6 +370,7 @@ func (a *AOColumn) LinkUpdate(old, new TupleID) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.updated[old] = new
+	a.wal.logOp(wal.TypeLinkUpdate, old, 0, new)
 }
 
 // Truncate implements Engine. The write invalidates this table's decoded
@@ -367,7 +384,18 @@ func (a *AOColumn) Truncate() {
 	a.count = 0
 	a.visimap = make(map[TupleID]txn.XID)
 	a.updated = make(map[TupleID]TupleID)
+	a.wal.logOp(wal.TypeTruncate, 0, 0, 0)
 	a.cache.InvalidateEngine(a.id)
+}
+
+// ResetDerived implements DerivedResettable: drops this engine's decoded
+// blocks from the attached cache (promotion must not serve blocks decoded
+// while the engine was a mirror).
+func (a *AOColumn) ResetDerived() {
+	a.mu.RLock()
+	cache := a.cache
+	a.mu.RUnlock()
+	cache.InvalidateEngine(a.id)
 }
 
 // RowCount implements Engine.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/txn"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // AORow is the append-optimized row-oriented engine. Rows are appended to
@@ -25,6 +26,17 @@ type AORow struct {
 	// appended rows are never rewritten, so summaries stay conservative and
 	// only Truncate resets them.
 	zones lazyZones
+
+	// wal, when attached, receives one record per mutation, appended under
+	// a.mu so the log order equals the mutation order.
+	wal walRef
+}
+
+// SetWAL implements WALLogged.
+func (a *AORow) SetWAL(l *wal.Log, leaf uint64) {
+	a.mu.Lock()
+	a.wal = walRef{log: l, leaf: leaf}
+	a.mu.Unlock()
 }
 
 type aoRow struct {
@@ -56,7 +68,9 @@ func (a *AORow) Insert(x txn.XID, row types.Row) TupleID {
 	last := len(a.blocks) - 1
 	a.blocks[last] = append(a.blocks[last], aoRow{xmin: x, row: row.Clone()})
 	a.count++
-	return TupleID(a.count)
+	tid := TupleID(a.count)
+	a.wal.logInsert(tid, x, row)
+	return tid
 }
 
 func (a *AORow) fetchLocked(tid TupleID) (aoRow, bool) {
@@ -111,6 +125,7 @@ func (a *AORow) SetXmax(tid TupleID, x txn.XID) error {
 		return &ErrConcurrentWrite{Holder: holder}
 	}
 	a.visimap[tid] = x
+	a.wal.logOp(wal.TypeSetXmax, tid, x, 0)
 	return nil
 }
 
@@ -121,6 +136,7 @@ func (a *AORow) ClearXmax(tid TupleID, prev txn.XID) {
 	if a.visimap[tid] == prev {
 		delete(a.visimap, tid)
 		delete(a.updated, tid)
+		a.wal.logOp(wal.TypeClearXmax, tid, prev, 0)
 	}
 }
 
@@ -129,6 +145,7 @@ func (a *AORow) LinkUpdate(old, new TupleID) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.updated[old] = new
+	a.wal.logOp(wal.TypeLinkUpdate, old, 0, new)
 }
 
 // Truncate implements Engine.
@@ -138,9 +155,16 @@ func (a *AORow) Truncate() {
 	a.count = 0
 	a.visimap = make(map[TupleID]txn.XID)
 	a.updated = make(map[TupleID]TupleID)
+	a.wal.logOp(wal.TypeTruncate, 0, 0, 0)
 	a.mu.Unlock()
 	a.zones.reset()
 }
+
+// ResetDerived implements DerivedResettable: drops the lazy zone-map pages.
+func (a *AORow) ResetDerived() { a.zones.reset() }
+
+// ZonePagesBuilt counts materialized lazy zone pages (tests).
+func (a *AORow) ZonePagesBuilt() int { return a.zones.built() }
 
 // pageZone builds (or fetches) the zone map of one full page.
 func (a *AORow) pageZone(page int) *ZoneMap {

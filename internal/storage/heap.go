@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/txn"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // Heap is the row-oriented MVCC engine: every INSERT or UPDATE appends a new
@@ -22,6 +23,17 @@ type Heap struct {
 	// version, VACUUM only nils rows out), so built summaries stay
 	// conservative; only Truncate resets them.
 	zones lazyZones
+
+	// wal, when attached, receives one record per mutation, appended under
+	// h.mu so the log order equals the mutation order.
+	wal walRef
+}
+
+// SetWAL implements WALLogged.
+func (h *Heap) SetWAL(l *wal.Log, leaf uint64) {
+	h.mu.Lock()
+	h.wal = walRef{log: l, leaf: leaf}
+	h.mu.Unlock()
 }
 
 type heapTuple struct {
@@ -42,7 +54,9 @@ func (h *Heap) Insert(x txn.XID, row types.Row) TupleID {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.tups = append(h.tups, heapTuple{xmin: x, row: row.Clone()})
-	return TupleID(len(h.tups)) // 1-based; 0 is invalid
+	tid := TupleID(len(h.tups)) // 1-based; 0 is invalid
+	h.wal.logInsert(tid, x, row)
+	return tid
 }
 
 // ForEach implements Engine.
@@ -89,6 +103,7 @@ func (h *Heap) SetXmax(tid TupleID, x txn.XID) error {
 		return &ErrConcurrentWrite{Holder: t.xmax}
 	}
 	t.xmax = x
+	h.wal.logOp(wal.TypeSetXmax, tid, x, 0)
 	return nil
 }
 
@@ -104,6 +119,7 @@ func (h *Heap) ClearXmax(tid TupleID, prev txn.XID) {
 	if t.xmax == prev {
 		t.xmax = txn.InvalidXID
 		t.updatedTo = InvalidTupleID
+		h.wal.logOp(wal.TypeClearXmax, tid, prev, 0)
 	}
 }
 
@@ -114,6 +130,7 @@ func (h *Heap) LinkUpdate(old, new TupleID) {
 	i := int(old) - 1
 	if i >= 0 && i < len(h.tups) {
 		h.tups[i].updatedTo = new
+		h.wal.logOp(wal.TypeLinkUpdate, old, 0, new)
 	}
 }
 
@@ -121,9 +138,17 @@ func (h *Heap) LinkUpdate(old, new TupleID) {
 func (h *Heap) Truncate() {
 	h.mu.Lock()
 	h.tups = nil
+	h.wal.logOp(wal.TypeTruncate, 0, 0, 0)
 	h.mu.Unlock()
 	h.zones.reset()
 }
+
+// ResetDerived implements DerivedResettable: drops the lazy zone-map pages
+// (promotion must not trust summaries built while the engine was a mirror).
+func (h *Heap) ResetDerived() { h.zones.reset() }
+
+// ZonePagesBuilt counts materialized lazy zone pages (tests).
+func (h *Heap) ZonePagesBuilt() int { return h.zones.built() }
 
 // pageZone builds (or fetches) the zone map of one full page.
 func (h *Heap) pageZone(page int) *ZoneMap {

@@ -267,9 +267,22 @@ func (l *lazyZones) zone(page int, build func() *ZoneMap) *ZoneMap {
 	return l.zones[page]
 }
 
-// reset drops every cached page summary (TRUNCATE).
+// reset drops every cached page summary (TRUNCATE, mirror promotion).
 func (l *lazyZones) reset() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.zones = nil
+}
+
+// built counts the page summaries currently materialized (tests).
+func (l *lazyZones) built() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, z := range l.zones {
+		if z != nil {
+			n++
+		}
+	}
+	return n
 }

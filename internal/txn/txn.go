@@ -151,6 +151,56 @@ func (m *Manager) Abort(xid XID) error {
 	return nil
 }
 
+// BeginReplay registers xid as in-progress with its logged identity — the
+// WAL-replay counterpart of Begin. Mirrors use it so their local xid space
+// is identical to the primary's even when the primary allocated xids that
+// never reached the log (read-only transactions are not fully logged).
+func (m *Manager) BeginReplay(xid XID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.status[xid]; ok {
+		return
+	}
+	m.status[xid] = StatusInProgress
+	m.running[xid] = struct{}{}
+	if xid >= m.nextXID {
+		m.nextXID = xid + 1
+	}
+}
+
+// AbortInFlight is crash recovery's first step: every in-progress (not
+// prepared) transaction is aborted — its writes can never become visible on
+// the recovered copy. Prepared transactions are left alone; they are
+// in-doubt and resolved against the coordinator's commit records. It
+// returns the aborted xids.
+func (m *Manager) AbortInFlight() []XID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var aborted []XID
+	for xid := range m.running {
+		if m.status[xid] == StatusInProgress {
+			m.status[xid] = StatusAborted
+			delete(m.running, xid)
+			aborted = append(aborted, xid)
+		}
+	}
+	return aborted
+}
+
+// PreparedXIDs returns the transactions sitting in the prepared state — the
+// in-doubt set a recovered segment must resolve.
+func (m *Manager) PreparedXIDs() []XID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []XID
+	for xid := range m.running {
+		if m.status[xid] == StatusPrepared {
+			out = append(out, xid)
+		}
+	}
+	return out
+}
+
 // IsRunning reports whether xid is in-progress or prepared.
 func (m *Manager) IsRunning(xid XID) bool {
 	m.mu.Lock()

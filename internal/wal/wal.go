@@ -1,0 +1,472 @@
+// Package wal implements the per-segment write-ahead log of the paper's
+// fault-tolerance section: every storage mutation and transaction state
+// change appends a self-framing record (length + CRC32 + payload) stamped
+// with a monotonically increasing LSN. The log is the unit of durability
+// (Flush charges the simulated fsync cost with PostgreSQL-style group
+// commit) and the unit of replication (a shipper callback observes every
+// frame in LSN order; a mirror replays frames into fresh storage engines).
+//
+// The log keeps its encoded image in memory — this simulation's stand-in
+// for the log file on disk — so replay always goes through the real
+// decode path: framing, CRC verification, and LSN sequencing are exercised
+// on every mirror apply and every recovery.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/types"
+)
+
+// LSN is a log sequence number: the 1-based index of a record in its
+// segment's log. 0 means "nothing".
+type LSN uint64
+
+// Type enumerates the record kinds.
+type Type uint8
+
+// Record types. DML records carry the leaf relation id and tuple ids; the
+// transaction records carry the local xid and — because a segment's local
+// transactions implement distributed ones — the distributed xid, which is
+// what lets promotion-time recovery resolve in-doubt prepared transactions
+// against the coordinator's commit records.
+const (
+	// TypeBegin records a local transaction's start (xid + dxid).
+	TypeBegin Type = 1 + iota
+	// TypeInsert records one stored tuple version (leaf, tid, xid, row).
+	TypeInsert
+	// TypeSetXmax records a delete/update stamp (leaf, tid, xid).
+	TypeSetXmax
+	// TypeClearXmax records an aborted stamper's cleanup (leaf, tid, prev xid).
+	TypeClearXmax
+	// TypeLinkUpdate records the ctid chain link (leaf, old tid, new tid).
+	TypeLinkUpdate
+	// TypeTruncate records a relation truncation (leaf).
+	TypeTruncate
+	// TypePrepare records 2PC phase one (xid + dxid).
+	TypePrepare
+	// TypeCommit records a local commit (xid + dxid).
+	TypeCommit
+	// TypeAbort records a local abort (xid + dxid).
+	TypeAbort
+	// TypeCommitRO records a read-only local commit (xid + dxid): it keeps
+	// the replica clog in step but carries no durable state, so the
+	// standby applies it without charging a flush.
+	TypeCommitRO
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeBegin:
+		return "begin"
+	case TypeInsert:
+		return "insert"
+	case TypeSetXmax:
+		return "setxmax"
+	case TypeClearXmax:
+		return "clearxmax"
+	case TypeLinkUpdate:
+		return "linkupdate"
+	case TypeTruncate:
+		return "truncate"
+	case TypePrepare:
+		return "prepare"
+	case TypeCommit:
+		return "commit"
+	case TypeAbort:
+		return "abort"
+	case TypeCommitRO:
+		return "commit-ro"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Record is one decoded log record. Fields not used by a type are zero.
+type Record struct {
+	Type Type
+	LSN  LSN
+	// Leaf is the leaf relation id (DML records).
+	Leaf uint64
+	// Xid is the local transaction id.
+	Xid uint64
+	// Dxid is the distributed transaction id (transaction records).
+	Dxid uint64
+	// TID is the tuple id (Insert/SetXmax/ClearXmax, LinkUpdate's old).
+	TID uint64
+	// TID2 is LinkUpdate's replacing tuple id.
+	TID2 uint64
+	// Row is the inserted tuple (Insert records).
+	Row types.Row
+}
+
+// ErrCorrupt is returned when a frame fails CRC or structural validation.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// ---- record codec ----
+
+// Frame layout: u32 payload length, u32 CRC32(payload), payload. The
+// payload is: u8 type, u64 lsn, then uvarint leaf/xid/dxid/tid/tid2 and the
+// optional row. Self-framing means a reader needs no external index: it can
+// walk the byte stream record by record and detect truncation or damage.
+
+// EncodeRecord appends r's frame to dst and returns the extended slice.
+func EncodeRecord(dst []byte, r *Record) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	p := len(dst)
+	dst = append(dst, byte(r.Type))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.LSN))
+	dst = binary.AppendUvarint(dst, r.Leaf)
+	dst = binary.AppendUvarint(dst, r.Xid)
+	dst = binary.AppendUvarint(dst, r.Dxid)
+	dst = binary.AppendUvarint(dst, r.TID)
+	dst = binary.AppendUvarint(dst, r.TID2)
+	dst = appendRow(dst, r.Row)
+	payload := dst[p:]
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// DecodeFrame decodes the frame at the start of b, returning the record and
+// the total frame size consumed.
+func DecodeFrame(b []byte) (Record, int, error) {
+	if len(b) < 8 {
+		return Record{}, 0, fmt.Errorf("%w: truncated frame header", ErrCorrupt)
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	crc := binary.BigEndian.Uint32(b[4:])
+	if len(b) < 8+n {
+		return Record{}, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrCorrupt, len(b)-8, n)
+	}
+	payload := b[8 : 8+n]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return Record{}, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	r, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return r, 8 + n, nil
+}
+
+func decodePayload(p []byte) (Record, error) {
+	if len(p) < 9 {
+		return Record{}, fmt.Errorf("%w: short payload", ErrCorrupt)
+	}
+	r := Record{Type: Type(p[0]), LSN: LSN(binary.BigEndian.Uint64(p[1:]))}
+	p = p[9:]
+	var err error
+	if r.Leaf, p, err = uvarint(p); err != nil {
+		return Record{}, err
+	}
+	if r.Xid, p, err = uvarint(p); err != nil {
+		return Record{}, err
+	}
+	if r.Dxid, p, err = uvarint(p); err != nil {
+		return Record{}, err
+	}
+	if r.TID, p, err = uvarint(p); err != nil {
+		return Record{}, err
+	}
+	if r.TID2, p, err = uvarint(p); err != nil {
+		return Record{}, err
+	}
+	if r.Row, p, err = decodeRow(p); err != nil {
+		return Record{}, err
+	}
+	if len(p) != 0 {
+		return Record{}, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p))
+	}
+	return r, nil
+}
+
+func uvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	return v, p[n:], nil
+}
+
+// appendRow encodes a row: uvarint(len+1) (0 = nil row), then per datum a
+// kind byte and the kind's payload.
+func appendRow(dst []byte, row types.Row) []byte {
+	if row == nil {
+		return binary.AppendUvarint(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(row))+1)
+	for _, d := range row {
+		dst = append(dst, byte(d.Kind()))
+		switch d.Kind() {
+		case types.KindNull:
+		case types.KindInt, types.KindDate:
+			dst = binary.AppendVarint(dst, d.Int())
+		case types.KindBool:
+			if d.Bool() {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		case types.KindFloat:
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(d.Float()))
+		case types.KindText:
+			s := d.Text()
+			dst = binary.AppendUvarint(dst, uint64(len(s)))
+			dst = append(dst, s...)
+		}
+	}
+	return dst
+}
+
+func decodeRow(p []byte) (types.Row, []byte, error) {
+	n, p, err := uvarint(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, p, nil
+	}
+	row := make(types.Row, n-1)
+	for i := range row {
+		if len(p) < 1 {
+			return nil, nil, fmt.Errorf("%w: truncated datum", ErrCorrupt)
+		}
+		kind := types.Kind(p[0])
+		p = p[1:]
+		switch kind {
+		case types.KindNull:
+			row[i] = types.Null
+		case types.KindInt, types.KindDate:
+			v, vn := binary.Varint(p)
+			if vn <= 0 {
+				return nil, nil, fmt.Errorf("%w: bad int datum", ErrCorrupt)
+			}
+			p = p[vn:]
+			if kind == types.KindInt {
+				row[i] = types.NewInt(v)
+			} else {
+				row[i] = types.NewDate(v)
+			}
+		case types.KindBool:
+			if len(p) < 1 {
+				return nil, nil, fmt.Errorf("%w: truncated bool datum", ErrCorrupt)
+			}
+			row[i] = types.NewBool(p[0] != 0)
+			p = p[1:]
+		case types.KindFloat:
+			if len(p) < 8 {
+				return nil, nil, fmt.Errorf("%w: truncated float datum", ErrCorrupt)
+			}
+			row[i] = types.NewFloat(math.Float64frombits(binary.BigEndian.Uint64(p)))
+			p = p[8:]
+		case types.KindText:
+			l, rest, err := uvarint(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			if uint64(len(rest)) < l {
+				return nil, nil, fmt.Errorf("%w: truncated text datum", ErrCorrupt)
+			}
+			row[i] = types.NewText(string(rest[:l]))
+			p = rest[l:]
+		default:
+			return nil, nil, fmt.Errorf("%w: unknown datum kind %d", ErrCorrupt, kind)
+		}
+	}
+	return row, p, nil
+}
+
+// ---- the log ----
+
+// Log is one segment's append-only write-ahead log. Appends are serialized
+// by a mutex (the log is a serial stream by definition); Flush runs under a
+// separate mutex so a long simulated fsync doesn't block concurrent
+// appends — late appenders ride the next sync (group commit).
+type Log struct {
+	mu      sync.Mutex
+	buf     []byte
+	nextLSN LSN
+	ship    func(lsn LSN, frame []byte)
+
+	flushMu sync.Mutex
+	flushed atomic.Uint64 // LSN
+
+	records atomic.Int64
+	bytes   atomic.Int64
+	flushes atomic.Int64
+}
+
+// New returns an empty log whose first record gets LSN 1.
+func New() *Log {
+	return &Log{nextLSN: 1}
+}
+
+// Append assigns the next LSN to r, encodes it, appends the frame to the
+// log image and ships it to the attached shipper. It returns the record's
+// LSN. Callers serialize mutation order themselves (engines log under their
+// own mutex), so the log order matches the apply order.
+func (l *Log) Append(r *Record) LSN {
+	l.mu.Lock()
+	r.LSN = l.nextLSN
+	l.nextLSN++
+	start := len(l.buf)
+	l.buf = EncodeRecord(l.buf, r)
+	frame := l.buf[start:]
+	l.records.Add(1)
+	l.bytes.Add(int64(len(frame)))
+	if l.ship != nil {
+		l.ship(r.LSN, frame)
+	}
+	l.mu.Unlock()
+	return r.LSN
+}
+
+// AppendFrame verifies and appends an already-encoded frame (the mirror's
+// receive path): the CRC must check out and the LSN must be exactly the next
+// in sequence. It returns the decoded record.
+func (l *Log) AppendFrame(frame []byte) (Record, error) {
+	r, n, err := DecodeFrame(frame)
+	if err != nil {
+		return Record{}, err
+	}
+	if n != len(frame) {
+		return Record{}, fmt.Errorf("%w: frame has %d trailing bytes", ErrCorrupt, len(frame)-n)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r.LSN != l.nextLSN {
+		return Record{}, fmt.Errorf("wal: frame out of sequence: got LSN %d, want %d", r.LSN, l.nextLSN)
+	}
+	l.nextLSN++
+	l.buf = append(l.buf, frame...)
+	l.records.Add(1)
+	l.bytes.Add(int64(len(frame)))
+	if l.ship != nil {
+		l.ship(r.LSN, l.buf[len(l.buf)-len(frame):])
+	}
+	return r, nil
+}
+
+// LastLSN returns the highest assigned LSN (0 when empty).
+func (l *Log) LastLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// FlushedLSN returns the highest durably flushed LSN.
+func (l *Log) FlushedLSN() LSN { return LSN(l.flushed.Load()) }
+
+// Flush makes the caller's records durable, charging delay once per actual
+// sync with group commit: a caller whose records were covered by a sync that
+// started after they were appended returns for free. It returns the LSN the
+// log is durable up to.
+func (l *Log) Flush(delay time.Duration) LSN {
+	target := uint64(l.LastLSN())
+	if l.flushed.Load() >= target {
+		return LSN(l.flushed.Load())
+	}
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	if l.flushed.Load() >= target {
+		// A sync that began after our records were appended already covered
+		// them (group commit).
+		return LSN(l.flushed.Load())
+	}
+	// Sync everything present now — later appends ride along for free.
+	cur := uint64(l.LastLSN())
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	l.flushed.Store(cur)
+	l.flushes.Add(1)
+	return LSN(cur)
+}
+
+// Stats returns cumulative counters: records appended, encoded bytes, and
+// actual fsyncs performed (group-commit free rides are not counted).
+func (l *Log) Stats() (records, bytes, flushes int64) {
+	return l.records.Load(), l.bytes.Load(), l.flushes.Load()
+}
+
+// AttachShip installs the shipper called (under the append lock, so in LSN
+// order) for every subsequent frame. Frames already in the log are first
+// delivered to fn under the same lock, so the subscriber catches up from
+// LSN 1 with no gap, overlap, or interleaving with concurrent appends —
+// delivering the snapshot outside the lock would let a new frame overtake
+// the history and break the receiver's LSN sequencing.
+func (l *Log) AttachShip(fn func(lsn LSN, frame []byte)) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	frames, err := splitFrames(l.buf)
+	if err != nil {
+		return err
+	}
+	for i, f := range frames {
+		fn(LSN(i+1), f)
+	}
+	l.ship = fn
+	return nil
+}
+
+// DetachShip removes the shipper.
+func (l *Log) DetachShip() {
+	l.mu.Lock()
+	l.ship = nil
+	l.mu.Unlock()
+}
+
+// splitFrames cuts an encoded log image into per-record frames (copies, so
+// callers own them independently of the live buffer).
+func splitFrames(buf []byte) ([][]byte, error) {
+	var out [][]byte
+	for off := 0; off < len(buf); {
+		_, n, err := DecodeFrame(buf[off:])
+		if err != nil {
+			return nil, err
+		}
+		frame := make([]byte, n)
+		copy(frame, buf[off:off+n])
+		out = append(out, frame)
+		off += n
+	}
+	return out, nil
+}
+
+// ReplayFrom decodes the log image and invokes fn for every record with
+// LSN >= from, in order, verifying framing, CRCs and LSN sequence. Replay
+// reads a snapshot of the log taken at call time.
+func (l *Log) ReplayFrom(from LSN, fn func(Record) error) error {
+	l.mu.Lock()
+	img := make([]byte, len(l.buf))
+	copy(img, l.buf)
+	l.mu.Unlock()
+	want := LSN(1)
+	for off := 0; off < len(img); {
+		r, n, err := DecodeFrame(img[off:])
+		if err != nil {
+			return fmt.Errorf("wal: replay at offset %d: %w", off, err)
+		}
+		if r.LSN != want {
+			return fmt.Errorf("wal: replay out of sequence at offset %d: got LSN %d, want %d", off, r.LSN, want)
+		}
+		want++
+		off += n
+		if r.LSN < from {
+			continue
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
