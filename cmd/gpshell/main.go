@@ -154,6 +154,8 @@ func metaCommand(ctx context.Context, db *greenplum.DB, conn *greenplum.Conn, cm
 			st.OnePhaseCommits, st.TwoPhaseCommits, st.ReadOnlyCommits, st.Aborts,
 			st.DeadlockVictims, st.LockWaits, float64(st.LockWaitTime.Microseconds())/1000,
 			st.WALBytes, st.WALFlushes, st.Failovers, st.ReplayLSN)
+		fmt.Printf("  optimizer: %d analyzed tables, %d misestimates, %d robust fallbacks\n",
+			st.AnalyzedTables, st.Misestimates, st.RobustFallbacks)
 		for i, state := range db.SegmentStates() {
 			fmt.Printf("  segment %d: %s\n", i, state)
 		}

@@ -1,0 +1,99 @@
+package greenplum
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// loadJoinOrderSchema builds the join-order stress schema: two 10k-row fact
+// tables sharing a 100-NDV join key (their pairwise join explodes to ~1M
+// rows) and a 100-row dimension whose selective filter collapses one fact to
+// a few percent. The syntactic order joins the facts first; the cost-based
+// optimizer joins through the dimension.
+func loadJoinOrderSchema(b *testing.B, s *core.Session) {
+	b.Helper()
+	ctx := context.Background()
+	exec := func(q string) {
+		if _, err := s.Exec(ctx, q); err != nil {
+			b.Fatalf("%s: %v", q, err)
+		}
+	}
+	exec("CREATE TABLE big1 (a int, j int) DISTRIBUTED BY (a)")
+	exec("CREATE TABLE big2 (id int, j int, s int) DISTRIBUTED BY (id)")
+	exec("CREATE TABLE small (id int, tag int) DISTRIBUTED BY (tag)")
+	load := func(table string, n int, mk func(i int) string) {
+		for off := 0; off < n; off += 1000 {
+			var sb strings.Builder
+			sb.WriteString("INSERT INTO " + table + " VALUES ")
+			for i := off; i < off+1000 && i < n; i++ {
+				if i > off {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(mk(i))
+			}
+			exec(sb.String())
+		}
+	}
+	load("big1", 10000, func(i int) string { return fmt.Sprintf("(%d,%d)", i, i%100) })
+	load("big2", 10000, func(i int) string { return fmt.Sprintf("(%d,%d,%d)", i, i%100, i%100) })
+	load("small", 100, func(i int) string { return fmt.Sprintf("(%d,%d)", i, i%13) })
+}
+
+// BenchmarkCostBasedJoinOrder measures the tentpole win: the same three-way
+// join executed with the cost-based optimizer off (syntactic left-deep
+// order, ~1M-row intermediate) and on (ANALYZE statistics + DP join
+// reordering join through the filtered dimension first). The benchmark
+// fails if the cost-based plan is not at least 3x faster.
+func BenchmarkCostBasedJoinOrder(b *testing.B) {
+	const q = "SELECT count(*) FROM big1 JOIN big2 ON big1.j = big2.j JOIN small ON big2.s = small.id WHERE small.id < 3"
+	ctx := context.Background()
+
+	e := core.NewEngine(cluster.GPDB6(2))
+	defer e.Close()
+	s, err := e.NewSession("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	loadJoinOrderSchema(b, s)
+	if _, err := s.Exec(ctx, "SET optimizer = orca"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Exec(ctx, "ANALYZE"); err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(costopt string) (time.Duration, int64) {
+		if _, err := s.Exec(ctx, "SET enable_costopt = "+costopt); err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		res, err := s.Exec(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start), res.Rows[0][0].Int()
+	}
+
+	var syntactic, costBased time.Duration
+	for i := 0; i < b.N; i++ {
+		ds, ns := run("off")
+		dc, nc := run("on")
+		if ns != nc {
+			b.Fatalf("plans disagree: syntactic=%d cost-based=%d rows", ns, nc)
+		}
+		syntactic += ds
+		costBased += dc
+	}
+	ratio := float64(syntactic) / float64(costBased)
+	b.ReportMetric(ratio, "speedup")
+	b.Logf("syntactic=%v cost-based=%v speedup=%.1fx", syntactic/time.Duration(b.N), costBased/time.Duration(b.N), ratio)
+	if ratio < 3 {
+		b.Fatalf("cost-based join order only %.2fx faster than syntactic (want >= 3x)", ratio)
+	}
+}

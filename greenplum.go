@@ -231,6 +231,14 @@ type Stats struct {
 	WALFlushes int64
 	Failovers  int64
 	ReplayLSN  int64
+	// AnalyzedTables counts tables with fresh ANALYZE statistics;
+	// Misestimates counts executions whose actual cardinality broke the
+	// optimizer's error bounds; RobustFallbacks counts executions replanned
+	// with the robust (no-broadcast) plan as a result (also SHOW
+	// optimizer_stats).
+	AnalyzedTables  int
+	Misestimates    int64
+	RobustFallbacks int64
 }
 
 // Stats returns cluster counters.
@@ -241,6 +249,7 @@ func (db *DB) Stats() Stats {
 	scanned, skipped := c.ScanBlockStats()
 	spills, spillBytes, spillFiles, spillPeak := c.SpillStats()
 	walStats := c.WALStats()
+	analyzed, mises, fallbacks := c.OptimizerStats()
 	return Stats{
 		OnePhaseCommits: one,
 		TwoPhaseCommits: two,
@@ -260,6 +269,9 @@ func (db *DB) Stats() Stats {
 		WALFlushes:      walStats.Flushes,
 		Failovers:       walStats.Failovers,
 		ReplayLSN:       int64(walStats.ReplayLSN),
+		AnalyzedTables:  analyzed,
+		Misestimates:    mises,
+		RobustFallbacks: fallbacks,
 	}
 }
 

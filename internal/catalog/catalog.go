@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/stats"
 	"repro/internal/types"
 )
 
@@ -138,6 +139,10 @@ type Catalog struct {
 	tables map[string]*Table
 	roles  map[string]*Role
 	groups map[string]*ResourceGroupDef
+	// tstats holds the per-table optimizer statistics ANALYZE collected,
+	// keyed by lower-case table name. Validity against later writes is the
+	// cluster's job (stats.TableStats.Gen vs its statsGen write-tracking).
+	tstats map[string]*stats.TableStats
 }
 
 // New returns an empty catalog with the two built-in resource groups
@@ -148,6 +153,7 @@ func New() *Catalog {
 		tables: make(map[string]*Table),
 		roles:  make(map[string]*Role),
 		groups: make(map[string]*ResourceGroupDef),
+		tstats: make(map[string]*stats.TableStats),
 	}
 	// The built-in groups leave MemSpillRatio at 0 so they track the
 	// cluster default (cluster.Config.MemorySpillRatio) instead of pinning
@@ -191,7 +197,37 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("catalog: table %q does not exist", name)
 	}
 	delete(c.tables, key)
+	delete(c.tstats, key)
 	return nil
+}
+
+// SetTableStats stores (or replaces) a table's ANALYZE statistics.
+func (c *Catalog) SetTableStats(ts *stats.TableStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tstats[strings.ToLower(ts.Table)] = ts
+}
+
+// TableStats returns the stored ANALYZE statistics for a table, or nil.
+func (c *Catalog) TableStats(name string) *stats.TableStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tstats[strings.ToLower(name)]
+}
+
+// DropTableStats discards a table's statistics (TRUNCATE, re-ANALYZE of a
+// dropped table, tests).
+func (c *Catalog) DropTableStats(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tstats, strings.ToLower(name))
+}
+
+// AnalyzedTables counts tables with stored statistics.
+func (c *Catalog) AnalyzedTables() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.tstats)
 }
 
 // Table looks up a table by name.

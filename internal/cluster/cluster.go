@@ -78,6 +78,15 @@ type Cluster struct {
 	statsCache map[string]int64
 	statsGen   map[string]uint64
 
+	// misestimated records plan keys whose optimistic cardinality bound was
+	// violated mid-flight (actual rows exceeded est+bound); the planner
+	// answers subsequent executions with the robust plan. The counters feed
+	// SHOW optimizer_stats.
+	misestMu         sync.Mutex
+	misestimated     map[string]struct{}
+	misestimateCount atomic.Int64
+	robustFallbacks  atomic.Int64
+
 	// coordWAL is the coordinator's commit-record log (group commit).
 	coordWAL simWAL
 

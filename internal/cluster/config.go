@@ -78,6 +78,20 @@ type Config struct {
 	// Results are identical either way — only the work done differs.
 	EnableZoneMaps bool
 
+	// EnableCostOpt turns on the cost-based optimizer for OLAP (orca)
+	// sessions: ANALYZE-statistics-driven selectivity, join reordering,
+	// cost-based broadcast-vs-redistribute, and the risk-bounded robust-plan
+	// fallback. On in the GPDB presets; session override: SET enable_costopt.
+	// Results are identical either way — only the plan shape differs.
+	EnableCostOpt bool
+
+	// BroadcastThreshold is the planner's row-count cutoff below which the
+	// inner side of a join is broadcast instead of redistributed when no
+	// statistics-backed cost comparison is available. 0 = default (2000, the
+	// GPDB gp_segments_for_planner-era heuristic); session override: SET
+	// broadcast_threshold.
+	BroadcastThreshold int
+
 	// CacheRows models the single-host buffer cache for the Fig. 13
 	// experiment: when a segment stores more than CacheRows rows, point
 	// accesses pay DiskDelay scaled by the estimated miss ratio. Zero
@@ -175,6 +189,7 @@ func GPDB6(nseg int) *Config {
 		OnePhase:       true,
 		DirectDispatch: true,
 		EnableZoneMaps: true,
+		EnableCostOpt:  true,
 		WAL:            true,
 		MotionBuffer:   1024,
 		LockTimeout:    10 * time.Second,
@@ -210,6 +225,9 @@ func (c *Config) withDefaults() *Config {
 	}
 	if out.BlockCacheBytes == 0 {
 		out.BlockCacheBytes = 16 << 20
+	}
+	if out.BroadcastThreshold < 1 {
+		out.BroadcastThreshold = 2000
 	}
 	if out.GDDPeriod <= 0 {
 		out.GDDPeriod = 20 * time.Millisecond

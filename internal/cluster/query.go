@@ -42,6 +42,10 @@ type QueryResources struct {
 	// Spill, when non-nil, receives the statement's spill counters after the
 	// query finishes — the EXPLAIN ANALYZE "spill:" numbers.
 	Spill *SpillCounters
+	// NodeRows, when non-nil, collects per-plan-node actual output rows
+	// during execution — the EXPLAIN ANALYZE est-vs-actual numbers and the
+	// optimizer's risk-bound misestimate input.
+	NodeRows *plan.NodeRowCounts
 }
 
 // ScanCounters is a statement's block-granular scan accounting.
@@ -213,6 +217,7 @@ func (c *Cluster) runSelectOnce(ctx context.Context, t *LiveTxn, snap *dtm.DistS
 			ec.Mem = res.Mem
 			ec.CPU = res.CPU
 			ec.CPUBatchCost = res.CPUBatchCost
+			ec.NodeRows = res.NodeRows
 		}
 		if segID >= 0 {
 			ec.Store = accs[segID]

@@ -266,14 +266,20 @@ func (s *Session) planner(params []types.Datum) *plan.Planner {
 	if v, ok := s.settings["exec_parallelism"]; ok {
 		dop = plan.ParseLimitInt(v, dop)
 	}
+	bt := cfg.BroadcastThreshold
+	if v, ok := s.settings["broadcast_threshold"]; ok {
+		bt = plan.ParseLimitInt(v, bt)
+	}
 	return &plan.Planner{
-		Catalog:     s.engine.cluster.Catalog(),
-		NumSegments: cfg.NumSegments,
-		Optimizer:   s.optimizer,
-		Stats:       s.engine.cluster,
-		Parallelism: dop,
-		Pushdown:    s.settingBool("enable_zonemaps", cfg.EnableZoneMaps),
-		Params:      params,
+		Catalog:            s.engine.cluster.Catalog(),
+		NumSegments:        cfg.NumSegments,
+		Optimizer:          s.optimizer,
+		Stats:              s.engine.cluster,
+		Parallelism:        dop,
+		Pushdown:           s.settingBool("enable_zonemaps", cfg.EnableZoneMaps),
+		CostOpt:            s.settingBool("enable_costopt", cfg.EnableCostOpt),
+		BroadcastThreshold: bt,
+		Params:             params,
 	}
 }
 
@@ -299,15 +305,40 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, params []
 	cfg := cl.Config()
 	switch x := st.(type) {
 	case *sql.SelectStmt:
-		pl, err := s.planner(params).PlanSelect(x)
+		p := s.planner(params)
+		key := x.String()
+		if p.CostOpt && p.Optimizer == plan.OptimizerOLAP && cl.IsMisestimated(key) {
+			// A prior execution of this statement broke its cardinality
+			// error bounds: fall back to the robust plan (no broadcast,
+			// conservative memory grants) for this and later runs.
+			p.Robust = true
+			cl.NoteRobustFallback()
+		}
+		pl, err := p.PlanSelect(x)
 		if err != nil {
 			return nil, err
 		}
-		rows, schema, _, err := s.runPlannedSelect(ctx, pl, nil, nil)
+		var nodeRows *plan.NodeRowCounts
+		if p.CostOpt && p.Optimizer == plan.OptimizerOLAP && !p.Robust {
+			nodeRows = plan.NewNodeRowCounts(pl.Root)
+		}
+		rows, schema, _, err := s.runPlannedSelect(ctx, pl, nil, nil, nodeRows)
 		if err != nil {
 			return nil, err
+		}
+		if nodeRows != nil {
+			if mis := plan.CheckRiskBounds(pl.Costs, nodeRows); len(mis) > 0 {
+				cl.RecordMisestimate(key)
+			}
 		}
 		return &Result{Columns: columnNames(schema), Rows: rows, Tag: "SELECT"}, nil
+
+	case *sql.AnalyzeStmt:
+		n, err := cl.Analyze(ctx, x.Table)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{RowsAffected: n, Tag: "ANALYZE"}, nil
 
 	case *sql.InsertStmt:
 		pl, err := s.planner(params).PlanInsert(x)
@@ -469,6 +500,11 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, params []
 				return nil, fmt.Errorf("core: memory_spill_ratio must be between 0 and 100 (got %q)", x.Value)
 			}
 		}
+		if strings.EqualFold(x.Name, "broadcast_threshold") {
+			if v := plan.ParseLimitInt(x.Value, -1); v < 1 {
+				return nil, fmt.Errorf("core: broadcast_threshold must be a positive row count (got %q)", x.Value)
+			}
+		}
 		s.settings[strings.ToLower(x.Name)] = x.Value
 		return &Result{Tag: "SET"}, nil
 
@@ -511,6 +547,17 @@ func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
 		add("vmem_peak", s.engine.cluster.VmemPeak())
 		return res, nil
 	}
+	if name == "optimizer_stats" {
+		analyzed, mises, fallbacks := s.engine.cluster.OptimizerStats()
+		res := &Result{Columns: []string{"stat", "value"}, Tag: "SHOW"}
+		add := func(k string, v int64) {
+			res.Rows = append(res.Rows, types.Row{types.NewText(k), types.NewInt(v)})
+		}
+		add("analyzed_tables", int64(analyzed))
+		add("misestimates", mises)
+		add("robust_fallbacks", fallbacks)
+		return res, nil
+	}
 	if name == "scan_stats" {
 		cl := s.engine.cluster
 		scanned, skipped := cl.ScanBlockStats()
@@ -535,6 +582,10 @@ func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
 		switch name {
 		case "enable_zonemaps":
 			v = onOff(cfg.EnableZoneMaps)
+		case "enable_costopt":
+			v = onOff(cfg.EnableCostOpt)
+		case "broadcast_threshold":
+			v = fmt.Sprintf("%d", cfg.BroadcastThreshold)
 		case "exec_parallelism":
 			v = fmt.Sprintf("%d", cfg.ExecParallelism)
 		case "memory_spill_ratio":
@@ -577,6 +628,7 @@ func (s *Session) execExplain(ctx context.Context, x *sql.ExplainStmt, params []
 		return s.explainAnalyzeSelect(ctx, pl)
 	}
 	var root plan.Node
+	var costs map[plan.Node]*plan.NodeCost
 	switch t := x.Target.(type) {
 	case *sql.SelectStmt:
 		pl, err := p.PlanSelect(t)
@@ -584,6 +636,7 @@ func (s *Session) execExplain(ctx context.Context, x *sql.ExplainStmt, params []
 			return nil, err
 		}
 		root = pl.Root
+		costs = pl.Costs
 	case *sql.InsertStmt:
 		pl, err := p.PlanInsert(t)
 		if err != nil {
@@ -606,6 +659,9 @@ func (s *Session) execExplain(ctx context.Context, x *sql.ExplainStmt, params []
 		return nil, fmt.Errorf("core: cannot EXPLAIN %T", x.Target)
 	}
 	text := plan.Explain(root)
+	if costs != nil {
+		text = plan.ExplainWithCosts(root, costs)
+	}
 	res := &Result{Columns: []string{"QUERY PLAN"}, Tag: "EXPLAIN"}
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		res.Rows = append(res.Rows, types.Row{types.NewText(line)})
@@ -619,7 +675,7 @@ func (s *Session) execExplain(ctx context.Context, x *sql.ExplainStmt, params []
 // go through here so the measured execution is exactly the real one. When
 // scan/spill are non-nil they receive the statement's block and spill
 // counters.
-func (s *Session) runPlannedSelect(ctx context.Context, pl *plan.Planned, scan *cluster.ScanCounters, spill *cluster.SpillCounters) ([]types.Row, *types.Schema, time.Duration, error) {
+func (s *Session) runPlannedSelect(ctx context.Context, pl *plan.Planned, scan *cluster.ScanCounters, spill *cluster.SpillCounters, nodeRows *plan.NodeRowCounts) ([]types.Row, *types.Schema, time.Duration, error) {
 	cl := s.engine.cluster
 	if pl.ForUpdate && !cl.Config().GDD {
 		// GPDB 5 locking: FOR UPDATE serializes at the coordinator.
@@ -634,12 +690,13 @@ func (s *Session) runPlannedSelect(ctx context.Context, pl *plan.Planned, scan *
 		return nil, nil, 0, err
 	}
 	res := s.resources()
-	if scan != nil || spill != nil {
+	if scan != nil || spill != nil || nodeRows != nil {
 		if res == nil {
 			res = &cluster.QueryResources{}
 		}
 		res.Scan = scan
 		res.Spill = spill
+		res.NodeRows = nodeRows
 	}
 	start := time.Now()
 	rows, schema, err := cl.RunSelect(ctx, s.txn, cl.Snapshot(), pl, res)
@@ -656,12 +713,17 @@ func (s *Session) runPlannedSelect(ctx context.Context, pl *plan.Planned, scan *
 func (s *Session) explainAnalyzeSelect(ctx context.Context, pl *plan.Planned) (*Result, error) {
 	var scan cluster.ScanCounters
 	var spill cluster.SpillCounters
-	rows, _, elapsed, err := s.runPlannedSelect(ctx, pl, &scan, &spill)
+	nodeRows := plan.NewNodeRowCounts(pl.Root)
+	rows, _, elapsed, err := s.runPlannedSelect(ctx, pl, &scan, &spill, nodeRows)
 	if err != nil {
 		return nil, err
 	}
+	text := plan.Explain(pl.Root)
+	if pl.Costs != nil {
+		text = plan.ExplainAnalyzed(pl.Root, pl.Costs, nodeRows)
+	}
 	out := &Result{Columns: []string{"QUERY PLAN"}, Tag: "EXPLAIN"}
-	for _, line := range strings.Split(strings.TrimRight(plan.Explain(pl.Root), "\n"), "\n") {
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		out.Rows = append(out.Rows, types.Row{types.NewText(line)})
 	}
 	out.Rows = append(out.Rows,

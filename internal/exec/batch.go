@@ -596,8 +596,17 @@ func (m *motionRecvBatchIter) Close() {}
 // BuildBatch constructs the vectorized iterator tree for a plan subtree
 // within one slice. Operators without a batch implementation (sort, limit,
 // nested loop, index scan) run row-at-a-time over adapted batch children, so
-// scans and motions stay vectorized underneath them.
+// scans and motions stay vectorized underneath them. When ctx.NodeRows is
+// set, every node's iterator is wrapped to record its actual output rows.
 func BuildBatch(ctx *Context, node plan.Node) BatchIterator {
+	it := buildBatchNode(ctx, node)
+	if ctr := ctx.NodeRows.Counter(node); ctr != nil {
+		return &countingBatchIter{child: it, ctr: ctr}
+	}
+	return it
+}
+
+func buildBatchNode(ctx *Context, node plan.Node) BatchIterator {
 	size := ctx.batchSize()
 	switch n := node.(type) {
 	case *plan.Scan:
@@ -638,7 +647,9 @@ func BuildBatch(ctx *Context, node plan.Node) BatchIterator {
 		}
 		return NewBatchAdapter(&motionRecvIter{ctx: ctx, recv: r}, size)
 	default:
-		// OneRow, IndexScan and unsupported nodes share the row path.
-		return NewBatchAdapter(Build(ctx, node), size)
+		// OneRow, IndexScan and unsupported nodes share the row path
+		// (buildRow, not Build: the public BuildBatch already counts this
+		// node, so the row path must not count it again).
+		return NewBatchAdapter(buildRow(ctx, node), size)
 	}
 }

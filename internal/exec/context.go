@@ -131,6 +131,10 @@ type Context struct {
 	Parallel    int
 	NumSegments int
 	SegID       int // -1 = coordinator
+	// NodeRows, when set, receives each plan node's actual output row count
+	// (summed across slices and segments) for EXPLAIN ANALYZE and the
+	// optimizer's risk-bound misestimate check.
+	NodeRows *plan.NodeRowCounts
 }
 
 // batchSize returns the effective executor batch size.

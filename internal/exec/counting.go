@@ -1,0 +1,42 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// countingIter counts each row a node emits into the plan's NodeRowCounts.
+// Wrapping happens at the Build entry points, so every node of every slice is
+// counted exactly once no matter which path (row, batch, adapter) built it.
+type countingIter struct {
+	child Iterator
+	ctr   *atomic.Int64
+}
+
+func (c *countingIter) Next() (types.Row, error) {
+	row, err := c.child.Next()
+	if err == nil {
+		c.ctr.Add(1)
+	}
+	return row, err
+}
+
+func (c *countingIter) Close() { c.child.Close() }
+
+// countingBatchIter is countingIter for the vectorized path: one add per
+// batch, charged with the batch's length.
+type countingBatchIter struct {
+	child BatchIterator
+	ctr   *atomic.Int64
+}
+
+func (c *countingBatchIter) NextBatch() (*types.RowBatch, error) {
+	b, err := c.child.NextBatch()
+	if err == nil && b != nil {
+		c.ctr.Add(int64(b.Len()))
+	}
+	return b, err
+}
+
+func (c *countingBatchIter) Close() { c.child.Close() }

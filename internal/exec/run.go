@@ -28,8 +28,18 @@ func (m *motionRecvIter) Close() {}
 
 // Build constructs the iterator tree for a plan subtree *within one slice*.
 // A Motion child is a slice boundary: Build returns a receiver iterator for
-// it; the sending side is launched separately by the dispatcher.
+// it; the sending side is launched separately by the dispatcher. When
+// ctx.NodeRows is set, every node's iterator is wrapped to record its actual
+// output rows (recursion re-enters Build, so children are wrapped too).
 func Build(ctx *Context, node plan.Node) Iterator {
+	it := buildRow(ctx, node)
+	if ctr := ctx.NodeRows.Counter(node); ctr != nil {
+		return &countingIter{child: it, ctr: ctr}
+	}
+	return it
+}
+
+func buildRow(ctx *Context, node plan.Node) Iterator {
 	switch n := node.(type) {
 	case *plan.OneRow:
 		return &oneRowIter{}

@@ -39,14 +39,18 @@ type Stats interface {
 	RowCount(table string) int64
 }
 
-// defaultStats is used when no statistics provider is wired.
+// defaultStats is used when no statistics provider is wired (sessions
+// always wire the cluster's live row-count cache; this is only reachable
+// from direct Planner construction). Zero means "unknown": the planner
+// then never broadcasts on a guess.
 type defaultStats struct{}
 
-func (defaultStats) RowCount(string) int64 { return 1000 }
+func (defaultStats) RowCount(string) int64 { return 0 }
 
-// broadcastThreshold is the row estimate under which the OLAP planner
-// prefers broadcasting a join side over redistributing both sides.
-const broadcastThreshold = 2000
+// defaultBroadcastThreshold is the row estimate under which the OLAP
+// planner prefers broadcasting a join side over redistributing both sides,
+// when no Config/SET override is in effect (Planner.BroadcastThreshold).
+const defaultBroadcastThreshold = 2000
 
 // Planner turns analyzed statements into distributed physical plans.
 type Planner struct {
@@ -63,6 +67,19 @@ type Planner struct {
 	Pushdown bool
 	// Params are the values bound to $N placeholders.
 	Params []types.Datum
+	// CostOpt enables the cost-based passes: join reordering, build-side
+	// choice, cost-driven broadcast-vs-redistribute, and selectivity-aware
+	// memory estimates (SET enable_costopt; effective only with the OLAP
+	// optimizer).
+	CostOpt bool
+	// BroadcastThreshold is the broadcast row threshold used by the
+	// syntactic (CostOpt off) OLAP path; 0 means defaultBroadcastThreshold.
+	// Config.BroadcastThreshold / SET broadcast_threshold.
+	BroadcastThreshold int
+	// Robust forces the robust plan shape — no broadcast motions and
+	// conservative (non-selectivity-scaled) memory estimates — after the
+	// risk-bound check recorded a misestimate for this statement.
+	Robust bool
 }
 
 // Planned couples a plan tree with statement-level metadata the dispatcher
@@ -81,6 +98,9 @@ type Planned struct {
 	ForUpdate bool
 	// Slices are the plan slices after motion cutting (top slice first).
 	Slices int
+	// Costs are the cost model's per-node annotations (EXPLAIN rendering
+	// and the executor's risk-bound misestimate check).
+	Costs map[Node]*NodeCost
 }
 
 func (p *Planner) stats() Stats {
@@ -88,6 +108,20 @@ func (p *Planner) stats() Stats {
 		return defaultStats{}
 	}
 	return p.Stats
+}
+
+// costEnabled reports whether the cost-based passes apply: they require the
+// OLAP optimizer (the OLTP planner stays rule-based for latency).
+func (p *Planner) costEnabled() bool {
+	return p.CostOpt && p.Optimizer == OptimizerOLAP
+}
+
+// broadcastLimit is the syntactic path's broadcast threshold.
+func (p *Planner) broadcastLimit() int64 {
+	if p.BroadcastThreshold > 0 {
+		return int64(p.BroadcastThreshold)
+	}
+	return defaultBroadcastThreshold
 }
 
 // planned node + locus bookkeeping.
@@ -102,16 +136,30 @@ type planned struct {
 
 // PlanSelect plans a SELECT statement.
 func (p *Planner) PlanSelect(s *sql.SelectStmt) (*Planned, error) {
-	pn, scope, err := p.planFrom(s.From)
-	if err != nil {
-		return nil, err
+	var pn *planned
+	var scope *scope
+	var err error
+	whereHandled := false
+	if jr, ok := s.From.(*sql.JoinRef); ok && p.costEnabled() {
+		// Cost-based join reordering folds the WHERE clause into the join
+		// conjunct pool; a nil result means the tree does not qualify.
+		pn, scope, whereHandled, err = p.planReorderedJoin(jr, s.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if pn == nil {
+		pn, scope, err = p.planFrom(s.From)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	bnd := &binder{scope: scope, params: p.Params}
 
 	// WHERE.
 	var where Expr
-	if s.Where != nil {
+	if s.Where != nil && !whereHandled {
 		where, err = bnd.bind(s.Where)
 		if err != nil {
 			return nil, err
@@ -246,7 +294,17 @@ func (p *Planner) PlanSelect(s *sql.SelectStmt) (*Planned, error) {
 	if p.Pushdown {
 		AttachPushdown(res.Root)
 	}
-	AnnotateMemory(res.Root, p.stats())
+	if p.costEnabled() && !p.Robust {
+		// Selectivity-aware memory estimates plus the cost annotations.
+		res.Costs = p.AnnotateCosts(res.Root)
+	} else {
+		// Syntactic/robust path: conservative full-cardinality memory
+		// estimates; costs still computed for EXPLAIN and risk bounds.
+		AnnotateMemory(res.Root, p.stats())
+		est := newCostEstimator(p.stats(), p.statsProvider(), p.NumSegments)
+		est.cost(res.Root)
+		res.Costs = est.costs
+	}
 	return res, nil
 }
 
@@ -850,15 +908,33 @@ func (p *Planner) buildJoin(kind JoinKind, left, right *planned, lk, rk []Expr, 
 		result.hashKeys = left.hashKeys
 	default:
 		// The OLAP planner broadcasts a small inner side instead of
-		// redistributing both (cost-based choice); the OLTP planner always
-		// redistributes misaligned sides.
-		if p.Optimizer == OptimizerOLAP && !rightAligned && right.rows > 0 && right.rows < broadcastThreshold && kind == JoinInner {
+		// redistributing both; the OLTP planner always redistributes
+		// misaligned sides. With the cost-based passes on, the choice
+		// compares interconnect traffic (a broadcast ships the inner side to
+		// every segment; a redistribute ships each misaligned side once);
+		// otherwise the fixed broadcast threshold decides. A robust plan
+		// never broadcasts — a misestimated inner side makes broadcasts
+		// arbitrarily bad, while redistribution degrades gracefully.
+		broadcast := false
+		if p.Optimizer == OptimizerOLAP && !p.Robust && !rightAligned && right.rows > 0 && kind == JoinInner {
+			if p.costEnabled() {
+				nseg := int64(p.NumSegments)
+				if nseg < 1 {
+					nseg = 1
+				}
+				redistributed := right.rows
+				if !leftAligned {
+					redistributed += left.rows
+				}
+				broadcast = right.rows*nseg <= redistributed
+			} else {
+				broadcast = right.rows < p.broadcastLimit()
+			}
+		}
+		if broadcast {
 			right.node = &Motion{Child: right.node, Type: MotionBroadcast}
 			result.locus = left.locus
 			result.hashKeys = left.hashKeys
-			if !leftAligned && left.locus == LocusPartitioned {
-				// fine: broadcast join works at any partitioned locus
-			}
 		} else {
 			if !leftAligned {
 				left.node = &Motion{Child: left.node, Type: MotionRedistribute, HashExprs: lk}

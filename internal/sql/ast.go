@@ -501,6 +501,19 @@ type VacuumStmt struct {
 func (*VacuumStmt) stmt()            {}
 func (v *VacuumStmt) String() string { return "VACUUM " + v.Table }
 
+// AnalyzeStmt is ANALYZE [table]: collect optimizer statistics.
+type AnalyzeStmt struct {
+	Table string // "" = all tables
+}
+
+func (*AnalyzeStmt) stmt() {}
+func (a *AnalyzeStmt) String() string {
+	if a.Table == "" {
+		return "ANALYZE"
+	}
+	return "ANALYZE " + a.Table
+}
+
 // CreateIndexStmt is CREATE INDEX name ON table (col).
 type CreateIndexStmt struct {
 	Name    string

@@ -193,6 +193,18 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseLock()
 	case p.isKw("VACUUM"):
 		return p.parseVacuum()
+	case p.isWord("ANALYZE"): // unreserved: matches the bare identifier
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		st := &AnalyzeStmt{}
+		if p.tok.Kind == TokIdent {
+			st.Table = p.tok.Val
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
 	case p.isKw("TRUNCATE"):
 		if err := p.next(); err != nil {
 			return nil, err

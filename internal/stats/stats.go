@@ -1,0 +1,320 @@
+// Package stats holds the optimizer statistics the ANALYZE command collects
+// and the estimation routines the cost-based planner consumes: per-column
+// row counts, null fractions, NDV, min/max, and equi-depth histograms, plus
+// selectivity estimation for the sargable predicate shapes the executor can
+// push down (equality, ranges, IN lists, AND chains).
+//
+// Every cardinality estimate carries an error bound derived from the
+// histogram resolution and the sample size (the conformal-style risk bound
+// of PAPERS.md): bucket boundaries localize a value to within 1/buckets of
+// the distribution, and a sample of n rows adds a ~1/sqrt(n) sampling term.
+// The planner treats est+bound as the pessimistic cardinality; the executor
+// compares it against actual rows to detect misestimates at run time.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// DefaultBuckets is the equi-depth histogram resolution ANALYZE collects.
+const DefaultBuckets = 32
+
+// DefaultSampleRows caps the number of rows ANALYZE samples per table.
+const DefaultSampleRows = 30000
+
+// ColumnStats describes one column's value distribution.
+type ColumnStats struct {
+	// Name is the column name (diagnostics only; lookup is positional).
+	Name string
+	// NullFrac is the fraction of sampled rows that were NULL.
+	NullFrac float64
+	// NDV is the estimated number of distinct non-null values across the
+	// whole table (scaled up from the sample).
+	NDV int64
+	// Min and Max bound the non-null values seen in the sample.
+	Min, Max types.Datum
+	// Bounds are the equi-depth histogram boundaries over non-null sampled
+	// values: len(Bounds) == buckets+1, each bucket holding an equal share
+	// of the sample. Empty when no non-null values were sampled.
+	Bounds []types.Datum
+}
+
+// TableStats is the ANALYZE result for one table.
+type TableStats struct {
+	Table string
+	// RowCount is the exact visible row count at ANALYZE time.
+	RowCount int64
+	// SampleRows is how many rows the sample contained.
+	SampleRows int64
+	// Gen is the cluster's write-tracking generation (statsGen) at ANALYZE
+	// time; a later generation means the stats are stale and are discarded.
+	Gen uint64
+	// Columns holds per-column stats, indexed by column position.
+	Columns []ColumnStats
+}
+
+// BuildTableStats computes statistics from a sample of rows. rows is the
+// sampled row set (each row full-width per schema), total the exact visible
+// row count. Column order follows the schema.
+func BuildTableStats(table string, colNames []string, sample []types.Row, total int64, buckets int) *TableStats {
+	if buckets <= 0 {
+		buckets = DefaultBuckets
+	}
+	ts := &TableStats{Table: table, RowCount: total, SampleRows: int64(len(sample))}
+	if len(colNames) == 0 {
+		return ts
+	}
+	ts.Columns = make([]ColumnStats, len(colNames))
+	vals := make([]types.Datum, 0, len(sample))
+	for c := range colNames {
+		vals = vals[:0]
+		nulls := 0
+		for _, r := range sample {
+			if c >= len(r) || r[c].IsNull() {
+				nulls++
+				continue
+			}
+			vals = append(vals, r[c])
+		}
+		ts.Columns[c] = buildColumn(colNames[c], vals, nulls, total, buckets)
+	}
+	return ts
+}
+
+// buildColumn computes one column's stats from its non-null sampled values.
+// vals is modified (sorted) in place.
+func buildColumn(name string, vals []types.Datum, nulls int, total int64, buckets int) ColumnStats {
+	cs := ColumnStats{Name: name}
+	n := len(vals) + nulls
+	if n > 0 {
+		cs.NullFrac = float64(nulls) / float64(n)
+	}
+	if len(vals) == 0 {
+		cs.Min, cs.Max = types.Null, types.Null
+		return cs
+	}
+	sort.Slice(vals, func(i, j int) bool { return types.Compare(vals[i], vals[j]) < 0 })
+	cs.Min, cs.Max = vals[0], vals[len(vals)-1]
+
+	// Distinct count in the sample, and how many values appeared exactly once
+	// (f1 drives the Duj1 scale-up below).
+	d, f1 := 0, 0
+	runLen := 0
+	for i := range vals {
+		runLen++
+		if i == len(vals)-1 || types.Compare(vals[i], vals[i+1]) != 0 {
+			d++
+			if runLen == 1 {
+				f1++
+			}
+			runLen = 0
+		}
+	}
+	cs.NDV = estimateNDV(d, f1, len(vals), total)
+
+	// Equi-depth histogram: boundary i sits at sample quantile i/buckets.
+	if buckets > len(vals) {
+		buckets = len(vals)
+	}
+	cs.Bounds = make([]types.Datum, buckets+1)
+	for i := 0; i <= buckets; i++ {
+		idx := i * (len(vals) - 1) / buckets
+		cs.Bounds[i] = vals[idx]
+	}
+	return cs
+}
+
+// estimateNDV scales the sample's distinct count to the whole table with the
+// Duj1 estimator (Haas et al.): D = d / (1 - f1/n + f1/N), where f1 is the
+// number of sample values seen exactly once. When every sampled value is
+// unique the column is treated as unique across the table.
+func estimateNDV(d, f1, n int, total int64) int64 {
+	if n == 0 {
+		return 0
+	}
+	if int64(n) >= total {
+		return int64(d) // full scan: exact
+	}
+	if d == n {
+		return total // all sampled values distinct: assume unique column
+	}
+	denom := 1 - float64(f1)/float64(n) + float64(f1)/float64(total)
+	if denom <= 0 {
+		return total
+	}
+	ndv := int64(float64(d) / denom)
+	if ndv < int64(d) {
+		ndv = int64(d)
+	}
+	if ndv > total {
+		ndv = total
+	}
+	return ndv
+}
+
+// fraction returns the estimated fraction of non-null values strictly less
+// than v (or ≤ v when inclusive), interpolating inside histogram buckets.
+func (c *ColumnStats) fraction(v types.Datum, inclusive bool) float64 {
+	b := c.Bounds
+	if len(b) < 2 {
+		return 0.5
+	}
+	if types.Compare(v, b[0]) < 0 {
+		return 0
+	}
+	if cmp := types.Compare(v, b[len(b)-1]); cmp > 0 || (cmp == 0 && inclusive) {
+		return 1
+	}
+	buckets := len(b) - 1
+	// Find the bucket [b[i], b[i+1]) containing v.
+	i := sort.Search(buckets, func(i int) bool { return types.Compare(v, b[i+1]) < 0 })
+	if i >= buckets {
+		i = buckets - 1
+	}
+	frac := float64(i) / float64(buckets)
+	// Linear interpolation within the bucket for numeric kinds; non-numeric
+	// values get the bucket midpoint.
+	lo, hi := b[i], b[i+1]
+	within := 0.5
+	if isNumeric(lo) && isNumeric(hi) && isNumeric(v) {
+		l, h := lo.Float(), hi.Float()
+		if h > l {
+			within = (v.Float() - l) / (h - l)
+		} else {
+			within = 0
+		}
+	}
+	if within < 0 {
+		within = 0
+	}
+	if within > 1 {
+		within = 1
+	}
+	return frac + within/float64(buckets)
+}
+
+func isNumeric(d types.Datum) bool {
+	switch d.Kind() {
+	case types.KindInt, types.KindFloat, types.KindDate, types.KindBool:
+		return true
+	}
+	return false
+}
+
+// EqSelectivity estimates the fraction of rows with column = v.
+func (c *ColumnStats) EqSelectivity(v types.Datum) float64 {
+	if v.IsNull() {
+		return 0 // = NULL matches nothing
+	}
+	nonNull := 1 - c.NullFrac
+	if c.NDV <= 0 {
+		return nonNull * 0.1
+	}
+	if len(c.Bounds) >= 2 {
+		if types.Compare(v, c.Bounds[0]) < 0 || types.Compare(v, c.Bounds[len(c.Bounds)-1]) > 0 {
+			return 0 // outside observed range
+		}
+	}
+	return nonNull / float64(c.NDV)
+}
+
+// RangeSelectivity estimates the fraction of rows satisfying `column op v`
+// for op in <, <=, >, >=.
+func (c *ColumnStats) RangeSelectivity(op string, v types.Datum) float64 {
+	if v.IsNull() {
+		return 0
+	}
+	nonNull := 1 - c.NullFrac
+	var f float64
+	switch op {
+	case "<":
+		f = c.fraction(v, false)
+	case "<=":
+		f = c.fraction(v, true)
+	case ">":
+		f = 1 - c.fraction(v, true)
+	case ">=":
+		f = 1 - c.fraction(v, false)
+	default:
+		f = defaultRangeSel
+	}
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return nonNull * f
+}
+
+// InSelectivity estimates the fraction of rows with column IN (vals).
+func (c *ColumnStats) InSelectivity(vals []types.Datum) float64 {
+	s := 0.0
+	for _, v := range vals {
+		s += c.EqSelectivity(v)
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// Default selectivities when a column has no statistics (mirrors the classic
+// System R / SimpleDB constants the cost model exemplar uses).
+const (
+	defaultEqSel    = 0.1
+	defaultRangeSel = 1.0 / 3.0
+	defaultNeSel    = 0.9
+)
+
+// DefaultSelectivity returns the stats-free guess for an operator.
+func DefaultSelectivity(op string) float64 {
+	switch op {
+	case "=":
+		return defaultEqSel
+	case "<>":
+		return defaultNeSel
+	case "<", "<=", ">", ">=":
+		return defaultRangeSel
+	case "in":
+		return defaultEqSel * 2
+	default:
+		return 1.0 / 3.0
+	}
+}
+
+// ErrorBound returns the ± bound on an estimate of est rows out of total,
+// combining histogram resolution (one bucket's worth of rows) with a
+// finite-sample term (total/sqrt(sampleRows)). The bound is the radius at
+// which the estimate is considered violated: actual > est+bound records a
+// misestimate.
+func (t *TableStats) ErrorBound(est int64) int64 {
+	if t == nil || t.RowCount <= 0 {
+		return est // no stats: the estimate is worth nothing
+	}
+	buckets := DefaultBuckets
+	bucketRows := float64(t.RowCount) / float64(buckets)
+	sampleTerm := 0.0
+	if t.SampleRows > 0 && t.SampleRows < t.RowCount {
+		sampleTerm = float64(t.RowCount) / math.Sqrt(float64(t.SampleRows))
+	}
+	b := int64(bucketRows + sampleTerm)
+	if b < 1 {
+		b = 1
+	}
+	if b > t.RowCount {
+		b = t.RowCount
+	}
+	return b
+}
+
+// Column returns the stats for column index c, or nil.
+func (t *TableStats) Column(c int) *ColumnStats {
+	if t == nil || c < 0 || c >= len(t.Columns) {
+		return nil
+	}
+	return &t.Columns[c]
+}

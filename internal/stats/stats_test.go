@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func sampleRows(vals []int64) []types.Row {
+	rows := make([]types.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = types.Row{types.NewInt(v)}
+	}
+	return rows
+}
+
+func TestBuildTableStatsUniform(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	ts := BuildTableStats("t", []string{"a"}, sampleRows(vals), 1000, 10)
+	c := ts.Column(0)
+	if c == nil {
+		t.Fatal("no column stats")
+	}
+	if c.NullFrac != 0 {
+		t.Fatalf("null frac = %v, want 0", c.NullFrac)
+	}
+	if c.NDV != 1000 {
+		t.Fatalf("NDV = %d, want 1000 (full-scan exact)", c.NDV)
+	}
+	if c.Min.Int() != 0 || c.Max.Int() != 999 {
+		t.Fatalf("min/max = %v/%v", c.Min, c.Max)
+	}
+	if len(c.Bounds) != 11 {
+		t.Fatalf("bounds = %d, want 11", len(c.Bounds))
+	}
+	// Equality on a uniform 1000-distinct column ≈ 1/1000.
+	if got := c.EqSelectivity(types.NewInt(500)); got < 0.0005 || got > 0.002 {
+		t.Fatalf("eq selectivity = %v, want ≈0.001", got)
+	}
+	// Range: a < 500 ≈ 0.5.
+	if got := c.RangeSelectivity("<", types.NewInt(500)); got < 0.4 || got > 0.6 {
+		t.Fatalf("range selectivity = %v, want ≈0.5", got)
+	}
+	// Out-of-range equality is zero.
+	if got := c.EqSelectivity(types.NewInt(5000)); got != 0 {
+		t.Fatalf("out-of-range eq selectivity = %v, want 0", got)
+	}
+	// IN list adds up.
+	in := c.InSelectivity([]types.Datum{types.NewInt(1), types.NewInt(2), types.NewInt(3)})
+	if in < 0.002 || in > 0.005 {
+		t.Fatalf("in selectivity = %v, want ≈0.003", in)
+	}
+}
+
+func TestNullFraction(t *testing.T) {
+	rows := make([]types.Row, 100)
+	for i := range rows {
+		if i%4 == 0 {
+			rows[i] = types.Row{types.Null}
+		} else {
+			rows[i] = types.Row{types.NewInt(int64(i % 10))}
+		}
+	}
+	ts := BuildTableStats("t", []string{"a"}, rows, 100, 8)
+	c := ts.Column(0)
+	if c.NullFrac != 0.25 {
+		t.Fatalf("null frac = %v, want 0.25", c.NullFrac)
+	}
+	if c.NDV < 5 || c.NDV > 15 {
+		t.Fatalf("NDV = %d, want ≈10", c.NDV)
+	}
+}
+
+func TestNDVScaleUp(t *testing.T) {
+	// Sample of 100 all-distinct values out of a 10000-row table: the column
+	// should be assumed unique (NDV = total).
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	ts := BuildTableStats("t", []string{"a"}, sampleRows(vals), 10000, 10)
+	if got := ts.Column(0).NDV; got != 10000 {
+		t.Fatalf("NDV = %d, want 10000", got)
+	}
+	// A heavily repeated sample must not be scaled past its evidence: 100
+	// samples over 10 values from a 10000-row table stays ≈10.
+	for i := range vals {
+		vals[i] = int64(i % 10)
+	}
+	ts = BuildTableStats("t", []string{"a"}, sampleRows(vals), 10000, 10)
+	if got := ts.Column(0).NDV; got < 10 || got > 20 {
+		t.Fatalf("NDV = %d, want ≈10", got)
+	}
+}
+
+func TestSkewedHistogram(t *testing.T) {
+	// 90% of rows are value 0; the histogram must notice that a=0 is hot via
+	// range estimates even though EqSelectivity uses NDV.
+	vals := make([]int64, 1000)
+	for i := range vals {
+		if i < 900 {
+			vals[i] = 0
+		} else {
+			vals[i] = int64(i)
+		}
+	}
+	ts := BuildTableStats("t", []string{"a"}, sampleRows(vals), 1000, 10)
+	c := ts.Column(0)
+	if got := c.RangeSelectivity("<=", types.NewInt(0)); got < 0.5 {
+		t.Fatalf("a<=0 selectivity = %v, want ≥0.5 under 90%% skew", got)
+	}
+	if got := c.RangeSelectivity(">", types.NewInt(500)); got > 0.3 {
+		t.Fatalf("a>500 selectivity = %v, want small", got)
+	}
+}
+
+func TestErrorBound(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	ts := BuildTableStats("t", []string{"a"}, sampleRows(vals), 100000, DefaultBuckets)
+	b := ts.ErrorBound(100)
+	if b < 1 {
+		t.Fatalf("bound = %d, want ≥1", b)
+	}
+	if b > ts.RowCount {
+		t.Fatalf("bound = %d exceeds table size %d", b, ts.RowCount)
+	}
+	// A full-scan sample has a tighter bound than a tiny sample.
+	tsFull := BuildTableStats("t", []string{"a"}, sampleRows(vals), 1000, DefaultBuckets)
+	if tsFull.ErrorBound(100) > b {
+		t.Fatalf("full-scan bound %d should not exceed sampled bound %d", tsFull.ErrorBound(100), b)
+	}
+	// No stats at all: the bound equals the estimate (worthless estimate).
+	var nilTS *TableStats
+	if got := nilTS.ErrorBound(42); got != 42 {
+		t.Fatalf("nil bound = %d, want 42", got)
+	}
+}
+
+func TestDefaultSelectivity(t *testing.T) {
+	if DefaultSelectivity("=") >= DefaultSelectivity("<>") {
+		t.Fatal("equality should be more selective than inequality")
+	}
+	if DefaultSelectivity("<") <= 0 || DefaultSelectivity("<") >= 1 {
+		t.Fatal("range default out of (0,1)")
+	}
+}
