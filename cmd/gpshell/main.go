@@ -2,6 +2,12 @@
 // a tiny psql for exploring the engine.
 //
 //	gpshell [-segments 4] [-mode gpdb6|gpdb5] [-mem bytes] [-rg] [-replica sync|async] [-f script.sql]
+//	gpshell -listen 127.0.0.1:6432 [-segments 4] ...   # serve the wire protocol
+//	gpshell -connect 127.0.0.1:6432 [-role name]       # remote shell over TCP
+//
+// -listen boots the cluster and serves it over the framed wire protocol
+// (internal/server); -connect dials such a server instead of embedding a
+// cluster, so many shells (and many test clients) can share one instance.
 //
 // -rg runs the session under its resource group (admission, CPU and memory
 // enforcement — including the memory_spill_ratio spill budget); -mem sizes
@@ -22,11 +28,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
 
 	greenplum "repro"
+	"repro/internal/server"
+	"repro/internal/server/client"
 )
 
 func main() {
@@ -37,8 +46,16 @@ func main() {
 		useRG    = flag.Bool("rg", false, "enforce the session's resource group (memory budget + spilling)")
 		replica  = flag.String("replica", "", "mirror replication: sync or async (default off)")
 		file     = flag.String("f", "", "run a SQL script and exit")
+		listen   = flag.String("listen", "", "serve the wire protocol on this address instead of opening a shell")
+		connect  = flag.String("connect", "", "connect to a gpshell -listen server instead of embedding a cluster")
+		role     = flag.String("role", "", "role to connect as (with -connect)")
 	)
 	flag.Parse()
+
+	if *connect != "" {
+		remoteShell(*connect, *role)
+		return
+	}
 
 	opts := greenplum.Options{Segments: *segments, MemoryBytes: *mem, Replica: *replica}
 	if strings.EqualFold(*mode, "gpdb5") {
@@ -50,6 +67,22 @@ func main() {
 		os.Exit(1)
 	}
 	defer db.Close()
+
+	if *listen != "" {
+		srv := server.New(db.Engine(), server.Config{Addr: *listen, UseResourceGroups: *useRG})
+		if err := srv.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("gpshell: serving %d segments on %s (ctrl-c drains and exits)\n", *segments, srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		fmt.Println("gpshell: draining...")
+		_ = srv.Shutdown(context.Background())
+		return
+	}
+
 	conn, err := db.Connect("")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -156,6 +189,8 @@ func metaCommand(ctx context.Context, db *greenplum.DB, conn *greenplum.Conn, cm
 			st.WALBytes, st.WALFlushes, st.Failovers, st.ReplayLSN)
 		fmt.Printf("  optimizer: %d analyzed tables, %d misestimates, %d robust fallbacks\n",
 			st.AnalyzedTables, st.Misestimates, st.RobustFallbacks)
+		fmt.Printf("  plan cache: %d hits, %d misses, %d plan hits, %d entries\n",
+			st.PlanCacheHits, st.PlanCacheMisses, st.PlanCachePlanHits, st.PlanCacheEntries)
 		for i, state := range db.SegmentStates() {
 			fmt.Printf("  segment %d: %s\n", i, state)
 		}
@@ -200,6 +235,77 @@ func segArg(cmd, prefix string) (int, bool) {
 		return 0, false
 	}
 	return n, true
+}
+
+// remoteShell is the -connect REPL: same statement loop, but every
+// statement travels the wire protocol to a gpshell -listen server.
+func remoteShell(addr, role string) {
+	cl, err := client.Dial(addr, role)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "connect:", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	fmt.Printf("gpshell: connected to %s (session %d). \\q quits.\n", addr, cl.SessionID())
+	ctx := context.Background()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	timing := false
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("gp> ")
+		} else {
+			fmt.Print("..> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			switch trimmed {
+			case "\\q":
+				return
+			case "\\timing":
+				timing = !timing
+				fmt.Println("timing:", timing)
+			default:
+				fmt.Println("remote shell commands: \\timing \\q (server-side state via SHOW ...)")
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		t0 := time.Now()
+		res, err := cl.Exec(ctx, strings.TrimSuffix(strings.TrimSpace(stmt), ";"))
+		elapsed := time.Since(t0)
+		if err != nil {
+			fmt.Println("ERROR:", err)
+			if _, ok := err.(*client.ServerError); !ok {
+				fmt.Fprintln(os.Stderr, "connection lost")
+				os.Exit(1)
+			}
+		} else {
+			printResult(&greenplum.Result{
+				Columns:      res.Columns,
+				Rows:         res.Rows,
+				RowsAffected: int(res.RowsAffected),
+				Tag:          res.Tag,
+			})
+			if timing {
+				fmt.Printf("Time: %.3f ms\n", float64(elapsed.Microseconds())/1000)
+			}
+		}
+		prompt()
+	}
 }
 
 func printResult(res *greenplum.Result) {

@@ -239,6 +239,14 @@ type Stats struct {
 	AnalyzedTables  int
 	Misestimates    int64
 	RobustFallbacks int64
+	// PlanCacheHits/PlanCacheMisses are parse-level lookups in the shared
+	// statement cache (a hit skips the parser); PlanCachePlanHits counts
+	// cached plan reuse for param-free SELECTs; PlanCacheEntries is the
+	// current cached-statement count (also SHOW plan_cache).
+	PlanCacheHits     int64
+	PlanCacheMisses   int64
+	PlanCachePlanHits int64
+	PlanCacheEntries  int
 }
 
 // Stats returns cluster counters.
@@ -250,6 +258,7 @@ func (db *DB) Stats() Stats {
 	spills, spillBytes, spillFiles, spillPeak := c.SpillStats()
 	walStats := c.WALStats()
 	analyzed, mises, fallbacks := c.OptimizerStats()
+	cacheStats := db.engine.StmtCache().Stats()
 	return Stats{
 		OnePhaseCommits: one,
 		TwoPhaseCommits: two,
@@ -272,6 +281,11 @@ func (db *DB) Stats() Stats {
 		AnalyzedTables:  analyzed,
 		Misestimates:    mises,
 		RobustFallbacks: fallbacks,
+
+		PlanCacheHits:     cacheStats.Hits,
+		PlanCacheMisses:   cacheStats.Misses,
+		PlanCachePlanHits: cacheStats.PlanHits,
+		PlanCacheEntries:  cacheStats.Entries,
 	}
 }
 

@@ -38,6 +38,9 @@ func (c *Cluster) Analyze(ctx context.Context, name string) (int, error) {
 			return 0, err
 		}
 	}
+	// Fresh statistics change cost-based plan choices: invalidate every
+	// cached plan so the next execution re-plans against them.
+	c.BumpPlanEpoch()
 	return len(tables), nil
 }
 

@@ -78,6 +78,12 @@ type Cluster struct {
 	statsCache map[string]int64
 	statsGen   map[string]uint64
 
+	// planEpoch is the catalog/statistics generation the shared parse/plan
+	// cache keys on: DDL (CREATE/DROP TABLE, CREATE INDEX, TRUNCATE) and
+	// ANALYZE bump it, so every cached plan built against the old schema or
+	// statistics misses on its next lookup and is re-planned.
+	planEpoch atomic.Uint64
+
 	// misestimated records plan keys whose optimistic cardinality bound was
 	// violated mid-flight (actual rows exceeded est+bound); the planner
 	// answers subsequent executions with the robust plan. The counters feed
@@ -509,6 +515,25 @@ func (c *Cluster) LockCoordinator(ctx context.Context, t *LiveTxn, table string,
 	return err
 }
 
+// PlanEpoch returns the catalog/statistics generation for plan-cache keys.
+func (c *Cluster) PlanEpoch() uint64 { return c.planEpoch.Load() }
+
+// BumpPlanEpoch invalidates every cached plan (DDL and ANALYZE call it; a
+// plan built under the old epoch can never be returned again).
+func (c *Cluster) BumpPlanEpoch() { c.planEpoch.Add(1) }
+
+// FlushWAL forces a group-commit flush on every segment's log — the
+// graceful-drain path of the network server calls it so a shutdown leaves
+// everything acknowledged durable (and, under sync replication, applied on
+// the mirrors).
+func (c *Cluster) FlushWAL() {
+	c.eachSeg(func(_ int, s *Segment) {
+		if !s.down.Load() {
+			s.fsync()
+		}
+	})
+}
+
 // ---- DDL ----
 
 // ApplyCreateTable registers the table and instantiates storage everywhere
@@ -524,6 +549,7 @@ func (c *Cluster) ApplyCreateTable(t *catalog.Table) error {
 		s.CreateTable(t)
 	})
 	c.eachMirror(func(m *Mirror) { m.CreateTable(t) })
+	c.BumpPlanEpoch()
 	return nil
 }
 
@@ -555,6 +581,7 @@ func (c *Cluster) ApplyDropTable(name string) error {
 	})
 	c.eachMirror(func(m *Mirror) { m.DropTable(t) })
 	c.invalidateStats(t.Name)
+	c.BumpPlanEpoch()
 	return nil
 }
 
@@ -581,6 +608,7 @@ func (c *Cluster) ApplyTruncate(ctx context.Context, t *LiveTxn, name string) er
 		s.TruncateTable(tab)
 	}
 	c.invalidateStats(tab.Name)
+	c.BumpPlanEpoch()
 	return nil
 }
 
@@ -613,6 +641,7 @@ func (c *Cluster) ApplyCreateIndex(ctx context.Context, t *LiveTxn, table string
 	for i := range c.segments {
 		c.seg(i).CreateIndex(tab, idx)
 	}
+	c.BumpPlanEpoch()
 	return nil
 }
 

@@ -128,6 +128,14 @@ type Config struct {
 	// fail over to its mirror before erroring out (default 10s).
 	FailoverTimeout time.Duration
 
+	// PlanCacheSize bounds the engine's shared LRU parse/plan cache in
+	// statements (normalized SQL texts). Every session — embedded or
+	// network — looks parsed statements up here before touching the lexer,
+	// and param-free SELECT plans are cached alongside keyed by the
+	// catalog/stats epoch plus the session's planner settings. 0 = default
+	// (1024); negative = caching disabled.
+	PlanCacheSize int
+
 	// MemorySpillRatio is the cluster-default memory_spill_ratio percentage:
 	// a statement's blocking operators (sort, hash agg, hash join) may hold
 	// slot-quota × ratio/100 bytes in memory before spilling to per-segment
@@ -228,6 +236,9 @@ func (c *Config) withDefaults() *Config {
 	}
 	if out.BroadcastThreshold < 1 {
 		out.BroadcastThreshold = 2000
+	}
+	if out.PlanCacheSize == 0 {
+		out.PlanCacheSize = 1024
 	}
 	if out.GDDPeriod <= 0 {
 		out.GDDPeriod = 20 * time.Millisecond

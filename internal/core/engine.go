@@ -18,12 +18,19 @@ import (
 // Engine is one running database instance.
 type Engine struct {
 	cluster *cluster.Cluster
+	// stmts is the engine-wide shared parse/plan cache: every session's
+	// Exec resolves statement text through it.
+	stmts *StmtCache
 }
 
 // NewEngine boots an engine over the given cluster configuration.
 func NewEngine(cfg *cluster.Config) *Engine {
-	return &Engine{cluster: cluster.New(cfg)}
+	c := cluster.New(cfg)
+	return &Engine{cluster: c, stmts: NewStmtCache(c.Config().PlanCacheSize)}
 }
+
+// StmtCache exposes the shared parse/plan cache (stats surfaces, tests).
+func (e *Engine) StmtCache() *StmtCache { return e.stmts }
 
 // Close shuts down background daemons.
 func (e *Engine) Close() { e.cluster.Close() }

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/types"
+)
+
+func TestNormalizeSQL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT 1", "select 1"},
+		{"  SELECT\n\t1  ;  ", "select 1"},
+		{"select A, B from T where A = 1", "select a, b from t where a = 1"},
+		// Literals keep their exact bytes — including case and whitespace.
+		{"SELECT 'It''s  UPPER'", "select 'It''s  UPPER'"},
+		{"SELECT 'a'  ||  'B'", "select 'a' || 'B'"},
+		{"SELECT\r\n1", "select 1"},
+	}
+	for _, c := range cases {
+		if got := normalizeSQL(c.in); got != c.want {
+			t.Errorf("normalizeSQL(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Equivalent spellings share a cache key; different literals do not.
+	if normalizeSQL("SELECT a FROM t") != normalizeSQL("select   a\nfrom T;") {
+		t.Error("equivalent statements got different keys")
+	}
+	if normalizeSQL("SELECT 'x'") == normalizeSQL("SELECT 'X'") {
+		t.Error("distinct literals collided")
+	}
+}
+
+func TestStmtCacheParseReuse(t *testing.T) {
+	e, s := newTestEngine(t, 2)
+	mustExec(t, s, "CREATE TABLE pc (a int, b int) DISTRIBUTED BY (a)")
+	mustExec(t, s, "INSERT INTO pc VALUES (1, 10), (2, 20)")
+
+	base := e.StmtCache().Stats()
+	for i := 0; i < 10; i++ {
+		mustExec(t, s, "SELECT b FROM pc WHERE a = 1")
+	}
+	st := e.StmtCache().Stats()
+	if hits := st.Hits - base.Hits; hits != 9 {
+		t.Fatalf("10 identical statements: %d parse hits, want 9", hits)
+	}
+	// A second session shares the same cache.
+	s2, err := e.NewSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec2 := func(q string) {
+		if _, err := s2.Exec(context.Background(), q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	pre := e.StmtCache().Stats()
+	mustExec2("SELECT b FROM pc WHERE a = 1")
+	if st := e.StmtCache().Stats(); st.Hits != pre.Hits+1 {
+		t.Fatal("cache not shared across sessions")
+	}
+	// Case/whitespace variants of the same statement share the entry.
+	pre = e.StmtCache().Stats()
+	mustExec2("select   B from PC where a = 1")
+	if st := e.StmtCache().Stats(); st.Hits != pre.Hits+1 {
+		t.Fatal("normalized variant missed the cache")
+	}
+}
+
+// TestPlanCacheInvalidation is the correctness satellite: cached plans must
+// be dropped by ANALYZE, by DDL, and by planner-setting changes — each of
+// which can change the right plan for the same SQL text.
+func TestPlanCacheInvalidation(t *testing.T) {
+	e, s := newTestEngine(t, 2)
+	ctx := context.Background()
+	mustExec(t, s, "CREATE TABLE big (a int, b int) DISTRIBUTED BY (a)")
+	mustExec(t, s, "CREATE TABLE small (a int, c int) DISTRIBUTED BY (a)")
+	for i := 0; i < 30; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO big VALUES (%d, %d)", i, i))
+	}
+	mustExec(t, s, "INSERT INTO small VALUES (1, 100), (2, 200)")
+
+	const q = "SELECT count(*) FROM big, small WHERE big.a = small.a"
+	planDelta := func(f func()) (hits, misses int64) {
+		before := e.StmtCache().Stats()
+		f()
+		after := e.StmtCache().Stats()
+		return after.PlanHits - before.PlanHits, after.PlanMisses - before.PlanMisses
+	}
+
+	// Cold: one plan miss. Warm: pure plan hits.
+	if _, misses := planDelta(func() { mustExec(t, s, q) }); misses != 1 {
+		t.Fatalf("cold run: %d plan misses, want 1", misses)
+	}
+	if hits, misses := planDelta(func() { mustExec(t, s, q); mustExec(t, s, q) }); hits != 2 || misses != 0 {
+		t.Fatalf("warm runs: %d hits/%d misses, want 2/0", hits, misses)
+	}
+
+	// ANALYZE bumps the epoch: the next execution must re-plan.
+	mustExec(t, s, "ANALYZE")
+	if hits, misses := planDelta(func() { mustExec(t, s, q) }); hits != 0 || misses != 1 {
+		t.Fatalf("after ANALYZE: %d hits/%d misses, want 0/1", hits, misses)
+	}
+
+	// DDL bumps it too — via CREATE TABLE...
+	mustExec(t, s, "CREATE TABLE unrelated (x int) DISTRIBUTED BY (x)")
+	if _, misses := planDelta(func() { mustExec(t, s, q) }); misses != 1 {
+		t.Fatalf("after CREATE TABLE: want a re-plan, got %d misses", misses)
+	}
+	// ...and DROP TABLE.
+	mustExec(t, s, "DROP TABLE unrelated")
+	if _, misses := planDelta(func() { mustExec(t, s, q) }); misses != 1 {
+		t.Fatalf("after DROP TABLE: want a re-plan, got %d misses", misses)
+	}
+
+	// Planner settings are part of the key: flipping one re-plans, flipping
+	// it back reuses the still-cached plan for the old fingerprint.
+	mustExec(t, s, q) // warm current fingerprint
+	mustExec(t, s, "SET enable_costopt = off")
+	if _, misses := planDelta(func() { mustExec(t, s, q) }); misses != 1 {
+		t.Fatalf("after SET enable_costopt: want a re-plan, got %d misses", misses)
+	}
+	mustExec(t, s, "SET enable_costopt = on")
+	if hits, _ := planDelta(func() { mustExec(t, s, q) }); hits != 1 {
+		t.Fatal("flipping the setting back should hit the cached plan again")
+	}
+
+	// Correctness under DDL churn: drop and recreate a referenced table
+	// with different contents — the cached plan must not resurrect stale
+	// catalog state.
+	res := mustExec(t, s, "SELECT count(*) FROM small")
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("precondition: %v", res.Rows)
+	}
+	mustExec(t, s, "DROP TABLE small")
+	mustExec(t, s, "CREATE TABLE small (a int, c int) DISTRIBUTED BY (a)")
+	mustExec(t, s, "INSERT INTO small VALUES (9, 900)")
+	res = mustExec(t, s, "SELECT count(*) FROM small")
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("stale plan after DROP/CREATE: %v", res.Rows)
+	}
+	if _, err := s.Exec(ctx, "SELECT c FROM dropped_table"); err == nil {
+		t.Fatal("nonexistent table accepted")
+	}
+}
+
+// TestPlanCacheParamsNotCached pins the design constraint that makes plan
+// caching safe at all: the binder folds $N values into the plan as
+// constants, so parameterized statements must never share plans.
+func TestPlanCacheParamsNotCached(t *testing.T) {
+	e, s := newTestEngine(t, 2)
+	mustExec(t, s, "CREATE TABLE pp (a int, b int) DISTRIBUTED BY (a)")
+	mustExec(t, s, "INSERT INTO pp VALUES (1, 10), (2, 20), (3, 30)")
+
+	before := e.StmtCache().Stats()
+	for want := 1; want <= 3; want++ {
+		res := mustExec(t, s, "SELECT b FROM pp WHERE a = $1", types.NewInt(int64(want)))
+		if len(res.Rows) != 1 || res.Rows[0][0].Int() != int64(want*10) {
+			t.Fatalf("param %d: %v", want, res.Rows)
+		}
+	}
+	after := e.StmtCache().Stats()
+	if after.PlanHits != before.PlanHits {
+		t.Fatalf("parameterized statements took plan-cache hits (%d) — stale constants",
+			after.PlanHits-before.PlanHits)
+	}
+	if after.Hits-before.Hits != 2 {
+		t.Fatalf("parameterized statements should still share the parse: %d hits", after.Hits-before.Hits)
+	}
+}
+
+func TestPlanCacheEvictionAndDisable(t *testing.T) {
+	cfg := cluster.GPDB6(2)
+	cfg.PlanCacheSize = 4
+	e := NewEngine(cfg)
+	t.Cleanup(e.Close)
+	s, err := e.NewSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s, "CREATE TABLE ev (a int) DISTRIBUTED BY (a)")
+	for i := 0; i < 20; i++ {
+		mustExec(t, s, fmt.Sprintf("SELECT a FROM ev WHERE a = %d", i))
+	}
+	st := e.StmtCache().Stats()
+	if st.Entries > 4 {
+		t.Fatalf("cache grew past capacity: %d entries", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite overflow")
+	}
+
+	// Negative capacity disables caching entirely; execution still works.
+	cfg2 := cluster.GPDB6(2)
+	cfg2.PlanCacheSize = -1
+	e2 := NewEngine(cfg2)
+	t.Cleanup(e2.Close)
+	s2, err := e2.NewSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s2, "CREATE TABLE nv (a int) DISTRIBUTED BY (a)")
+	mustExec(t, s2, "SELECT a FROM nv")
+	mustExec(t, s2, "SELECT a FROM nv")
+	if st := e2.StmtCache().Stats(); st.Hits != 0 || st.Entries != 0 {
+		t.Fatalf("disabled cache still caching: %+v", st)
+	}
+}
+
+func TestShowPlanCache(t *testing.T) {
+	_, s := newTestEngine(t, 2)
+	mustExec(t, s, "CREATE TABLE sh (a int) DISTRIBUTED BY (a)")
+	mustExec(t, s, "SELECT a FROM sh")
+	mustExec(t, s, "SELECT a FROM sh")
+	res := mustExec(t, s, "SHOW plan_cache")
+	if len(res.Rows) == 0 || len(res.Columns) == 0 {
+		t.Fatal("SHOW plan_cache returned nothing")
+	}
+	found := false
+	for _, row := range res.Rows {
+		if row[0].String() == "hits" && row[1].Int() >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("SHOW plan_cache missing hit counter: %v", res.Rows)
+	}
+}

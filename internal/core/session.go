@@ -82,12 +82,62 @@ func (s *Session) SetOptimizer(name string) error {
 func (s *Session) InTxn() bool { return s.txn != nil && s.explicit }
 
 // Exec parses and executes a single statement with optional $N parameters.
+// The parse goes through the engine's shared statement cache: repeated
+// statement texts skip the parser entirely, and param-free SELECTs reuse
+// cached plans while the catalog/stats epoch and planner settings match.
 func (s *Session) Exec(ctx context.Context, sqlText string, params ...types.Datum) (*Result, error) {
-	st, err := sql.Parse(sqlText)
+	st, entry, err := s.engine.stmts.parse(sqlText)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecParsed(ctx, st, params...)
+	return s.execParsed(ctx, st, entry, params...)
+}
+
+// Close tears the session down: it rolls back any open transaction and
+// releases the resource-group slot. The network session layer calls it on
+// every disconnect — including abrupt socket closes mid-transaction — so a
+// dead connection can never pin locks or admission slots. Idempotent.
+func (s *Session) Close() {
+	s.failed = false
+	s.abortCurrent()
+}
+
+// Prepared is a statement parsed once and executed many times. The parse
+// goes through the engine's shared statement cache, so any number of
+// sessions preparing the same text share one AST — and param-free SELECT
+// executions share cached plans.
+type Prepared struct {
+	// SQL is the original statement text.
+	SQL   string
+	stmt  sql.Statement
+	entry *stmtEntry
+}
+
+// Prepare parses a statement for repeated execution.
+func (s *Session) Prepare(sqlText string) (*Prepared, error) {
+	st, entry, err := s.engine.stmts.parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{SQL: sqlText, stmt: st, entry: entry}, nil
+}
+
+// ExecPrepared executes a prepared statement with the given parameters.
+func (s *Session) ExecPrepared(ctx context.Context, p *Prepared, params ...types.Datum) (*Result, error) {
+	return s.execParsed(ctx, p.stmt, p.entry, params...)
+}
+
+// TxnStatus reports the session's transaction state as the wire protocol's
+// ready-status byte: 'I' idle, 'T' inside an open block, 'F' failed block.
+func (s *Session) TxnStatus() byte {
+	switch {
+	case s.failed:
+		return 'F'
+	case s.InTxn():
+		return 'T'
+	default:
+		return 'I'
+	}
 }
 
 // ExecScript runs a semicolon-separated script, stopping at the first error.
@@ -104,8 +154,15 @@ func (s *Session) ExecScript(ctx context.Context, script string) error {
 	return nil
 }
 
-// ExecParsed executes an already-parsed statement.
+// ExecParsed executes an already-parsed statement (no statement-cache
+// participation; Exec is the cached path).
 func (s *Session) ExecParsed(ctx context.Context, st sql.Statement, params ...types.Datum) (*Result, error) {
+	return s.execParsed(ctx, st, nil, params...)
+}
+
+// execParsed executes a statement, with entry carrying the shared
+// statement-cache slot when the text came through Exec.
+func (s *Session) execParsed(ctx context.Context, st sql.Statement, entry *stmtEntry, params ...types.Datum) (*Result, error) {
 	// Transaction control is always allowed.
 	switch st.(type) {
 	case *sql.BeginStmt:
@@ -119,13 +176,21 @@ func (s *Session) ExecParsed(ctx context.Context, st sql.Statement, params ...ty
 		return nil, ErrTxnAborted
 	}
 
+	// statement_timeout bounds one statement's wall time (including the
+	// implicit commit); 0 = no limit.
+	if d := s.statementTimeout(); d > 0 {
+		tctx, cancel := context.WithTimeout(ctx, d)
+		defer cancel()
+		ctx = tctx
+	}
+
 	implicit := s.txn == nil
 	if implicit {
 		if err := s.beginTxn(ctx, false); err != nil {
 			return nil, err
 		}
 	}
-	res, err := s.execStatement(ctx, st, params)
+	res, err := s.execStatement(ctx, st, entry, params)
 	if err != nil {
 		// Statement failure aborts the transaction (deadlock victims and
 		// cancelled queries must release their locks to unblock others).
@@ -251,6 +316,20 @@ func (s *Session) spillBudget() int64 {
 	return g.SpillBudget(sessionRatio, s.engine.cluster.Config().MemorySpillRatio)
 }
 
+// statementTimeout reads the session's statement_timeout setting
+// (milliseconds, PostgreSQL-style; 0 or unset = no limit).
+func (s *Session) statementTimeout() time.Duration {
+	v, ok := s.settings["statement_timeout"]
+	if !ok {
+		return 0
+	}
+	ms := plan.ParseLimitInt(v, 0)
+	if ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
 // chargeStmtCPU pays the per-statement CPU quantum under the session's
 // resource group.
 func (s *Session) chargeStmtCPU(ctx context.Context) error {
@@ -300,13 +379,16 @@ func (s *Session) settingBool(name string, def bool) bool {
 }
 
 // execStatement runs one non-transaction-control statement inside s.txn.
-func (s *Session) execStatement(ctx context.Context, st sql.Statement, params []types.Datum) (*Result, error) {
+func (s *Session) execStatement(ctx context.Context, st sql.Statement, entry *stmtEntry, params []types.Datum) (*Result, error) {
 	cl := s.engine.cluster
 	cfg := cl.Config()
 	switch x := st.(type) {
 	case *sql.SelectStmt:
 		p := s.planner(params)
 		key := x.String()
+		if entry != nil {
+			key = entry.str // same string, computed once and cached
+		}
 		if p.CostOpt && p.Optimizer == plan.OptimizerOLAP && cl.IsMisestimated(key) {
 			// A prior execution of this statement broke its cardinality
 			// error bounds: fall back to the robust plan (no broadcast,
@@ -314,10 +396,33 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, params []
 			p.Robust = true
 			cl.NoteRobustFallback()
 		}
-		pl, err := p.PlanSelect(x)
-		if err != nil {
-			return nil, err
+		// Plan caching: only param-free statements (the binder folds $N
+		// values into the plan as constants, so a parameterized plan is
+		// valid for exactly one binding). The fingerprint carries the
+		// catalog/stats epoch and every plan-shaping setting; the robust
+		// bit keeps a misestimated statement's optimistic plan from being
+		// served after the fallback engaged.
+		var planKey string
+		var pl *plan.Planned
+		if entry != nil && len(params) == 0 {
+			planKey = planFingerprint(cl.PlanEpoch(), p, p.Robust)
+			pl = entry.lookupPlan(s.engine.stmts, planKey)
 		}
+		if pl == nil {
+			var err error
+			pl, err = p.PlanSelect(x)
+			if err != nil {
+				return nil, err
+			}
+			if planKey != "" {
+				entry.storePlan(planKey, pl)
+			}
+		}
+		// Work on a shallow copy: runPlannedSelect may adjust the lock
+		// level on the wrapper, and the cached plan is shared by every
+		// session (the node tree itself is read-only during execution).
+		plCopy := *pl
+		pl = &plCopy
 		var nodeRows *plan.NodeRowCounts
 		if p.CostOpt && p.Optimizer == plan.OptimizerOLAP && !p.Robust {
 			nodeRows = plan.NewNodeRowCounts(pl.Root)
@@ -505,6 +610,11 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, params []
 				return nil, fmt.Errorf("core: broadcast_threshold must be a positive row count (got %q)", x.Value)
 			}
 		}
+		if strings.EqualFold(x.Name, "statement_timeout") {
+			if v := plan.ParseLimitInt(x.Value, -1); v < 0 {
+				return nil, fmt.Errorf("core: statement_timeout must be a millisecond count >= 0 (got %q)", x.Value)
+			}
+		}
 		s.settings[strings.ToLower(x.Name)] = x.Value
 		return &Result{Tag: "SET"}, nil
 
@@ -558,6 +668,21 @@ func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
 		add("robust_fallbacks", fallbacks)
 		return res, nil
 	}
+	if name == "plan_cache" {
+		st := s.engine.stmts.Stats()
+		res := &Result{Columns: []string{"stat", "value"}, Tag: "SHOW"}
+		add := func(k string, v int64) {
+			res.Rows = append(res.Rows, types.Row{types.NewText(k), types.NewInt(v)})
+		}
+		add("hits", st.Hits)
+		add("misses", st.Misses)
+		add("plan_hits", st.PlanHits)
+		add("plan_misses", st.PlanMisses)
+		add("entries", int64(st.Entries))
+		add("evictions", st.Evictions)
+		add("epoch", int64(s.engine.cluster.PlanEpoch()))
+		return res, nil
+	}
 	if name == "scan_stats" {
 		cl := s.engine.cluster
 		scanned, skipped := cl.ScanBlockStats()
@@ -590,6 +715,8 @@ func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
 			v = fmt.Sprintf("%d", cfg.ExecParallelism)
 		case "memory_spill_ratio":
 			v = fmt.Sprintf("%d", cfg.MemorySpillRatio)
+		case "statement_timeout":
+			v = "0"
 		case "replica_mode":
 			v = s.engine.cluster.ReplicaModeNow().String()
 		case "optimizer":

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/workload"
+)
+
+// NetTPCB measures the wire-protocol tax: TPC-B throughput with every
+// client in-process (bench harness calling the session directly) versus the
+// same client count connecting over TCP through internal/server. The
+// network path adds framing, a socket round trip per statement, and the
+// worker-pool hop; the shared parse/plan cache claws most of it back, so
+// the over-the-wire column should hold well above half of in-process.
+func NetTPCB(opts Options) (*bench.Table, error) {
+	opts = netOptsFloor(opts)
+	tbl := bench.NewTable("Network — TPC-B over TCP vs in-process (TPS)", "clients",
+		"in-process", "network", "net/in-proc", "cache hit %")
+	w := &workload.TPCB{Branches: 16, AccountsPerBranch: 250}
+	e, err := engine(timingGPDB6(opts.Segments), w.Schema(), w.Load)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+
+	srv := server.New(e, server.Config{})
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	defer srv.Shutdown(context.Background())
+
+	for _, clients := range opts.Clients {
+		inproc := driver(e, clients, opts.Duration, w.Transaction)
+
+		conns := make([]*client.Client, clients)
+		for i := range conns {
+			c, err := client.Dial(srv.Addr(), "")
+			if err != nil {
+				return nil, fmt.Errorf("dial client %d: %w", i, err)
+			}
+			conns[i] = c
+		}
+		rands := make([]*workload.Rand, clients)
+		for i := range rands {
+			rands[i] = workload.NewRand(uint64(i)*104729 + 7)
+		}
+		before := e.StmtCache().Stats()
+		net := bench.RunConcurrent(clients, opts.Duration, func(ctx context.Context, id int) error {
+			return w.Transaction(ctx, client.WorkloadConn{C: conns[id]}, rands[id])
+		})
+		after := e.StmtCache().Stats()
+		for _, c := range conns {
+			_ = c.Close()
+		}
+
+		lookups := (after.Hits - before.Hits) + (after.Misses - before.Misses)
+		hitPct := 0.0
+		if lookups > 0 {
+			hitPct = 100 * float64(after.Hits-before.Hits) / float64(lookups)
+		}
+		ratio := 0.0
+		if inproc.TPS() > 0 {
+			ratio = net.TPS() / inproc.TPS()
+		}
+		tbl.Add(fmt.Sprint(clients), inproc.TPS(), net.TPS(), ratio, hitPct)
+	}
+	return tbl, nil
+}
+
+// netOptsFloor keeps quick sweeps meaningful: a network point needs at
+// least a few hundred milliseconds to amortize connection setup.
+func netOptsFloor(opts Options) Options {
+	if opts.Duration < 200*time.Millisecond {
+		opts.Duration = 200 * time.Millisecond
+	}
+	return opts
+}

@@ -237,6 +237,11 @@ func (s *Slot) Release() {
 	<-s.group.admission
 }
 
+// InUse returns the number of concurrency slots currently held — the
+// session-teardown leak assertions of the connection-churn tests check it
+// returns to zero after every socket is gone.
+func (g *Group) InUse() int { return len(g.admission) }
+
 // Stats returns admission and cancellation counters.
 func (g *Group) Stats() (admitted, cancelled int64) {
 	g.mu.Lock()

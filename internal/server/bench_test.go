@@ -1,0 +1,121 @@
+package server_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/workload"
+)
+
+// BenchmarkNetworkTPCB is the acceptance gate for the session layer: 256
+// concurrent sockets running TPC-B through the wire protocol must sustain
+// at least 0.6× the throughput of the same client count driving sessions
+// in-process, with a >90% parse-cache hit rate on the repeated statement
+// texts. Each b.N iteration measures one fixed window of both paths and
+// reports tps-net, tps-inproc, the ratio, and the hit rate.
+func BenchmarkNetworkTPCB(b *testing.B) {
+	const clients = 256
+	window := 500 * time.Millisecond
+
+	w := &workload.TPCB{Branches: 8, AccountsPerBranch: 100}
+	cfg := cluster.GPDB6(2)
+	// The experiments' cost model: visible per-statement network/fsync/CPU
+	// costs, so the comparison measures the wire-protocol tax against a
+	// realistically priced statement, not against a no-op.
+	cfg.NetDelay = 500 * time.Microsecond
+	cfg.FsyncDelay = 2 * time.Millisecond
+	cfg.SegmentStmtCPU = time.Millisecond
+	cfg.SegmentWorkers = 4
+	cfg.GDDPeriod = 10 * time.Millisecond
+	e := core.NewEngine(cfg)
+	defer e.Close()
+
+	ctx := context.Background()
+	loader, err := e.NewSession("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := loader.ExecScript(ctx, w.Schema()); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Load(ctx, coreConn{loader}); err != nil {
+		b.Fatal(err)
+	}
+	loader.Close()
+
+	// Workers = clients: this benchmark isolates the wire tax, so the pool
+	// must not throttle the network path below the in-process harness
+	// (which has no admission at all).
+	srv := server.New(e, server.Config{Workers: clients})
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	// In-process workers: one long-lived session each.
+	sessions := make([]*core.Session, clients)
+	for i := range sessions {
+		s, err := e.NewSession("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	// Network workers: one long-lived socket each.
+	conns := make([]*client.Client, clients)
+	for i := range conns {
+		c, err := client.DialTimeout(srv.Addr(), "", 10*time.Second)
+		if err != nil {
+			b.Fatalf("dial %d: %v", i, err)
+		}
+		conns[i] = c
+		defer c.Close()
+	}
+	rands := func() []*workload.Rand {
+		rs := make([]*workload.Rand, clients)
+		for i := range rs {
+			rs[i] = workload.NewRand(uint64(i)*104729 + 7)
+		}
+		return rs
+	}
+
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		ri := rands()
+		inproc := bench.RunConcurrent(clients, window, func(ctx context.Context, id int) error {
+			return w.Transaction(ctx, bench.SessionConn{S: sessions[id]}, ri[id])
+		})
+		before := e.StmtCache().Stats()
+		rn := rands()
+		net := bench.RunConcurrent(clients, window, func(ctx context.Context, id int) error {
+			return w.Transaction(ctx, client.WorkloadConn{C: conns[id]}, rn[id])
+		})
+		after := e.StmtCache().Stats()
+
+		ratio := 0.0
+		if inproc.TPS() > 0 {
+			ratio = net.TPS() / inproc.TPS()
+		}
+		hitRate := 0.0
+		if lookups := (after.Hits - before.Hits) + (after.Misses - before.Misses); lookups > 0 {
+			hitRate = float64(after.Hits-before.Hits) / float64(lookups)
+		}
+		b.ReportMetric(net.TPS(), "tps-net")
+		b.ReportMetric(inproc.TPS(), "tps-inproc")
+		b.ReportMetric(ratio, "net/inproc")
+		b.ReportMetric(hitRate*100, "cache-hit-%")
+		if ratio < 0.6 {
+			b.Errorf("network throughput %.0f TPS is %.2fx of in-process %.0f TPS (gate: 0.6x)",
+				net.TPS(), ratio, inproc.TPS())
+		}
+		if hitRate < 0.9 {
+			b.Errorf("parse-cache hit rate %.1f%% under repeated statements (gate: 90%%)", hitRate*100)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package client is the Go driver for the repro wire protocol: it dials a
+// server, runs the startup handshake, and exposes simple-query and
+// parse/bind/execute statement execution. It is what the network tests,
+// gpshell -connect, and the network TPC-B bench speak through.
+//
+// Error taxonomy matters to callers running chaos tests: a *ServerError is
+// a definitive statement failure reported by the server (the transaction is
+// aborted server-side, the connection stays usable), while any other error
+// is a transport failure — the statement's fate is ambiguous (it may or may
+// not have committed before the socket died) and the connection is dead.
+package client
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/types"
+)
+
+// ServerError is a statement error reported by the server over the wire.
+// The session survives it; the current transaction (if any) is failed and
+// must be rolled back, mirroring the in-process session contract.
+type ServerError struct {
+	Message string
+}
+
+func (e *ServerError) Error() string { return e.Message }
+
+// Result is one statement's outcome.
+type Result struct {
+	Columns      []string
+	Rows         []types.Row
+	RowsAffected int64
+	Tag          string
+	// TxnStatus is the server's post-statement transaction state:
+	// 'I' idle, 'T' in transaction, 'F' failed transaction.
+	TxnStatus byte
+}
+
+// Client is one connection to a server. It is safe for use by one
+// goroutine at a time (like database/sql's driver.Conn, not sql.DB).
+type Client struct {
+	mu        sync.Mutex
+	nc        net.Conn
+	sessionID uint64
+	closed    bool
+}
+
+// Dial connects, runs the startup handshake as role, and returns a live
+// client. An empty role connects as the admin default.
+func Dial(addr, role string) (*Client, error) {
+	return DialTimeout(addr, role, 10*time.Second)
+}
+
+// DialTimeout is Dial with a connect/handshake deadline.
+func DialTimeout(addr, role string, timeout time.Duration) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	_ = nc.SetDeadline(time.Now().Add(timeout))
+	st := &server.Startup{Version: server.ProtocolVersion, Role: role}
+	if err := server.WriteFrame(nc, server.MsgStartup, st.Encode()); err != nil {
+		_ = nc.Close()
+		return nil, err
+	}
+	c := &Client{nc: nc}
+	// Expect AuthOK then Ready; an error frame here means we were refused.
+	typ, payload, err := server.ReadFrame(nc)
+	if err != nil {
+		_ = nc.Close()
+		return nil, err
+	}
+	switch typ {
+	case server.MsgAuthOK:
+		ok, err := server.DecodeAuthOK(payload)
+		if err != nil {
+			_ = nc.Close()
+			return nil, err
+		}
+		c.sessionID = ok.SessionID
+	case server.MsgError:
+		em, _ := server.DecodeErrorMsg(payload)
+		_ = nc.Close()
+		return nil, &ServerError{Message: em.Message}
+	default:
+		_ = nc.Close()
+		return nil, fmt.Errorf("client: unexpected frame %q during handshake", typ)
+	}
+	if _, err := c.readUntilReady(nil); err != nil {
+		_ = nc.Close()
+		return nil, err
+	}
+	_ = nc.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// SessionID is the server-assigned session identifier.
+func (c *Client) SessionID() uint64 { return c.sessionID }
+
+// Close terminates the session politely and closes the socket.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	_ = server.WriteFrame(c.nc, server.MsgTerminate, nil)
+	return c.nc.Close()
+}
+
+// Kill drops the socket without a terminate frame — the abrupt-disconnect
+// path the churn chaos test exercises.
+func (c *Client) Kill() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return c.nc.Close()
+}
+
+// Exec runs one statement through the simple-query path.
+func (c *Client) Exec(ctx context.Context, sqlText string, params ...types.Datum) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("client: connection closed")
+	}
+	q := &server.Query{SQL: sqlText, Params: params}
+	if err := c.write(ctx, server.MsgQuery, q.Encode()); err != nil {
+		return nil, err
+	}
+	return c.readUntilReady(ctx)
+}
+
+// Stmt is a named server-side prepared statement.
+type Stmt struct {
+	c    *Client
+	name string
+}
+
+// Prepare parses sqlText server-side under the given name.
+func (c *Client) Prepare(name, sqlText string) (*Stmt, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := &server.Parse{Name: name, SQL: sqlText}
+	if err := c.write(nil, server.MsgParse, p.Encode()); err != nil {
+		return nil, err
+	}
+	typ, payload, err := server.ReadFrame(c.nc)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case server.MsgParseOK:
+		return &Stmt{c: c, name: name}, nil
+	case server.MsgError:
+		em, _ := server.DecodeErrorMsg(payload)
+		// The server follows a parse error with Ready; consume it.
+		if _, rerr := c.readUntilReady(nil); rerr != nil {
+			return nil, rerr
+		}
+		return nil, &ServerError{Message: em.Message}
+	default:
+		return nil, fmt.Errorf("client: unexpected frame %q after parse", typ)
+	}
+}
+
+// Exec binds params to the prepared statement and executes it.
+func (s *Stmt) Exec(ctx context.Context, params ...types.Datum) (*Result, error) {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("client: connection closed")
+	}
+	b := &server.Bind{Name: s.name, Params: params}
+	if err := c.write(ctx, server.MsgBind, b.Encode()); err != nil {
+		return nil, err
+	}
+	typ, payload, err := server.ReadFrame(c.nc)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case server.MsgBindOK:
+	case server.MsgError:
+		em, _ := server.DecodeErrorMsg(payload)
+		if _, rerr := c.readUntilReady(ctx); rerr != nil {
+			return nil, rerr
+		}
+		return nil, &ServerError{Message: em.Message}
+	default:
+		return nil, fmt.Errorf("client: unexpected frame %q after bind", typ)
+	}
+	if err := c.write(ctx, server.MsgExecute, nil); err != nil {
+		return nil, err
+	}
+	return c.readUntilReady(ctx)
+}
+
+// Close deallocates the prepared statement server-side.
+func (s *Stmt) Close() error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := &server.CloseStmt{Name: s.name}
+	if err := c.write(nil, server.MsgCloseStmt, m.Encode()); err != nil {
+		return err
+	}
+	typ, _, err := server.ReadFrame(c.nc)
+	if err != nil {
+		return err
+	}
+	if typ != server.MsgParseOK {
+		return fmt.Errorf("client: unexpected frame %q after close", typ)
+	}
+	return nil
+}
+
+// write sends one frame, honouring a context deadline if present.
+func (c *Client) write(ctx context.Context, typ byte, payload []byte) error {
+	if ctx != nil {
+		if d, ok := ctx.Deadline(); ok {
+			_ = c.nc.SetWriteDeadline(d)
+			defer c.nc.SetWriteDeadline(time.Time{})
+		}
+	}
+	return server.WriteFrame(c.nc, typ, payload)
+}
+
+// readUntilReady consumes one statement's response stream: optional row
+// description, data rows, a completion or error, then Ready.
+func (c *Client) readUntilReady(ctx context.Context) (*Result, error) {
+	if ctx != nil {
+		if d, ok := ctx.Deadline(); ok {
+			_ = c.nc.SetReadDeadline(d)
+			defer c.nc.SetReadDeadline(time.Time{})
+		}
+	}
+	res := &Result{}
+	var srvErr *ServerError
+	for {
+		typ, payload, err := server.ReadFrame(c.nc)
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case server.MsgRowDesc:
+			rd, err := server.DecodeRowDesc(payload)
+			if err != nil {
+				return nil, err
+			}
+			res.Columns = res.Columns[:0]
+			for _, col := range rd.Cols {
+				res.Columns = append(res.Columns, col.Name)
+			}
+		case server.MsgDataRow:
+			dr, err := server.DecodeDataRow(payload)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, dr.Row)
+		case server.MsgComplete:
+			cm, err := server.DecodeComplete(payload)
+			if err != nil {
+				return nil, err
+			}
+			res.Tag = cm.Tag
+			res.RowsAffected = cm.RowsAffected
+		case server.MsgError:
+			em, err := server.DecodeErrorMsg(payload)
+			if err != nil {
+				return nil, err
+			}
+			srvErr = &ServerError{Message: em.Message}
+		case server.MsgReady:
+			rd, err := server.DecodeReady(payload)
+			if err != nil {
+				return nil, err
+			}
+			res.TxnStatus = rd.Status
+			if srvErr != nil {
+				return nil, srvErr
+			}
+			return res, nil
+		default:
+			return nil, fmt.Errorf("client: unexpected frame %q in response", typ)
+		}
+	}
+}
+
+// WorkloadConn adapts a Client to workload.Conn so the TPC-B/CH-bench
+// drivers run unchanged over the network.
+type WorkloadConn struct {
+	C *Client
+}
+
+// Exec implements workload.Conn.
+func (w WorkloadConn) Exec(ctx context.Context, sqlText string, args ...types.Datum) (int, []types.Row, error) {
+	res, err := w.C.Exec(ctx, sqlText, args...)
+	if err != nil {
+		return 0, nil, err
+	}
+	return int(res.RowsAffected), res.Rows, nil
+}

@@ -1,0 +1,553 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// Config tunes the network front end.
+type Config struct {
+	// Addr is the listen address ("127.0.0.1:0" picks a free port).
+	Addr string
+	// MaxConns bounds concurrently connected sessions; connections past the
+	// limit are refused with an error frame (default 4096).
+	MaxConns int
+	// Workers bounds concurrently *active transactions* across all
+	// sessions — the worker pool thousands of connections multiplex onto.
+	// A slot is taken when a connection's statement begins work and held
+	// until its transaction ends (commit, rollback, or teardown), never
+	// released mid-transaction: a session blocked on a row lock always
+	// holds a slot, so the lock's holder — which also holds one — can
+	// always run its COMMIT and release. Releasing between statements of
+	// an open transaction would let lock holders queue behind lock
+	// waiters and deadlock the pool itself. Connections whose statement
+	// arrives while the pool is saturated queue until a slot frees.
+	// Default 8 × GOMAXPROCS.
+	Workers int
+	// UseResourceGroups runs every session under its role's resource group:
+	// transaction admission queues on the group's CONCURRENCY semaphore and
+	// operator memory is governed by the group budget.
+	UseResourceGroups bool
+	// StmtTimeout caps each statement's wall time (0 = none). Sessions can
+	// tighten it further with SET statement_timeout.
+	StmtTimeout time.Duration
+	// DrainTimeout bounds Shutdown's wait for in-flight statements before
+	// cancelling them (default 5s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 4096
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8 * runtime.GOMAXPROCS(0)
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Stats is a snapshot of the server's session-layer counters.
+type Stats struct {
+	// Accepted counts sessions that completed startup; Rejected counts
+	// connections refused (capacity, bad startup, draining).
+	Accepted, Rejected int64
+	// Active is the current session count.
+	Active int
+	// Statements counts executed statements; Queued counts statements that
+	// had to wait for a worker-pool slot.
+	Statements, Queued int64
+	// Canceled counts statements aborted by connection loss or shutdown.
+	Canceled int64
+}
+
+// Server is the TCP front end over one embedded engine.
+type Server struct {
+	cfg    Config
+	engine *core.Engine
+	ln     net.Listener
+
+	// workers is the bounded statement-execution pool (semaphore).
+	workers chan struct{}
+
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	nextID   uint64
+	draining bool
+	closed   bool
+
+	wg sync.WaitGroup
+
+	accepted   atomic.Int64
+	rejected   atomic.Int64
+	statements atomic.Int64
+	queued     atomic.Int64
+	canceled   atomic.Int64
+}
+
+// New builds a server over an engine. Start actually listens.
+func New(e *core.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		engine:  e,
+		workers: make(chan struct{}, cfg.Workers),
+		conns:   make(map[*conn]struct{}),
+	}
+}
+
+// Start binds the listen address and begins accepting sessions.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Stats snapshots the session-layer counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	active := len(s.conns)
+	s.mu.Unlock()
+	return Stats{
+		Accepted:   s.accepted.Load(),
+		Rejected:   s.rejected.Load(),
+		Active:     active,
+		Statements: s.statements.Load(),
+		Queued:     s.queued.Load(),
+		Canceled:   s.canceled.Load(),
+	}
+}
+
+// SessionCount returns the number of live sessions (tests assert it drops
+// to zero after churn).
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (shutdown)
+		}
+		s.mu.Lock()
+		over := s.draining || s.closed || len(s.conns) >= s.cfg.MaxConns
+		s.mu.Unlock()
+		if over {
+			s.rejected.Add(1)
+			_ = WriteFrame(nc, MsgError, (&ErrorMsg{Message: "server: connection refused (at capacity or draining)"}).Encode())
+			_ = nc.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go s.handleConn(nc)
+	}
+}
+
+// Shutdown drains gracefully: stop accepting, let in-flight statements
+// finish (up to DrainTimeout or ctx, whichever ends first), cancel
+// stragglers, close every connection, and flush the WAL so everything
+// acknowledged is durable. Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	// Idle sessions can go immediately; busy ones get the drain window to
+	// finish their in-flight statement (the conn loop closes after it).
+	for _, c := range conns {
+		if !c.inflight.Load() {
+			c.hangup()
+		}
+	}
+
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Until(deadline)):
+		// Drain window over: cancel in-flight statements and drop sockets.
+		s.mu.Lock()
+		for c := range s.conns {
+			c.cancel(errServerShutdown)
+			c.hangup()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	// Everything acknowledged before the drain is group-commit flushed
+	// durable (and applied on mirrors under sync replication).
+	s.engine.Cluster().FlushWAL()
+	return nil
+}
+
+var errServerShutdown = errors.New("server: shutting down")
+
+// conn is one client session.
+type conn struct {
+	id  uint64
+	srv *Server
+	nc  net.Conn
+
+	sess     *core.Session
+	prepared map[string]*core.Prepared
+	// portal is the bound (statement, params) pair awaiting MsgExecute.
+	portal *portal
+
+	// inflight marks a statement executing right now (drain decisions).
+	inflight atomic.Bool
+	// hasSlot marks a held worker-pool slot; owned by the executor
+	// goroutine, held across statements while a transaction is open.
+	hasSlot bool
+	// cctx is cancelled when the socket dies or the server force-drains;
+	// every statement executes under it.
+	cctx   context.Context
+	cancel context.CancelCauseFunc
+
+	writeMu sync.Mutex
+}
+
+type portal struct {
+	prep   *core.Prepared
+	params []types.Datum
+}
+
+// hangup force-closes the socket (reader unblocks, conn tears down).
+func (c *conn) hangup() { _ = c.nc.Close() }
+
+// send writes one frame (the conn loop is the only writer during normal
+// operation; the mutex covers the error frame a rejected drain might race).
+func (c *conn) send(typ byte, payload []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return WriteFrame(c.nc, typ, payload)
+}
+
+func (c *conn) sendErr(err error) error {
+	return c.send(MsgError, (&ErrorMsg{Message: err.Error()}).Encode())
+}
+
+func (c *conn) sendReady() error {
+	return c.send(MsgReady, (&Ready{Status: c.sess.TxnStatus()}).Encode())
+}
+
+// handleConn runs one session: startup handshake, then the frame loop.
+func (s *Server) handleConn(nc net.Conn) {
+	defer s.wg.Done()
+	// Startup must arrive promptly; a silent socket cannot hold a slot.
+	_ = nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	typ, payload, err := ReadFrame(nc)
+	if err != nil || typ != MsgStartup {
+		s.rejected.Add(1)
+		_ = WriteFrame(nc, MsgError, (&ErrorMsg{Message: "server: expected startup frame"}).Encode())
+		_ = nc.Close()
+		return
+	}
+	st, err := DecodeStartup(payload)
+	if err != nil || st.Version != ProtocolVersion {
+		s.rejected.Add(1)
+		_ = WriteFrame(nc, MsgError, (&ErrorMsg{Message: fmt.Sprintf("server: bad startup (want protocol %d)", ProtocolVersion)}).Encode())
+		_ = nc.Close()
+		return
+	}
+	sess, err := s.engine.NewSession(st.Role)
+	if err != nil {
+		s.rejected.Add(1)
+		_ = WriteFrame(nc, MsgError, (&ErrorMsg{Message: err.Error()}).Encode())
+		_ = nc.Close()
+		return
+	}
+	_ = nc.SetReadDeadline(time.Time{})
+	if s.cfg.UseResourceGroups {
+		sess.UseResourceGroup(true, 0, 0)
+	}
+
+	cctx, cancel := context.WithCancelCause(context.Background())
+	c := &conn{
+		srv:      s,
+		nc:       nc,
+		sess:     sess,
+		prepared: make(map[string]*core.Prepared),
+		cctx:     cctx,
+		cancel:   cancel,
+	}
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		_ = c.sendErr(errServerShutdown)
+		_ = nc.Close()
+		sess.Close()
+		return
+	}
+	s.nextID++
+	c.id = s.nextID
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	s.accepted.Add(1)
+
+	// Session teardown is unconditional: whatever killed the connection —
+	// clean terminate, abrupt socket close mid-transaction, drain — the
+	// open transaction rolls back and the resource-group slot frees.
+	defer func() {
+		cancel(nil)
+		sess.Close()
+		_ = nc.Close()
+		if c.hasSlot {
+			c.hasSlot = false
+			<-s.workers
+		}
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+
+	if err := c.send(MsgAuthOK, (&AuthOK{SessionID: c.id}).Encode()); err != nil {
+		return
+	}
+	if err := c.sendReady(); err != nil {
+		return
+	}
+
+	// The reader goroutine owns the socket's read side: frames flow to the
+	// session loop over a small channel (modest pipelining), and a read
+	// error — the client vanished — cancels the in-flight statement.
+	type frame struct {
+		typ     byte
+		payload []byte
+	}
+	frames := make(chan frame, 8)
+	go func() {
+		defer close(frames)
+		for {
+			typ, payload, err := ReadFrame(nc)
+			if err != nil {
+				cancel(err)
+				return
+			}
+			select {
+			case frames <- frame{typ, payload}:
+			case <-cctx.Done():
+				return
+			}
+		}
+	}()
+
+	for fr := range frames {
+		if !c.dispatch(fr.typ, fr.payload) {
+			return
+		}
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			// Statement finished and its Ready went out: drain closes the
+			// session at the statement boundary.
+			return
+		}
+	}
+}
+
+// dispatch handles one frame; false ends the session.
+func (c *conn) dispatch(typ byte, payload []byte) bool {
+	switch typ {
+	case MsgTerminate:
+		return false
+
+	case MsgQuery:
+		q, err := DecodeQuery(payload)
+		if err != nil {
+			return c.protoErr(err)
+		}
+		c.runStatement(func(ctx context.Context) (*core.Result, error) {
+			return c.sess.Exec(ctx, q.SQL, q.Params...)
+		})
+		return true
+
+	case MsgParse:
+		p, err := DecodeParse(payload)
+		if err != nil {
+			return c.protoErr(err)
+		}
+		prep, err := c.sess.Prepare(p.SQL)
+		if err != nil {
+			_ = c.sendErr(err)
+			_ = c.sendReady()
+			return true
+		}
+		c.prepared[p.Name] = prep
+		_ = c.send(MsgParseOK, nil)
+		return true
+
+	case MsgBind:
+		b, err := DecodeBind(payload)
+		if err != nil {
+			return c.protoErr(err)
+		}
+		prep, ok := c.prepared[b.Name]
+		if !ok {
+			_ = c.sendErr(fmt.Errorf("server: prepared statement %q does not exist", b.Name))
+			_ = c.sendReady()
+			return true
+		}
+		c.portal = &portal{prep: prep, params: b.Params}
+		_ = c.send(MsgBindOK, nil)
+		return true
+
+	case MsgExecute:
+		p := c.portal
+		if p == nil {
+			_ = c.sendErr(errors.New("server: no portal bound"))
+			_ = c.sendReady()
+			return true
+		}
+		c.runStatement(func(ctx context.Context) (*core.Result, error) {
+			return c.sess.ExecPrepared(ctx, p.prep, p.params...)
+		})
+		return true
+
+	case MsgCloseStmt:
+		m, err := DecodeCloseStmt(payload)
+		if err != nil {
+			return c.protoErr(err)
+		}
+		delete(c.prepared, m.Name)
+		_ = c.send(MsgParseOK, nil)
+		return true
+
+	default:
+		return c.protoErr(fmt.Errorf("server: unexpected frame type %q", typ))
+	}
+}
+
+// protoErr reports a malformed frame and drops the connection (framing is
+// no longer trustworthy).
+func (c *conn) protoErr(err error) bool {
+	_ = c.sendErr(fmt.Errorf("protocol error: %w", err))
+	return false
+}
+
+// runStatement admits the statement to the worker pool, executes it under
+// the connection context (plus the server statement timeout), and streams
+// the result. Errors are sent as error frames; the session stays usable.
+func (c *conn) runStatement(run func(context.Context) (*core.Result, error)) {
+	s := c.srv
+	// Admission to the bounded executor pool: fast path, else queue. The
+	// slot is per-transaction — once held it stays held until the session
+	// returns to idle, so a transaction that already owns locks can never
+	// be starved of the pool by other sessions waiting on those locks.
+	if !c.hasSlot {
+		select {
+		case s.workers <- struct{}{}:
+		default:
+			s.queued.Add(1)
+			select {
+			case s.workers <- struct{}{}:
+			case <-c.cctx.Done():
+				s.canceled.Add(1)
+				return
+			}
+		}
+		c.hasSlot = true
+	}
+	defer func() {
+		if c.hasSlot && c.sess.TxnStatus() == 'I' {
+			c.hasSlot = false
+			<-s.workers
+		}
+	}()
+
+	ctx := c.cctx
+	if s.cfg.StmtTimeout > 0 {
+		tctx, tcancel := context.WithTimeout(ctx, s.cfg.StmtTimeout)
+		defer tcancel()
+		ctx = tctx
+	}
+	c.inflight.Store(true)
+	res, err := run(ctx)
+	c.inflight.Store(false)
+	s.statements.Add(1)
+	if err != nil {
+		if c.cctx.Err() != nil {
+			// The connection died mid-statement; nobody is listening.
+			s.canceled.Add(1)
+			return
+		}
+		_ = c.sendErr(err)
+		_ = c.sendReady()
+		return
+	}
+	if len(res.Columns) > 0 {
+		desc := &RowDesc{Cols: make([]ColDesc, len(res.Columns))}
+		for i, name := range res.Columns {
+			desc.Cols[i] = ColDesc{Name: name}
+			if len(res.Rows) > 0 && i < len(res.Rows[0]) {
+				desc.Cols[i].Kind = res.Rows[0][i].Kind()
+			}
+		}
+		if c.send(MsgRowDesc, desc.Encode()) != nil {
+			return
+		}
+		for _, row := range res.Rows {
+			if c.send(MsgDataRow, (&DataRow{Row: row}).Encode()) != nil {
+				return
+			}
+		}
+	}
+	if c.send(MsgComplete, (&Complete{Tag: res.Tag, RowsAffected: int64(res.RowsAffected)}).Encode()) != nil {
+		return
+	}
+	_ = c.sendReady()
+}

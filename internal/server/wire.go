@@ -1,0 +1,502 @@
+// Package server is the network front end: a TCP server speaking a simple
+// length-prefixed framed protocol (startup/auth-stub, simple query,
+// prepared parse/bind/execute, row description + data rows, errors,
+// graceful terminate) over the embedded engine, with a session layer that
+// multiplexes thousands of client connections onto a bounded worker pool.
+//
+// Wire format: every message is one frame
+//
+//	type (1 byte) | payload length (4 bytes, big endian) | payload
+//
+// Payload scalars are big endian; strings are u32 length + bytes; datums
+// are a kind byte followed by the kind's fixed or string encoding. The
+// codec is deliberately allocation-light and panic-free on arbitrary
+// input — FuzzFrameCodec and FuzzServerSession hold it to that.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/types"
+)
+
+// Protocol limits. Oversized frames are rejected by header inspection
+// before any payload allocation, so a hostile length prefix cannot OOM the
+// server.
+const (
+	// ProtocolVersion is bumped on any incompatible frame change.
+	ProtocolVersion = 1
+	// MaxFrameLen bounds one frame's payload (16 MiB — a full batch of wide
+	// text rows fits with room to spare).
+	MaxFrameLen = 16 << 20
+	// maxRowCols bounds the declared column count of a row/description so a
+	// corrupt header cannot pre-allocate gigabytes.
+	maxRowCols = 1 << 14
+)
+
+// Frame types, client → server.
+const (
+	// MsgStartup opens a session: protocol version + role name.
+	MsgStartup = byte('S')
+	// MsgQuery is a simple query: SQL text plus optional $N parameters.
+	MsgQuery = byte('Q')
+	// MsgParse prepares a named statement from SQL text.
+	MsgParse = byte('P')
+	// MsgBind binds parameter values to a prepared statement, forming the
+	// connection's (single, unnamed) portal.
+	MsgBind = byte('B')
+	// MsgExecute runs the bound portal.
+	MsgExecute = byte('E')
+	// MsgCloseStmt discards a prepared statement.
+	MsgCloseStmt = byte('C')
+	// MsgTerminate closes the session cleanly.
+	MsgTerminate = byte('X')
+)
+
+// Frame types, server → client.
+const (
+	// MsgAuthOK acknowledges startup and carries the session id.
+	MsgAuthOK = byte('R')
+	// MsgRowDesc describes result columns (name + type kind each).
+	MsgRowDesc = byte('T')
+	// MsgDataRow carries one result tuple.
+	MsgDataRow = byte('D')
+	// MsgComplete ends a successful statement: command tag + rows affected.
+	MsgComplete = byte('K')
+	// MsgError reports a statement or protocol error.
+	MsgError = byte('!')
+	// MsgReady says the session is ready for the next statement; the status
+	// byte is 'I' (idle), 'T' (in transaction) or 'F' (failed transaction).
+	MsgReady = byte('Z')
+	// MsgParseOK acknowledges MsgParse.
+	MsgParseOK = byte('1')
+	// MsgBindOK acknowledges MsgBind.
+	MsgBindOK = byte('2')
+)
+
+// Codec errors.
+var (
+	// ErrFrameTooLarge rejects a frame whose header declares more than
+	// MaxFrameLen payload bytes.
+	ErrFrameTooLarge = errors.New("server: frame exceeds maximum length")
+	// errShortPayload is the sticky decode error for truncated payloads.
+	errShortPayload = errors.New("server: truncated frame payload")
+)
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFrameLen {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, enforcing MaxFrameLen before allocating.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrameLen {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// wbuf builds a frame payload.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v byte)   { w.b = append(w.b, v) }
+func (w *wbuf) u16(v int)   { w.b = binary.BigEndian.AppendUint16(w.b, uint16(v)) }
+func (w *wbuf) u32(v int64) { w.b = binary.BigEndian.AppendUint32(w.b, uint32(v)) }
+func (w *wbuf) u64(v uint64) {
+	w.b = binary.BigEndian.AppendUint64(w.b, v)
+}
+func (w *wbuf) str(s string) {
+	w.u32(int64(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// datum appends one datum: kind byte + payload. Dates travel as their raw
+// day count, so every kind round-trips bit-exactly.
+func (w *wbuf) datum(d types.Datum) {
+	w.u8(byte(d.Kind()))
+	switch d.Kind() {
+	case types.KindNull:
+	case types.KindInt, types.KindDate:
+		w.u64(uint64(d.Int()))
+	case types.KindFloat:
+		w.u64(math.Float64bits(d.Float()))
+	case types.KindBool:
+		if d.Bool() {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	default: // text
+		w.str(d.String())
+	}
+}
+
+func (w *wbuf) row(r types.Row) {
+	w.u16(len(r))
+	for _, d := range r {
+		w.datum(d)
+	}
+}
+
+// rbuf decodes a frame payload with sticky-error bounds checking: any
+// truncation or bad tag flips err and every later read returns zero values,
+// so decoders are straight-line code with one error check at the end.
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail() {
+	if r.err == nil {
+		r.err = errShortPayload
+	}
+}
+
+func (r *rbuf) take(n int) []byte {
+	if r.err != nil || n < 0 || len(r.b)-r.off < n {
+		r.fail()
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *rbuf) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *rbuf) u16() int {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return int(binary.BigEndian.Uint16(b))
+}
+
+func (r *rbuf) u32() int64 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint32(b))
+}
+
+func (r *rbuf) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *rbuf) str() string {
+	n := r.u32()
+	return string(r.take(int(n)))
+}
+
+func (r *rbuf) datum() types.Datum {
+	kind := types.Kind(r.u8())
+	switch kind {
+	case types.KindNull:
+		return types.Null
+	case types.KindInt:
+		return types.NewInt(int64(r.u64()))
+	case types.KindFloat:
+		return types.NewFloat(math.Float64frombits(r.u64()))
+	case types.KindBool:
+		return types.NewBool(r.u8() != 0)
+	case types.KindText:
+		return types.NewText(r.str())
+	case types.KindDate:
+		return types.NewDate(int64(r.u64()))
+	default:
+		r.err = fmt.Errorf("server: unknown datum kind %d", kind)
+		return types.Null
+	}
+}
+
+func (r *rbuf) row() types.Row {
+	n := r.u16()
+	if n > maxRowCols {
+		r.err = fmt.Errorf("server: row declares %d columns", n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make(types.Row, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.datum())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// done checks the payload was consumed exactly — trailing garbage is a
+// protocol error, not silently ignored.
+func (r *rbuf) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("server: %d trailing bytes in frame", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// ---- message encode/decode ----
+
+// Startup opens a session.
+type Startup struct {
+	Version uint32
+	Role    string
+}
+
+// Encode marshals the message payload.
+func (m *Startup) Encode() []byte {
+	var w wbuf
+	w.u32(int64(m.Version))
+	w.str(m.Role)
+	return w.b
+}
+
+// DecodeStartup unmarshals a MsgStartup payload.
+func DecodeStartup(b []byte) (*Startup, error) {
+	r := rbuf{b: b}
+	m := &Startup{Version: uint32(r.u32()), Role: r.str()}
+	return m, r.done()
+}
+
+// Query is a simple query with optional parameters.
+type Query struct {
+	SQL    string
+	Params []types.Datum
+}
+
+// Encode marshals the message payload.
+func (m *Query) Encode() []byte {
+	var w wbuf
+	w.str(m.SQL)
+	w.row(types.Row(m.Params))
+	return w.b
+}
+
+// DecodeQuery unmarshals a MsgQuery payload.
+func DecodeQuery(b []byte) (*Query, error) {
+	r := rbuf{b: b}
+	m := &Query{SQL: r.str(), Params: r.row()}
+	return m, r.done()
+}
+
+// Parse prepares a named statement.
+type Parse struct {
+	Name string
+	SQL  string
+}
+
+// Encode marshals the message payload.
+func (m *Parse) Encode() []byte {
+	var w wbuf
+	w.str(m.Name)
+	w.str(m.SQL)
+	return w.b
+}
+
+// DecodeParse unmarshals a MsgParse payload.
+func DecodeParse(b []byte) (*Parse, error) {
+	r := rbuf{b: b}
+	m := &Parse{Name: r.str(), SQL: r.str()}
+	return m, r.done()
+}
+
+// Bind binds parameters to a prepared statement.
+type Bind struct {
+	Name   string
+	Params []types.Datum
+}
+
+// Encode marshals the message payload.
+func (m *Bind) Encode() []byte {
+	var w wbuf
+	w.str(m.Name)
+	w.row(types.Row(m.Params))
+	return w.b
+}
+
+// DecodeBind unmarshals a MsgBind payload.
+func DecodeBind(b []byte) (*Bind, error) {
+	r := rbuf{b: b}
+	m := &Bind{Name: r.str(), Params: r.row()}
+	return m, r.done()
+}
+
+// CloseStmt discards a prepared statement.
+type CloseStmt struct{ Name string }
+
+// Encode marshals the message payload.
+func (m *CloseStmt) Encode() []byte {
+	var w wbuf
+	w.str(m.Name)
+	return w.b
+}
+
+// DecodeCloseStmt unmarshals a MsgCloseStmt payload.
+func DecodeCloseStmt(b []byte) (*CloseStmt, error) {
+	r := rbuf{b: b}
+	m := &CloseStmt{Name: r.str()}
+	return m, r.done()
+}
+
+// AuthOK acknowledges startup.
+type AuthOK struct{ SessionID uint64 }
+
+// Encode marshals the message payload.
+func (m *AuthOK) Encode() []byte {
+	var w wbuf
+	w.u64(m.SessionID)
+	return w.b
+}
+
+// DecodeAuthOK unmarshals a MsgAuthOK payload.
+func DecodeAuthOK(b []byte) (*AuthOK, error) {
+	r := rbuf{b: b}
+	m := &AuthOK{SessionID: r.u64()}
+	return m, r.done()
+}
+
+// ColDesc is one result column.
+type ColDesc struct {
+	Name string
+	Kind types.Kind
+}
+
+// RowDesc describes the result columns.
+type RowDesc struct{ Cols []ColDesc }
+
+// Encode marshals the message payload.
+func (m *RowDesc) Encode() []byte {
+	var w wbuf
+	w.u16(len(m.Cols))
+	for _, c := range m.Cols {
+		w.str(c.Name)
+		w.u8(byte(c.Kind))
+	}
+	return w.b
+}
+
+// DecodeRowDesc unmarshals a MsgRowDesc payload.
+func DecodeRowDesc(b []byte) (*RowDesc, error) {
+	r := rbuf{b: b}
+	n := r.u16()
+	if n > maxRowCols {
+		return nil, fmt.Errorf("server: row description declares %d columns", n)
+	}
+	m := &RowDesc{}
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Cols = append(m.Cols, ColDesc{Name: r.str(), Kind: types.Kind(r.u8())})
+	}
+	return m, r.done()
+}
+
+// DataRow carries one result tuple.
+type DataRow struct{ Row types.Row }
+
+// Encode marshals the message payload.
+func (m *DataRow) Encode() []byte {
+	var w wbuf
+	w.row(m.Row)
+	return w.b
+}
+
+// DecodeDataRow unmarshals a MsgDataRow payload.
+func DecodeDataRow(b []byte) (*DataRow, error) {
+	r := rbuf{b: b}
+	m := &DataRow{Row: r.row()}
+	return m, r.done()
+}
+
+// Complete ends a successful statement.
+type Complete struct {
+	Tag          string
+	RowsAffected int64
+}
+
+// Encode marshals the message payload.
+func (m *Complete) Encode() []byte {
+	var w wbuf
+	w.str(m.Tag)
+	w.u64(uint64(m.RowsAffected))
+	return w.b
+}
+
+// DecodeComplete unmarshals a MsgComplete payload.
+func DecodeComplete(b []byte) (*Complete, error) {
+	r := rbuf{b: b}
+	m := &Complete{Tag: r.str(), RowsAffected: int64(r.u64())}
+	return m, r.done()
+}
+
+// ErrorMsg reports an error to the client.
+type ErrorMsg struct{ Message string }
+
+// Encode marshals the message payload.
+func (m *ErrorMsg) Encode() []byte {
+	var w wbuf
+	w.str(m.Message)
+	return w.b
+}
+
+// DecodeErrorMsg unmarshals a MsgError payload.
+func DecodeErrorMsg(b []byte) (*ErrorMsg, error) {
+	r := rbuf{b: b}
+	m := &ErrorMsg{Message: r.str()}
+	return m, r.done()
+}
+
+// Ready says the session awaits the next statement.
+type Ready struct{ Status byte }
+
+// Encode marshals the message payload.
+func (m *Ready) Encode() []byte {
+	var w wbuf
+	w.u8(m.Status)
+	return w.b
+}
+
+// DecodeReady unmarshals a MsgReady payload.
+func DecodeReady(b []byte) (*Ready, error) {
+	r := rbuf{b: b}
+	m := &Ready{Status: r.u8()}
+	return m, r.done()
+}
