@@ -216,14 +216,24 @@ func metaCommand(ctx context.Context, db *greenplum.DB, conn *greenplum.Conn, cm
 			break
 		}
 		fmt.Printf("segment %d recovered\n", seg)
+	case strings.HasPrefix(cmd, "\\fault"):
+		// \fault inject 'wal_flush' segment 1 — sugar for the FAULT statement.
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, "\\fault"))
+		if rest == "" {
+			rest = "STATUS"
+		}
+		res, err := conn.Exec(ctx, "FAULT "+rest)
+		if err != nil {
+			fmt.Println("ERROR:", err)
+			break
+		}
+		printResult(res)
 	case cmd == "\\timing":
 		*timing = !*timing
 		fmt.Println("timing:", *timing)
 	default:
-		fmt.Println("unknown command; try \\d \\dg \\locks \\stats \\kill \\recover \\timing \\q")
+		fmt.Println("unknown command; try \\d \\dg \\locks \\stats \\fault \\kill \\recover \\timing \\q")
 	}
-	_ = ctx
-	_ = conn
 	return true
 }
 

@@ -31,10 +31,12 @@ package greenplum
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/types"
 )
 
@@ -104,6 +106,18 @@ type Options struct {
 	Replica string
 	// FTSInterval overrides the fault-tolerance probe period (default 25ms).
 	FTSInterval time.Duration
+	// DisableFaultPoints boots without a fault-injection registry: the FAULT
+	// statement and InjectFault are rejected, and every fault point compiles
+	// down to a nil-receiver check. Used by the disarmed-overhead benchmark's
+	// baseline; normal instances keep fault points available (they cost one
+	// atomic load while nothing is armed).
+	DisableFaultPoints bool
+	// BreakerThreshold is how many consecutive transient dispatch failures
+	// open a segment's circuit breaker (default 8).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before letting
+	// a half-open probe through (default 100ms).
+	BreakerCooldown time.Duration
 }
 
 // DB is one running database instance.
@@ -150,7 +164,100 @@ func Open(opts Options) (*DB, error) {
 	if opts.FTSInterval > 0 {
 		cfg.FTSInterval = opts.FTSInterval
 	}
+	cfg.NoFaultPoints = opts.DisableFaultPoints
+	cfg.BreakerThreshold = opts.BreakerThreshold
+	cfg.BreakerCooldown = opts.BreakerCooldown
 	return &DB{engine: core.NewEngine(cfg)}, nil
+}
+
+// AllSegments arms a FaultSpec on every segment (and the coordinator).
+const AllSegments = fault.AllSegments
+
+// FaultSpec arms one named fault point — the Go-API equivalent of the FAULT
+// INJECT statement. Seg 0 targets segment 0; use AllSegments (-1) to cover
+// the whole cluster.
+type FaultSpec struct {
+	// Point names the fault point (catalog in docs/FAULTS.md).
+	Point string
+	// Seg targets one segment id, or AllSegments.
+	Seg int
+	// Action is error, panic, sleep, hang, torn-write or skip ("" = error).
+	Action string
+	// Message overrides the injected error text.
+	Message string
+	// Sleep is the pause for the sleep action.
+	Sleep time.Duration
+	// Start is the first matching hit (1-based) that may trigger; 0 = 1.
+	Start int
+	// Count caps how many hits trigger; 0 = unlimited.
+	Count int
+	// Probability is the percent chance (1..99) an eligible hit triggers;
+	// 0 or 100 = always.
+	Probability int
+	// Seed makes probabilistic schedules replay deterministically.
+	Seed int64
+}
+
+// InjectFault arms a fault point. Fails on instances opened with
+// DisableFaultPoints.
+func (db *DB) InjectFault(spec FaultSpec) error {
+	name := strings.ToLower(spec.Action)
+	if name == "" {
+		name = "error"
+	}
+	act, ok := fault.ParseAction(name)
+	if !ok {
+		return fmt.Errorf("greenplum: unknown fault action %q", spec.Action)
+	}
+	return db.engine.Cluster().InjectFault(fault.Spec{
+		Point:       spec.Point,
+		Seg:         spec.Seg,
+		Action:      act,
+		Message:     spec.Message,
+		Sleep:       spec.Sleep,
+		Start:       spec.Start,
+		Count:       spec.Count,
+		Probability: spec.Probability,
+		Seed:        spec.Seed,
+	})
+}
+
+// ResetFaults disarms the named fault point ("" = every point), waking any
+// goroutine hung on it, and returns how many armed specs were removed.
+func (db *DB) ResetFaults(point string) int {
+	return db.engine.Cluster().ResetFault(point)
+}
+
+// ResumeFault wakes goroutines hung at the named point without disarming it.
+func (db *DB) ResumeFault(point string) int {
+	return db.engine.Cluster().ResumeFault(point)
+}
+
+// FaultPointStatus describes one armed fault spec.
+type FaultPointStatus struct {
+	Point     string
+	Seg       int
+	Action    string
+	Hits      int64
+	Triggers  int64
+	Exhausted bool
+}
+
+// FaultStatus lists every armed fault spec.
+func (db *DB) FaultStatus() []FaultPointStatus {
+	sts := db.engine.Cluster().FaultStatus()
+	out := make([]FaultPointStatus, len(sts))
+	for i, st := range sts {
+		out[i] = FaultPointStatus{
+			Point:     st.Point,
+			Seg:       st.Seg,
+			Action:    st.Action.String(),
+			Hits:      st.Hits,
+			Triggers:  st.Triggers,
+			Exhausted: st.Exhausted,
+		}
+	}
+	return out
 }
 
 // KillSegment simulates losing segment seg's primary host: dispatch to it
@@ -247,6 +354,21 @@ type Stats struct {
 	PlanCacheMisses   int64
 	PlanCachePlanHits int64
 	PlanCacheEntries  int
+	// FaultHits/FaultTriggers count fault-point evaluations that matched an
+	// armed spec and those that fired. DispatchRetries counts dispatch
+	// attempts re-issued after transient failures; BreakerOpens and
+	// BreakerFastFails aggregate the per-segment circuit breakers.
+	// WALTruncations/WALTruncatedBytes count torn-tail truncations by crash
+	// recovery; SpillLeaks counts temp files the post-statement backstop had
+	// to remove (also SHOW fault_stats).
+	FaultHits         int64
+	FaultTriggers     int64
+	DispatchRetries   int64
+	BreakerOpens      int64
+	BreakerFastFails  int64
+	WALTruncations    int64
+	WALTruncatedBytes int64
+	SpillLeaks        int64
 }
 
 // Stats returns cluster counters.
@@ -259,6 +381,7 @@ func (db *DB) Stats() Stats {
 	walStats := c.WALStats()
 	analyzed, mises, fallbacks := c.OptimizerStats()
 	cacheStats := db.engine.StmtCache().Stats()
+	faultStats := c.FaultStats()
 	return Stats{
 		OnePhaseCommits: one,
 		TwoPhaseCommits: two,
@@ -286,6 +409,15 @@ func (db *DB) Stats() Stats {
 		PlanCacheMisses:   cacheStats.Misses,
 		PlanCachePlanHits: cacheStats.PlanHits,
 		PlanCacheEntries:  cacheStats.Entries,
+
+		FaultHits:         faultStats.Hits,
+		FaultTriggers:     faultStats.Triggers,
+		DispatchRetries:   faultStats.DispatchRetries,
+		BreakerOpens:      faultStats.BreakerOpens,
+		BreakerFastFails:  faultStats.BreakerFastFails,
+		WALTruncations:    faultStats.WALTruncations,
+		WALTruncatedBytes: faultStats.WALTruncatedBytes,
+		SpillLeaks:        faultStats.SpillLeaks,
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/dtm"
+	"repro/internal/fault"
 	"repro/internal/fts"
 	"repro/internal/gdd"
 	"repro/internal/lockmgr"
@@ -115,6 +116,18 @@ type Cluster struct {
 	spillFiles atomic.Int64
 	spillPeak  atomic.Int64
 	vmemPeak   atomic.Int64 // highest per-statement resgroup vmem high water
+	spillLeaks atomic.Int64 // files the post-statement backstop had to remove
+
+	// Fault injection: the registry every fault point on this cluster
+	// evaluates (nil when Config.NoFaultPoints), and one circuit breaker per
+	// segment guarding dispatch against repeated transient failures.
+	faults          *fault.Registry
+	breakers        []*fault.Breaker
+	dispatchRetries atomic.Int64 // dispatch attempts retried after a transient error
+	// walTruncations/walTruncatedBytes count torn-tail truncations performed
+	// by revive-time crash recovery.
+	walTruncations    atomic.Int64
+	walTruncatedBytes atomic.Int64
 
 	closed atomic.Bool
 }
@@ -151,8 +164,17 @@ func New(cfg *Config) *Cluster {
 		topoCh:    make(chan struct{}),
 	}
 	c.replicaMode.Store(int32(cfg.ReplicaMode))
+	if !cfg.NoFaultPoints {
+		c.faults = fault.NewRegistry()
+		c.locks.SetFaultHook(func() error { return c.faults.Inject(fault.LockAcquire, CoordinatorSeg) })
+	}
+	c.breakers = make([]*fault.Breaker, cfg.NumSegments)
+	for i := range c.breakers {
+		c.breakers[i] = fault.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
 	for i := 0; i < cfg.NumSegments; i++ {
 		seg := newSegment(i, cfg)
+		seg.attachFaults(c.faults)
 		seg.distInProgress = c.coord.IsInProgress
 		seg.repMode = &c.replicaMode
 		// The decoded-block cache capacity comes out of the same global vmem
@@ -164,6 +186,7 @@ func New(cfg *Config) *Cluster {
 		}
 		if cfg.ReplicaMode != ReplicaNone {
 			m := newMirror(i, cfg)
+			m.faults = c.faults
 			if err := seg.log.AttachShip(m.Receive); err != nil {
 				panic(fmt.Sprintf("cluster: attaching mirror: %v", err))
 			}

@@ -128,6 +128,20 @@ type Config struct {
 	// fail over to its mirror before erroring out (default 10s).
 	FailoverTimeout time.Duration
 
+	// NoFaultPoints boots the cluster without a fault-injection registry:
+	// every fault point compiles to a nil-receiver check and FAULT INJECT is
+	// rejected. The default (false) keeps the registry present but disarmed,
+	// which costs one atomic load per point. The knob exists so the
+	// disarmed-overhead benchmark has a true baseline.
+	NoFaultPoints bool
+
+	// BreakerThreshold is how many consecutive transient dispatch failures
+	// open a segment's circuit breaker (default 8).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before letting
+	// a half-open probe through (default 100ms).
+	BreakerCooldown time.Duration
+
 	// PlanCacheSize bounds the engine's shared LRU parse/plan cache in
 	// statements (normalized SQL texts). Every session — embedded or
 	// network — looks parsed statements up here before touching the lexer,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dtm"
+	"repro/internal/fault"
 	"repro/internal/fts"
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -137,6 +138,15 @@ func (c *Cluster) Recover(i int) error {
 		if s.log == nil {
 			return fmt.Errorf("cluster: segment %d is down and has no WAL to recover from", i)
 		}
+		// A crash mid-write (torn-write or fsync-failure fault) leaves a torn
+		// or CRC-bad tail on the log image: truncate back to the last intact
+		// record first, exactly as PostgreSQL recovery stops replay at the
+		// first bad record. Everything acknowledged was flushed before the
+		// damage, so the truncation only discards unacked work.
+		if _, dropped := s.log.RecoverTruncate(); dropped > 0 {
+			c.walTruncations.Add(1)
+			c.walTruncatedBytes.Add(int64(dropped))
+		}
 		// Revive: build a "mirror" fed by the dead primary's own log, catch
 		// it up, and promote it. This is crash recovery: replay the log,
 		// abort in-flight transactions, resolve in-doubt prepared ones.
@@ -202,6 +212,7 @@ func (c *Cluster) installStandby(i int, src *Segment, attachToSeg bool) error {
 // cannot interleave ahead of the history.
 func (c *Cluster) buildStandby(i int, src *Segment) (*Mirror, error) {
 	m := newMirror(i, c.cfg)
+	m.faults = c.faults
 	for _, t := range c.catalog.Tables() {
 		m.CreateTable(t)
 	}
@@ -393,7 +404,15 @@ func (c *Cluster) execOnSeg(ctx context.Context, t *LiveTxn, i int, fn func(*Seg
 		if t.writers[i] && t.wroteGen[i] != s.gen {
 			return 0, 0, fmt.Errorf("cluster: segment %d failed over after this transaction wrote it: %w", i, ErrTxnLostWrites)
 		}
-		n, err := fn(s)
+		// Statement dispatch is not idempotent (a re-run would double-apply
+		// DML inside the same snapshot): the wrapper retries transient
+		// send-phase faults with backoff but surfaces recv-phase ones.
+		var n int
+		err = c.dispatchSeg(i, false, func() error {
+			var ferr error
+			n, ferr = fn(s)
+			return ferr
+		})
 		if IsSegmentDown(err) && attempt < 2 {
 			continue // the primary died between resolution and entry
 		}
@@ -419,13 +438,41 @@ func (r segRef) do(f func(*Segment) error) error {
 		if err != nil {
 			return err
 		}
-		err = f(s)
+		// Commit-protocol calls are idempotent (replayed clog resolves
+		// retries), so the dispatch wrapper may re-run the whole operation
+		// on transient recv-phase faults too.
+		err = r.c.dispatchSeg(r.id, true, func() error { return f(s) })
 		if IsSegmentDown(err) {
 			continue
 		}
 		return err
 	}
 	return &SegmentDownError{Seg: r.id}
+}
+
+// doResolve is do for decision-resolution waves — COMMIT PREPARED and the
+// abort paths, where the transaction's outcome is already fixed. A bounded
+// retry is wrong there: dropping the wave after a few transient dispatch
+// faults would strand the segment's transaction state (and its locks)
+// forever, so resolution keeps retrying until the fault clears, the
+// breaker's half-open probe gets through, or a failover takes over (the
+// promoted mirror resolves the transaction from replayed state, and the
+// dead incarnation's locks die with it). Injected dispatch faults are
+// transient by construction (bounded count or probability < 100), so the
+// loop terminates under any schedule that can itself end; the attempt cap
+// only backstops a permanently-armed 100% fault, at which point the leak
+// is the schedule's explicit intent.
+func (r segRef) doResolve(f func(*Segment) error) error {
+	var err error
+	for attempt := 0; attempt < 256; attempt++ {
+		err = r.do(f)
+		var de *DispatchError
+		if err == nil || !(errors.As(err, &de) || IsRetryableDispatch(err)) {
+			return err
+		}
+		time.Sleep(fault.Backoff(attempt, dispatchBackoffMin, dispatchBackoffMax))
+	}
+	return err
 }
 
 // Prepare implements dtm.Participant.
@@ -435,12 +482,12 @@ func (r segRef) Prepare(dxid dtm.DXID) error {
 
 // CommitPrepared implements dtm.Participant.
 func (r segRef) CommitPrepared(dxid dtm.DXID) error {
-	return r.do(func(s *Segment) error { return s.CommitPrepared(dxid) })
+	return r.doResolve(func(s *Segment) error { return s.CommitPrepared(dxid) })
 }
 
 // AbortPrepared implements dtm.Participant.
 func (r segRef) AbortPrepared(dxid dtm.DXID) error {
-	return r.do(func(s *Segment) error { return s.AbortPrepared(dxid) })
+	return r.doResolve(func(s *Segment) error { return s.AbortPrepared(dxid) })
 }
 
 // CommitOnePhase implements dtm.Participant.
@@ -451,7 +498,7 @@ func (r segRef) CommitOnePhase(dxid dtm.DXID) error {
 // Abort implements dtm.Participant. Best-effort: a segment that is down
 // with no mirror has nothing durable to abort.
 func (r segRef) Abort(dxid dtm.DXID) error {
-	err := r.do(func(s *Segment) error { return s.Abort(dxid) })
+	err := r.doResolve(func(s *Segment) error { return s.Abort(dxid) })
 	if IsSegmentDown(err) {
 		return nil
 	}

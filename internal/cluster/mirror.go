@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/dtm"
+	"repro/internal/fault"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -52,6 +53,11 @@ type Mirror struct {
 	// stream is unusable for promotion (the equivalent of a corrupt
 	// standby) and is reported instead of silently serving bad data.
 	brokenErr atomic.Pointer[error]
+
+	// faults is the cluster's fault registry (nil = disarmed); the
+	// mirror_apply point is evaluated per frame with the primary's segment
+	// id, so an armed sleep models replication lag.
+	faults *fault.Registry
 
 	wg sync.WaitGroup
 }
@@ -145,6 +151,18 @@ func (m *Mirror) start() {
 			for _, frame := range batch {
 				if m.broken() != nil {
 					break // drop the rest; drain only unblocks waiters
+				}
+				switch act, ferr := m.faults.Eval(fault.MirrorApply, m.segID); act {
+				case fault.ActError:
+					m.setBroken(ferr)
+				case fault.ActSkip:
+					// Dropped frame: the next frame's LSN gap breaks the
+					// mirror via AppendFrame's sequence check, modeling a
+					// standby that lost part of the stream.
+					continue
+				}
+				if m.broken() != nil {
+					break
 				}
 				rec, err := m.applyFrame(frame)
 				if err != nil {
@@ -301,5 +319,7 @@ func (m *Mirror) toSegment(gen int, blockCache *storage.BlockCache, distInProgre
 		}
 		ns.attachWAL(st.engine, leaf)
 	}
+	// After the log swap, so the fault points follow the promoted log.
+	ns.attachFaults(m.faults)
 	return ns
 }

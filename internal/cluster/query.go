@@ -166,6 +166,9 @@ func (c *Cluster) runSelectOnce(ctx context.Context, t *LiveTxn, snap *dtm.DistS
 	var spill *exec.SpillManager
 	if res != nil && res.SpillBudget > 0 {
 		spill = exec.NewSpillManager(res.SpillBudget)
+		if spill != nil {
+			spill.Faults = c.faults
+		}
 	}
 	// Rebase the slot's memory high water so the peak captured below
 	// belongs to this statement, not to earlier statements of the same
@@ -196,8 +199,16 @@ func (c *Cluster) runSelectOnce(ctx context.Context, t *LiveTxn, snap *dtm.DistS
 				return nil, nil, fmt.Errorf("cluster: segment %d failed over after this transaction wrote it: %w", i, ErrTxnLostWrites)
 			}
 			segsnap[i] = s
-			s.netHop()
-			s.stmtOverhead()
+			// Per-segment statement dispatch: the fault wrapper retries
+			// transient send faults with backoff (reads are idempotent, so
+			// recv faults retry too) and honors the circuit breaker.
+			if err := c.dispatchSeg(i, true, func() error {
+				s.netHop()
+				s.stmtOverhead()
+				return nil
+			}); err != nil {
+				return nil, nil, err
+			}
 			accs[i] = s.newAccess(t.dxid, snap)
 			t.touched[i] = true
 		}
@@ -317,7 +328,9 @@ func (c *Cluster) runSelectOnce(ctx context.Context, t *LiveTxn, snap *dtm.DistS
 	// (the retry recounts); the temp-file cleanup always runs.
 	if spill != nil {
 		spills, sbytes, sfiles, peak := spill.Stats()
-		spill.Cleanup()
+		if leaked := spill.Cleanup(); leaked > 0 {
+			c.spillLeaks.Add(int64(leaked))
+		}
 		if !IsSegmentDown(err) {
 			c.spills.Add(spills)
 			c.spillBytes.Add(sbytes)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/dtm"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/lockmgr"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -83,6 +84,11 @@ type Segment struct {
 	// with an earlier distributed timestamp than the version it replaced,
 	// making two versions of one row visible to a snapshot in the window.
 	distInProgress func(dxid dtm.DXID) bool
+
+	// faults is the cluster's fault registry (nil = disarmed), evaluated
+	// with this segment's id at the 2PC and lock fault points; the log keeps
+	// its own reference for the WAL points.
+	faults *fault.Registry
 }
 
 // segTable is one leaf table's storage on this segment.
@@ -124,6 +130,20 @@ func newSegment(id int, cfg *Config) *Segment {
 		s.log = wal.New()
 	}
 	return s
+}
+
+// attachFaults wires the cluster's fault registry (nil is fine: every point
+// stays disarmed) into the segment's commit paths, its lock table, and its
+// log's append/flush/ship points.
+func (s *Segment) attachFaults(reg *fault.Registry) {
+	s.faults = reg
+	if reg == nil {
+		return
+	}
+	if s.log != nil {
+		s.log.AttachFaults(reg, s.id)
+	}
+	s.locks.SetFaultHook(func() error { return reg.Inject(fault.LockAcquire, s.id) })
 }
 
 // ID returns the segment id.
@@ -446,6 +466,17 @@ func (s *Segment) fsync() {
 		return
 	}
 	flushed := s.log.Flush(s.cfg.FsyncDelay)
+	if s.log.Err() != nil {
+		// The log hit a (simulated) write or fsync failure — a torn append
+		// or an errored sync. Durability of anything since the last good
+		// sync is unknown, so the segment takes itself down before any
+		// acknowledgement, the PANIC-on-fsync-failure model: the FTS daemon
+		// promotes the mirror, or Recover revives this primary through
+		// torn-tail truncation. ackOrDown turns this into SegmentDownError
+		// on every commit path, so nothing built on the wedged log is acked.
+		s.down.Store(true)
+		return
+	}
 	if s.repMode != nil && ReplicaMode(s.repMode.Load()) == ReplicaSync {
 		if m := s.mirror.Load(); m != nil {
 			m.WaitApplied(flushed)
@@ -470,6 +501,11 @@ func (s *Segment) Prepare(dxid dtm.DXID) error {
 		return err
 	}
 	s.netHop()
+	// The fault point fires before any state changes, so a provoked failure
+	// aborts the transaction cleanly (presumed abort) and a retry is safe.
+	if err := s.faults.Inject(fault.TwopcPrepare, s.id); err != nil {
+		return err
+	}
 	st, ok := s.openTxn(dxid)
 	if !ok {
 		// A promoted segment has no live state for a transaction whose
@@ -522,6 +558,11 @@ func (s *Segment) CommitPrepared(dxid dtm.DXID) error {
 		return err
 	}
 	s.netHop()
+	// Fires before the commit applies; the whole call is idempotent, so the
+	// dispatch layer retries an injected failure here.
+	if err := s.faults.Inject(fault.TwopcCommit, s.id); err != nil {
+		return err
+	}
 	st, ok := s.openTxn(dxid)
 	if !ok {
 		if local, status, found := s.recoveredStatus(dxid); found {
@@ -564,6 +605,9 @@ func (s *Segment) CommitOnePhase(dxid dtm.DXID) error {
 		return err
 	}
 	s.netHop()
+	if err := s.faults.Inject(fault.TwopcCommit, s.id); err != nil {
+		return err
+	}
 	st, ok := s.openTxn(dxid)
 	if !ok {
 		if _, status, found := s.recoveredStatus(dxid); found && status == txn.StatusCommitted {

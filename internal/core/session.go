@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/lockmgr"
 	"repro/internal/plan"
 	"repro/internal/resgroup"
@@ -621,8 +622,74 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, entry *st
 	case *sql.ShowStmt:
 		return s.execShow(x)
 
+	case *sql.FaultStmt:
+		return s.execFault(x)
+
 	default:
 		return nil, fmt.Errorf("core: unsupported statement %T", st)
+	}
+}
+
+// execFault executes the FAULT admin statement against the cluster's fault
+// registry (rejected on clusters booted with NoFaultPoints).
+func (s *Session) execFault(x *sql.FaultStmt) (*Result, error) {
+	cl := s.engine.cluster
+	if cl.Faults() == nil {
+		return nil, cluster.ErrFaultsDisabled
+	}
+	switch x.Verb {
+	case sql.FaultStatus:
+		res := &Result{
+			Columns: []string{"point", "segment", "action", "hits", "triggers", "exhausted"},
+			Tag:     "FAULT STATUS",
+		}
+		for _, ps := range cl.FaultStatus() {
+			res.Rows = append(res.Rows, types.Row{
+				types.NewText(ps.Point),
+				types.NewInt(int64(ps.Seg)),
+				types.NewText(ps.Action.String()),
+				types.NewInt(ps.Hits),
+				types.NewInt(ps.Triggers),
+				types.NewText(onOff(ps.Exhausted)),
+			})
+		}
+		return res, nil
+
+	case sql.FaultReset:
+		n := cl.ResetFault(x.Point)
+		return &Result{RowsAffected: n, Tag: "FAULT RESET"}, nil
+
+	case sql.FaultResume:
+		n := cl.ResumeFault(x.Point)
+		return &Result{RowsAffected: n, Tag: "FAULT RESUME"}, nil
+
+	default: // sql.FaultInject
+		actName := x.Action
+		if actName == "" {
+			actName = "error"
+		}
+		act, ok := fault.ParseAction(actName)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown fault action %q", actName)
+		}
+		if x.Probability < 0 || x.Probability > 100 {
+			return nil, fmt.Errorf("core: fault probability must be between 0 and 100 (got %d)", x.Probability)
+		}
+		spec := fault.Spec{
+			Point:       x.Point,
+			Seg:         x.Seg,
+			Action:      act,
+			Message:     x.Message,
+			Sleep:       time.Duration(x.SleepMS) * time.Millisecond,
+			Start:       x.Start,
+			Count:       x.Count,
+			Probability: x.Probability,
+			Seed:        x.Seed,
+		}
+		if err := cl.InjectFault(spec); err != nil {
+			return nil, err
+		}
+		return &Result{Tag: "FAULT INJECT"}, nil
 	}
 }
 
@@ -681,6 +748,35 @@ func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
 		add("entries", int64(st.Entries))
 		add("evictions", st.Evictions)
 		add("epoch", int64(s.engine.cluster.PlanEpoch()))
+		return res, nil
+	}
+	if name == "fault_stats" {
+		cl := s.engine.cluster
+		st := cl.FaultStats()
+		res := &Result{Columns: []string{"stat", "value"}, Tag: "SHOW"}
+		add := func(k string, v int64) {
+			res.Rows = append(res.Rows, types.Row{types.NewText(k), types.NewInt(v)})
+		}
+		enabled := int64(0)
+		if st.Enabled {
+			enabled = 1
+		}
+		add("fault_points_enabled", enabled)
+		add("armed_specs", int64(st.Armed))
+		add("point_hits", st.Hits)
+		add("point_triggers", st.Triggers)
+		add("dispatch_retries", st.DispatchRetries)
+		add("breaker_opens", st.BreakerOpens)
+		add("breaker_fast_fails", st.BreakerFastFails)
+		add("wal_truncations", st.WALTruncations)
+		add("wal_truncated_bytes", st.WALTruncatedBytes)
+		add("spill_leaks", st.SpillLeaks)
+		for _, b := range cl.BreakerStatuses() {
+			res.Rows = append(res.Rows, types.Row{
+				types.NewText(fmt.Sprintf("breaker_seg%d", b.Seg)),
+				types.NewText(b.State.String()),
+			})
+		}
 		return res, nil
 	}
 	if name == "scan_stats" {

@@ -95,6 +95,12 @@ func Commit(coord *Coordinator, dxid DXID, writers []Participant, onePhase bool,
 		// No PREPARE fsync on the segment, no commit-record fsync on the
 		// coordinator (paper §5.2).
 		if err := writers[0].CommitOnePhase(dxid); err != nil {
+			// Roll the local transaction back so its locks and open-txn entry
+			// don't outlive the decision. Abort is a no-op on a segment that
+			// already resolved the transaction (recovered or down), so this
+			// is safe even when the failure was an ambiguous ack loss.
+			st.Messages++
+			_ = writers[0].Abort(dxid)
 			coord.MarkAborted(dxid)
 			return st, fmt.Errorf("dtm: one-phase commit on seg %d: %w", writers[0].SegID(), err)
 		}

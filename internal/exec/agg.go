@@ -183,7 +183,7 @@ func (a *aggCore) dumpGroups() error {
 		}
 		a.parts = make([]*spillFile, fanout)
 		for i := range a.parts {
-			sf, err := a.ctx.Spill.newFile(fmt.Sprintf("seg%d-agg-part%d", a.ctx.SegID, i))
+			sf, err := a.ctx.Spill.newFile(a.ctx.SegID, fmt.Sprintf("seg%d-agg-part%d", a.ctx.SegID, i))
 			if err != nil {
 				return err
 			}

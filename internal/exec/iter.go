@@ -282,7 +282,7 @@ func (s *sortIter) spillRun() error {
 	if err := s.sortBuffered(); err != nil {
 		return err
 	}
-	sf, err := s.ctx.Spill.newFile(fmt.Sprintf("seg%d-sort-run%d", s.ctx.SegID, len(s.runs)))
+	sf, err := s.ctx.Spill.newFile(s.ctx.SegID, fmt.Sprintf("seg%d-sort-run%d", s.ctx.SegID, len(s.runs)))
 	if err != nil {
 		return err
 	}
@@ -292,6 +292,8 @@ func (s *sortIter) spillRun() error {
 	}
 	for _, row := range s.rows {
 		if err := sf.writeRow(row); err != nil {
+			// The run is not in s.runs yet, so Close would never see it.
+			sf.close()
 			return err
 		}
 	}

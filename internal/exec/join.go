@@ -146,15 +146,18 @@ func (c *hashJoinCore) beginSpill() error {
 	c.buildParts = make([]*spillFile, fanout)
 	c.probeParts = make([]*spillFile, fanout)
 	for i := 0; i < fanout; i++ {
-		bf, err := c.ctx.Spill.newFile(fmt.Sprintf("seg%d-join-build%d", c.ctx.SegID, i))
+		// Park each file in its slot as soon as it exists: if the paired
+		// create fails, closeCore still owns (and removes) this one.
+		bf, err := c.ctx.Spill.newFile(c.ctx.SegID, fmt.Sprintf("seg%d-join-build%d", c.ctx.SegID, i))
 		if err != nil {
 			return err
 		}
-		pf, err := c.ctx.Spill.newFile(fmt.Sprintf("seg%d-join-probe%d", c.ctx.SegID, i))
+		c.buildParts[i] = bf
+		pf, err := c.ctx.Spill.newFile(c.ctx.SegID, fmt.Sprintf("seg%d-join-probe%d", c.ctx.SegID, i))
 		if err != nil {
 			return err
 		}
-		c.buildParts[i], c.probeParts[i] = bf, pf
+		c.probeParts[i] = pf
 	}
 	for h, bucket := range c.table {
 		sf := c.buildParts[h%uint64(fanout)]

@@ -3,6 +3,7 @@ package exec
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -11,8 +12,16 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/types"
 )
+
+// ErrDiskFull is the typed statement-cancellation error for a spill device
+// out of space (organic ENOSPC or the spill_create/spill_write fault
+// points). The server maps it to a dedicated error code so clients can
+// detect it without string matching; the statement that hits it is canceled
+// with all temp files and operator-memory accounting released.
+var ErrDiskFull = errors.New("exec: disk full while spilling")
 
 // Spilling: every blocking operator (sort, hash aggregate, hash join build)
 // routes its working-set growth through an opMem, which charges the resource
@@ -42,6 +51,10 @@ type SpillManager struct {
 	dir   string
 	files map[*spillFile]struct{}
 	seq   int
+
+	// Faults, when set, arms the spill_create/spill_write fault points
+	// (evaluated with the spilling operator's segment id).
+	Faults *fault.Registry
 }
 
 // NewSpillManager returns a manager enforcing the given operator-memory
@@ -110,8 +123,12 @@ const spillFileOverhead = spillBufSize
 const spillBufSize = 4 << 10
 
 // newFile creates a spill file in the manager's (lazily created) temp
-// directory. label names the file for diagnostics, e.g. "seg0-sort-run3".
-func (m *SpillManager) newFile(label string) (*spillFile, error) {
+// directory. seg is the spilling operator's segment id (for fault-point
+// matching); label names the file for diagnostics, e.g. "seg0-sort-run3".
+func (m *SpillManager) newFile(seg int, label string) (*spillFile, error) {
+	if err := m.Faults.Inject(fault.SpillCreate, seg); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrDiskFull, err)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.dir == "" {
@@ -127,7 +144,7 @@ func (m *SpillManager) newFile(label string) (*spillFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exec: creating spill file: %w", err)
 	}
-	sf := &spillFile{m: m, f: f, w: bufio.NewWriterSize(f, spillBufSize)}
+	sf := &spillFile{m: m, f: f, seg: seg, w: bufio.NewWriterSize(f, spillBufSize)}
 	m.files[sf] = struct{}{}
 	m.spillFiles.Add(1)
 	return sf, nil
@@ -169,6 +186,7 @@ func (m *SpillManager) Cleanup() int {
 type spillFile struct {
 	m     *SpillManager
 	f     *os.File
+	seg   int
 	w     *bufio.Writer
 	r     *bufio.Reader
 	buf   []byte
@@ -178,6 +196,9 @@ type spillFile struct {
 
 // writeRow appends one encoded row.
 func (sf *spillFile) writeRow(row types.Row) error {
+	if err := sf.m.Faults.Inject(fault.SpillWrite, sf.seg); err != nil {
+		return fmt.Errorf("%w: %w", ErrDiskFull, err)
+	}
 	sf.buf = appendRow(sf.buf[:0], row)
 	n, err := sf.w.Write(sf.buf)
 	sf.bytes += int64(n)

@@ -16,7 +16,7 @@ import (
 func TestSpillRowCodecRoundTrip(t *testing.T) {
 	m := NewSpillManager(1 << 20)
 	defer m.Cleanup()
-	sf, err := m.newFile("codec")
+	sf, err := m.newFile(0, "codec")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestSpillManagerBudgetAndCleanup(t *testing.T) {
 	if peak != 100 {
 		t.Fatalf("high-water mark: %d, want 100", peak)
 	}
-	sf, err := m.newFile("cleanup")
+	sf, err := m.newFile(0, "cleanup")
 	if err != nil {
 		t.Fatal(err)
 	}

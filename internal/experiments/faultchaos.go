@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// FaultChaos replays a seeded, deterministic fault schedule against a live
+// TPC-B cluster and reconciles the ledger after every phase: the sum of
+// account balances must equal the running sum of deltas whose COMMIT was
+// acknowledged. Each phase arms one fault family (dispatch drops, mirror
+// lag, prepare failures) with a fixed PRNG seed, so a rerun injects the
+// same faults at the same eligible hits; the "ledger drift" column is the
+// acceptance criterion and must be 0 in every row — graceful degradation
+// means throughput drops, not correctness.
+func FaultChaos(opts Options) (*bench.Table, error) {
+	opts = netOptsFloor(opts)
+	tbl := bench.NewTable("Fault chaos — seeded schedule under TPC-B", "phase",
+		"TPS", "ok %", "retries", "brk opens", "ledger drift")
+
+	cfg := chaosTiming(opts.Segments)
+	w := &workload.TPCB{Branches: 4, AccountsPerBranch: 100}
+	e, err := engine(cfg, w.Schema(), w.Load)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	c := e.Cluster()
+
+	// Each phase arms a fault family with a deterministic seed. Probability
+	// faults on the dispatch paths are survivable by construction: send-phase
+	// injections are always retried with backoff, and a statement that still
+	// fails aborts its transaction whole. Prepare failures abort cleanly
+	// (2PC phase one), so no acked commit is ever lost.
+	phases := []struct {
+		name  string
+		specs []fault.Spec
+	}{
+		{name: "baseline"},
+		{name: "dispatch drops", specs: []fault.Spec{
+			{Point: fault.DispatchSend, Seg: fault.AllSegments, Action: fault.ActError, Probability: 25, Seed: 0xC0FFEE01},
+		}},
+		{name: "mirror lag", specs: []fault.Spec{
+			{Point: fault.MirrorApply, Seg: fault.AllSegments, Action: fault.ActSleep, Sleep: 200 * time.Microsecond, Probability: 50, Seed: 0xC0FFEE02},
+		}},
+		{name: "prepare failures", specs: []fault.Spec{
+			{Point: fault.TwopcPrepare, Seg: fault.AllSegments, Action: fault.ActError, Probability: 10, Seed: 0xC0FFEE03},
+		}},
+		{name: "combined", specs: []fault.Spec{
+			{Point: fault.DispatchSend, Seg: fault.AllSegments, Action: fault.ActError, Probability: 15, Seed: 0xC0FFEE04},
+			{Point: fault.MirrorApply, Seg: fault.AllSegments, Action: fault.ActSleep, Sleep: 200 * time.Microsecond, Probability: 25, Seed: 0xC0FFEE05},
+			{Point: fault.TwopcPrepare, Seg: fault.AllSegments, Action: fault.ActError, Probability: 5, Seed: 0xC0FFEE06},
+		}},
+	}
+
+	clients := 8
+	if len(opts.Clients) > 0 {
+		clients = opts.Clients[len(opts.Clients)-1]
+		if clients > 16 {
+			clients = 16
+		}
+	}
+
+	ctx := context.Background()
+	admin, err := e.NewSession("")
+	if err != nil {
+		return nil, err
+	}
+	var ackedDelta atomic.Int64 // cumulative across phases
+	before := c.FaultStats()
+	for _, ph := range phases {
+		for _, sp := range ph.specs {
+			if err := c.InjectFault(sp); err != nil {
+				return nil, fmt.Errorf("arm %s: %w", sp.Point, err)
+			}
+		}
+		res := perSessionDriver(e, clients, opts.Duration, nil,
+			func(ctx context.Context, conn workload.Conn, r *workload.Rand) error {
+				return chaosTxn(ctx, conn, r, w, &ackedDelta)
+			})
+		for _, sp := range ph.specs {
+			c.ResetFault(sp.Point)
+		}
+
+		total, err := w.TotalBalance(ctx, bench.SessionConn{S: admin})
+		if err != nil {
+			return nil, fmt.Errorf("phase %s: reconcile: %w", ph.name, err)
+		}
+		drift := total - ackedDelta.Load()
+		after := c.FaultStats()
+		okPct := 100.0
+		if n := res.Ops + res.Errors; n > 0 {
+			okPct = 100 * float64(res.Ops) / float64(n)
+		}
+		tbl.Add(ph.name, res.TPS(), okPct,
+			float64(after.DispatchRetries-before.DispatchRetries),
+			float64(after.BreakerOpens-before.BreakerOpens),
+			float64(drift))
+		before = after
+		if drift != 0 {
+			return tbl, fmt.Errorf("phase %s lost committed transactions: ledger drift %d", ph.name, drift)
+		}
+	}
+	return tbl, nil
+}
+
+// chaosTiming keeps the cost model light so retries and backoff dominate
+// the phase wall-clock, with synchronous replication so mirror-lag faults
+// are on the commit path.
+func chaosTiming(nseg int) *cluster.Config {
+	cfg := cluster.GPDB6(nseg)
+	cfg.ReplicaMode = cluster.ReplicaSync
+	cfg.GDDPeriod = 10 * time.Millisecond
+	return cfg
+}
+
+// chaosTxn is one reconcilable transaction: its only balance effect is a
+// single account update, and the delta is added to acked only after COMMIT
+// acknowledges — the invariant under fault injection is that the balance
+// total equals the acked sum exactly.
+func chaosTxn(ctx context.Context, conn workload.Conn, r *workload.Rand, w *workload.TPCB, acked *atomic.Int64) error {
+	delta := int64(r.Range(-500, 500))
+	aid := r.Range(1, w.Accounts())
+	if _, _, err := conn.Exec(ctx, "BEGIN"); err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		_, _, _ = conn.Exec(ctx, "ROLLBACK")
+		return err
+	}
+	if _, _, err := conn.Exec(ctx,
+		"UPDATE pgbench_accounts SET abalance = abalance + $1 WHERE aid = $2",
+		types.NewInt(delta), types.NewInt(int64(aid))); err != nil {
+		return abort(err)
+	}
+	// The teller update targets a different distribution key, so most
+	// transactions write two segments and commit through full 2PC — the
+	// prepare-failure phase has a real phase one to break. Teller balances
+	// are not part of the reconciled total, so the extra write cannot mask
+	// a lost account update.
+	if _, _, err := conn.Exec(ctx,
+		"UPDATE pgbench_tellers SET tbalance = tbalance + $1 WHERE tid = $2",
+		types.NewInt(delta), types.NewInt(int64(r.Range(1, w.Branches*10)))); err != nil {
+		return abort(err)
+	}
+	if _, _, err := conn.Exec(ctx,
+		"INSERT INTO pgbench_history VALUES (1, 1, $1, $2, 0, '')",
+		types.NewInt(int64(aid)), types.NewInt(delta)); err != nil {
+		return abort(err)
+	}
+	if _, _, err := conn.Exec(ctx, "COMMIT"); err != nil {
+		return err
+	}
+	acked.Add(delta)
+	return nil
+}

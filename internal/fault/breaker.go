@@ -1,0 +1,151 @@
+package fault
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+// Breaker states.
+const (
+	// BreakerClosed passes all traffic (healthy).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast until the cooldown expires.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through; its outcome closes or
+	// re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a per-target circuit breaker: after Threshold consecutive
+// failures it opens and Allow fails fast (no dispatch, no timeout wait)
+// until Cooldown has elapsed, then a single half-open probe decides whether
+// to close it again. The dispatch layer keeps one per segment so a segment
+// with a misbehaving link degrades to fast, retryable errors instead of
+// serializing every statement behind full retry cycles.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu      sync.Mutex
+	state   BreakerState
+	fails   int       // consecutive failures while closed
+	until   time.Time // open-state expiry
+	probing bool      // a half-open probe is in flight
+
+	opens     atomic.Int64
+	fastFails atomic.Int64
+}
+
+// NewBreaker returns a closed breaker. threshold <= 0 defaults to 8
+// consecutive failures; cooldown <= 0 defaults to 100ms.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 8
+	}
+	if cooldown <= 0 {
+		cooldown = 100 * time.Millisecond
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a dispatch may proceed. A false return means the
+// caller should fail fast with a retryable error.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Now().Before(b.until) {
+			b.fastFails.Add(1)
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			b.fastFails.Add(1)
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a healthy dispatch and closes the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a failed dispatch; the breaker opens on the Threshold'th
+// consecutive failure, or immediately if a half-open probe fails.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state == BreakerHalfOpen {
+		b.open()
+		return
+	}
+	b.fails++
+	if b.state == BreakerClosed && b.fails >= b.threshold {
+		b.open()
+	}
+}
+
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.until = time.Now().Add(b.cooldown)
+	b.fails = 0
+	b.opens.Add(1)
+}
+
+// State returns the breaker's current position (open transitions to
+// half-open lazily, so an expired open still reports open until probed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats returns how many times the breaker opened and how many dispatches
+// it failed fast.
+func (b *Breaker) Stats() (opens, fastFails int64) {
+	return b.opens.Load(), b.fastFails.Load()
+}
+
+// Backoff returns the pause before retry number attempt (0-based):
+// exponential from base, capped at max, with full jitter so retries across
+// segments and sessions don't synchronize.
+func Backoff(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	d := base << uint(attempt)
+	if max > 0 && (d > max || d <= 0) {
+		d = max
+	}
+	return time.Duration(rand.Int63n(int64(d)) + 1)
+}

@@ -17,6 +17,7 @@
 package fts
 
 import (
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,12 +99,17 @@ func NewDaemon(target Target, interval time.Duration) *Daemon {
 	}
 }
 
-// Start launches the probe loop.
+// Start launches the probe loop. Each cycle's wait is the configured
+// interval ±20% (per-daemon PRNG): with one daemon per coordinator this
+// keeps probe bursts from many clusters (or a paused-then-resumed process's
+// backlog of ticks) from synchronizing into a thundering herd, and the
+// timer-per-cycle shape means a missed cycle is skipped rather than queued.
 func (d *Daemon) Start() {
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
-		t := time.NewTicker(d.interval)
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		t := time.NewTimer(d.jitter(rng))
 		defer t.Stop()
 		for {
 			select {
@@ -113,8 +119,22 @@ func (d *Daemon) Start() {
 			case <-d.poke:
 			}
 			d.ProbeAll()
+			if !t.Stop() {
+				select {
+				case <-t.C:
+				default:
+				}
+			}
+			t.Reset(d.jitter(rng))
 		}
 	}()
+}
+
+// jitter returns one probe cycle's wait: interval scaled by a uniform factor
+// in [0.8, 1.2).
+func (d *Daemon) jitter(rng *rand.Rand) time.Duration {
+	f := 0.8 + 0.4*rng.Float64()
+	return time.Duration(float64(d.interval) * f)
 }
 
 // Stop terminates the probe loop.

@@ -135,6 +135,21 @@ type Manager struct {
 	waitNanos  atomic.Int64
 	waitCount  atomic.Int64
 	acquireCnt atomic.Int64
+
+	// faultHook, when set, runs at the top of every Acquire. The cluster
+	// layer wires it to the lock_acquire fault point (this package stays
+	// fault-framework-agnostic); a returned error fails the acquisition.
+	faultHook atomic.Pointer[func() error]
+}
+
+// SetFaultHook installs fn to run at the start of every Acquire (nil
+// clears). Used by fault injection to provoke lock-path errors and stalls.
+func (m *Manager) SetFaultHook(fn func() error) {
+	if fn == nil {
+		m.faultHook.Store(nil)
+		return
+	}
+	m.faultHook.Store(&fn)
 }
 
 // NewManager returns an empty lock table.
@@ -180,6 +195,11 @@ func queueConflicts(l *lock, txn TxnID, mode Mode, upto int) bool {
 // mode separately).
 func (m *Manager) Acquire(ctx context.Context, txn TxnID, tag Tag, mode Mode) error {
 	m.acquireCnt.Add(1)
+	if hook := m.faultHook.Load(); hook != nil {
+		if err := (*hook)(); err != nil {
+			return err
+		}
+	}
 	m.mu.Lock()
 	if m.down {
 		m.mu.Unlock()

@@ -12,6 +12,7 @@ package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -23,12 +24,68 @@ import (
 
 // ServerError is a statement error reported by the server over the wire.
 // The session survives it; the current transaction (if any) is failed and
-// must be rolled back, mirroring the in-process session contract.
+// must be rolled back, mirroring the in-process session contract. Code is
+// the server's machine-readable classification (server.Code* constants) —
+// use it, or the Retryable/AmbiguousFate helpers, instead of matching
+// Message text.
 type ServerError struct {
 	Message string
+	Code    string
 }
 
-func (e *ServerError) Error() string { return e.Message }
+func (e *ServerError) Error() string {
+	if e.Code != "" {
+		return e.Message + " (SQLSTATE " + e.Code + ")"
+	}
+	return e.Message
+}
+
+// Retryable reports whether the statement is safe to re-issue as-is: the
+// server guarantees it did not take effect (breaker open / segment
+// mid-failover before send, deadlock victim, lost-writes abort — the
+// transaction rolled back whole).
+func (e *ServerError) Retryable() bool {
+	switch e.Code {
+	case server.CodeRetryable, server.CodeDeadlock, server.CodeLostWrites:
+		return true
+	}
+	return false
+}
+
+// AmbiguousFate reports whether the statement may have taken effect even
+// though it errored: a dispatch failure after the operation reached a
+// segment, or a cancel/timeout that raced the commit. Callers must
+// reconcile state before retrying non-idempotent work.
+func (e *ServerError) AmbiguousFate() bool {
+	switch e.Code {
+	case server.CodeAmbiguous, server.CodeCanceled:
+		return true
+	}
+	return false
+}
+
+// Retryable classifies any error from this package: a *ServerError is
+// retryable per its code; transport errors are never blindly retryable
+// (the in-flight statement's fate is unknown — see AmbiguousFate).
+func Retryable(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Retryable()
+}
+
+// AmbiguousFate reports whether err leaves the statement's fate unknown.
+// Every transport error is ambiguous: the socket died with a statement
+// possibly in flight. Server-reported errors are ambiguous only when their
+// code says so.
+func AmbiguousFate(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.AmbiguousFate()
+	}
+	return true
+}
 
 // Result is one statement's outcome.
 type Result struct {
@@ -86,7 +143,7 @@ func DialTimeout(addr, role string, timeout time.Duration) (*Client, error) {
 	case server.MsgError:
 		em, _ := server.DecodeErrorMsg(payload)
 		_ = nc.Close()
-		return nil, &ServerError{Message: em.Message}
+		return nil, &ServerError{Message: em.Message, Code: em.Code}
 	default:
 		_ = nc.Close()
 		return nil, fmt.Errorf("client: unexpected frame %q during handshake", typ)
@@ -164,7 +221,7 @@ func (c *Client) Prepare(name, sqlText string) (*Stmt, error) {
 		if _, rerr := c.readUntilReady(nil); rerr != nil {
 			return nil, rerr
 		}
-		return nil, &ServerError{Message: em.Message}
+		return nil, &ServerError{Message: em.Message, Code: em.Code}
 	default:
 		return nil, fmt.Errorf("client: unexpected frame %q after parse", typ)
 	}
@@ -193,7 +250,7 @@ func (s *Stmt) Exec(ctx context.Context, params ...types.Datum) (*Result, error)
 		if _, rerr := c.readUntilReady(ctx); rerr != nil {
 			return nil, rerr
 		}
-		return nil, &ServerError{Message: em.Message}
+		return nil, &ServerError{Message: em.Message, Code: em.Code}
 	default:
 		return nil, fmt.Errorf("client: unexpected frame %q after bind", typ)
 	}
@@ -277,7 +334,7 @@ func (c *Client) readUntilReady(ctx context.Context) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			srvErr = &ServerError{Message: em.Message}
+			srvErr = &ServerError{Message: em.Message, Code: em.Code}
 		case server.MsgReady:
 			rd, err := server.DecodeReady(payload)
 			if err != nil {

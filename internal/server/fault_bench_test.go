@@ -1,0 +1,126 @@
+package server_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/workload"
+)
+
+// faultBenchStack boots an engine + wire server + long-lived client
+// connections for the disarmed-overhead comparison.
+type faultBenchStack struct {
+	e     *core.Engine
+	srv   *server.Server
+	conns []*client.Client
+}
+
+func newFaultBenchStack(b *testing.B, clients int, noFaults bool) *faultBenchStack {
+	b.Helper()
+	w := &workload.TPCB{Branches: 4, AccountsPerBranch: 100}
+	cfg := cluster.GPDB6(2)
+	// The same realistically priced statement as BenchmarkNetworkTPCB: the
+	// overhead gate must measure disarmed fault points against real work,
+	// not against a no-op dispatch.
+	cfg.NetDelay = 500 * time.Microsecond
+	cfg.FsyncDelay = 2 * time.Millisecond
+	cfg.SegmentStmtCPU = time.Millisecond
+	cfg.SegmentWorkers = 4
+	cfg.GDDPeriod = 10 * time.Millisecond
+	cfg.NoFaultPoints = noFaults
+	e := core.NewEngine(cfg)
+	b.Cleanup(e.Close)
+
+	ctx := context.Background()
+	loader, err := e.NewSession("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := loader.ExecScript(ctx, w.Schema()); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Load(ctx, coreConn{loader}); err != nil {
+		b.Fatal(err)
+	}
+	loader.Close()
+
+	srv := server.New(e, server.Config{Workers: clients})
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = srv.Shutdown(context.Background()) })
+
+	st := &faultBenchStack{e: e, srv: srv, conns: make([]*client.Client, clients)}
+	for i := range st.conns {
+		c, err := client.DialTimeout(srv.Addr(), "", 10*time.Second)
+		if err != nil {
+			b.Fatalf("dial %d: %v", i, err)
+		}
+		st.conns[i] = c
+		b.Cleanup(func() { _ = c.Close() })
+	}
+	return st
+}
+
+// run measures one TPC-B window over the stack's connections and returns
+// the throughput.
+func (st *faultBenchStack) run(clients int, window time.Duration) float64 {
+	w := &workload.TPCB{Branches: 4, AccountsPerBranch: 100}
+	rs := make([]*workload.Rand, clients)
+	for i := range rs {
+		rs[i] = workload.NewRand(uint64(i)*104729 + 13)
+	}
+	res := bench.RunConcurrent(clients, window, func(ctx context.Context, id int) error {
+		return w.Transaction(ctx, client.WorkloadConn{C: st.conns[id]}, rs[id])
+	})
+	return res.TPS()
+}
+
+// BenchmarkFaultDisarmedOverhead is the robustness PR's performance gate: a
+// cluster with the fault registry present but nothing armed must sustain at
+// least 0.95x the network TPC-B throughput of a cluster built with
+// NoFaultPoints (no registry at all). Each b.N iteration takes the best of
+// three windows per side to damp scheduler noise before gating.
+func BenchmarkFaultDisarmedOverhead(b *testing.B) {
+	const clients = 64
+	window := 300 * time.Millisecond
+
+	baseline := newFaultBenchStack(b, clients, true)  // no registry at all
+	disarmed := newFaultBenchStack(b, clients, false) // registry, nothing armed
+	if disarmed.e.Cluster().Faults() == nil || baseline.e.Cluster().Faults() != nil {
+		b.Fatal("stacks misconfigured")
+	}
+
+	best := func(st *faultBenchStack) float64 {
+		var m float64
+		for i := 0; i < 3; i++ {
+			if tps := st.run(clients, window); tps > m {
+				m = tps
+			}
+		}
+		return m
+	}
+
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		base := best(baseline)
+		dis := best(disarmed)
+		ratio := 0.0
+		if base > 0 {
+			ratio = dis / base
+		}
+		b.ReportMetric(base, "tps-nofaults")
+		b.ReportMetric(dis, "tps-disarmed")
+		b.ReportMetric(ratio, "disarmed/nofaults")
+		if ratio < 0.95 {
+			b.Errorf("disarmed fault points cost too much: %.0f vs %.0f TPS (%.3fx, gate 0.95x)",
+				dis, base, ratio)
+		}
+	}
+}

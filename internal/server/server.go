@@ -10,7 +10,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/fault"
+	"repro/internal/lockmgr"
 	"repro/internal/types"
 )
 
@@ -276,7 +280,33 @@ func (c *conn) send(typ byte, payload []byte) error {
 }
 
 func (c *conn) sendErr(err error) error {
-	return c.send(MsgError, (&ErrorMsg{Message: err.Error()}).Encode())
+	return c.send(MsgError, (&ErrorMsg{Message: err.Error(), Code: errorCode(err)}).Encode())
+}
+
+// errorCode classifies a statement error into its wire code. Order matters:
+// the typed sentinels are checked before the broader dispatch-shape matches.
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, exec.ErrDiskFull):
+		return CodeDiskFull
+	case errors.Is(err, lockmgr.ErrDeadlockVictim):
+		return CodeDeadlock
+	case errors.Is(err, core.ErrTxnAborted):
+		return CodeTxnAborted
+	case errors.Is(err, cluster.ErrTxnLostWrites):
+		return CodeLostWrites
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return CodeCanceled
+	case cluster.IsRetryableDispatch(err), cluster.IsSegmentDown(err):
+		return CodeRetryable
+	}
+	var de *cluster.DispatchError
+	if errors.As(err, &de) {
+		// Post-send dispatch failure (the pre-send case matched above): the
+		// operation may have executed on the segment.
+		return CodeAmbiguous
+	}
+	return CodeInternal
 }
 
 func (c *conn) sendReady() error {
@@ -343,6 +373,10 @@ func (s *Server) handleConn(nc net.Conn) {
 	// open transaction rolls back and the resource-group slot frees.
 	defer func() {
 		cancel(nil)
+		// The session_teardown fault point may delay (sleep/hang) or fail
+		// here, but the rollback and slot release below run regardless — an
+		// injected teardown failure must never leak a session or its locks.
+		_, _ = s.engine.Cluster().Faults().Eval(fault.SessionTeardown, cluster.CoordinatorSeg)
 		sess.Close()
 		_ = nc.Close()
 		if c.hasSlot {

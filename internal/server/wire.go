@@ -29,7 +29,8 @@ import (
 // server.
 const (
 	// ProtocolVersion is bumped on any incompatible frame change.
-	ProtocolVersion = 1
+	// v2: ErrorMsg carries a machine-readable error code after the text.
+	ProtocolVersion = 2
 	// MaxFrameLen bounds one frame's payload (16 MiB — a full batch of wide
 	// text rows fits with room to spare).
 	MaxFrameLen = 16 << 20
@@ -467,20 +468,51 @@ func DecodeComplete(b []byte) (*Complete, error) {
 	return m, r.done()
 }
 
-// ErrorMsg reports an error to the client.
-type ErrorMsg struct{ Message string }
+// SQLSTATE-flavored error codes carried in ErrorMsg.Code, so drivers
+// classify failures structurally instead of string-matching error text.
+const (
+	// CodeInternal is the catch-all for unclassified statement errors.
+	CodeInternal = "XX000"
+	// CodeDiskFull reports a spill that ran out of disk (exec.ErrDiskFull).
+	CodeDiskFull = "53100"
+	// CodeDeadlock marks the statement a deadlock victim; the transaction
+	// was aborted and can be retried from the top.
+	CodeDeadlock = "40P01"
+	// CodeCanceled reports a canceled or timed-out statement.
+	CodeCanceled = "57014"
+	// CodeLostWrites aborts a transaction whose writes landed on a segment
+	// that failed over before commit; retrying re-runs it on the new primary.
+	CodeLostWrites = "40001"
+	// CodeRetryable reports a failure before the statement reached the
+	// segment (circuit breaker open, segment mid-failover, pre-send dispatch
+	// fault): nothing executed, so the client may retry as-is.
+	CodeRetryable = "57P03"
+	// CodeAmbiguous reports a dispatch failure after the operation reached
+	// the segment: its fate is unknown and blind retry is unsafe.
+	CodeAmbiguous = "58030"
+	// CodeTxnAborted rejects statements inside a failed transaction block.
+	CodeTxnAborted = "25P02"
+)
+
+// ErrorMsg reports an error to the client: human-readable text plus a
+// machine-readable code (one of the Code* constants).
+type ErrorMsg struct {
+	Message string
+	Code    string
+}
 
 // Encode marshals the message payload.
 func (m *ErrorMsg) Encode() []byte {
 	var w wbuf
 	w.str(m.Message)
+	w.str(m.Code)
 	return w.b
 }
 
 // DecodeErrorMsg unmarshals a MsgError payload.
 func DecodeErrorMsg(b []byte) (*ErrorMsg, error) {
 	r := rbuf{b: b}
-	m := &ErrorMsg{Message: r.str()}
+	m := &ErrorMsg{Message: r.str(), Code: r.str()}
 	return m, r.done()
 }
 

@@ -583,6 +583,68 @@ func (e *ExplainStmt) String() string {
 	return "EXPLAIN " + e.Target.String()
 }
 
+// FaultVerb selects the FAULT sub-command.
+type FaultVerb uint8
+
+// Fault verbs.
+const (
+	// FaultInject arms a fault-point spec.
+	FaultInject FaultVerb = iota
+	// FaultReset disarms a point (or every point).
+	FaultReset
+	// FaultResume wakes goroutines hung at a point.
+	FaultResume
+	// FaultStatus lists armed specs.
+	FaultStatus
+)
+
+// FaultStmt is the fault-injection admin statement, mirroring Greenplum's
+// gp_inject_fault:
+//
+//	FAULT INJECT 'point' [ACTION error|panic|sleep|hang|torn_write|skip]
+//	      [SEGMENT n] [MESSAGE 'text'] [SLEEP ms] [START n] [COUNT n]
+//	      [PROBABILITY pct] [SEED n]
+//	FAULT RESET ['point']
+//	FAULT RESUME 'point'
+//	FAULT STATUS
+type FaultStmt struct {
+	Verb  FaultVerb
+	Point string // "" for STATUS and RESET-all
+	// Seg targets one segment (-1 = all segments and the coordinator).
+	Seg         int
+	Action      string // normalized lower-case; "" defaults to error
+	Message     string
+	SleepMS     int
+	Start       int
+	Count       int
+	Probability int
+	Seed        int64
+}
+
+func (*FaultStmt) stmt() {}
+func (f *FaultStmt) String() string {
+	switch f.Verb {
+	case FaultReset:
+		if f.Point == "" {
+			return "FAULT RESET"
+		}
+		return "FAULT RESET '" + f.Point + "'"
+	case FaultResume:
+		return "FAULT RESUME '" + f.Point + "'"
+	case FaultStatus:
+		return "FAULT STATUS"
+	default:
+		s := "FAULT INJECT '" + f.Point + "'"
+		if f.Action != "" {
+			s += " ACTION " + f.Action
+		}
+		if f.Seg != -1 {
+			s += fmt.Sprintf(" SEGMENT %d", f.Seg)
+		}
+		return s
+	}
+}
+
 // ShowStmt is SHOW name: session settings plus the virtual counters the
 // engine exposes (e.g. SHOW scan_stats).
 type ShowStmt struct{ Name string }

@@ -235,6 +235,8 @@ func (p *Parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &ExplainStmt{Target: inner, Analyze: analyze}, nil
+	case p.isWord("FAULT"): // unreserved: matches the bare identifier
+		return p.parseFault()
 	case p.isWord("SHOW"): // unreserved: matches the bare identifier
 		if err := p.next(); err != nil {
 			return nil, err
@@ -1393,6 +1395,153 @@ func (p *Parser) parseVacuum() (Statement, error) {
 		}
 	}
 	return st, nil
+}
+
+// parseFault parses the FAULT admin statement (see FaultStmt). The leading
+// FAULT has already been matched.
+func (p *Parser) parseFault() (Statement, error) {
+	if err := p.next(); err != nil { // consume FAULT
+		return nil, err
+	}
+	st := &FaultStmt{Seg: -1}
+	switch {
+	case p.isWord("STATUS"):
+		st.Verb = FaultStatus
+		return st, p.next()
+	case p.isWord("RESET"):
+		st.Verb = FaultReset
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokString || p.tok.Kind == TokIdent {
+			st.Point = p.tok.Val
+			return st, p.next()
+		}
+		return st, nil
+	case p.isWord("RESUME"):
+		st.Verb = FaultResume
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		name, err := p.parseFaultName()
+		if err != nil {
+			return nil, err
+		}
+		st.Point = name
+		return st, nil
+	case p.isWord("INJECT"):
+		st.Verb = FaultInject
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		name, err := p.parseFaultName()
+		if err != nil {
+			return nil, err
+		}
+		st.Point = name
+		for {
+			switch {
+			case p.isWord("ACTION"):
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+				if p.tok.Kind != TokIdent && p.tok.Kind != TokKeyword && p.tok.Kind != TokString {
+					return nil, p.errf("expected action name, found %s", p.tok)
+				}
+				st.Action = strings.ToLower(p.tok.Val)
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			case p.isWord("SEGMENT"):
+				n, err := p.parseFaultInt("SEGMENT")
+				if err != nil {
+					return nil, err
+				}
+				st.Seg = n
+			case p.isWord("MESSAGE"):
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+				if p.tok.Kind != TokString {
+					return nil, p.errf("expected string after MESSAGE, found %s", p.tok)
+				}
+				st.Message = p.tok.Val
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			case p.isWord("SLEEP"):
+				n, err := p.parseFaultInt("SLEEP")
+				if err != nil {
+					return nil, err
+				}
+				st.SleepMS = n
+			case p.isWord("START"):
+				n, err := p.parseFaultInt("START")
+				if err != nil {
+					return nil, err
+				}
+				st.Start = n
+			case p.isWord("COUNT"):
+				n, err := p.parseFaultInt("COUNT")
+				if err != nil {
+					return nil, err
+				}
+				st.Count = n
+			case p.isWord("PROBABILITY"):
+				n, err := p.parseFaultInt("PROBABILITY")
+				if err != nil {
+					return nil, err
+				}
+				st.Probability = n
+			case p.isWord("SEED"):
+				n, err := p.parseFaultInt("SEED")
+				if err != nil {
+					return nil, err
+				}
+				st.Seed = int64(n)
+			default:
+				return st, nil
+			}
+		}
+	default:
+		return nil, p.errf("expected INJECT, RESET, RESUME or STATUS after FAULT, found %s", p.tok)
+	}
+}
+
+// parseFaultName accepts a fault-point name as a string literal or bare
+// identifier.
+func (p *Parser) parseFaultName() (string, error) {
+	if p.tok.Kind != TokString && p.tok.Kind != TokIdent {
+		return "", p.errf("expected fault point name, found %s", p.tok)
+	}
+	name := p.tok.Val
+	return name, p.next()
+}
+
+// parseFaultInt consumes the clause keyword's value: an optionally negated
+// integer literal (SEGMENT -1 targets all segments).
+func (p *Parser) parseFaultInt(clause string) (int, error) {
+	if err := p.next(); err != nil { // consume the clause keyword
+		return 0, err
+	}
+	neg := false
+	if p.isOp("-") {
+		neg = true
+		if err := p.next(); err != nil {
+			return 0, err
+		}
+	}
+	if p.tok.Kind != TokInt {
+		return 0, p.errf("expected integer after %s, found %s", clause, p.tok)
+	}
+	n, err := strconv.Atoi(p.tok.Val)
+	if err != nil {
+		return 0, p.errf("bad integer after %s: %v", clause, err)
+	}
+	if neg {
+		n = -n
+	}
+	return n, p.next()
 }
 
 // ---------- Expression parsing (precedence climbing) ----------

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/types"
 )
 
@@ -303,6 +304,17 @@ type Log struct {
 	records atomic.Int64
 	bytes   atomic.Int64
 	flushes atomic.Int64
+
+	// faults/seg identify this log's fault points (nil registry = disarmed).
+	faults *fault.Registry
+	seg    int
+
+	// failErr is the log's wedged state: a simulated write or fsync failure
+	// (or torn write) poisons the log the way a failed pwrite poisons a real
+	// WAL file — nothing after the failure is trustworthy, so appends stop
+	// and the owning segment treats the condition as fatal (the
+	// PANIC-on-fsync-failure model). RecoverTruncate clears it.
+	failErr atomic.Pointer[error]
 }
 
 // New returns an empty log whose first record gets LSN 1.
@@ -310,12 +322,65 @@ func New() *Log {
 	return &Log{nextLSN: 1}
 }
 
+// AttachFaults wires the fault registry (and this log's segment id for spec
+// matching) into the append/flush/ship paths.
+func (l *Log) AttachFaults(reg *fault.Registry, seg int) {
+	l.faults = reg
+	l.seg = seg
+}
+
+// Err returns the log's wedged-state error: non-nil after a simulated write
+// or fsync failure, until RecoverTruncate.
+func (l *Log) Err() error {
+	if p := l.failErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (l *Log) wedge(err error) {
+	l.failErr.CompareAndSwap(nil, &err)
+}
+
 // Append assigns the next LSN to r, encodes it, appends the frame to the
 // log image and ships it to the attached shipper. It returns the record's
-// LSN. Callers serialize mutation order themselves (engines log under their
-// own mutex), so the log order matches the apply order.
+// LSN, or 0 if the log is wedged (a prior simulated I/O failure) or an armed
+// fault swallowed the write. Callers serialize mutation order themselves
+// (engines log under their own mutex), so the log order matches the apply
+// order; durability of a swallowed write is settled at fsync time, when the
+// owning segment sees Err and goes down before acking.
 func (l *Log) Append(r *Record) LSN {
 	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failErr.Load() != nil {
+		return 0
+	}
+	switch act, err := l.faults.Eval(fault.WALAppend, l.seg); act {
+	case fault.ActError:
+		l.wedge(err)
+		return 0
+	case fault.ActSkip:
+		// The write is silently lost (bit-bucket disk): no LSN is consumed,
+		// so the stream stays well-formed and the loss is only detectable by
+		// comparing state — exactly the failure mode the chaos harness's
+		// ledger reconciliation is built to catch.
+		return 0
+	case fault.ActTornWrite:
+		// Simulated crash mid-write: a prefix of the frame reaches the log
+		// image, nothing is shipped, and the log wedges. Recovery must
+		// truncate the torn tail to resume.
+		r.LSN = l.nextLSN
+		l.nextLSN++
+		frame := EncodeRecord(nil, r)
+		cut := len(frame)/2 + 1
+		if cut >= len(frame) {
+			cut = len(frame) - 1
+		}
+		l.buf = append(l.buf, frame[:cut]...)
+		l.bytes.Add(int64(cut))
+		l.wedge(fmt.Errorf("wal: torn write of LSN %d (%d of %d bytes)", r.LSN, cut, len(frame)))
+		return 0
+	}
 	r.LSN = l.nextLSN
 	l.nextLSN++
 	start := len(l.buf)
@@ -324,9 +389,13 @@ func (l *Log) Append(r *Record) LSN {
 	l.records.Add(1)
 	l.bytes.Add(int64(len(frame)))
 	if l.ship != nil {
+		if act, _ := l.faults.Eval(fault.WALShip, l.seg); act == fault.ActSkip || act == fault.ActError {
+			// Drop the ship: the mirror sees an LSN gap on the next frame and
+			// reports itself broken rather than silently diverging.
+			return r.LSN
+		}
 		l.ship(r.LSN, frame)
 	}
-	l.mu.Unlock()
 	return r.LSN
 }
 
@@ -380,6 +449,13 @@ func (l *Log) Flush(delay time.Duration) LSN {
 	if l.flushed.Load() >= target {
 		// A sync that began after our records were appended already covered
 		// them (group commit).
+		return LSN(l.flushed.Load())
+	}
+	if act, err := l.faults.Eval(fault.WALFlush, l.seg); act == fault.ActError {
+		// Simulated fsync failure: durability of everything since the last
+		// good sync is unknown, so the log wedges and the flushed horizon
+		// stays put (the caller's segment goes down before acking anything).
+		l.wedge(err)
 		return LSN(l.flushed.Load())
 	}
 	// Sync everything present now — later appends ride along for free.
@@ -469,4 +545,49 @@ func (l *Log) ReplayFrom(from LSN, fn func(Record) error) error {
 		}
 	}
 	return nil
+}
+
+// Snapshot returns a copy of the encoded log image (the simulated on-disk
+// bytes). Tests use it to assert byte-identical truncation.
+func (l *Log) Snapshot() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	img := make([]byte, len(l.buf))
+	copy(img, l.buf)
+	return img
+}
+
+// RecoverTruncate is crash recovery's first step over a possibly-torn log:
+// it walks the image from the start and truncates at the first frame that is
+// torn, CRC-bad, or out of LSN sequence — everything before it is intact by
+// construction (each frame carries its own length and CRC), and nothing
+// after a damaged frame can be trusted because frame boundaries derive from
+// the damaged length header. It rewinds nextLSN to resume after the last
+// good record, clears the wedged state, and returns the last good LSN plus
+// how many bytes were dropped (0 when the log was clean — the call is
+// idempotent and cheap to run on every recovery).
+func (l *Log) RecoverTruncate() (LSN, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	good := 0
+	want := LSN(1)
+	for good < len(l.buf) {
+		r, n, err := DecodeFrame(l.buf[good:])
+		if err != nil || r.LSN != want {
+			break
+		}
+		want++
+		good += n
+	}
+	dropped := len(l.buf) - good
+	if dropped > 0 {
+		l.buf = l.buf[:good]
+		l.bytes.Add(int64(-dropped))
+	}
+	l.nextLSN = want
+	if cur := uint64(want - 1); l.flushed.Load() > cur {
+		l.flushed.Store(cur)
+	}
+	l.failErr.Store(nil)
+	return want - 1, dropped
 }

@@ -1,0 +1,186 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/types"
+)
+
+func appendN(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		r := Record{Type: TypeInsert, Leaf: 1, Xid: uint64(i + 1), TID: uint64(i + 1),
+			Row: types.Row{types.NewInt(int64(i)), types.NewText("payload")}}
+		if l.Append(&r) == 0 {
+			t.Fatalf("append %d failed", i)
+		}
+	}
+}
+
+// TestTornWriteRecoverTruncate is the byte-identical recovery property: a
+// torn append leaves a partial frame on disk, recovery truncates exactly
+// that tail, and the surviving image matches the pre-crash snapshot byte
+// for byte.
+func TestTornWriteRecoverTruncate(t *testing.T) {
+	reg := fault.NewRegistry()
+	l := New()
+	l.AttachFaults(reg, 0)
+	appendN(t, l, 5)
+	l.Flush(0)
+	clean := l.Snapshot()
+
+	if err := reg.Arm(fault.Spec{Point: fault.WALAppend, Seg: 0, Action: fault.ActTornWrite, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r := Record{Type: TypeCommit, Xid: 99}
+	if lsn := l.Append(&r); lsn != 0 {
+		t.Fatalf("torn append returned LSN %d", lsn)
+	}
+	if l.Err() == nil {
+		t.Fatal("torn write did not wedge the log")
+	}
+	torn := l.Snapshot()
+	if len(torn) <= len(clean) {
+		t.Fatalf("no torn tail on disk: %d <= %d bytes", len(torn), len(clean))
+	}
+	if !bytes.Equal(torn[:len(clean)], clean) {
+		t.Fatal("torn write corrupted the intact prefix")
+	}
+	// The wedged log refuses further appends.
+	r2 := Record{Type: TypeCommit, Xid: 100}
+	if lsn := l.Append(&r2); lsn != 0 {
+		t.Fatalf("wedged log accepted append (LSN %d)", lsn)
+	}
+
+	last, dropped := l.RecoverTruncate()
+	if last != 5 {
+		t.Fatalf("recovered to LSN %d, want 5", last)
+	}
+	if want := len(torn) - len(clean); dropped != want {
+		t.Fatalf("dropped %d bytes, want %d", dropped, want)
+	}
+	if got := l.Snapshot(); !bytes.Equal(got, clean) {
+		t.Fatalf("recovered image differs from pre-crash snapshot: %d vs %d bytes", len(got), len(clean))
+	}
+	if l.Err() != nil {
+		t.Fatalf("wedge not cleared: %v", l.Err())
+	}
+	// The log resumes at the next LSN and stays replayable end to end.
+	r3 := Record{Type: TypeCommit, Xid: 101}
+	if lsn := l.Append(&r3); lsn != 6 {
+		t.Fatalf("post-recovery append got LSN %d, want 6", lsn)
+	}
+	var seen int
+	if err := l.ReplayFrom(1, func(Record) error { seen++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 6 {
+		t.Fatalf("replay saw %d records, want 6", seen)
+	}
+}
+
+// TestRecoverTruncateCleanLogIdempotent: recovery over an intact log drops
+// nothing and may run on every startup.
+func TestRecoverTruncateCleanLogIdempotent(t *testing.T) {
+	l := New()
+	appendN(t, l, 3)
+	before := l.Snapshot()
+	for i := 0; i < 2; i++ {
+		last, dropped := l.RecoverTruncate()
+		if last != 3 || dropped != 0 {
+			t.Fatalf("clean recovery #%d: last=%d dropped=%d", i, last, dropped)
+		}
+	}
+	if !bytes.Equal(l.Snapshot(), before) {
+		t.Fatal("clean recovery changed the image")
+	}
+}
+
+// TestFlushFaultWedges: an injected fsync failure wedges the log without
+// advancing the flushed horizon — the segment must treat everything since
+// the last good sync as not durable.
+func TestFlushFaultWedges(t *testing.T) {
+	reg := fault.NewRegistry()
+	l := New()
+	l.AttachFaults(reg, 2)
+	appendN(t, l, 2)
+	l.Flush(0)
+	if err := reg.Arm(fault.Spec{Point: fault.WALFlush, Seg: 2, Action: fault.ActError, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r := Record{Type: TypeCommit, Xid: 9}
+	l.Append(&r)
+	if got := l.Flush(0); got != 2 {
+		t.Fatalf("failed flush advanced the horizon to %d", got)
+	}
+	if l.Err() == nil {
+		t.Fatal("flush fault did not wedge the log")
+	}
+	last, dropped := l.RecoverTruncate()
+	if last != 3 || dropped != 0 {
+		t.Fatalf("recovery: last=%d dropped=%d", last, dropped)
+	}
+	// The record survived (only durability was in doubt); flush now works.
+	if got := l.Flush(0); got != 3 {
+		t.Fatalf("post-recovery flush to %d", got)
+	}
+}
+
+// TestAppendSkipFault: a skipped append consumes no LSN and loses the write
+// silently — the stream stays well-formed.
+func TestAppendSkipFault(t *testing.T) {
+	reg := fault.NewRegistry()
+	l := New()
+	l.AttachFaults(reg, 0)
+	appendN(t, l, 2)
+	if err := reg.Arm(fault.Spec{Point: fault.WALAppend, Seg: fault.AllSegments, Action: fault.ActSkip, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r := Record{Type: TypeCommit, Xid: 5}
+	if lsn := l.Append(&r); lsn != 0 {
+		t.Fatalf("skipped append returned LSN %d", lsn)
+	}
+	if l.Err() != nil {
+		t.Fatalf("skip wedged the log: %v", l.Err())
+	}
+	r2 := Record{Type: TypeCommit, Xid: 6}
+	if lsn := l.Append(&r2); lsn != 3 {
+		t.Fatalf("append after skip got LSN %d, want 3", lsn)
+	}
+	if err := l.ReplayFrom(1, func(Record) error { return nil }); err != nil {
+		t.Fatalf("stream malformed after skip: %v", err)
+	}
+}
+
+// TestShipSkipFault: a dropped ship leaves the primary intact but opens an
+// LSN gap at the mirror, which the mirror's sequencing check rejects.
+func TestShipSkipFault(t *testing.T) {
+	reg := fault.NewRegistry()
+	primary := New()
+	primary.AttachFaults(reg, 1)
+	mirror := New()
+	if err := primary.AttachShip(func(lsn LSN, frame []byte) {
+		_, _ = mirror.AppendFrame(frame)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, primary, 2)
+	if err := reg.Arm(fault.Spec{Point: fault.WALShip, Seg: 1, Action: fault.ActSkip, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r := Record{Type: TypeCommit, Xid: 7}
+	if lsn := primary.Append(&r); lsn != 3 {
+		t.Fatalf("append with dropped ship got LSN %d", lsn)
+	}
+	if mirror.LastLSN() != 2 {
+		t.Fatalf("mirror received the dropped frame: at LSN %d", mirror.LastLSN())
+	}
+	// The next shipped frame is out of sequence at the mirror.
+	r2 := Record{Type: TypeCommit, Xid: 8}
+	primary.Append(&r2)
+	if mirror.LastLSN() != 2 {
+		t.Fatalf("mirror accepted an out-of-sequence frame: at LSN %d", mirror.LastLSN())
+	}
+}
