@@ -50,6 +50,7 @@ func main() {
 		"fig18":      experiments.Fig18ResourceGroups,
 		"nettpcb":    experiments.NetTPCB,
 		"faultchaos": experiments.FaultChaos,
+		"expand":     experiments.Expand,
 	}
 	ids := make([]string, 0, len(table)+1)
 	for id := range table {

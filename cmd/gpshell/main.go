@@ -19,6 +19,7 @@
 //
 // Shell commands: \d (list tables), \dg (resource groups), \locks (lock
 // tables), \stats (cluster counters), \kill <seg>, \recover <seg>,
+// \expand [<n>] (grow the cluster online / show rebalance progress),
 // \timing, \q.
 package main
 
@@ -216,6 +217,33 @@ func metaCommand(ctx context.Context, db *greenplum.DB, conn *greenplum.Conn, cm
 			break
 		}
 		fmt.Printf("segment %d recovered\n", seg)
+	case strings.HasPrefix(cmd, "\\expand"):
+		// \expand <n> grows the cluster online; bare \expand shows progress.
+		if n, ok := segArg(cmd, "\\expand"); ok {
+			if err := db.ExpandTo(n); err != nil {
+				fmt.Println("ERROR:", err)
+				break
+			}
+			fmt.Printf("expanding to %d segments in the background; \\expand shows progress\n", n)
+			break
+		}
+		p := db.ExpandStatus()
+		switch {
+		case p.Active:
+			fmt.Printf("  expanding %d -> %d segments: %d/%d tables done, %d rows moved, %d restarts",
+				p.From, p.Target, p.TablesDone, p.TablesTotal, p.RowsMoved, p.Restarts)
+			if p.Moving != "" {
+				fmt.Printf(", moving %q", p.Moving)
+			}
+			fmt.Println()
+		case p.Err != "":
+			fmt.Printf("  last expansion %d -> %d failed: %s\n", p.From, p.Target, p.Err)
+		case p.From != p.Target:
+			fmt.Printf("  expansion %d -> %d complete: %d tables, %d rows moved, %d restarts\n",
+				p.From, p.Target, p.TablesDone, p.RowsMoved, p.Restarts)
+		default:
+			fmt.Println("  no expansion has run")
+		}
 	case strings.HasPrefix(cmd, "\\fault"):
 		// \fault inject 'wal_flush' segment 1 — sugar for the FAULT statement.
 		rest := strings.TrimSpace(strings.TrimPrefix(cmd, "\\fault"))
@@ -232,7 +260,7 @@ func metaCommand(ctx context.Context, db *greenplum.DB, conn *greenplum.Conn, cm
 		*timing = !*timing
 		fmt.Println("timing:", *timing)
 	default:
-		fmt.Println("unknown command; try \\d \\dg \\locks \\stats \\fault \\kill \\recover \\timing \\q")
+		fmt.Println("unknown command; try \\d \\dg \\locks \\stats \\fault \\kill \\recover \\expand \\timing \\q")
 	}
 	return true
 }

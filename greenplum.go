@@ -289,6 +289,34 @@ func (db *DB) SegmentStates() []string {
 	return out
 }
 
+// ExpandProgress mirrors cluster.ExpandProgress for facade callers.
+type ExpandProgress = cluster.ExpandProgress
+
+// AddSegments grows the cluster by n segments (with mirrors when replication
+// is on) and starts the online rebalance in the background; it returns the
+// new segment count. The gpexpand entry point.
+func (db *DB) AddSegments(n int) (int, error) {
+	return db.engine.Cluster().AddSegments(n)
+}
+
+// ExpandTo grows the cluster to exactly target segments and starts the
+// online rebalance (ALTER SYSTEM EXPAND TO target).
+func (db *DB) ExpandTo(target int) error {
+	return db.engine.Cluster().StartExpand(target)
+}
+
+// WaitExpand blocks until the current expansion (if any) finishes and
+// returns its terminal error.
+func (db *DB) WaitExpand(ctx context.Context) error {
+	return db.engine.Cluster().WaitExpand(ctx)
+}
+
+// ExpandStatus reports the most recent expansion run's progress (what SHOW
+// expand_status renders).
+func (db *DB) ExpandStatus() ExpandProgress {
+	return db.engine.Cluster().ExpandStatus()
+}
+
 // Close shuts the instance down.
 func (db *DB) Close() { db.engine.Close() }
 

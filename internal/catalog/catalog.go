@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/stats"
 	"repro/internal/types"
@@ -87,6 +88,25 @@ type Table struct {
 	PartitionCol int // schema offset of the range-partition key, -1 if none
 	Partitions   []Partition
 	Indexes      []*Index
+
+	// place packs the table's live row placement: the number of segments
+	// its rows currently hash across (high 16 bits) and the distribution-map
+	// version (low 48 bits). Zero width means "cluster boot width": tables
+	// on clusters that never expanded. Routing reads it lock-free on every
+	// dispatch; the online-expansion flip is the only writer after create.
+	place atomic.Uint64
+}
+
+// Placement returns the table's distribution width (0 = use the cluster's
+// boot width) and its distribution-map version.
+func (t *Table) Placement() (nseg int, version uint64) {
+	v := t.place.Load()
+	return int(v >> 48), v & (1<<48 - 1)
+}
+
+// SetPlacement publishes a new distribution width and map version.
+func (t *Table) SetPlacement(nseg int, version uint64) {
+	t.place.Store(uint64(nseg)<<48 | version&(1<<48-1))
 }
 
 // Index describes a secondary index.
@@ -201,6 +221,34 @@ func (c *Catalog) DropTable(name string) error {
 	return nil
 }
 
+// RenameTable re-keys a table under a new name (the online-expansion flip:
+// the widened staging table takes over the dropped original's name). The
+// table keeps its ID and leaf IDs, so segment-side state — engines, WAL leaf
+// bindings, mirrors, locks — carries over untouched. Index Table back-refs
+// follow the rename. Statistics (keyed by name) are dropped; the caller
+// invalidates the cluster-side generation too.
+func (c *Catalog) RenameTable(oldName, newName string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	oldKey := strings.ToLower(oldName)
+	newKey := strings.ToLower(newName)
+	t, ok := c.tables[oldKey]
+	if !ok {
+		return fmt.Errorf("catalog: table %q does not exist", oldName)
+	}
+	if _, ok := c.tables[newKey]; ok && newKey != oldKey {
+		return fmt.Errorf("catalog: table %q already exists", newName)
+	}
+	delete(c.tables, oldKey)
+	delete(c.tstats, oldKey)
+	t.Name = newName
+	for _, ix := range t.Indexes {
+		ix.Table = newName
+	}
+	c.tables[newKey] = t
+	return nil
+}
+
 // SetTableStats stores (or replaces) a table's ANALYZE statistics.
 func (c *Catalog) SetTableStats(ts *stats.TableStats) {
 	c.mu.Lock()
@@ -239,6 +287,19 @@ func (c *Catalog) Table(name string) (*Table, error) {
 		return nil, fmt.Errorf("catalog: table %q does not exist", name)
 	}
 	return t, nil
+}
+
+// TableByID looks up a table by its id (parent ids only, not partition
+// leaves); nil when no such table exists.
+func (c *Catalog) TableByID(id TableID) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, t := range c.tables {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
 }
 
 // HasTable reports table existence.

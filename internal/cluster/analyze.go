@@ -56,7 +56,9 @@ func (c *Cluster) analyzeTable(ctx context.Context, lt *LiveTxn, snap *dtm.DistS
 	c.statsMu.Unlock()
 
 	res := newReservoir(stats.DefaultSampleRows, uint64(t.ID)*0x9e3779b97f4a7c15+1)
-	for i := range c.segments {
+	nseg := c.SegCount()
+	lt.grow(nseg)
+	for i := 0; i < nseg; i++ {
 		s, err := c.segUp(ctx, i)
 		if err != nil {
 			return err

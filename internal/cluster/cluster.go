@@ -24,12 +24,15 @@ type Cluster struct {
 	catalog *catalog.Catalog
 	coord   *dtm.Coordinator
 	locks   *lockmgr.Manager // coordinator's lock table (segment id -1)
-	// segments holds each worker slot as an atomic pointer: mirror
-	// promotion replaces a slot's Segment while dispatch is running, so
-	// readers go through seg(i) and never see a torn update.
-	segments []atomic.Pointer[Segment]
-	groups   *resgroup.Manager
-	daemon   *gdd.Daemon
+	// topo is the published segment map. Each slot is an atomic pointer
+	// (mirror promotion replaces a slot's Segment while dispatch is running,
+	// so readers go through seg(i) and never see a torn update); online
+	// expansion publishes a longer topology whose existing slot and breaker
+	// pointers are shared with the old one, so a reader holding the previous
+	// snapshot still observes promotions.
+	topo   atomic.Pointer[topology]
+	groups *resgroup.Manager
+	daemon *gdd.Daemon
 
 	// ddlMu serializes table DDL against mirror promotion/resync: a CREATE
 	// or DROP TABLE racing the window where a mirror is detached but the
@@ -98,8 +101,9 @@ type Cluster struct {
 	coordWAL simWAL
 
 	// cacheReserved is what the segments' block caches took from the
-	// resource-group global vmem pool at boot; returned on Close.
-	cacheReserved int64
+	// resource-group global vmem pool (at boot and when expansion adds
+	// segments); returned on Close.
+	cacheReserved atomic.Int64
 
 	// Metrics.
 	commits1PC  atomic.Int64
@@ -119,18 +123,44 @@ type Cluster struct {
 	spillLeaks atomic.Int64 // files the post-statement backstop had to remove
 
 	// Fault injection: the registry every fault point on this cluster
-	// evaluates (nil when Config.NoFaultPoints), and one circuit breaker per
-	// segment guarding dispatch against repeated transient failures.
+	// evaluates (nil when Config.NoFaultPoints). The per-segment dispatch
+	// breakers live in the topology so segments added by expansion get one.
 	faults          *fault.Registry
-	breakers        []*fault.Breaker
 	dispatchRetries atomic.Int64 // dispatch attempts retried after a transient error
 	// walTruncations/walTruncatedBytes count torn-tail truncations performed
 	// by revive-time crash recovery.
 	walTruncations    atomic.Int64
 	walTruncatedBytes atomic.Int64
 
+	// expand serializes online-expansion runs and records the most recent
+	// run's progress for SHOW expand_status.
+	expandMu sync.Mutex
+	expand   *expandRun
+
 	closed atomic.Bool
 }
+
+// topology is the cluster's segment map: one slot per segment plus that
+// slot's dispatch circuit breaker. Expansion publishes a longer copy under
+// topoMu; slot and breaker pointers are shared across versions.
+type topology struct {
+	slots    []*atomic.Pointer[Segment]
+	breakers []*fault.Breaker
+}
+
+// topoNow returns the current topology snapshot (lock-free).
+func (c *Cluster) topoNow() *topology { return c.topo.Load() }
+
+// slot returns segment slot i of the live topology.
+func (c *Cluster) slot(i int) *atomic.Pointer[Segment] { return c.topoNow().slots[i] }
+
+// breaker returns the dispatch breaker guarding segment i.
+func (c *Cluster) breaker(i int) *fault.Breaker { return c.topoNow().breakers[i] }
+
+// SegCount is the number of live segments — the boot width plus any added
+// by online expansion. Dispatch paths read it per statement, never from the
+// boot config.
+func (c *Cluster) SegCount() int { return len(c.topoNow().slots) }
 
 // LiveTxn is the coordinator's bookkeeping for one distributed transaction.
 type LiveTxn struct {
@@ -143,9 +173,39 @@ type LiveTxn struct {
 	touched  []bool
 	writers  []bool
 	wroteGen []int
-	coordLk  bool // holds coordinator locks
-	killed   atomic.Bool
-	started  time.Time
+	// wroteMaps records, per table this transaction wrote, the table's
+	// distribution-map version at write time. A flip between the write and
+	// the commit means the written shards were retired with the old
+	// placement, so the transaction fences with ErrTxnLostWrites — the
+	// per-table generalization of wroteGen.
+	wroteMaps map[catalog.TableID]uint64
+	coordLk   bool // holds coordinator locks
+	killed    atomic.Bool
+	started   time.Time
+}
+
+// grow widens the per-segment slices to n entries. Statements call it once
+// at dispatch entry (before any fan-out goroutine indexes them), so a
+// transaction spanning an online expansion addresses segments added after
+// it began. Sessions are single-threaded, so no lock is needed.
+func (t *LiveTxn) grow(n int) {
+	for len(t.touched) < n {
+		t.touched = append(t.touched, false)
+		t.writers = append(t.writers, false)
+		t.wroteGen = append(t.wroteGen, 0)
+	}
+}
+
+// noteWroteMap records the distribution-map version of a table this
+// transaction wrote (first write wins: the fence compares against the
+// version the writes were routed under).
+func (t *LiveTxn) noteWroteMap(id catalog.TableID, ver uint64) {
+	if t.wroteMaps == nil {
+		t.wroteMaps = make(map[catalog.TableID]uint64, 2)
+	}
+	if _, ok := t.wroteMaps[id]; !ok {
+		t.wroteMaps[id] = ver
+	}
 }
 
 // New boots a cluster.
@@ -158,7 +218,6 @@ func New(cfg *Config) *Cluster {
 		locks:     lockmgr.NewManager(),
 		groups:    resgroup.NewManager(cfg.Cores, cfg.MemoryBytes),
 		txns:      make(map[dtm.DXID]*LiveTxn),
-		segments:  make([]atomic.Pointer[Segment], cfg.NumSegments),
 		mirrors:   make([]*Mirror, cfg.NumSegments),
 		promoting: make([]bool, cfg.NumSegments),
 		topoCh:    make(chan struct{}),
@@ -168,34 +227,19 @@ func New(cfg *Config) *Cluster {
 		c.faults = fault.NewRegistry()
 		c.locks.SetFaultHook(func() error { return c.faults.Inject(fault.LockAcquire, CoordinatorSeg) })
 	}
-	c.breakers = make([]*fault.Breaker, cfg.NumSegments)
-	for i := range c.breakers {
-		c.breakers[i] = fault.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	topo := &topology{
+		slots:    make([]*atomic.Pointer[Segment], cfg.NumSegments),
+		breakers: make([]*fault.Breaker, cfg.NumSegments),
 	}
 	for i := 0; i < cfg.NumSegments; i++ {
-		seg := newSegment(i, cfg)
-		seg.attachFaults(c.faults)
-		seg.distInProgress = c.coord.IsInProgress
-		seg.repMode = &c.replicaMode
-		// The decoded-block cache capacity comes out of the same global vmem
-		// budget queries allocate from; a segment whose share the pool cannot
-		// cover runs without a shared cache.
-		if cfg.BlockCacheBytes > 0 && c.groups.Global().Reserve(cfg.BlockCacheBytes) {
-			seg.blockCache = storage.NewBlockCache(cfg.BlockCacheBytes)
-			c.cacheReserved += cfg.BlockCacheBytes
-		}
-		if cfg.ReplicaMode != ReplicaNone {
-			m := newMirror(i, cfg)
-			m.faults = c.faults
-			if err := seg.log.AttachShip(m.Receive); err != nil {
-				panic(fmt.Sprintf("cluster: attaching mirror: %v", err))
-			}
-			m.start()
-			c.mirrors[i] = m
-			seg.mirror.Store(m)
-		}
-		c.segments[i].Store(seg)
+		seg, m := c.buildSegment(i)
+		slot := &atomic.Pointer[Segment]{}
+		slot.Store(seg)
+		topo.slots[i] = slot
+		topo.breakers[i] = fault.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		c.mirrors[i] = m
 	}
+	c.topo.Store(topo)
 	for _, def := range c.catalog.ResourceGroups() {
 		if _, err := c.groups.CreateGroup(*def); err != nil {
 			panic(fmt.Sprintf("cluster: built-in resource group: %v", err))
@@ -212,13 +256,43 @@ func New(cfg *Config) *Cluster {
 	return c
 }
 
+// buildSegment constructs segment i with its fault wiring, block cache and
+// (when the cluster is replicated) a streaming mirror — shared by boot and
+// online expansion.
+func (c *Cluster) buildSegment(i int) (*Segment, *Mirror) {
+	cfg := c.cfg
+	seg := newSegment(i, cfg)
+	seg.attachFaults(c.faults)
+	seg.distInProgress = c.coord.IsInProgress
+	seg.repMode = &c.replicaMode
+	// The decoded-block cache capacity comes out of the same global vmem
+	// budget queries allocate from; a segment whose share the pool cannot
+	// cover runs without a shared cache.
+	if cfg.BlockCacheBytes > 0 && c.groups.Global().Reserve(cfg.BlockCacheBytes) {
+		seg.blockCache = storage.NewBlockCache(cfg.BlockCacheBytes)
+		c.cacheReserved.Add(cfg.BlockCacheBytes)
+	}
+	var m *Mirror
+	if cfg.ReplicaMode != ReplicaNone {
+		m = newMirror(i, cfg)
+		m.faults = c.faults
+		if err := seg.log.AttachShip(m.Receive); err != nil {
+			panic(fmt.Sprintf("cluster: attaching mirror: %v", err))
+		}
+		m.start()
+		seg.mirror.Store(m)
+	}
+	return seg, m
+}
+
 // seg returns the current primary for slot i.
-func (c *Cluster) seg(i int) *Segment { return c.segments[i].Load() }
+func (c *Cluster) seg(i int) *Segment { return c.slot(i).Load() }
 
 // eachSeg visits the current primary of every slot.
 func (c *Cluster) eachSeg(fn func(i int, s *Segment)) {
-	for i := range c.segments {
-		fn(i, c.seg(i))
+	t := c.topoNow()
+	for i, sl := range t.slots {
+		fn(i, sl.Load())
 	}
 }
 
@@ -241,8 +315,8 @@ func (c *Cluster) Close() {
 			_ = m.drainAndStop()
 		}
 	}
-	if c.cacheReserved > 0 {
-		c.groups.Global().Release(c.cacheReserved)
+	if v := c.cacheReserved.Load(); v > 0 {
+		c.groups.Global().Release(v)
 	}
 }
 
@@ -259,9 +333,10 @@ func (c *Cluster) Groups() *resgroup.Manager { return c.groups }
 // and diagnostics; a concurrent promotion may replace a slot after the
 // snapshot is taken).
 func (c *Cluster) Segments() []*Segment {
-	out := make([]*Segment, len(c.segments))
-	for i := range c.segments {
-		out[i] = c.seg(i)
+	t := c.topoNow()
+	out := make([]*Segment, len(t.slots))
+	for i, sl := range t.slots {
+		out[i] = sl.Load()
 	}
 	return out
 }
@@ -365,9 +440,9 @@ func (c *Cluster) BeginTxn() *LiveTxn {
 	dxid := c.coord.Begin()
 	lt := &LiveTxn{
 		dxid:     dxid,
-		touched:  make([]bool, c.cfg.NumSegments),
-		writers:  make([]bool, c.cfg.NumSegments),
-		wroteGen: make([]int, c.cfg.NumSegments),
+		touched:  make([]bool, c.SegCount()),
+		writers:  make([]bool, c.SegCount()),
+		wroteGen: make([]int, c.SegCount()),
 		started:  time.Now(),
 	}
 	c.txmu.Lock()
@@ -404,9 +479,13 @@ func (c *Cluster) CommitTxn(t *LiveTxn) (dtm.CommitStats, error) {
 			return dtm.CommitStats{}, fmt.Errorf("cluster: segment %d failed over after this transaction wrote it: %w", i, ErrTxnLostWrites)
 		}
 	}
+	if err := c.checkWroteMaps(t); err != nil {
+		c.AbortTxn(t)
+		return dtm.CommitStats{}, err
+	}
 	var writers []dtm.Participant
 	var readers []int
-	for i := range c.segments {
+	for i := range t.touched {
 		switch {
 		case t.writers[i]:
 			writers = append(writers, segRef{c: c, id: i})
@@ -436,10 +515,28 @@ func (c *Cluster) CommitTxn(t *LiveTxn) (dtm.CommitStats, error) {
 	return st, nil
 }
 
+// checkWroteMaps fences transactions whose writes were routed under a
+// distribution map that has since been flipped by online expansion: the
+// written shards retired with the old placement, so the transaction must
+// abort — same contract as the segment-incarnation (gen) fence.
+func (c *Cluster) checkWroteMaps(t *LiveTxn) error {
+	for id, ver := range t.wroteMaps {
+		tab := c.catalog.TableByID(id)
+		if tab == nil {
+			continue // dropped: DROP TABLE invalidated the writes wholesale
+		}
+		if _, cur := tab.Placement(); cur != ver {
+			return fmt.Errorf("cluster: table %q moved to a new distribution map (v%d -> v%d) after this transaction wrote it: %w",
+				tab.Name, ver, cur, ErrTxnLostWrites)
+		}
+	}
+	return nil
+}
+
 // AbortTxn rolls back everywhere and releases all locks.
 func (c *Cluster) AbortTxn(t *LiveTxn) {
 	var parts []dtm.Participant
-	for i := range c.segments {
+	for i := range t.touched {
 		if t.touched[i] || t.writers[i] {
 			parts = append(parts, segRef{c: c, id: i})
 		}
@@ -568,6 +665,10 @@ func (c *Cluster) ApplyCreateTable(t *catalog.Table) error {
 	if err := c.catalog.CreateTable(t); err != nil {
 		return err
 	}
+	// Rows hash across the segments live at creation time; online expansion
+	// widens the placement (and bumps its version) per table as the mover
+	// finishes each one.
+	t.SetPlacement(c.SegCount(), 0)
 	c.eachSeg(func(_ int, s *Segment) {
 		s.CreateTable(t)
 	})
@@ -617,7 +718,9 @@ func (c *Cluster) ApplyTruncate(ctx context.Context, t *LiveTxn, name string) er
 	if err := c.LockCoordinator(ctx, t, name, lockmgr.AccessExclusive); err != nil {
 		return err
 	}
-	for i := range c.segments {
+	nseg := c.SegCount()
+	t.grow(nseg)
+	for i := 0; i < nseg; i++ {
 		// segUp, like every other statement's dispatch: a TRUNCATE issued
 		// during a failover window waits for the promotion.
 		s, err := c.segUp(ctx, i)
@@ -650,7 +753,9 @@ func (c *Cluster) ApplyCreateIndex(ctx context.Context, t *LiveTxn, table string
 	if err := c.LockCoordinator(ctx, t, table, lockmgr.Share); err != nil {
 		return err
 	}
-	for i := range c.segments {
+	nseg := c.SegCount()
+	t.grow(nseg)
+	for i := 0; i < nseg; i++ {
 		if err := c.seg(i).LockRelation(ctx, t.dxid, tab, lockmgr.Share); err != nil {
 			return err
 		}
@@ -661,7 +766,7 @@ func (c *Cluster) ApplyCreateIndex(ctx context.Context, t *LiveTxn, table string
 	if err := c.catalog.AddIndex(table, idx); err != nil {
 		return err
 	}
-	for i := range c.segments {
+	for i := 0; i < nseg; i++ {
 		c.seg(i).CreateIndex(tab, idx)
 	}
 	c.BumpPlanEpoch()

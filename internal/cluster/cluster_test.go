@@ -39,7 +39,8 @@ func mkTable(t *testing.T, c *Cluster, name string) *catalog.Table {
 func insertRows(t *testing.T, c *Cluster, tab *catalog.Table, rows []types.Row) {
 	t.Helper()
 	lt := c.BeginTxn()
-	ip := &plan.InsertPlan{Table: tab, Rows: rows}
+	_, ver := tab.Placement()
+	ip := &plan.InsertPlan{Table: tab, Rows: rows, MapVersion: ver}
 	if _, err := c.RunInsert(context.Background(), lt, c.Snapshot(), ip, nil); err != nil {
 		t.Fatal(err)
 	}

@@ -34,8 +34,9 @@ var ErrTxnLostWrites = errors.New("transaction writes were lost in a segment fai
 
 // ---- fts.Target implementation ----
 
-// SegmentCount implements fts.Target.
-func (c *Cluster) SegmentCount() int { return len(c.segments) }
+// SegmentCount implements fts.Target (live count, including segments added
+// by online expansion).
+func (c *Cluster) SegmentCount() int { return c.SegCount() }
 
 // ProbePrimary implements fts.Target: a probe is one simulated round trip
 // to the segment, failing when the primary is marked dead.
@@ -81,7 +82,7 @@ func (c *Cluster) FTS() *fts.Daemon { return c.ftsd }
 // after the kill can reach a commit acknowledgement without the commit
 // protocol revalidating against the new topology.
 func (c *Cluster) KillSegment(i int) error {
-	if i < 0 || i >= len(c.segments) {
+	if i < 0 || i >= c.SegCount() {
 		return fmt.Errorf("cluster: no segment %d", i)
 	}
 	s := c.seg(i)
@@ -106,7 +107,7 @@ func (c *Cluster) KillSegment(i int) error {
 //     resync from the primary's log (gprecoverseg);
 //   - primary alive, mirror present: nothing to do.
 func (c *Cluster) Recover(i int) error {
-	if i < 0 || i >= len(c.segments) {
+	if i < 0 || i >= c.SegCount() {
 		return fmt.Errorf("cluster: no segment %d", i)
 	}
 	// Let an in-flight FTS promotion settle first: deciding against the
@@ -342,7 +343,7 @@ func (c *Cluster) promote(i int) error {
 
 	// Publish and wake dispatch waits.
 	c.topoMu.Lock()
-	c.segments[i].Store(ns)
+	c.slot(i).Store(ns)
 	close(c.topoCh)
 	c.topoCh = make(chan struct{})
 	c.topoMu.Unlock()

@@ -70,12 +70,46 @@ func (e *DispatchError) Error() string {
 
 func (e *DispatchError) Unwrap() error { return e.Err }
 
+// StaleDistMapError is the fail-fast error dispatch returns when a plan was
+// built against a distribution-map version that online expansion has since
+// flipped: nothing was sent, so re-planning (which reads the new placement)
+// and re-issuing the statement is always safe.
+type StaleDistMapError struct {
+	Table            string
+	Planned, Current uint64
+}
+
+func (e *StaleDistMapError) Error() string {
+	return fmt.Sprintf("cluster: stale distribution map for table %q (planned v%d, current v%d); re-plan and retry", e.Table, e.Planned, e.Current)
+}
+
+// checkMapVersions validates a plan's captured distribution-map versions
+// against the live catalog. A dropped table is left for the scan itself to
+// report; only a placement flip makes the plan stale.
+func (c *Cluster) checkMapVersions(vers map[string]uint64) error {
+	for name, ver := range vers {
+		tab, err := c.catalog.Table(name)
+		if err != nil {
+			continue
+		}
+		if _, cur := tab.Placement(); cur != ver {
+			return &StaleDistMapError{Table: tab.Name, Planned: ver, Current: cur}
+		}
+	}
+	return nil
+}
+
 // IsRetryableDispatch reports whether err is a fail-fast or
 // retries-exhausted dispatch error whose statement can safely be re-issued
-// (breaker open, or a transient failure before the operation was sent).
+// (breaker open, stale distribution map, or a transient failure before the
+// operation was sent).
 func IsRetryableDispatch(err error) bool {
 	var be *BreakerOpenError
 	if errors.As(err, &be) {
+		return true
+	}
+	var se *StaleDistMapError
+	if errors.As(err, &se) {
 		return true
 	}
 	var de *DispatchError
@@ -108,7 +142,7 @@ const (
 // own wait-for-promotion path, and an organic statement error means the
 // segment is healthy.
 func (c *Cluster) dispatchSeg(seg int, idempotent bool, op func() error) error {
-	b := c.breakers[seg]
+	b := c.breaker(seg)
 	if !b.Allow() {
 		return &BreakerOpenError{Seg: seg}
 	}
@@ -165,10 +199,12 @@ type BreakerStatus struct {
 	FastFails int64
 }
 
-// BreakerStatuses snapshots every segment's dispatch circuit breaker.
+// BreakerStatuses snapshots every segment's dispatch circuit breaker,
+// including breakers of segments added by online expansion.
 func (c *Cluster) BreakerStatuses() []BreakerStatus {
-	out := make([]BreakerStatus, len(c.breakers))
-	for i, b := range c.breakers {
+	breakers := c.topoNow().breakers
+	out := make([]BreakerStatus, len(breakers))
+	for i, b := range breakers {
 		opens, fast := b.Stats()
 		out[i] = BreakerStatus{Seg: i, State: b.State(), Opens: opens, FastFails: fast}
 	}
@@ -212,7 +248,7 @@ func (c *Cluster) FaultStats() FaultStats {
 		SpillLeaks:        c.spillLeaks.Load(),
 	}
 	st.Hits, st.Triggers = c.faults.Counters()
-	for _, b := range c.breakers {
+	for _, b := range c.topoNow().breakers {
 		opens, fast := b.Stats()
 		st.BreakerOpens += opens
 		st.BreakerFastFails += fast

@@ -126,7 +126,19 @@ func (c *Cluster) RunSelect(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 // coordinator.
 func (c *Cluster) runSelectOnce(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, pl *plan.Planned, res *QueryResources) ([]types.Row, *types.Schema, error) {
 	root := pl.Root
-	nseg := c.cfg.NumSegments
+	nseg := c.SegCount()
+	t.grow(nseg)
+	// Fence stale plans and lost writes before any work: a plan built
+	// against a distribution map that online expansion has since flipped is
+	// retryable (re-plan picks up the new placement); a transaction whose
+	// own writes were routed under a flipped map must abort — reading the
+	// new placement would silently violate read-your-writes.
+	if err := c.checkMapVersions(pl.MapVersions); err != nil {
+		return nil, nil, err
+	}
+	if err := c.checkWroteMaps(t); err != nil {
+		return nil, nil, err
+	}
 
 	qctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
@@ -492,7 +504,20 @@ func (c *Cluster) RunInsert(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 		}
 	}
 
-	nseg := c.cfg.NumSegments
+	nseg := c.SegCount()
+	t.grow(nseg)
+	// Rows hash across the table's placement width, not the live segment
+	// count: mid-expansion a table keeps its old placement (and a replicated
+	// table keeps full copies only there) until the mover flips it. The plan
+	// carries the map version it was routed under; a flip since then makes
+	// it stale and the statement retryable.
+	routeW, mapVer := ip.Table.Placement()
+	if routeW <= 0 || routeW > nseg {
+		routeW = nseg
+	}
+	if ip.MapVersion != mapVer {
+		return 0, &StaleDistMapError{Table: ip.Table.Name, Planned: ip.MapVersion, Current: mapVer}
+	}
 	perSeg := make([]map[catalog.TableID][]types.Row, nseg)
 	rr := 0
 	for _, row := range rows {
@@ -500,9 +525,9 @@ func (c *Cluster) RunInsert(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 		if err != nil {
 			return 0, err
 		}
-		dest := plan.RouteRow(ip.Table, row, nseg, &rr)
-		if dest < 0 { // replicated: every segment
-			for d := 0; d < nseg; d++ {
+		dest := plan.RouteRow(ip.Table, row, routeW, &rr)
+		if dest < 0 { // replicated: every segment of the placement
+			for d := 0; d < routeW; d++ {
 				addRow(&perSeg[d], leaf, row)
 			}
 		} else {
@@ -555,6 +580,7 @@ func (c *Cluster) RunInsert(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 					t.wroteGen[segID] = gen
 				}
 				t.writers[segID] = true
+				t.noteWroteMap(ip.Table.ID, mapVer)
 			}
 			total += n
 			if err != nil && firstErr == nil {
@@ -591,7 +617,7 @@ func leafFor(t *catalog.Table, row types.Row) (catalog.TableID, error) {
 
 // RunUpdate dispatches an UPDATE to the owning segments.
 func (c *Cluster) RunUpdate(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, up *plan.UpdatePlan, directSeg int) (int, error) {
-	n, err := c.runWrite(ctx, t, directSeg, func(s *Segment) (int, error) {
+	n, err := c.runWrite(ctx, t, up.Table, up.MapVersion, directSeg, func(s *Segment) (int, error) {
 		return s.ExecUpdate(ctx, t.dxid, snap, up)
 	})
 	if n > 0 {
@@ -602,7 +628,7 @@ func (c *Cluster) RunUpdate(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 
 // RunDelete dispatches a DELETE to the owning segments.
 func (c *Cluster) RunDelete(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, dp *plan.DeletePlan, directSeg int) (int, error) {
-	n, err := c.runWrite(ctx, t, directSeg, func(s *Segment) (int, error) {
+	n, err := c.runWrite(ctx, t, dp.Table, dp.MapVersion, directSeg, func(s *Segment) (int, error) {
 		return s.ExecDelete(ctx, t.dxid, snap, dp)
 	})
 	if n > 0 {
@@ -611,12 +637,18 @@ func (c *Cluster) RunDelete(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 	return n, err
 }
 
-func (c *Cluster) runWrite(ctx context.Context, t *LiveTxn, directSeg int, f func(*Segment) (int, error)) (int, error) {
-	targets := make([]int, 0, c.cfg.NumSegments)
-	if c.cfg.DirectDispatch && directSeg >= 0 && directSeg < c.cfg.NumSegments {
+func (c *Cluster) runWrite(ctx context.Context, t *LiveTxn, tab *catalog.Table, plannedVer uint64, directSeg int, f func(*Segment) (int, error)) (int, error) {
+	nseg := c.SegCount()
+	t.grow(nseg)
+	_, mapVer := tab.Placement()
+	if plannedVer != mapVer {
+		return 0, &StaleDistMapError{Table: tab.Name, Planned: plannedVer, Current: mapVer}
+	}
+	targets := make([]int, 0, nseg)
+	if c.cfg.DirectDispatch && directSeg >= 0 && directSeg < nseg {
 		targets = append(targets, directSeg)
 	} else {
-		for i := 0; i < c.cfg.NumSegments; i++ {
+		for i := 0; i < nseg; i++ {
 			targets = append(targets, i)
 		}
 	}
@@ -638,6 +670,7 @@ func (c *Cluster) runWrite(ctx context.Context, t *LiveTxn, directSeg int, f fun
 					t.wroteGen[segID] = gen
 				}
 				t.writers[segID] = true
+				t.noteWroteMap(tab.ID, mapVer)
 			}
 			total += n
 			if err != nil && firstErr == nil {
@@ -659,7 +692,9 @@ func (c *Cluster) LockTableEverywhere(ctx context.Context, t *LiveTxn, table str
 	if err := c.LockCoordinator(ctx, t, table, modeOf(level)); err != nil {
 		return err
 	}
-	for i := range c.segments {
+	nseg := c.SegCount()
+	t.grow(nseg)
+	for i := 0; i < nseg; i++ {
 		s, err := c.segUp(ctx, i)
 		if err != nil {
 			return err

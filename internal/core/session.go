@@ -351,8 +351,10 @@ func (s *Session) planner(params []types.Datum) *plan.Planner {
 		bt = plan.ParseLimitInt(v, bt)
 	}
 	return &plan.Planner{
-		Catalog:            s.engine.cluster.Catalog(),
-		NumSegments:        cfg.NumSegments,
+		Catalog: s.engine.cluster.Catalog(),
+		// Live count, not cfg.NumSegments: online expansion widens the
+		// cluster at runtime and new plans must route across the new width.
+		NumSegments:        s.engine.cluster.SegCount(),
 		Optimizer:          s.optimizer,
 		Stats:              s.engine.cluster,
 		Parallelism:        dop,
@@ -583,6 +585,12 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, entry *st
 		}
 		return &Result{Tag: "ALTER ROLE"}, nil
 
+	case *sql.AlterSystemExpandStmt:
+		if err := cl.StartExpand(x.Target); err != nil {
+			return nil, err
+		}
+		return &Result{Tag: fmt.Sprintf("EXPAND %d", x.Target)}, nil
+
 	case *sql.SetStmt:
 		if strings.EqualFold(x.Name, "optimizer") {
 			if err := s.SetOptimizer(x.Value); err != nil {
@@ -776,6 +784,33 @@ func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
 				types.NewText(fmt.Sprintf("breaker_seg%d", b.Seg)),
 				types.NewText(b.State.String()),
 			})
+		}
+		return res, nil
+	}
+	if name == "expand_status" {
+		p := s.engine.cluster.ExpandStatus()
+		res := &Result{Columns: []string{"stat", "value"}, Tag: "SHOW"}
+		add := func(k, v string) {
+			res.Rows = append(res.Rows, types.Row{types.NewText(k), types.NewText(v)})
+		}
+		state := "idle"
+		switch {
+		case p.Active:
+			state = "expanding"
+		case p.Err != "":
+			state = "failed"
+		case p.Done && p.Target > p.From:
+			state = "complete"
+		}
+		add("state", state)
+		add("segments_from", fmt.Sprintf("%d", p.From))
+		add("segments_target", fmt.Sprintf("%d", p.Target))
+		add("tables_done", fmt.Sprintf("%d/%d", p.TablesDone, p.TablesTotal))
+		add("moving", p.Moving)
+		add("rows_moved", fmt.Sprintf("%d", p.RowsMoved))
+		add("restarts", fmt.Sprintf("%d", p.Restarts))
+		if p.Err != "" {
+			add("error", p.Err)
 		}
 		return res, nil
 	}

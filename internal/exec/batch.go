@@ -613,6 +613,9 @@ func buildBatchNode(ctx *Context, node plan.Node) BatchIterator {
 		if ctx.Store == nil {
 			return NewBatchAdapter(errIterf("exec: scan of %s in a storage-less slice", n.Table.Name), size)
 		}
+		if n.OnSeg >= 0 && ctx.SegID != n.OnSeg {
+			return NewBatchAdapter(emptyIter{}, size)
+		}
 		if _, ok := ctx.Store.(BatchStoreAccess); ok && !n.ForUpdate {
 			return newBatchScanIter(ctx, n)
 		}

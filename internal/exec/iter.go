@@ -54,11 +54,22 @@ func (o *oneRowIter) Close() {}
 // remains for plain StoreAccess implementations, FOR UPDATE scans, and
 // Context.RowMode (the ablation shim must measure the legacy pipeline).
 func newScanIter(ctx *Context, node *plan.Scan) Iterator {
+	if node.OnSeg >= 0 && ctx.SegID != node.OnSeg {
+		// Single-segment scan (replicated table not yet widened by online
+		// expansion): every other segment contributes nothing.
+		return &emptyIter{}
+	}
 	if _, ok := ctx.Store.(BatchStoreAccess); ok && !node.ForUpdate && !ctx.RowMode {
 		return NewRowAdapter(newBatchScanIter(ctx, node))
 	}
 	return &scanIter{ctx: ctx, node: node, tick: cpuTick{ctx: ctx}}
 }
+
+// emptyIter yields no rows.
+type emptyIter struct{}
+
+func (emptyIter) Next() (types.Row, error) { return nil, io.EOF }
+func (emptyIter) Close()                   {}
 
 // scanIter drives StoreAccess.ScanTable through a pull interface by fully
 // materializing each leaf (the storage callback pushes; we re-buffer). Kept

@@ -251,7 +251,7 @@ func buildParallelPipeline(ctx *Context, root plan.Node) (BatchIterator, bool) {
 		return nil, false
 	}
 	chain, ok := decomposeChain(root)
-	if !ok || chain.scan.ForUpdate {
+	if !ok || chain.scan.ForUpdate || chain.scan.OnSeg >= 0 {
 		return nil, false
 	}
 	units := splitScanUnits(store, chain.scan, ctx.Parallel)

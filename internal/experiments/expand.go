@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// Expand measures online elasticity (gpexpand): TPC-B throughput before,
+// during and after a live expansion to twice the segment count, plus the
+// full-scan latency the extra segments buy. The ledger is reconciled at the
+// end — a rebalance that lost or duplicated a committed update would show
+// as drift.
+func Expand(opts Options) (*bench.Table, error) {
+	tbl := bench.NewTable("Online expansion — TPC-B through a live rebalance", "phase",
+		"TPS", "ok %", "scan ms", "rows moved", "ledger drift")
+
+	from := opts.Segments
+	target := from * 2
+	cfg := chaosTiming(from)
+	w := &workload.TPCB{Branches: 4, AccountsPerBranch: 100}
+	e, err := engine(cfg, w.Schema(), w.Load)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	c := e.Cluster()
+
+	ctx := context.Background()
+	admin, err := e.NewSession("")
+	if err != nil {
+		return nil, err
+	}
+	scanMs := func() (float64, error) {
+		best := time.Duration(0)
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			if _, err := admin.Exec(ctx, "SELECT count(*), sum(abalance) FROM pgbench_accounts"); err != nil {
+				return 0, err
+			}
+			if d := time.Since(t0); best == 0 || d < best {
+				best = d
+			}
+		}
+		return float64(best.Microseconds()) / 1000, nil
+	}
+
+	clients := 8
+	if len(opts.Clients) > 0 {
+		clients = opts.Clients[len(opts.Clients)-1]
+		if clients > 16 {
+			clients = 16
+		}
+	}
+	var acked atomic.Int64
+	// The expansion client contract: a map flip fails statements retryably
+	// and fences in-flight writers with ErrTxnLostWrites; both abort the
+	// transaction whole, so re-running it is exactly-once safe.
+	txn := func(ctx context.Context, conn workload.Conn, r *workload.Rand) error {
+		var err error
+		for attempt := 0; attempt < 30; attempt++ {
+			err = chaosTxn(ctx, conn, r, w, &acked)
+			if err == nil ||
+				!(cluster.IsRetryableDispatch(err) || errors.Is(err, cluster.ErrTxnLostWrites)) {
+				return err
+			}
+		}
+		return err
+	}
+
+	type phase struct {
+		name   string
+		before func() error
+		after  func() error
+	}
+	phases := []phase{
+		{name: fmt.Sprintf("%d segments", from)},
+		{name: fmt.Sprintf("expanding %d->%d", from, target),
+			before: func() error { return c.StartExpand(target) },
+			after:  func() error { return c.WaitExpand(ctx) }},
+		{name: fmt.Sprintf("%d segments (post)", target)},
+	}
+	for _, ph := range phases {
+		if ph.before != nil {
+			if err := ph.before(); err != nil {
+				return nil, fmt.Errorf("%s: %w", ph.name, err)
+			}
+		}
+		res := driver(e, clients, opts.Duration, txn)
+		if ph.after != nil {
+			if err := ph.after(); err != nil {
+				return nil, fmt.Errorf("%s: %w", ph.name, err)
+			}
+		}
+		ms, err := scanMs()
+		if err != nil {
+			return nil, fmt.Errorf("%s: scan: %w", ph.name, err)
+		}
+		total, err := w.TotalBalance(ctx, bench.SessionConn{S: admin})
+		if err != nil {
+			return nil, fmt.Errorf("%s: reconcile: %w", ph.name, err)
+		}
+		drift := total - acked.Load()
+		okPct := 100.0
+		if n := res.Ops + res.Errors; n > 0 {
+			okPct = 100 * float64(res.Ops) / float64(n)
+		}
+		tbl.Add(ph.name, res.TPS(), okPct, ms,
+			float64(c.ExpandStatus().RowsMoved), float64(drift))
+		if drift != 0 {
+			return tbl, fmt.Errorf("%s lost committed transactions: ledger drift %d", ph.name, drift)
+		}
+	}
+	if got := c.SegCount(); got != target {
+		return tbl, fmt.Errorf("expansion finished at %d segments, want %d", got, target)
+	}
+	return tbl, nil
+}

@@ -50,4 +50,14 @@ const (
 	// Supports sleep, hang, error (logged; teardown still runs
 	// unconditionally — the leak-free guarantee must hold).
 	SessionTeardown = "session_teardown"
+	// MoveStream fires in the online-expansion mover before each batch of
+	// rows is copied toward the new placement (seg = the batch's source
+	// segment). Supports error (the batch's transaction aborts and the whole
+	// table move restarts from scratch), sleep (mover slowdown), hang.
+	MoveStream = "move_stream"
+	// MapFlip fires on the coordinator immediately before a table's
+	// distribution map flips to the widened placement (seg = CoordinatorSeg).
+	// Supports error (the flip is abandoned and the table move restarts),
+	// sleep, hang.
+	MapFlip = "map_flip"
 )

@@ -183,6 +183,11 @@ func (d *Daemon) ProbeAll() {
 
 func (d *Daemon) setState(i int, s State) {
 	d.mu.Lock()
+	// Online expansion registers segments after the daemon booted; newly
+	// seen ids grow the state vector (new segments start Up).
+	for i >= len(d.states) {
+		d.states = append(d.states, StateUp)
+	}
 	d.states[i] = s
 	d.mu.Unlock()
 }

@@ -85,12 +85,17 @@ type Scan struct {
 	// still runs row-by-row over the blocks that survive.
 	ScanPred  *ScanPredicate
 	ForUpdate bool
-	schema    *types.Schema
+	// OnSeg restricts the scan to one segment (-1 = every segment). Used for
+	// replicated tables whose placement has not yet been widened to the live
+	// segment count by online expansion: only the original segments hold a
+	// copy, so the plan scans a single one and redistributes.
+	OnSeg  int
+	schema *types.Schema
 }
 
 // NewScan builds a scan of t with the given pruned leaf set.
 func NewScan(t *catalog.Table, parts []catalog.TableID, filter Expr) *Scan {
-	return &Scan{Table: t, Partitions: parts, Filter: filter, schema: t.Schema}
+	return &Scan{Table: t, Partitions: parts, Filter: filter, OnSeg: -1, schema: t.Schema}
 }
 
 // Schema implements Node.
@@ -496,6 +501,10 @@ type InsertPlan struct {
 	Rows []types.Row
 	// Select, when non-nil, feeds the insert.
 	Select Node
+	// MapVersion is the table's distribution-map version the plan was built
+	// against; dispatch rejects the plan (retryably) if online expansion has
+	// flipped the placement since.
+	MapVersion uint64
 }
 
 // Schema implements Node.
@@ -518,6 +527,8 @@ type UpdatePlan struct {
 	Filter   Expr
 	SetCols  []int
 	SetExprs []Expr
+	// MapVersion: see InsertPlan.MapVersion.
+	MapVersion uint64
 }
 
 // Schema implements Node.
@@ -533,6 +544,8 @@ func (p *UpdatePlan) Explain() string { return "Update on " + p.Table.Name }
 type DeletePlan struct {
 	Table  *catalog.Table
 	Filter Expr
+	// MapVersion: see InsertPlan.MapVersion.
+	MapVersion uint64
 }
 
 // Schema implements Node.

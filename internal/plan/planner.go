@@ -80,6 +80,20 @@ type Planner struct {
 	// conservative (non-selectivity-scaled) memory estimates — after the
 	// risk-bound check recorded a misestimate for this statement.
 	Robust bool
+
+	// mapVers accumulates the distribution-map version of every base table
+	// the statement references (stamped onto Planned.MapVersions), so
+	// dispatch can fence plans built before an online-expansion flip.
+	mapVers map[string]uint64
+}
+
+// noteMapVersion records a referenced table's placement version.
+func (p *Planner) noteMapVersion(t *catalog.Table) {
+	if p.mapVers == nil {
+		p.mapVers = make(map[string]uint64)
+	}
+	_, ver := t.Placement()
+	p.mapVers[t.Name] = ver
 }
 
 // Planned couples a plan tree with statement-level metadata the dispatcher
@@ -98,6 +112,10 @@ type Planned struct {
 	ForUpdate bool
 	// Slices are the plan slices after motion cutting (top slice first).
 	Slices int
+	// MapVersions maps every referenced base table to the distribution-map
+	// version the plan was built against; dispatch re-checks them and fails
+	// retryably when online expansion flipped a placement since planning.
+	MapVersions map[string]uint64
 	// Costs are the cost model's per-node annotations (EXPLAIN rendering
 	// and the executor's risk-bound misestimate check).
 	Costs map[Node]*NodeCost
@@ -153,6 +171,15 @@ func (p *Planner) PlanSelect(s *sql.SelectStmt) (*Planned, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if pn.locus == LocusReplicated {
+		// Every segment holds a full copy: letting each segment feed the
+		// statement's gather (or a partial aggregate) would return one copy
+		// per segment. Pin the subtree's scans to a single segment instead.
+		// Inside joins LocusReplicated still avoids motions — this only
+		// applies when a replicated subtree reaches the statement top.
+		restrictScansToSeg(pn.node, 0)
+		pn.locus = LocusPartitioned
 	}
 
 	bnd := &binder{scope: scope, params: p.Params}
@@ -287,7 +314,7 @@ func (p *Planner) PlanSelect(s *sql.SelectStmt) (*Planned, error) {
 		pn.locus = LocusSingle
 	}
 
-	res := &Planned{Root: pn.node, DirectSegment: -1, ForUpdate: s.Lock == sql.LockForUpdate}
+	res := &Planned{Root: pn.node, DirectSegment: -1, ForUpdate: s.Lock == sql.LockForUpdate, MapVersions: p.mapVers}
 	p.attachSelectLocks(res, s)
 	res.Slices = CutSlices(res.Root)
 	MarkParallelSlices(res.Root, p.Parallelism)
@@ -620,14 +647,29 @@ func (p *Planner) planFrom(ref sql.TableRef) (*planned, *scope, error) {
 			alias = r.Name
 		}
 		sc.add(alias, t.Schema, 0)
+		p.noteMapVersion(t)
 		pl := &planned{node: scan, rows: p.stats().RowCount(t.Name)}
-		switch t.Distribution {
-		case catalog.DistHash:
+		// Mid-expansion, a table whose placement has not yet been widened to
+		// the live segment count loses its colocation/replication guarantees:
+		// its rows occupy only the original segments of a wider cluster.
+		width, _ := t.Placement()
+		narrow := width > 0 && p.NumSegments > 0 && width != p.NumSegments
+		switch {
+		case t.Distribution == catalog.DistHash && narrow:
+			// Rows hash modulo the old width: treat as arbitrarily
+			// partitioned so joins redistribute at the live width.
+			pl.locus = LocusPartitioned
+		case t.Distribution == catalog.DistReplicated && narrow:
+			// Only the original segments hold a copy; scan exactly one of
+			// them (segment 0 always has a full copy) and redistribute.
+			scan.OnSeg = 0
+			pl.locus = LocusPartitioned
+		case t.Distribution == catalog.DistHash:
 			pl.locus = LocusHashed
 			for _, c := range t.DistKeyCols {
 				pl.hashKeys = append(pl.hashKeys, &ColRef{Idx: c, Name: t.Schema.Columns[c].Name, Typ: t.Schema.Columns[c].Kind})
 			}
-		case catalog.DistReplicated:
+		case t.Distribution == catalog.DistReplicated:
 			pl.locus = LocusReplicated
 		default:
 			pl.locus = LocusPartitioned
@@ -1098,6 +1140,34 @@ func extractRange(e Expr, col int) (keyRange, bool) {
 	return rng, ok
 }
 
+// restrictScansToSeg pins every table scan under n to one segment. Used
+// when a replicated subtree feeds the statement's gathers directly: every
+// segment holds a full copy, so exactly one segment may emit rows.
+func restrictScansToSeg(n Node, seg int) {
+	switch x := n.(type) {
+	case *Scan:
+		x.OnSeg = seg
+	case *Project:
+		restrictScansToSeg(x.Child, seg)
+	case *Filter:
+		restrictScansToSeg(x.Child, seg)
+	case *Agg:
+		restrictScansToSeg(x.Child, seg)
+	case *Sort:
+		restrictScansToSeg(x.Child, seg)
+	case *Limit:
+		restrictScansToSeg(x.Child, seg)
+	case *Motion:
+		restrictScansToSeg(x.Child, seg)
+	case *HashJoin:
+		restrictScansToSeg(x.Left, seg)
+		restrictScansToSeg(x.Right, seg)
+	case *NestLoop:
+		restrictScansToSeg(x.Left, seg)
+		restrictScansToSeg(x.Right, seg)
+	}
+}
+
 // tryIndexScan replaces a filtered scan of an unpartitioned table with an
 // index probe when some index's columns are all pinned by constant
 // equalities in the filter (the OLTP drill-through path). The full filter
@@ -1105,7 +1175,7 @@ func extractRange(e Expr, col int) (keyRange, bool) {
 // non-key conjuncts correct.
 func (p *Planner) tryIndexScan(scan *Scan) *IndexScan {
 	t := scan.Table
-	if t.IsPartitioned() || len(t.Indexes) == 0 || scan.Filter == nil {
+	if t.IsPartitioned() || len(t.Indexes) == 0 || scan.Filter == nil || scan.OnSeg >= 0 {
 		return nil
 	}
 	eq := map[int]Expr{}
@@ -1266,7 +1336,9 @@ func (p *Planner) PlanInsert(st *sql.InsertStmt) (*Planned, error) {
 		return nil, err
 	}
 	res := &Planned{DirectSegment: -1, LockTable: t.Name, LockModeLevel: 3} // RowExclusive
-	ip := &InsertPlan{Table: t}
+	p.noteMapVersion(t)
+	_, mapVer := t.Placement()
+	ip := &InsertPlan{Table: t, MapVersion: mapVer}
 	colIdx := make([]int, 0, t.Schema.Len())
 	if len(st.Columns) > 0 {
 		for _, c := range st.Columns {
@@ -1291,6 +1363,7 @@ func (p *Planner) PlanInsert(st *sql.InsertStmt) (*Planned, error) {
 		}
 		ip.Select = sel.Root
 		res.Root = ip
+		res.MapVersions = p.mapVers
 		res.Slices = CutSlices(ip.Select)
 		MarkParallelSlices(ip.Select, p.Parallelism)
 		return res, nil
@@ -1322,6 +1395,7 @@ func (p *Planner) PlanInsert(st *sql.InsertStmt) (*Planned, error) {
 		ip.Rows = append(ip.Rows, row)
 	}
 	res.Root = ip
+	res.MapVersions = p.mapVers
 	return res, nil
 }
 
@@ -1334,7 +1408,9 @@ func (p *Planner) PlanUpdate(st *sql.UpdateStmt, gddEnabled bool) (*Planned, err
 	sc := &scope{}
 	sc.add(t.Name, t.Schema, 0)
 	bnd := &binder{scope: sc, params: p.Params}
-	up := &UpdatePlan{Table: t}
+	p.noteMapVersion(t)
+	_, upVer := t.Placement()
+	up := &UpdatePlan{Table: t, MapVersion: upVer}
 	for _, a := range st.Set {
 		i := t.Schema.ColumnIndex(a.Column)
 		if i < 0 {
@@ -1353,7 +1429,7 @@ func (p *Planner) PlanUpdate(st *sql.UpdateStmt, gddEnabled bool) (*Planned, err
 			return nil, err
 		}
 	}
-	res := &Planned{Root: up, DirectSegment: -1, LockTable: t.Name}
+	res := &Planned{Root: up, DirectSegment: -1, LockTable: t.Name, MapVersions: p.mapVers}
 	// The HTAP locking decision (paper §4): with GDD, UPDATE takes
 	// RowExclusive; without it, Exclusive — serializing all writers.
 	if gddEnabled {
@@ -1374,14 +1450,16 @@ func (p *Planner) PlanDelete(st *sql.DeleteStmt, gddEnabled bool) (*Planned, err
 	sc := &scope{}
 	sc.add(t.Name, t.Schema, 0)
 	bnd := &binder{scope: sc, params: p.Params}
-	dp := &DeletePlan{Table: t}
+	p.noteMapVersion(t)
+	_, dpVer := t.Placement()
+	dp := &DeletePlan{Table: t, MapVersion: dpVer}
 	if st.Where != nil {
 		dp.Filter, err = bnd.bind(st.Where)
 		if err != nil {
 			return nil, err
 		}
 	}
-	res := &Planned{Root: dp, DirectSegment: -1, LockTable: t.Name}
+	res := &Planned{Root: dp, DirectSegment: -1, LockTable: t.Name, MapVersions: p.mapVers}
 	if gddEnabled {
 		res.LockModeLevel = 3
 	} else {
@@ -1394,7 +1472,14 @@ func (p *Planner) PlanDelete(st *sql.DeleteStmt, gddEnabled bool) (*Planned, err
 // directSegmentFor implements direct dispatch: when the filter pins every
 // distribution-key column to a constant, only one segment can hold matches.
 func (p *Planner) directSegmentFor(t *catalog.Table, filter Expr) int {
-	if t.Distribution != catalog.DistHash || filter == nil || p.NumSegments <= 1 {
+	// Rows hash modulo the table's placement width (0 = the boot width, i.e.
+	// the live segment count), not the live count: mid-expansion the two
+	// differ and direct dispatch must follow where rows actually live.
+	width, _ := t.Placement()
+	if width <= 0 || width > p.NumSegments {
+		width = p.NumSegments
+	}
+	if t.Distribution != catalog.DistHash || filter == nil || width <= 1 {
 		return -1
 	}
 	vals := make([]types.Datum, len(t.DistKeyCols))
@@ -1426,7 +1511,7 @@ func (p *Planner) directSegmentFor(t *catalog.Table, filter Expr) int {
 			return -1
 		}
 	}
-	return int(types.Row(vals).Hash(seqInts(len(vals))) % uint64(p.NumSegments))
+	return int(types.Row(vals).Hash(seqInts(len(vals))) % uint64(width))
 }
 
 // indexOfName finds the unique case-insensitive match of name in names.

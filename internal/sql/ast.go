@@ -567,6 +567,17 @@ type AlterRoleStmt struct {
 func (*AlterRoleStmt) stmt()            {}
 func (a *AlterRoleStmt) String() string { return "ALTER ROLE " + a.Name }
 
+// AlterSystemExpandStmt is ALTER SYSTEM EXPAND TO n: grow the cluster to n
+// segments and rebalance tables online.
+type AlterSystemExpandStmt struct {
+	Target int
+}
+
+func (*AlterSystemExpandStmt) stmt() {}
+func (a *AlterSystemExpandStmt) String() string {
+	return fmt.Sprintf("ALTER SYSTEM EXPAND TO %d", a.Target)
+}
+
 // ExplainStmt wraps another statement for plan display. With Analyze set
 // the statement is executed and runtime counters (blocks scanned/skipped,
 // rows, elapsed time) are appended to the plan text.

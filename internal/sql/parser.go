@@ -1321,8 +1321,27 @@ func (p *Parser) parseAlter() (Statement, error) {
 	if err := p.expectKw("ALTER"); err != nil {
 		return nil, err
 	}
+	if p.isWord("SYSTEM") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("EXPAND"); err != nil {
+			return nil, err
+		}
+		if !p.isWord("TO") && !p.isKw("TO") {
+			return nil, p.errf("expected TO after ALTER SYSTEM EXPAND, found %s", p.tok)
+		}
+		n, err := p.parseFaultInt("EXPAND TO")
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, p.errf("ALTER SYSTEM EXPAND TO needs a positive segment count")
+		}
+		return &AlterSystemExpandStmt{Target: n}, nil
+	}
 	if !p.isKw("ROLE") {
-		return nil, p.errf("only ALTER ROLE is supported")
+		return nil, p.errf("only ALTER ROLE and ALTER SYSTEM EXPAND are supported")
 	}
 	if err := p.next(); err != nil {
 		return nil, err

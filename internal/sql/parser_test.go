@@ -346,3 +346,24 @@ func TestParseNotVariants(t *testing.T) {
 		}
 	}
 }
+
+func TestParseAlterSystemExpand(t *testing.T) {
+	st := parseOne(t, "ALTER SYSTEM EXPAND TO 8").(*AlterSystemExpandStmt)
+	if st.Target != 8 {
+		t.Fatalf("target = %d, want 8", st.Target)
+	}
+	if got := st.String(); got != "ALTER SYSTEM EXPAND TO 8" {
+		t.Fatalf("String() = %q", got)
+	}
+	for _, q := range []string{
+		"ALTER SYSTEM EXPAND 8",     // missing TO
+		"ALTER SYSTEM EXPAND TO 0",  // target must be positive
+		"ALTER SYSTEM EXPAND TO -3", // target must be positive
+		"ALTER SYSTEM EXPAND TO x",  // target must be an integer
+		"ALTER SYSTEM RESIZE TO 8",  // unknown ALTER SYSTEM verb
+	} {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
