@@ -26,8 +26,23 @@ func main() {
 		quick   = flag.Bool("quick", false, "fast smoke sweep")
 		list    = flag.Bool("list", false, "list experiment ids")
 		seconds = flag.Float64("duration", 0, "seconds per measured point (overrides preset)")
+		metrics = flag.String("metrics", "", "dump a JSON observability-registry snapshot per engine to this file (- = stderr)")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		if *metrics == "-" {
+			experiments.MetricsOut = os.Stderr
+		} else {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gpbench: -metrics: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			experiments.MetricsOut = f
+		}
+	}
 
 	opts := experiments.Full()
 	if *quick {

@@ -18,9 +18,10 @@
 // redundancy.
 //
 // Shell commands: \d (list tables), \dg (resource groups), \locks (lock
-// tables), \stats (cluster counters), \kill <seg>, \recover <seg>,
-// \expand [<n>] (grow the cluster online / show rebalance progress),
-// \timing, \q.
+// tables), \stats (cluster counters), \top [n] (live monitor: n one-second
+// samples of active sessions and the hottest metric deltas), \kill <seg>,
+// \recover <seg>, \expand [<n>] (grow the cluster online / show rebalance
+// progress), \timing, \q.
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -50,6 +52,7 @@ func main() {
 		listen   = flag.String("listen", "", "serve the wire protocol on this address instead of opening a shell")
 		connect  = flag.String("connect", "", "connect to a gpshell -listen server instead of embedding a cluster")
 		role     = flag.String("role", "", "role to connect as (with -connect)")
+		metrics  = flag.String("metrics", "", "with -listen: also serve Prometheus /metrics and pprof on this address")
 	)
 	flag.Parse()
 
@@ -70,12 +73,15 @@ func main() {
 	defer db.Close()
 
 	if *listen != "" {
-		srv := server.New(db.Engine(), server.Config{Addr: *listen, UseResourceGroups: *useRG})
+		srv := server.New(db.Engine(), server.Config{Addr: *listen, UseResourceGroups: *useRG, MetricsAddr: *metrics})
 		if err := srv.Start(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("gpshell: serving %d segments on %s (ctrl-c drains and exits)\n", *segments, srv.Addr())
+		if ma := srv.MetricsAddr(); ma != "" {
+			fmt.Printf("gpshell: metrics on http://%s/metrics (pprof under /debug/pprof/)\n", ma)
+		}
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt)
 		<-sig
@@ -256,13 +262,67 @@ func metaCommand(ctx context.Context, db *greenplum.DB, conn *greenplum.Conn, cm
 			break
 		}
 		printResult(res)
+	case strings.HasPrefix(cmd, "\\top"):
+		rounds := 5
+		if n, ok := segArg(cmd, "\\top"); ok && n > 0 {
+			rounds = n
+		}
+		topMonitor(db, rounds)
 	case cmd == "\\timing":
 		*timing = !*timing
 		fmt.Println("timing:", *timing)
 	default:
-		fmt.Println("unknown command; try \\d \\dg \\locks \\stats \\fault \\kill \\recover \\expand \\timing \\q")
+		fmt.Println("unknown command; try \\d \\dg \\locks \\stats \\top \\fault \\kill \\recover \\expand \\timing \\q")
 	}
 	return true
+}
+
+// topMonitor is the \top live monitor: one sample per second showing live
+// sessions (gp_stat_activity), the hottest metric deltas since the previous
+// sample, and the most recent finished queries.
+func topMonitor(db *greenplum.DB, rounds int) {
+	reg := db.Engine().Metrics()
+	act := db.Engine().Activity()
+	prev := reg.Snapshot()
+	for i := 0; i < rounds; i++ {
+		time.Sleep(time.Second)
+		snap := reg.Snapshot()
+		delta := snap.Delta(prev)
+		prev = snap
+		fmt.Printf("-- top %d/%d --\n", i+1, rounds)
+		for _, si := range act.Sessions() {
+			q := si.Query
+			if len(q) > 60 {
+				q = q[:60] + "..."
+			}
+			fmt.Printf("  [%3d] %-8s %-6s stmts=%-6d %s\n", si.ID, si.Role, si.State, si.Statements, q)
+		}
+		type kv struct {
+			name string
+			v    int64
+		}
+		var hot []kv
+		for n, v := range delta {
+			if v > 0 {
+				hot = append(hot, kv{n, v})
+			}
+		}
+		sort.Slice(hot, func(a, b int) bool {
+			if hot[a].v != hot[b].v {
+				return hot[a].v > hot[b].v
+			}
+			return hot[a].name < hot[b].name
+		})
+		if len(hot) > 12 {
+			hot = hot[:12]
+		}
+		for _, h := range hot {
+			fmt.Printf("  %-40s +%d/s\n", h.name, h.v)
+		}
+		for _, r := range act.History(3) {
+			fmt.Printf("  recent: q%d %.1fms rows=%d %s\n", r.QueryID, float64(r.Dur)/1e6, r.Rows, r.SQL)
+		}
+	}
 }
 
 // segArg parses the segment number of "\kill N" / "\recover N".

@@ -31,6 +31,7 @@ package greenplum
 import (
 	"context"
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
@@ -322,6 +323,21 @@ func (db *DB) Close() { db.engine.Close() }
 
 // Engine exposes the internal engine for benchmarks inside this module.
 func (db *DB) Engine() *core.Engine { return db.engine }
+
+// MetricValue reads one observability-registry series by its dotted name
+// (e.g. "txn.commits_1pc", "storage.blockcache.hits"); missing names read 0.
+// The full catalog is in docs/OBSERVABILITY.md; SHOW gp_stat_metrics and the
+// HTTP /metrics endpoint expose the same registry.
+func (db *DB) MetricValue(name string) int64 {
+	v, _ := db.engine.Metrics().Value(name)
+	return v
+}
+
+// WriteMetrics writes a Prometheus text-format snapshot of the registry —
+// what the server's /metrics endpoint serves — to w.
+func (db *DB) WriteMetrics(w io.Writer) error {
+	return db.engine.Metrics().WritePrometheus(w)
+}
 
 // Connect opens a session for a role ("" = the gpadmin superuser).
 func (db *DB) Connect(role string) (*Conn, error) {

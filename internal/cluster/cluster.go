@@ -13,6 +13,7 @@ import (
 	"repro/internal/fts"
 	"repro/internal/gdd"
 	"repro/internal/lockmgr"
+	"repro/internal/obs"
 	"repro/internal/resgroup"
 	"repro/internal/storage"
 )
@@ -52,7 +53,6 @@ type Cluster struct {
 	// sync↔async at runtime); segments hold a pointer to it.
 	replicaMode atomic.Int32
 
-	failovers atomic.Int64
 	// replayLSN is the LSN the most recent promotion had replayed/applied
 	// when it took over.
 	replayLSN atomic.Uint64
@@ -105,32 +105,43 @@ type Cluster struct {
 	// segments); returned on Close.
 	cacheReserved atomic.Int64
 
-	// Metrics.
-	commits1PC  atomic.Int64
-	commits2PC  atomic.Int64
-	commitsRO   atomic.Int64
-	aborts      atomic.Int64
-	deadlockErr atomic.Int64
+	// Metrics: the cluster-wide observability registry plus the pre-resolved
+	// handles the hot paths record through (a handle add is one atomic op —
+	// the registry map is never touched per statement). Every counter below
+	// is registered under a stable dotted name; SHOW *_stats and the
+	// Prometheus /metrics endpoint read the same registry, making it the one
+	// source of truth for engine statistics.
+	metrics     *obs.Registry
+	commits1PC  *obs.Counter // txn.commits_1pc
+	commits2PC  *obs.Counter // txn.commits_2pc
+	commitsRO   *obs.Counter // txn.commits_readonly
+	aborts      *obs.Counter // txn.aborts
+	deadlockErr *obs.Counter // txn.deadlock_victims
+	failovers   *obs.Counter // fts.failovers
 
 	// Cumulative executor spill accounting (SHOW spill_stats): spill events,
 	// bytes and files written, and the highest per-statement operator-memory
 	// peak observed.
-	spills     atomic.Int64
-	spillBytes atomic.Int64
-	spillFiles atomic.Int64
-	spillPeak  atomic.Int64
-	vmemPeak   atomic.Int64 // highest per-statement resgroup vmem high water
-	spillLeaks atomic.Int64 // files the post-statement backstop had to remove
+	spills     *obs.Counter // exec.spill.events
+	spillBytes *obs.Counter // exec.spill.bytes
+	spillFiles *obs.Counter // exec.spill.files
+	spillPeak  *obs.Gauge   // exec.spill.mem_peak
+	vmemPeak   *obs.Gauge   // exec.vmem_peak: highest per-statement resgroup vmem high water
+	spillLeaks *obs.Counter // exec.spill.leaks: files the post-statement backstop removed
+
+	// walFlushLat is the WAL group-commit sync latency histogram, shared by
+	// every segment's log (wal.flush_seconds).
+	walFlushLat *obs.Histogram
 
 	// Fault injection: the registry every fault point on this cluster
 	// evaluates (nil when Config.NoFaultPoints). The per-segment dispatch
 	// breakers live in the topology so segments added by expansion get one.
 	faults          *fault.Registry
-	dispatchRetries atomic.Int64 // dispatch attempts retried after a transient error
+	dispatchRetries *obs.Counter // dispatch.retries: attempts retried after a transient error
 	// walTruncations/walTruncatedBytes count torn-tail truncations performed
 	// by revive-time crash recovery.
-	walTruncations    atomic.Int64
-	walTruncatedBytes atomic.Int64
+	walTruncations    *obs.Counter // wal.truncations
+	walTruncatedBytes *obs.Counter // wal.truncated_bytes
 
 	// expand serializes online-expansion runs and records the most recent
 	// run's progress for SHOW expand_status.
@@ -223,6 +234,7 @@ func New(cfg *Config) *Cluster {
 		topoCh:    make(chan struct{}),
 	}
 	c.replicaMode.Store(int32(cfg.ReplicaMode))
+	c.initMetrics()
 	if !cfg.NoFaultPoints {
 		c.faults = fault.NewRegistry()
 		c.locks.SetFaultHook(func() error { return c.faults.Inject(fault.LockAcquire, CoordinatorSeg) })
@@ -240,6 +252,7 @@ func New(cfg *Config) *Cluster {
 		c.mirrors[i] = m
 	}
 	c.topo.Store(topo)
+	c.registerGauges()
 	for _, def := range c.catalog.ResourceGroups() {
 		if _, err := c.groups.CreateGroup(*def); err != nil {
 			panic(fmt.Sprintf("cluster: built-in resource group: %v", err))
@@ -263,6 +276,9 @@ func (c *Cluster) buildSegment(i int) (*Segment, *Mirror) {
 	cfg := c.cfg
 	seg := newSegment(i, cfg)
 	seg.attachFaults(c.faults)
+	if seg.log != nil {
+		seg.log.SetFlushLatency(c.walFlushLat)
+	}
 	seg.distInProgress = c.coord.IsInProgress
 	seg.repMode = &c.replicaMode
 	// The decoded-block cache capacity comes out of the same global vmem
@@ -402,16 +418,6 @@ func (c *Cluster) SpillStats() (spills, bytes, files, memPeak int64) {
 // water observed (resgroup.Slot.MemoryHighWater): the Vmemtracker-accounted
 // truth, including any growth past the spill budget.
 func (c *Cluster) VmemPeak() int64 { return c.vmemPeak.Load() }
-
-// atomicMax raises a to v if v is larger.
-func atomicMax(a *atomic.Int64, v int64) {
-	for {
-		cur := a.Load()
-		if v <= cur || a.CompareAndSwap(cur, v) {
-			return
-		}
-	}
-}
 
 // LockWaitStats aggregates lock-wait accounting across the cluster (Fig. 2).
 func (c *Cluster) LockWaitStats() (waited time.Duration, waits int64) {

@@ -123,7 +123,7 @@ func TestVacuumReclaimsDeadVersions(t *testing.T) {
 		lt := c.BeginTxn()
 		up := &plan.UpdatePlan{Table: tab, SetCols: []int{1},
 			SetExprs: []plan.Expr{&plan.Const{Val: types.NewInt(int64(pass + 1))}}}
-		if _, err := c.RunUpdate(context.Background(), lt, c.Snapshot(), up, -1); err != nil {
+		if _, err := c.RunUpdate(context.Background(), lt, c.Snapshot(), up, -1, nil); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := c.CommitTxn(lt); err != nil {
@@ -172,7 +172,7 @@ func TestDeleteAndReadOnlyCommit(t *testing.T) {
 	lt := c.BeginTxn()
 	dp := &plan.DeletePlan{Table: tab, Filter: &plan.BinOp{Op: "=",
 		Left: &plan.ColRef{Idx: 0}, Right: &plan.Const{Val: types.NewInt(1)}}}
-	n, err := c.RunDelete(context.Background(), lt, c.Snapshot(), dp, -1)
+	n, err := c.RunDelete(context.Background(), lt, c.Snapshot(), dp, -1, nil)
 	if err != nil || n != 1 {
 		t.Fatalf("delete: %d %v", n, err)
 	}
@@ -225,7 +225,7 @@ func TestDirectDispatchTouchesOneSegment(t *testing.T) {
 		Filter:   &plan.BinOp{Op: "=", Left: &plan.ColRef{Idx: 0}, Right: &plan.Const{Val: types.NewInt(key)}},
 		SetCols:  []int{1},
 		SetExprs: []plan.Expr{&plan.Const{Val: types.NewInt(99)}}}
-	n, err := c.RunUpdate(context.Background(), lt, c.Snapshot(), up, target)
+	n, err := c.RunUpdate(context.Background(), lt, c.Snapshot(), up, target, nil)
 	if err != nil || n != 1 {
 		t.Fatalf("update: %d %v", n, err)
 	}

@@ -151,12 +151,12 @@ func TestStaleDistMapVersionRejected(t *testing.T) {
 		{"update", func(c *Cluster, tab *catalog.Table, lt *LiveTxn, v uint64) error {
 			up := &plan.UpdatePlan{Table: tab, MapVersion: v, SetCols: []int{1},
 				SetExprs: []plan.Expr{&plan.Const{Val: types.NewInt(9)}}}
-			_, err := c.RunUpdate(ctx, lt, c.Snapshot(), up, -1)
+			_, err := c.RunUpdate(ctx, lt, c.Snapshot(), up, -1, nil)
 			return err
 		}},
 		{"delete", func(c *Cluster, tab *catalog.Table, lt *LiveTxn, v uint64) error {
 			dp := &plan.DeletePlan{Table: tab, MapVersion: v}
-			_, err := c.RunDelete(ctx, lt, c.Snapshot(), dp, -1)
+			_, err := c.RunDelete(ctx, lt, c.Snapshot(), dp, -1, nil)
 			return err
 		}},
 		{"select", func(c *Cluster, tab *catalog.Table, lt *LiveTxn, v uint64) error {

@@ -155,7 +155,7 @@ func TestAbortResolvesThroughDispatchFaults(t *testing.T) {
 
 	ctx := context.Background()
 	lt := c.BeginTxn()
-	if _, err := c.RunUpdate(ctx, lt, c.Snapshot(), updatePlan(tab), -1); err != nil {
+	if _, err := c.RunUpdate(ctx, lt, c.Snapshot(), updatePlan(tab), -1, nil); err != nil {
 		t.Fatal(err)
 	}
 	// 70% of dispatch attempts fail while the abort wave runs; bounded
@@ -171,7 +171,7 @@ func TestAbortResolvesThroughDispatchFaults(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		lt2 := c.BeginTxn()
-		if _, err := c.RunUpdate(ctx, lt2, c.Snapshot(), updatePlan(tab), -1); err != nil {
+		if _, err := c.RunUpdate(ctx, lt2, c.Snapshot(), updatePlan(tab), -1, nil); err != nil {
 			c.AbortTxn(lt2)
 			done <- err
 			return

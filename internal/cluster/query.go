@@ -13,6 +13,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/interconnect"
 	"repro/internal/lockmgr"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/types"
 )
@@ -46,6 +47,69 @@ type QueryResources struct {
 	// during execution — the EXPLAIN ANALYZE est-vs-actual numbers and the
 	// optimizer's risk-bound misestimate input.
 	NodeRows *plan.NodeRowCounts
+	// Ops, when non-nil, collects per-node per-segment executor statistics
+	// (rows/batches/wall-time/peak-mem/spill) for operator-level
+	// EXPLAIN ANALYZE and per-operator trace spans.
+	Ops *plan.OpStats
+	// Trace, when non-nil, is the statement's distributed trace. ExecSpan is
+	// the coordinator's execute-span id: dispatch propagates it so every
+	// per-segment slice span attaches under it — the simulated analogue of a
+	// trace context travelling on the wire.
+	Trace    *obs.Trace
+	ExecSpan obs.SpanID
+	// DML, when non-nil, receives per-segment rows-affected counts from
+	// write dispatch (EXPLAIN ANALYZE on INSERT/UPDATE/DELETE).
+	DML *DMLCounters
+}
+
+// trace returns the statement's trace (nil-safe: spans begun on a nil trace
+// are inert).
+func (r *QueryResources) trace() *obs.Trace {
+	if r == nil {
+		return nil
+	}
+	return r.Trace
+}
+
+// execSpanOf returns the coordinator execute-span id slice spans attach to.
+func execSpanOf(r *QueryResources) obs.SpanID {
+	if r == nil {
+		return 0
+	}
+	return r.ExecSpan
+}
+
+// DMLCounters collects rows affected per segment for one write statement.
+type DMLCounters struct {
+	mu     sync.Mutex
+	perSeg map[int]int64
+}
+
+// Add folds n affected rows into segment seg's count.
+func (d *DMLCounters) Add(seg int, n int64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	if d.perSeg == nil {
+		d.perSeg = make(map[int]int64)
+	}
+	d.perSeg[seg] += n
+	d.mu.Unlock()
+}
+
+// PerSegment returns a copy of the per-segment affected-row counts.
+func (d *DMLCounters) PerSegment() map[int]int64 {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[int]int64, len(d.perSeg))
+	for k, v := range d.perSeg {
+		out[k] = v
+	}
+	return out
 }
 
 // ScanCounters is a statement's block-granular scan accounting.
@@ -241,6 +305,7 @@ func (c *Cluster) runSelectOnce(ctx context.Context, t *LiveTxn, snap *dtm.DistS
 			ec.CPU = res.CPU
 			ec.CPUBatchCost = res.CPUBatchCost
 			ec.NodeRows = res.NodeRows
+			ec.Ops = res.Ops
 		}
 		if segID >= 0 {
 			ec.Store = accs[segID]
@@ -270,6 +335,11 @@ func (c *Cluster) runSelectOnce(ctx context.Context, t *LiveTxn, snap *dtm.DistS
 			go func() {
 				defer wg.Done()
 				defer fabric.DoneSending(m.SliceID)
+				// The slice span attaches under the coordinator's execute
+				// span: the span id crossed the dispatch boundary with the
+				// statement, like a trace context on the wire.
+				sp := res.trace().Begin(execSpanOf(res), fmt.Sprintf("slice %d", m.SliceID), seg)
+				defer sp.End()
 				ec := mkCtx(seg)
 				ec.Parallel = dopFor(m)
 				var err error
@@ -347,7 +417,7 @@ func (c *Cluster) runSelectOnce(ctx context.Context, t *LiveTxn, snap *dtm.DistS
 			c.spills.Add(spills)
 			c.spillBytes.Add(sbytes)
 			c.spillFiles.Add(sfiles)
-			atomicMax(&c.spillPeak, peak)
+			c.spillPeak.SetMax(peak)
 			if res.Spill != nil {
 				res.Spill.Spills += spills
 				res.Spill.SpillBytes += sbytes
@@ -365,7 +435,7 @@ func (c *Cluster) runSelectOnce(ctx context.Context, t *LiveTxn, snap *dtm.DistS
 	if res != nil && res.Mem != nil {
 		if hw, ok := res.Mem.(interface{ MemoryHighWater() int64 }); ok {
 			v := hw.MemoryHighWater()
-			atomicMax(&c.vmemPeak, v)
+			c.vmemPeak.SetMax(v)
 			if res.Spill != nil && v > res.Spill.VmemPeak {
 				res.Spill.VmemPeak = v
 			}
@@ -562,6 +632,8 @@ func (c *Cluster) RunInsert(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sp := res.trace().Begin(execSpanOf(res), "insert", segID)
+			defer sp.End()
 			byLeaf := perSeg[segID]
 			if byLeaf == nil {
 				byLeaf = map[catalog.TableID][]types.Row{}
@@ -569,6 +641,9 @@ func (c *Cluster) RunInsert(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 			n, gen, err := c.execOnSeg(ctx, t, segID, func(s *Segment) (int, error) {
 				return s.ExecInsert(ctx, t.dxid, snap, ip.Table, byLeaf)
 			})
+			if err == nil && res != nil {
+				res.DML.Add(segID, int64(n))
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			t.touched[segID] = true
@@ -615,9 +690,10 @@ func leafFor(t *catalog.Table, row types.Row) (catalog.TableID, error) {
 	return p.ID, nil
 }
 
-// RunUpdate dispatches an UPDATE to the owning segments.
-func (c *Cluster) RunUpdate(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, up *plan.UpdatePlan, directSeg int) (int, error) {
-	n, err := c.runWrite(ctx, t, up.Table, up.MapVersion, directSeg, func(s *Segment) (int, error) {
+// RunUpdate dispatches an UPDATE to the owning segments. res may be nil;
+// when set, its trace and DML collectors observe the dispatch.
+func (c *Cluster) RunUpdate(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, up *plan.UpdatePlan, directSeg int, res *QueryResources) (int, error) {
+	n, err := c.runWrite(ctx, t, up.Table, up.MapVersion, directSeg, res, "update", func(s *Segment) (int, error) {
 		return s.ExecUpdate(ctx, t.dxid, snap, up)
 	})
 	if n > 0 {
@@ -626,9 +702,9 @@ func (c *Cluster) RunUpdate(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 	return n, err
 }
 
-// RunDelete dispatches a DELETE to the owning segments.
-func (c *Cluster) RunDelete(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, dp *plan.DeletePlan, directSeg int) (int, error) {
-	n, err := c.runWrite(ctx, t, dp.Table, dp.MapVersion, directSeg, func(s *Segment) (int, error) {
+// RunDelete dispatches a DELETE to the owning segments. res may be nil.
+func (c *Cluster) RunDelete(ctx context.Context, t *LiveTxn, snap *dtm.DistSnapshot, dp *plan.DeletePlan, directSeg int, res *QueryResources) (int, error) {
+	n, err := c.runWrite(ctx, t, dp.Table, dp.MapVersion, directSeg, res, "delete", func(s *Segment) (int, error) {
 		return s.ExecDelete(ctx, t.dxid, snap, dp)
 	})
 	if n > 0 {
@@ -637,7 +713,7 @@ func (c *Cluster) RunDelete(ctx context.Context, t *LiveTxn, snap *dtm.DistSnaps
 	return n, err
 }
 
-func (c *Cluster) runWrite(ctx context.Context, t *LiveTxn, tab *catalog.Table, plannedVer uint64, directSeg int, f func(*Segment) (int, error)) (int, error) {
+func (c *Cluster) runWrite(ctx context.Context, t *LiveTxn, tab *catalog.Table, plannedVer uint64, directSeg int, res *QueryResources, op string, f func(*Segment) (int, error)) (int, error) {
 	nseg := c.SegCount()
 	t.grow(nseg)
 	_, mapVer := tab.Placement()
@@ -661,7 +737,12 @@ func (c *Cluster) runWrite(ctx context.Context, t *LiveTxn, tab *catalog.Table, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sp := res.trace().Begin(execSpanOf(res), op, segID)
+			defer sp.End()
 			n, gen, err := c.execOnSeg(ctx, t, segID, f)
+			if err == nil && res != nil {
+				res.DML.Add(segID, int64(n))
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			t.touched[segID] = true

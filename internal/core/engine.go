@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sql"
 	"repro/internal/types"
 )
@@ -21,19 +22,64 @@ type Engine struct {
 	// stmts is the engine-wide shared parse/plan cache: every session's
 	// Exec resolves statement text through it.
 	stmts *StmtCache
+	// activity tracks live sessions (gp_stat_activity), the finished-query
+	// history (gp_stat_queries), the slow-query log, and retained traces.
+	activity *obs.Activity
+
+	qStatements *obs.Counter   // query.statements
+	qErrors     *obs.Counter   // query.errors
+	qSeconds    *obs.Histogram // query.seconds
+
+	// onClose hooks run at Close before the cluster shuts down (gpbench
+	// -metrics dumps the registry snapshot from one).
+	onClose []func()
 }
 
 // NewEngine boots an engine over the given cluster configuration.
 func NewEngine(cfg *cluster.Config) *Engine {
 	c := cluster.New(cfg)
-	return &Engine{cluster: c, stmts: NewStmtCache(c.Config().PlanCacheSize)}
+	e := &Engine{
+		cluster:  c,
+		stmts:    NewStmtCache(c.Config().PlanCacheSize),
+		activity: obs.NewActivity(256, 128, 64),
+	}
+	r := c.Metrics()
+	e.qStatements = r.Counter("query.statements")
+	e.qErrors = r.Counter("query.errors")
+	e.qSeconds = r.Histogram("query.seconds")
+	// Plan-cache occupancy and hit rates fold the cache's own counters at
+	// scrape time; the cache stays the single source of truth.
+	r.GaugeFunc("plancache.hits", func() int64 { return e.stmts.Stats().Hits })
+	r.GaugeFunc("plancache.misses", func() int64 { return e.stmts.Stats().Misses })
+	r.GaugeFunc("plancache.plan_hits", func() int64 { return e.stmts.Stats().PlanHits })
+	r.GaugeFunc("plancache.plan_misses", func() int64 { return e.stmts.Stats().PlanMisses })
+	r.GaugeFunc("plancache.entries", func() int64 { return int64(e.stmts.Stats().Entries) })
+	r.GaugeFunc("plancache.evictions", func() int64 { return e.stmts.Stats().Evictions })
+	return e
 }
+
+// Activity exposes the engine's session/query tracker.
+func (e *Engine) Activity() *obs.Activity { return e.activity }
+
+// Metrics exposes the engine-wide observability registry (owned by the
+// cluster; the engine adds its query and plan-cache series to it).
+func (e *Engine) Metrics() *obs.Registry { return e.cluster.Metrics() }
 
 // StmtCache exposes the shared parse/plan cache (stats surfaces, tests).
 func (e *Engine) StmtCache() *StmtCache { return e.stmts }
 
-// Close shuts down background daemons.
-func (e *Engine) Close() { e.cluster.Close() }
+// OnClose registers fn to run when the engine closes, before the cluster
+// shuts down (so metric gauge funcs still see live segments).
+func (e *Engine) OnClose(fn func()) { e.onClose = append(e.onClose, fn) }
+
+// Close runs the close hooks and shuts down background daemons.
+func (e *Engine) Close() {
+	for _, fn := range e.onClose {
+		fn()
+	}
+	e.onClose = nil
+	e.cluster.Close()
+}
 
 // Cluster exposes the underlying cluster for tests and benchmarks.
 func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }

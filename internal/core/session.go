@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/lockmgr"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/resgroup"
 	"repro/internal/sql"
@@ -40,6 +42,41 @@ type Session struct {
 	slot     *resgroup.Slot
 	stmtCPU  time.Duration // CPU charged once per statement
 	batchCPU time.Duration // CPU charged per executor row batch
+
+	// sess is this session's gp_stat_activity entry.
+	sess *obs.SessionInfo
+	// cur is the in-flight statement's observability state; nil while idle
+	// or when query recording is disabled.
+	cur *stmtObs
+	// lastParse is the time the preceding Exec/Prepare spent in the parser
+	// (0 on a statement-cache hit); it becomes the trace's parse span.
+	lastParse time.Duration
+	// lastSQL is the raw text the client sent to Exec — what the activity
+	// views display (the cache's normalized form is the fallback).
+	lastSQL string
+}
+
+// stmtObs carries one statement's observability window: the query id, the
+// distributed trace (under SET trace_queries), and the counters folded into
+// the gp_stat_queries record when the statement finishes.
+type stmtObs struct {
+	qid     uint64
+	sql     string
+	start   time.Time
+	trace   *obs.Trace
+	root    obs.ActiveSpan
+	scan    cluster.ScanCounters
+	spill   cluster.SpillCounters
+	rows    int64
+	rowsSet bool
+}
+
+// setRows overrides the record's row count (EXPLAIN ANALYZE result rows are
+// plan text, not query output, so handlers report the real count here).
+func (o *stmtObs) setRows(n int64) {
+	if o != nil {
+		o.rows, o.rowsSet = n, true
+	}
 }
 
 // NewSession opens a session for the given role (empty = gpadmin).
@@ -55,6 +92,7 @@ func (e *Engine) NewSession(roleName string) (*Session, error) {
 		engine:   e,
 		role:     r,
 		settings: make(map[string]string),
+		sess:     e.activity.Register(r.Name),
 	}, nil
 }
 
@@ -87,10 +125,13 @@ func (s *Session) InTxn() bool { return s.txn != nil && s.explicit }
 // statement texts skip the parser entirely, and param-free SELECTs reuse
 // cached plans while the catalog/stats epoch and planner settings match.
 func (s *Session) Exec(ctx context.Context, sqlText string, params ...types.Datum) (*Result, error) {
+	t0 := time.Now()
 	st, entry, err := s.engine.stmts.parse(sqlText)
 	if err != nil {
 		return nil, err
 	}
+	s.lastParse = time.Since(t0)
+	s.lastSQL = sqlText
 	return s.execParsed(ctx, st, entry, params...)
 }
 
@@ -101,6 +142,7 @@ func (s *Session) Exec(ctx context.Context, sqlText string, params ...types.Datu
 func (s *Session) Close() {
 	s.failed = false
 	s.abortCurrent()
+	s.engine.activity.Unregister(s.sess)
 }
 
 // Prepared is a statement parsed once and executed many times. The parse
@@ -164,6 +206,10 @@ func (s *Session) ExecParsed(ctx context.Context, st sql.Statement, params ...ty
 // execParsed executes a statement, with entry carrying the shared
 // statement-cache slot when the text came through Exec.
 func (s *Session) execParsed(ctx context.Context, st sql.Statement, entry *stmtEntry, params ...types.Datum) (*Result, error) {
+	parseDur := s.lastParse
+	s.lastParse = 0
+	rawSQL := s.lastSQL
+	s.lastSQL = ""
 	// Transaction control is always allowed.
 	switch st.(type) {
 	case *sql.BeginStmt:
@@ -185,9 +231,11 @@ func (s *Session) execParsed(ctx context.Context, st sql.Statement, entry *stmtE
 		ctx = tctx
 	}
 
+	ob := s.beginObserve(st, entry, rawSQL, parseDur)
 	implicit := s.txn == nil
 	if implicit {
 		if err := s.beginTxn(ctx, false); err != nil {
+			s.finishObserve(ob, nil, err)
 			return nil, err
 		}
 	}
@@ -201,14 +249,113 @@ func (s *Session) execParsed(ctx context.Context, st sql.Statement, entry *stmtE
 			s.failed = true
 			s.explicit = true
 		}
+		s.finishObserve(ob, nil, err)
 		return nil, err
 	}
 	if implicit {
 		if _, cerr := s.commitCurrent(); cerr != nil {
+			s.finishObserve(ob, nil, cerr)
 			return nil, cerr
 		}
 	}
+	s.finishObserve(ob, res, nil)
 	return res, nil
+}
+
+// beginObserve opens the statement's observability window: a query id, the
+// gp_stat_activity "active" flip, and — under SET trace_queries — the
+// distributed trace with its parse span. Returns nil (and does no
+// per-statement work at all) while query recording is disabled; that switch
+// is how the obs-overhead benchmark reconstructs the pre-observability
+// baseline.
+func (s *Session) beginObserve(st sql.Statement, entry *stmtEntry, rawSQL string, parseDur time.Duration) *stmtObs {
+	act := s.engine.activity
+	if !act.Enabled() {
+		return nil
+	}
+	ob := &stmtObs{qid: act.NextQueryID(), start: time.Now()}
+	switch {
+	case rawSQL != "":
+		ob.sql = rawSQL // what the client actually sent
+	case entry != nil:
+		ob.sql = entry.str // computed once, shared by the statement cache
+	default:
+		ob.sql = st.String()
+	}
+	s.sess.StartQuery(ob.sql)
+	if s.settingBool("trace_queries", false) {
+		ob.trace = obs.NewTrace(ob.qid, ob.sql)
+		ob.root = ob.trace.Begin(0, "query", -1)
+		if parseDur > 0 {
+			ob.trace.Record(ob.root.ID(), "parse", -1, ob.start.Add(-parseDur), parseDur)
+		}
+	}
+	s.cur = ob
+	return ob
+}
+
+// finishObserve closes the window: the per-query duration histogram and
+// statement/error counters, the gp_stat_queries record (slow-flagged past
+// log_min_duration), and the finished trace into the trace store. All
+// durations come from time.Since's monotonic reading, so wall-clock steps
+// cannot skew them.
+func (s *Session) finishObserve(ob *stmtObs, res *Result, err error) {
+	if ob == nil {
+		return
+	}
+	s.cur = nil
+	s.sess.EndQuery()
+	dur := time.Since(ob.start)
+	e := s.engine
+	e.qStatements.Add(1)
+	e.qSeconds.Observe(dur)
+	rows := ob.rows
+	if !ob.rowsSet && res != nil {
+		if len(res.Rows) > 0 {
+			rows = int64(len(res.Rows))
+		} else {
+			rows = int64(res.RowsAffected)
+		}
+	}
+	rec := obs.QueryRecord{
+		QueryID:       ob.qid,
+		SQL:           ob.sql,
+		Start:         ob.start,
+		Dur:           dur,
+		Rows:          rows,
+		BlocksScanned: ob.scan.BlocksScanned,
+		BlocksSkipped: ob.scan.BlocksSkipped,
+		SpillBytes:    ob.spill.SpillBytes,
+	}
+	if s.sess != nil {
+		rec.Session = s.sess.ID
+	}
+	if err != nil {
+		e.qErrors.Add(1)
+		rec.Err = err.Error()
+	}
+	if min := s.logMinDuration(); min >= 0 && dur >= min {
+		rec.Slow = true
+	}
+	e.activity.Record(rec)
+	if ob.trace != nil {
+		ob.root.End()
+		e.activity.Traces().Add(ob.trace)
+	}
+}
+
+// logMinDuration reads the session's log_min_duration setting (milliseconds;
+// -1 or unset disables the slow-query log, 0 logs every statement).
+func (s *Session) logMinDuration() time.Duration {
+	v, ok := s.settings["log_min_duration"]
+	if !ok {
+		return -1
+	}
+	ms := plan.ParseLimitInt(v, -1)
+	if ms < 0 {
+		return -1
+	}
+	return time.Duration(ms) * time.Millisecond
 }
 
 func (s *Session) execBegin(ctx context.Context) (*Result, error) {
@@ -299,6 +446,25 @@ func (s *Session) resources() *cluster.QueryResources {
 		Mem: s.slot, CPU: s.slot, CPUBatchCost: s.batchCPU,
 		SpillBudget: s.spillBudget(),
 	}
+}
+
+// dmlResources builds a write statement's QueryResources with the trace
+// attached and the coordinator execute span opened; the caller ends the
+// span after dispatch returns. With tracing off this is exactly
+// s.resources() plus one nil check.
+func (s *Session) dmlResources() (*cluster.QueryResources, obs.ActiveSpan) {
+	res := s.resources()
+	ob := s.cur
+	if ob == nil || ob.trace == nil {
+		return res, obs.ActiveSpan{}
+	}
+	if res == nil {
+		res = &cluster.QueryResources{}
+	}
+	res.Trace = ob.trace
+	sp := ob.trace.Begin(ob.root.ID(), "execute", -1)
+	res.ExecSpan = sp.ID()
+	return res, sp
 }
 
 // spillBudget derives the statement's operator-memory budget from the
@@ -405,6 +571,12 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, entry *st
 		// catalog/stats epoch and every plan-shaping setting; the robust
 		// bit keeps a misestimated statement's optimistic plan from being
 		// served after the fallback engaged.
+		var tr *obs.Trace
+		var planT0 time.Time
+		if s.cur != nil && s.cur.trace != nil {
+			tr = s.cur.trace
+			planT0 = time.Now()
+		}
 		var planKey string
 		var pl *plan.Planned
 		if entry != nil && len(params) == 0 {
@@ -421,6 +593,11 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, entry *st
 				entry.storePlan(planKey, pl)
 			}
 		}
+		if tr != nil {
+			// Covers the cache lookup too: a plan-cache hit shows up in the
+			// trace as a near-zero plan span.
+			tr.Record(s.cur.root.ID(), "plan", -1, planT0, time.Since(planT0))
+		}
 		// Work on a shallow copy: runPlannedSelect may adjust the lock
 		// level on the wrapper, and the cached plan is shared by every
 		// session (the node tree itself is read-only during execution).
@@ -430,10 +607,22 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, entry *st
 		if p.CostOpt && p.Optimizer == plan.OptimizerOLAP && !p.Robust {
 			nodeRows = plan.NewNodeRowCounts(pl.Root)
 		}
-		rows, schema, _, err := s.runPlannedSelect(ctx, pl, nil, nil, nodeRows)
+		var scan *cluster.ScanCounters
+		var spill *cluster.SpillCounters
+		var ops *plan.OpStats
+		if ob := s.cur; ob != nil {
+			scan, spill = &ob.scan, &ob.spill
+			if ob.trace != nil {
+				// Tracing arms operator stats so per-operator spans can be
+				// synthesized once the slices retire.
+				ops = plan.NewOpStats(pl.Root, cl.SegCount())
+			}
+		}
+		rows, schema, _, err := s.runPlannedSelect(ctx, pl, scan, spill, nodeRows, ops)
 		if err != nil {
 			return nil, err
 		}
+		s.cur.setRows(int64(len(rows)))
 		if nodeRows != nil {
 			if mis := plan.CheckRiskBounds(pl.Costs, nodeRows); len(mis) > 0 {
 				cl.RecordMisestimate(key)
@@ -460,7 +649,9 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, entry *st
 			return nil, err
 		}
 		ip := pl.Root.(*plan.InsertPlan)
-		n, err := cl.RunInsert(ctx, s.txn, cl.Snapshot(), ip, s.resources())
+		res, sp := s.dmlResources()
+		n, err := cl.RunInsert(ctx, s.txn, cl.Snapshot(), ip, res)
+		sp.End()
 		if err != nil {
 			return nil, wrapLockErr(err)
 		}
@@ -478,7 +669,9 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, entry *st
 			return nil, err
 		}
 		up := pl.Root.(*plan.UpdatePlan)
-		n, err := cl.RunUpdate(ctx, s.txn, cl.Snapshot(), up, pl.DirectSegment)
+		res, sp := s.dmlResources()
+		n, err := cl.RunUpdate(ctx, s.txn, cl.Snapshot(), up, pl.DirectSegment, res)
+		sp.End()
 		if err != nil {
 			return nil, wrapLockErr(err)
 		}
@@ -496,7 +689,9 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, entry *st
 			return nil, err
 		}
 		dp := pl.Root.(*plan.DeletePlan)
-		n, err := cl.RunDelete(ctx, s.txn, cl.Snapshot(), dp, pl.DirectSegment)
+		res, sp := s.dmlResources()
+		n, err := cl.RunDelete(ctx, s.txn, cl.Snapshot(), dp, pl.DirectSegment, res)
+		sp.End()
 		if err != nil {
 			return nil, wrapLockErr(err)
 		}
@@ -624,6 +819,18 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement, entry *st
 				return nil, fmt.Errorf("core: statement_timeout must be a millisecond count >= 0 (got %q)", x.Value)
 			}
 		}
+		if strings.EqualFold(x.Name, "trace_queries") {
+			switch strings.ToLower(x.Value) {
+			case "on", "off", "true", "false", "1", "0", "yes", "no":
+			default:
+				return nil, fmt.Errorf("core: trace_queries must be on or off (got %q)", x.Value)
+			}
+		}
+		if strings.EqualFold(x.Name, "log_min_duration") {
+			if v := plan.ParseLimitInt(x.Value, -2); v < -1 {
+				return nil, fmt.Errorf("core: log_min_duration must be a millisecond count >= 0, or -1 to disable (got %q)", x.Value)
+			}
+		}
 		s.settings[strings.ToLower(x.Name)] = x.Value
 		return &Result{Tag: "SET"}, nil
 
@@ -701,10 +908,75 @@ func (s *Session) execFault(x *sql.FaultStmt) (*Result, error) {
 	}
 }
 
-// execShow answers SHOW statements: the virtual scan_stats / spill_stats /
-// wal_stats counter sets, or the value of a plain session setting.
+// execShow answers SHOW statements: the gp_stat_* live system views, the
+// virtual counter sets (scan_stats / spill_stats / fault_stats read the
+// observability registry — one source of truth with /metrics), or the value
+// of a plain session setting.
 func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
 	name := strings.ToLower(x.Name)
+	if name == "gp_stat_activity" {
+		res := &Result{Columns: []string{"session", "role", "state", "query", "duration_ms", "statements"}, Tag: "SHOW"}
+		for _, si := range s.engine.activity.Sessions() {
+			durMS := int64(0)
+			if si.State == "active" && !si.QueryStart.IsZero() {
+				durMS = time.Since(si.QueryStart).Milliseconds()
+			}
+			res.Rows = append(res.Rows, types.Row{
+				types.NewInt(int64(si.ID)),
+				types.NewText(si.Role),
+				types.NewText(si.State),
+				types.NewText(si.Query),
+				types.NewInt(durMS),
+				types.NewInt(si.Statements),
+			})
+		}
+		return res, nil
+	}
+	if name == "gp_stat_queries" || name == "gp_slow_queries" {
+		recs := s.engine.activity.History(0)
+		if name == "gp_slow_queries" {
+			recs = s.engine.activity.SlowQueries(0)
+		}
+		res := &Result{Columns: []string{"query_id", "session", "query", "rows", "blocks_scanned", "blocks_skipped", "spill_bytes", "duration_ms", "error"}, Tag: "SHOW"}
+		for _, r := range recs {
+			res.Rows = append(res.Rows, types.Row{
+				types.NewInt(int64(r.QueryID)),
+				types.NewInt(int64(r.Session)),
+				types.NewText(r.SQL),
+				types.NewInt(r.Rows),
+				types.NewInt(r.BlocksScanned),
+				types.NewInt(r.BlocksSkipped),
+				types.NewInt(r.SpillBytes),
+				types.NewInt(r.Dur.Milliseconds()),
+				types.NewText(r.Err),
+			})
+		}
+		return res, nil
+	}
+	if name == "gp_stat_metrics" {
+		snap := s.engine.cluster.Metrics().Snapshot()
+		res := &Result{Columns: []string{"metric", "value"}, Tag: "SHOW"}
+		for _, n := range snap.Names() {
+			if v, ok := snap.Values[n]; ok {
+				res.Rows = append(res.Rows, types.Row{types.NewText(n), types.NewInt(v)})
+				continue
+			}
+			h := snap.Hists[n]
+			res.Rows = append(res.Rows,
+				types.Row{types.NewText(n + ".count"), types.NewInt(h.Count)},
+				types.Row{types.NewText(n + ".sum_ms"), types.NewInt(h.Sum.Milliseconds())})
+		}
+		return res, nil
+	}
+	if name == "gp_stat_traces" {
+		res := &Result{Columns: []string{"query_id", "span"}, Tag: "SHOW"}
+		for _, t := range s.engine.activity.Traces().Recent(0) {
+			for _, line := range t.Render() {
+				res.Rows = append(res.Rows, types.Row{types.NewInt(int64(t.QueryID)), types.NewText(line)})
+			}
+		}
+		return res, nil
+	}
 	if name == "wal_stats" {
 		st := s.engine.cluster.WALStats()
 		res := &Result{Columns: []string{"stat", "value"}, Tag: "SHOW"}
@@ -720,16 +992,16 @@ func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
 		return res, nil
 	}
 	if name == "spill_stats" {
-		spills, sbytes, sfiles, peak := s.engine.cluster.SpillStats()
+		snap := s.engine.cluster.Metrics().Snapshot()
 		res := &Result{Columns: []string{"stat", "value"}, Tag: "SHOW"}
 		add := func(k string, v int64) {
 			res.Rows = append(res.Rows, types.Row{types.NewText(k), types.NewInt(v)})
 		}
-		add("spills", spills)
-		add("spill_bytes", sbytes)
-		add("spill_files", sfiles)
-		add("spill_mem_peak", peak)
-		add("vmem_peak", s.engine.cluster.VmemPeak())
+		add("spills", snap.Values["exec.spill.events"])
+		add("spill_bytes", snap.Values["exec.spill.bytes"])
+		add("spill_files", snap.Values["exec.spill.files"])
+		add("spill_mem_peak", snap.Values["exec.spill.mem_peak"])
+		add("vmem_peak", snap.Values["exec.vmem_peak"])
 		return res, nil
 	}
 	if name == "optimizer_stats" {
@@ -760,25 +1032,21 @@ func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
 	}
 	if name == "fault_stats" {
 		cl := s.engine.cluster
-		st := cl.FaultStats()
+		snap := cl.Metrics().Snapshot()
 		res := &Result{Columns: []string{"stat", "value"}, Tag: "SHOW"}
 		add := func(k string, v int64) {
 			res.Rows = append(res.Rows, types.Row{types.NewText(k), types.NewInt(v)})
 		}
-		enabled := int64(0)
-		if st.Enabled {
-			enabled = 1
-		}
-		add("fault_points_enabled", enabled)
-		add("armed_specs", int64(st.Armed))
-		add("point_hits", st.Hits)
-		add("point_triggers", st.Triggers)
-		add("dispatch_retries", st.DispatchRetries)
-		add("breaker_opens", st.BreakerOpens)
-		add("breaker_fast_fails", st.BreakerFastFails)
-		add("wal_truncations", st.WALTruncations)
-		add("wal_truncated_bytes", st.WALTruncatedBytes)
-		add("spill_leaks", st.SpillLeaks)
+		add("fault_points_enabled", snap.Values["fault.enabled"])
+		add("armed_specs", snap.Values["fault.armed"])
+		add("point_hits", snap.Values["fault.hits"])
+		add("point_triggers", snap.Values["fault.triggers"])
+		add("dispatch_retries", snap.Values["dispatch.retries"])
+		add("breaker_opens", snap.Values["fault.breaker_opens"])
+		add("breaker_fast_fails", snap.Values["fault.breaker_fast_fails"])
+		add("wal_truncations", snap.Values["wal.truncations"])
+		add("wal_truncated_bytes", snap.Values["wal.truncated_bytes"])
+		add("spill_leaks", snap.Values["exec.spill.leaks"])
 		for _, b := range cl.BreakerStatuses() {
 			res.Rows = append(res.Rows, types.Row{
 				types.NewText(fmt.Sprintf("breaker_seg%d", b.Seg)),
@@ -815,20 +1083,18 @@ func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
 		return res, nil
 	}
 	if name == "scan_stats" {
-		cl := s.engine.cluster
-		scanned, skipped := cl.ScanBlockStats()
-		cache := cl.BlockCacheStats()
+		snap := s.engine.cluster.Metrics().Snapshot()
 		res := &Result{Columns: []string{"stat", "value"}, Tag: "SHOW"}
 		add := func(k string, v int64) {
 			res.Rows = append(res.Rows, types.Row{types.NewText(k), types.NewInt(v)})
 		}
-		add("blocks_scanned", scanned)
-		add("blocks_skipped", skipped)
-		add("cache_hits", cache.Hits)
-		add("cache_misses", cache.Misses)
-		add("cache_evictions", cache.Evictions)
-		add("cache_used_bytes", cache.UsedBytes)
-		add("cache_entries", int64(cache.Entries))
+		add("blocks_scanned", snap.Values["storage.scan.blocks_scanned"])
+		add("blocks_skipped", snap.Values["storage.scan.blocks_skipped"])
+		add("cache_hits", snap.Values["storage.blockcache.hits"])
+		add("cache_misses", snap.Values["storage.blockcache.misses"])
+		add("cache_evictions", snap.Values["storage.blockcache.evictions"])
+		add("cache_used_bytes", snap.Values["storage.blockcache.used_bytes"])
+		add("cache_entries", snap.Values["storage.blockcache.entries"])
 		return res, nil
 	}
 	v, ok := s.settings[name]
@@ -848,6 +1114,10 @@ func (s *Session) execShow(x *sql.ShowStmt) (*Result, error) {
 			v = fmt.Sprintf("%d", cfg.MemorySpillRatio)
 		case "statement_timeout":
 			v = "0"
+		case "trace_queries":
+			v = "off"
+		case "log_min_duration":
+			v = "-1"
 		case "replica_mode":
 			v = s.engine.cluster.ReplicaModeNow().String()
 		case "optimizer":
@@ -872,18 +1142,48 @@ func onOff(b bool) string {
 
 func (s *Session) execExplain(ctx context.Context, x *sql.ExplainStmt, params []types.Datum) (*Result, error) {
 	p := s.planner(params)
+	cl := s.engine.cluster
 	if x.Analyze {
-		t, ok := x.Target.(*sql.SelectStmt)
-		if !ok {
-			// Executing DML as a side effect of EXPLAIN is surprising;
-			// refuse loudly rather than silently showing the bare plan.
-			return nil, fmt.Errorf("core: EXPLAIN ANALYZE supports only SELECT (got %T)", x.Target)
+		// EXPLAIN ANALYZE executes the statement for real — DML included
+		// (PostgreSQL semantics: the rows are written; wrap in BEGIN/ROLLBACK
+		// to measure without keeping the effects).
+		switch t := x.Target.(type) {
+		case *sql.SelectStmt:
+			pl, err := p.PlanSelect(t)
+			if err != nil {
+				return nil, err
+			}
+			return s.explainAnalyzeSelect(ctx, pl)
+		case *sql.InsertStmt:
+			pl, err := p.PlanInsert(t)
+			if err != nil {
+				return nil, err
+			}
+			ip := pl.Root.(*plan.InsertPlan)
+			return s.explainAnalyzeDML(ctx, pl.Root, pl.LockTable, pl.LockModeLevel, func(res *cluster.QueryResources) (int, error) {
+				return cl.RunInsert(ctx, s.txn, cl.Snapshot(), ip, res)
+			})
+		case *sql.UpdateStmt:
+			pl, err := p.PlanUpdate(t, cl.Config().GDD)
+			if err != nil {
+				return nil, err
+			}
+			up := pl.Root.(*plan.UpdatePlan)
+			return s.explainAnalyzeDML(ctx, pl.Root, pl.LockTable, pl.LockModeLevel, func(res *cluster.QueryResources) (int, error) {
+				return cl.RunUpdate(ctx, s.txn, cl.Snapshot(), up, pl.DirectSegment, res)
+			})
+		case *sql.DeleteStmt:
+			pl, err := p.PlanDelete(t, cl.Config().GDD)
+			if err != nil {
+				return nil, err
+			}
+			dp := pl.Root.(*plan.DeletePlan)
+			return s.explainAnalyzeDML(ctx, pl.Root, pl.LockTable, pl.LockModeLevel, func(res *cluster.QueryResources) (int, error) {
+				return cl.RunDelete(ctx, s.txn, cl.Snapshot(), dp, pl.DirectSegment, res)
+			})
+		default:
+			return nil, fmt.Errorf("core: EXPLAIN ANALYZE supports SELECT, INSERT, UPDATE and DELETE (got %T)", x.Target)
 		}
-		pl, err := p.PlanSelect(t)
-		if err != nil {
-			return nil, err
-		}
-		return s.explainAnalyzeSelect(ctx, pl)
 	}
 	var root plan.Node
 	var costs map[plan.Node]*plan.NodeCost
@@ -933,7 +1233,7 @@ func (s *Session) execExplain(ctx context.Context, x *sql.ExplainStmt, params []
 // go through here so the measured execution is exactly the real one. When
 // scan/spill are non-nil they receive the statement's block and spill
 // counters.
-func (s *Session) runPlannedSelect(ctx context.Context, pl *plan.Planned, scan *cluster.ScanCounters, spill *cluster.SpillCounters, nodeRows *plan.NodeRowCounts) ([]types.Row, *types.Schema, time.Duration, error) {
+func (s *Session) runPlannedSelect(ctx context.Context, pl *plan.Planned, scan *cluster.ScanCounters, spill *cluster.SpillCounters, nodeRows *plan.NodeRowCounts, ops *plan.OpStats) ([]types.Row, *types.Schema, time.Duration, error) {
 	cl := s.engine.cluster
 	if pl.ForUpdate && !cl.Config().GDD {
 		// GPDB 5 locking: FOR UPDATE serializes at the coordinator.
@@ -948,38 +1248,80 @@ func (s *Session) runPlannedSelect(ctx context.Context, pl *plan.Planned, scan *
 		return nil, nil, 0, err
 	}
 	res := s.resources()
-	if scan != nil || spill != nil || nodeRows != nil {
+	if scan != nil || spill != nil || nodeRows != nil || ops != nil {
 		if res == nil {
 			res = &cluster.QueryResources{}
 		}
 		res.Scan = scan
 		res.Spill = spill
 		res.NodeRows = nodeRows
+		res.Ops = ops
+	}
+	var execSp obs.ActiveSpan
+	if ob := s.cur; ob != nil && ob.trace != nil {
+		if res == nil {
+			res = &cluster.QueryResources{}
+		}
+		res.Trace = ob.trace
+		execSp = ob.trace.Begin(ob.root.ID(), "execute", -1)
+		res.ExecSpan = execSp.ID()
 	}
 	start := time.Now()
 	rows, schema, err := cl.RunSelect(ctx, s.txn, cl.Snapshot(), pl, res)
+	elapsed := time.Since(start)
+	if ops != nil && res != nil && res.Trace != nil {
+		recordOpSpans(res.Trace, res.ExecSpan, pl.Root, ops, start)
+	}
+	execSp.End()
 	if err != nil {
 		return nil, nil, 0, wrapLockErr(err)
 	}
-	return rows, schema, time.Since(start), nil
+	return rows, schema, elapsed, nil
 }
 
-// explainAnalyzeSelect runs the planned SELECT for real and appends runtime
-// counters — rows returned, elapsed time, the zone-map pushdown's blocks
-// scanned/skipped, and the executor's spill activity — to the plan text.
-// Only SELECT is supported under ANALYZE; execExplain rejects DML targets.
+// recordOpSpans synthesizes per-operator spans from the executor statistics:
+// one span per (plan node, active location) carrying the operator's
+// inclusive wall time, parented under the coordinator's execute span.
+func recordOpSpans(tr *obs.Trace, parent obs.SpanID, root plan.Node, ops *plan.OpStats, start time.Time) {
+	var walk func(n plan.Node)
+	walk = func(n plan.Node) {
+		if c := ops.At(n, -1); c != nil && (c.Rows.Load() > 0 || c.Batches.Load() > 0 || c.WallNanos.Load() > 0) {
+			tr.Record(parent, n.Explain(), -1, start, time.Duration(c.WallNanos.Load()))
+		}
+		for seg, c := range ops.Segments(n) {
+			if c.Rows.Load() == 0 && c.Batches.Load() == 0 && c.WallNanos.Load() == 0 {
+				continue
+			}
+			tr.Record(parent, n.Explain(), seg, start, time.Duration(c.WallNanos.Load()))
+		}
+		for _, ch := range n.Children() {
+			walk(ch)
+		}
+	}
+	walk(root)
+}
+
+// explainAnalyzeSelect runs the planned SELECT for real and renders the
+// operator-level statistics: per-node rows/batches/inclusive wall time, peak
+// operator memory, spill bytes, skew ratio, and per-segment detail lines,
+// plus the statement-level counters — rows returned, elapsed time, the
+// zone-map pushdown's blocks scanned/skipped, and spill activity.
 func (s *Session) explainAnalyzeSelect(ctx context.Context, pl *plan.Planned) (*Result, error) {
 	var scan cluster.ScanCounters
 	var spill cluster.SpillCounters
 	nodeRows := plan.NewNodeRowCounts(pl.Root)
-	rows, _, elapsed, err := s.runPlannedSelect(ctx, pl, &scan, &spill, nodeRows)
+	ops := plan.NewOpStats(pl.Root, s.engine.cluster.SegCount())
+	rows, _, elapsed, err := s.runPlannedSelect(ctx, pl, &scan, &spill, nodeRows, ops)
 	if err != nil {
 		return nil, err
 	}
-	text := plan.Explain(pl.Root)
-	if pl.Costs != nil {
-		text = plan.ExplainAnalyzed(pl.Root, pl.Costs, nodeRows)
+	// Fold into the statement's gp_stat_queries record so the retained query
+	// and the EXPLAIN ANALYZE totals match.
+	if ob := s.cur; ob != nil {
+		ob.scan, ob.spill = scan, spill
+		ob.setRows(int64(len(rows)))
 	}
+	text := plan.ExplainAnalyzedOps(pl.Root, pl.Costs, nodeRows, ops)
 	out := &Result{Columns: []string{"QUERY PLAN"}, Tag: "EXPLAIN"}
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		out.Rows = append(out.Rows, types.Row{types.NewText(line)})
@@ -990,6 +1332,54 @@ func (s *Session) explainAnalyzeSelect(ctx context.Context, pl *plan.Planned) (*
 		types.Row{types.NewText(fmt.Sprintf("spill: spills=%d bytes=%d files=%d",
 			spill.Spills, spill.SpillBytes, spill.SpillFiles))},
 		types.Row{types.NewText(fmt.Sprintf("rows: %d", len(rows)))},
+		types.Row{types.NewText(fmt.Sprintf("execution time: %.3f ms", float64(elapsed.Microseconds())/1000))},
+	)
+	return out, nil
+}
+
+// explainAnalyzeDML executes the write for real and reports the per-segment
+// rows-affected breakdown plus elapsed time beneath the plan text. Timings
+// come from the monotonic clock (time.Since), never wall-clock arithmetic.
+func (s *Session) explainAnalyzeDML(ctx context.Context, root plan.Node, lockTable string, lockLevel int, run func(res *cluster.QueryResources) (int, error)) (*Result, error) {
+	cl := s.engine.cluster
+	if lockTable != "" {
+		if err := cl.LockCoordinator(ctx, s.txn, lockTable, lockModeOf(lockLevel)); err != nil {
+			return nil, wrapLockErr(err)
+		}
+	}
+	if err := s.chargeStmtCPU(ctx); err != nil {
+		return nil, err
+	}
+	res, sp := s.dmlResources()
+	if res == nil {
+		res = &cluster.QueryResources{}
+	}
+	res.DML = &cluster.DMLCounters{}
+	start := time.Now()
+	n, err := run(res)
+	elapsed := time.Since(start)
+	sp.End()
+	if err != nil {
+		return nil, wrapLockErr(err)
+	}
+	if ob := s.cur; ob != nil {
+		ob.setRows(int64(n))
+	}
+	out := &Result{Columns: []string{"QUERY PLAN"}, Tag: "EXPLAIN"}
+	for _, line := range strings.Split(strings.TrimRight(plan.Explain(root), "\n"), "\n") {
+		out.Rows = append(out.Rows, types.Row{types.NewText(line)})
+	}
+	per := res.DML.PerSegment()
+	segs := make([]int, 0, len(per))
+	for seg := range per {
+		segs = append(segs, seg)
+	}
+	sort.Ints(segs)
+	for _, seg := range segs {
+		out.Rows = append(out.Rows, types.Row{types.NewText(fmt.Sprintf("  seg%d: rows=%d", seg, per[seg]))})
+	}
+	out.Rows = append(out.Rows,
+		types.Row{types.NewText(fmt.Sprintf("rows affected: %d", n))},
 		types.Row{types.NewText(fmt.Sprintf("execution time: %.3f ms", float64(elapsed.Microseconds())/1000))},
 	)
 	return out, nil

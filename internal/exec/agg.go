@@ -115,7 +115,7 @@ func newAggCore(ctx *Context, node *plan.Agg) aggCore {
 	}
 	return aggCore{
 		ctx: ctx, node: node,
-		mem:        opMem{ctx: ctx},
+		mem:        opMem{ctx: ctx, stat: ctx.opStat(node)},
 		groups:     make(map[uint64][]*group),
 		groupCols:  cols,
 		scratch:    make(types.Row, len(node.GroupBy)),
@@ -187,6 +187,7 @@ func (a *aggCore) dumpGroups() error {
 			if err != nil {
 				return err
 			}
+			sf.stat = a.mem.stat
 			a.parts[i] = sf
 		}
 	}

@@ -601,7 +601,10 @@ func (m *motionRecvBatchIter) Close() {}
 func BuildBatch(ctx *Context, node plan.Node) BatchIterator {
 	it := buildBatchNode(ctx, node)
 	if ctr := ctx.NodeRows.Counter(node); ctr != nil {
-		return &countingBatchIter{child: it, ctr: ctr}
+		it = &countingBatchIter{child: it, ctr: ctr}
+	}
+	if st := ctx.opStat(node); st != nil {
+		it = &opStatBatchIter{child: it, st: st}
 	}
 	return it
 }
@@ -634,7 +637,7 @@ func buildBatchNode(ctx *Context, node plan.Node) BatchIterator {
 			NewRowAdapter(BuildBatch(ctx, n.Left)),
 			NewRowAdapter(BuildBatch(ctx, n.Right))), size)
 	case *plan.Sort:
-		return NewBatchAdapter(&sortIter{ctx: ctx, child: NewRowAdapter(BuildBatch(ctx, n.Child)), keys: n.Keys}, size)
+		return NewBatchAdapter(&sortIter{ctx: ctx, child: NewRowAdapter(BuildBatch(ctx, n.Child)), keys: n.Keys, mem: opMem{ctx: ctx, stat: ctx.opStat(n)}}, size)
 	case *plan.Limit:
 		return NewBatchAdapter(&limitIter{child: NewRowAdapter(BuildBatch(ctx, n.Child)), count: n.Count, offset: n.Offset}, size)
 	case *plan.Motion:

@@ -135,6 +135,18 @@ type Context struct {
 	// (summed across slices and segments) for EXPLAIN ANALYZE and the
 	// optimizer's risk-bound misestimate check.
 	NodeRows *plan.NodeRowCounts
+	// Ops, when set, receives per-node per-segment executor statistics
+	// (rows, batches, inclusive wall time, peak operator memory, spill
+	// bytes) for operator-level EXPLAIN ANALYZE and per-operator trace
+	// spans. Unlike NodeRows it times every Next/NextBatch call, so it is
+	// only armed for statements that asked for it.
+	Ops *plan.OpStats
+}
+
+// opStat returns this location's stats cell for node, or nil when operator
+// statistics are disarmed.
+func (c *Context) opStat(node plan.Node) *plan.OpSegStat {
+	return c.Ops.At(node, c.SegID)
 }
 
 // batchSize returns the effective executor batch size.

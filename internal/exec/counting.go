@@ -2,7 +2,9 @@ package exec
 
 import (
 	"sync/atomic"
+	"time"
 
+	"repro/internal/plan"
 	"repro/internal/types"
 )
 
@@ -40,3 +42,45 @@ func (c *countingBatchIter) NextBatch() (*types.RowBatch, error) {
 }
 
 func (c *countingBatchIter) Close() { c.child.Close() }
+
+// opStatIter feeds one node's per-location OpSegStat on the row path: rows
+// out, and the operator's inclusive wall time (time inside Next, children
+// included). Wrapped outside countingIter at the Build entry points, and
+// only when the statement armed operator statistics (EXPLAIN ANALYZE or
+// query tracing), so the per-call clock reads never touch ordinary queries.
+type opStatIter struct {
+	child Iterator
+	st    *plan.OpSegStat
+}
+
+func (o *opStatIter) Next() (types.Row, error) {
+	t0 := time.Now()
+	row, err := o.child.Next()
+	o.st.WallNanos.Add(time.Since(t0).Nanoseconds())
+	if err == nil {
+		o.st.Rows.Add(1)
+	}
+	return row, err
+}
+
+func (o *opStatIter) Close() { o.child.Close() }
+
+// opStatBatchIter is opStatIter for the vectorized path: one clock pair and
+// one set of adds per batch.
+type opStatBatchIter struct {
+	child BatchIterator
+	st    *plan.OpSegStat
+}
+
+func (o *opStatBatchIter) NextBatch() (*types.RowBatch, error) {
+	t0 := time.Now()
+	b, err := o.child.NextBatch()
+	o.st.WallNanos.Add(time.Since(t0).Nanoseconds())
+	if err == nil && b != nil {
+		o.st.Rows.Add(int64(b.Len()))
+		o.st.Batches.Add(1)
+	}
+	return b, err
+}
+
+func (o *opStatBatchIter) Close() { o.child.Close() }

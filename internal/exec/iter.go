@@ -297,6 +297,7 @@ func (s *sortIter) spillRun() error {
 	if err != nil {
 		return err
 	}
+	sf.stat = s.mem.stat
 	if err := s.mem.growFiles(spillFileOverhead); err != nil {
 		sf.close()
 		return err

@@ -40,7 +40,7 @@ type hashJoinCore struct {
 func newHashJoinCore(ctx *Context, node *plan.HashJoin) hashJoinCore {
 	return hashJoinCore{
 		ctx: ctx, node: node,
-		mem:    opMem{ctx: ctx},
+		mem:    opMem{ctx: ctx, stat: ctx.opStat(node)},
 		table:  make(map[uint64][]types.Row),
 		rwidth: node.Right.Schema().Len(),
 	}
@@ -152,11 +152,13 @@ func (c *hashJoinCore) beginSpill() error {
 		if err != nil {
 			return err
 		}
+		bf.stat = c.mem.stat
 		c.buildParts[i] = bf
 		pf, err := c.ctx.Spill.newFile(c.ctx.SegID, fmt.Sprintf("seg%d-join-probe%d", c.ctx.SegID, i))
 		if err != nil {
 			return err
 		}
+		pf.stat = c.mem.stat
 		c.probeParts[i] = pf
 	}
 	for h, bucket := range c.table {

@@ -34,7 +34,10 @@ func (m *motionRecvIter) Close() {}
 func Build(ctx *Context, node plan.Node) Iterator {
 	it := buildRow(ctx, node)
 	if ctr := ctx.NodeRows.Counter(node); ctr != nil {
-		return &countingIter{child: it, ctr: ctr}
+		it = &countingIter{child: it, ctr: ctr}
+	}
+	if st := ctx.opStat(node); st != nil {
+		it = &opStatIter{child: it, st: st}
 	}
 	return it
 }
@@ -64,7 +67,7 @@ func buildRow(ctx *Context, node plan.Node) Iterator {
 	case *plan.Agg:
 		return newAggIter(ctx, n, Build(ctx, n.Child))
 	case *plan.Sort:
-		return &sortIter{ctx: ctx, child: Build(ctx, n.Child), keys: n.Keys}
+		return &sortIter{ctx: ctx, child: Build(ctx, n.Child), keys: n.Keys, mem: opMem{ctx: ctx, stat: ctx.opStat(n)}}
 	case *plan.Limit:
 		return &limitIter{child: Build(ctx, n.Child), count: n.Count, offset: n.Offset}
 	case *plan.Motion:

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/plan"
 	"repro/internal/types"
 )
 
@@ -192,6 +193,7 @@ type spillFile struct {
 	buf   []byte
 	rows  int64
 	bytes int64
+	stat  *plan.OpSegStat // per-operator spill attribution; nil when disarmed
 }
 
 // writeRow appends one encoded row.
@@ -203,6 +205,9 @@ func (sf *spillFile) writeRow(row types.Row) error {
 	n, err := sf.w.Write(sf.buf)
 	sf.bytes += int64(n)
 	sf.m.spillBytes.Add(int64(n))
+	if sf.stat != nil {
+		sf.stat.Spill.Add(int64(n))
+	}
 	if err == nil {
 		sf.rows++
 	}
@@ -361,7 +366,14 @@ type opMem struct {
 	charged  int64 // resgroup-charged bytes
 	reserved int64 // spill-budget-reserved bytes
 	files    int64 // resgroup-charged spill-file buffer bytes
+	// stat, when operator statistics are armed, receives the operator's
+	// peak-memory high-water mark and per-operator spill bytes for
+	// EXPLAIN ANALYZE.
+	stat *plan.OpSegStat
 }
+
+// notePeak records the account's current footprint as a candidate peak.
+func (o *opMem) notePeak() { o.stat.MaxMem(o.charged + o.files) }
 
 // grow charges n bytes. ok=false (with nil error) means the spill budget is
 // exhausted and the operator should spill; a non-nil error is a hard
@@ -382,6 +394,7 @@ func (o *opMem) grow(n int64) (ok bool, err error) {
 		return false, err
 	}
 	o.charged += n
+	o.notePeak()
 	return true, nil
 }
 
@@ -394,6 +407,7 @@ func (o *opMem) forceGrow(n int64) error {
 		return err
 	}
 	o.charged += n
+	o.notePeak()
 	return nil
 }
 
@@ -405,6 +419,7 @@ func (o *opMem) growFiles(n int64) error {
 		return err
 	}
 	o.files += n
+	o.notePeak()
 	return nil
 }
 

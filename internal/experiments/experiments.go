@@ -13,6 +13,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/bench"
@@ -20,6 +21,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/workload"
 )
+
+// MetricsOut, when non-nil, receives one JSON observability-registry
+// snapshot per engine the experiments boot, written as each engine closes
+// (gpbench -metrics). Bench runs then double as observability fixtures.
+var MetricsOut io.Writer
 
 // Options scales experiments between quick smoke runs and fuller sweeps.
 type Options struct {
@@ -78,6 +84,9 @@ func applyTiming(cfg *cluster.Config) {
 // engine boots an engine with a loaded schema script.
 func engine(cfg *cluster.Config, schema string, load func(ctx context.Context, c workload.Conn) error) (*core.Engine, error) {
 	e := core.NewEngine(cfg)
+	if MetricsOut != nil {
+		e.OnClose(func() { _ = e.Metrics().WriteJSON(MetricsOut) })
+	}
 	ctx := context.Background()
 	s, err := e.NewSession("")
 	if err != nil {

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies one span within its trace. 0 is "no parent" (the root).
+type SpanID uint32
+
+// Span is one finished timed region of a query: parse, plan, dispatch, a
+// per-segment slice execution, or a per-operator interval synthesized from
+// executor statistics. Start carries Go's monotonic clock reading, so Dur
+// and ordering are immune to wall-clock steps.
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	Name   string
+	Seg    int // segment id; -1 = coordinator
+	Start  time.Time
+	Dur    time.Duration
+}
+
+// Trace is one query's span tree. Begin/End/Record are safe for concurrent
+// use from every slice-sender goroutine of a dispatched statement; span IDs
+// are allocated atomically and travel with the dispatch so segment-side
+// spans attach under the coordinator's execute span.
+type Trace struct {
+	QueryID uint64
+	SQL     string
+	Start   time.Time
+
+	next atomic.Uint32
+	open atomic.Int64 // begun but not yet ended (leak detector)
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts a trace for one statement.
+func NewTrace(queryID uint64, sql string) *Trace {
+	return &Trace{QueryID: queryID, SQL: sql, Start: time.Now()}
+}
+
+// ActiveSpan is a begun, not-yet-finished span. The zero value (and any
+// span begun on a nil trace) is inert: End and ID are no-ops, so tracing
+// call sites need no nil checks — disarmed tracing costs two branches.
+type ActiveSpan struct {
+	t     *Trace
+	id    SpanID
+	name  string
+	seg   int
+	par   SpanID
+	start time.Time
+}
+
+// Begin opens a span under parent. Safe on a nil trace (returns an inert
+// span).
+func (t *Trace) Begin(parent SpanID, name string, seg int) ActiveSpan {
+	if t == nil {
+		return ActiveSpan{}
+	}
+	t.open.Add(1)
+	return ActiveSpan{t: t, id: SpanID(t.next.Add(1)), name: name, seg: seg, par: parent, start: time.Now()}
+}
+
+// End finishes the span and appends it to the trace.
+func (s ActiveSpan) End() {
+	if s.t == nil {
+		return
+	}
+	sp := Span{ID: s.id, Parent: s.par, Name: s.name, Seg: s.seg, Start: s.start, Dur: time.Since(s.start)}
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, sp)
+	s.t.mu.Unlock()
+	s.t.open.Add(-1)
+}
+
+// ID returns the span's id (0 for an inert span).
+func (s ActiveSpan) ID() SpanID { return s.id }
+
+// Record appends an already-measured span (used to synthesize per-operator
+// spans from executor statistics after the slices retire).
+func (t *Trace) Record(parent SpanID, name string, seg int, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	sp := Span{ID: SpanID(t.next.Add(1)), Parent: parent, Name: name, Seg: seg, Start: start, Dur: dur}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the finished spans, ordered by span id (creation
+// order).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// OpenSpans reports how many spans were begun but never ended — non-zero
+// after a query finishes means a span leak.
+func (t *Trace) OpenSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.open.Load()
+}
+
+// Render returns the span tree as indented text lines, children under
+// parents, each with segment and duration. Orphan spans (parent missing,
+// e.g. a slice whose coordinator span id was not propagated) print at the
+// root rather than disappearing.
+func (t *Trace) Render() []string {
+	spans := t.Spans()
+	byParent := make(map[SpanID][]Span)
+	ids := make(map[SpanID]bool, len(spans))
+	for _, s := range spans {
+		ids[s.ID] = true
+	}
+	for _, s := range spans {
+		p := s.Parent
+		if p != 0 && !ids[p] {
+			p = 0
+		}
+		byParent[p] = append(byParent[p], s)
+	}
+	var out []string
+	var walk func(parent SpanID, depth int)
+	walk = func(parent SpanID, depth int) {
+		for _, s := range byParent[parent] {
+			loc := "coord"
+			if s.Seg >= 0 {
+				loc = fmt.Sprintf("seg%d", s.Seg)
+			}
+			out = append(out, fmt.Sprintf("%s%s [%s] %.3fms",
+				strings.Repeat("  ", depth), s.Name, loc, float64(s.Dur)/1e6))
+			walk(s.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+	return out
+}
+
+// TraceStore is a bounded ring of finished traces (newest kept).
+type TraceStore struct {
+	mu    sync.Mutex
+	ring  []*Trace
+	next  int
+	total int64
+}
+
+// NewTraceStore returns a store retaining up to capacity traces.
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &TraceStore{ring: make([]*Trace, capacity)}
+}
+
+// Add retains a finished trace, evicting the oldest when full.
+func (s *TraceStore) Add(t *Trace) {
+	if s == nil || t == nil {
+		return
+	}
+	s.mu.Lock()
+	s.ring[s.next] = t
+	s.next = (s.next + 1) % len(s.ring)
+	s.total++
+	s.mu.Unlock()
+}
+
+// Recent returns up to n retained traces, newest first.
+func (s *TraceStore) Recent(n int) []*Trace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 || n > len(s.ring) {
+		n = len(s.ring)
+	}
+	out := make([]*Trace, 0, n)
+	for i := 1; i <= len(s.ring) && len(out) < n; i++ {
+		t := s.ring[(s.next-i+len(s.ring))%len(s.ring)]
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Len reports how many traces are currently retained.
+func (s *TraceStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, t := range s.ring {
+		if t != nil {
+			n++
+		}
+	}
+	return n
+}

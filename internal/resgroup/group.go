@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 )
 
 // Group is the runtime state of one resource group.
@@ -42,7 +43,14 @@ type Manager struct {
 	// granted tracks the MEMORY_LIMIT percentages already handed out, so the
 	// global shared pool is what remains.
 	grantedPct int
+	// admWaits counts admissions that had to queue on a full CONCURRENCY
+	// semaphore (nil-safe obs handle; set by the cluster's registry).
+	admWaits *obs.Counter
 }
+
+// SetAdmissionWaits wires the counter incremented whenever an Admit call
+// blocks waiting for a concurrency slot.
+func (m *Manager) SetAdmissionWaits(c *obs.Counter) { m.admWaits = c }
 
 // NewManager builds a manager simulating a machine with cores CPU cores and
 // totalMemory bytes of RAM.
@@ -178,6 +186,7 @@ func (g *Group) Admit(ctx context.Context) (*Slot, error) {
 	select {
 	case g.admission <- struct{}{}:
 	default:
+		g.mgr.admWaits.Add(1)
 		select {
 		case g.admission <- struct{}{}:
 		case <-ctx.Done():

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// httpServer keeps server.go free of a net/http import.
+type httpServer = http.Server
+
+// startMetricsHTTP binds the opt-in observability listener: Prometheus text
+// exposition at /metrics and the standard Go profiling handlers under
+// /debug/pprof/. The endpoint is off unless Config.MetricsAddr is set — an
+// embedded analytics database must not open surprise ports.
+func (s *Server) startMetricsHTTP() error {
+	if s.cfg.MetricsAddr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", s.cfg.MetricsAddr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = s.engine.Metrics().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.engine.Metrics().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.httpLn = ln
+	s.httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.httpSrv.Serve(ln) // returns on Close
+	}()
+	return nil
+}
+
+// MetricsAddr returns the bound observability address ("" when disabled).
+func (s *Server) MetricsAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}

@@ -1,0 +1,128 @@
+package server_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/workload"
+)
+
+// obsBenchStack boots an engine + wire server + long-lived client
+// connections for the observability disarmed-overhead comparison.
+type obsBenchStack struct {
+	e     *core.Engine
+	srv   *server.Server
+	conns []*client.Client
+}
+
+func newObsBenchStack(b *testing.B, clients int, recording bool) *obsBenchStack {
+	b.Helper()
+	w := &workload.TPCB{Branches: 4, AccountsPerBranch: 100}
+	cfg := cluster.GPDB6(2)
+	// The same realistically priced statement as BenchmarkNetworkTPCB: the
+	// gate measures the armed metrics/activity path against real work.
+	cfg.NetDelay = 500 * time.Microsecond
+	cfg.FsyncDelay = 2 * time.Millisecond
+	cfg.SegmentStmtCPU = time.Millisecond
+	cfg.SegmentWorkers = 4
+	cfg.GDDPeriod = 10 * time.Millisecond
+	e := core.NewEngine(cfg)
+	b.Cleanup(e.Close)
+	// The baseline reconstructs the pre-observability stack: with query
+	// recording off, statements skip the activity/trace path entirely.
+	// Registry counters stay on in both stacks — they replaced the old
+	// ad-hoc atomics one for one, so there is no "without" configuration.
+	e.Activity().SetEnabled(recording)
+
+	ctx := context.Background()
+	loader, err := e.NewSession("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := loader.ExecScript(ctx, w.Schema()); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Load(ctx, coreConn{loader}); err != nil {
+		b.Fatal(err)
+	}
+	loader.Close()
+
+	srv := server.New(e, server.Config{Workers: clients})
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = srv.Shutdown(context.Background()) })
+
+	st := &obsBenchStack{e: e, srv: srv, conns: make([]*client.Client, clients)}
+	for i := range st.conns {
+		c, err := client.DialTimeout(srv.Addr(), "", 10*time.Second)
+		if err != nil {
+			b.Fatalf("dial %d: %v", i, err)
+		}
+		st.conns[i] = c
+		b.Cleanup(func() { _ = c.Close() })
+	}
+	return st
+}
+
+func (st *obsBenchStack) run(clients int, window time.Duration) float64 {
+	w := &workload.TPCB{Branches: 4, AccountsPerBranch: 100}
+	rs := make([]*workload.Rand, clients)
+	for i := range rs {
+		rs[i] = workload.NewRand(uint64(i)*104729 + 17)
+	}
+	res := bench.RunConcurrent(clients, window, func(ctx context.Context, id int) error {
+		return w.Transaction(ctx, client.WorkloadConn{C: st.conns[id]}, rs[id])
+	})
+	return res.TPS()
+}
+
+// BenchmarkObsDisarmedOverhead is the observability PR's performance gate:
+// with tracing off but metrics and query recording on (the default
+// configuration), network TPC-B throughput must stay at least 0.95x a stack
+// with query recording disabled (the pre-observability baseline). Each b.N
+// iteration takes the best of three windows per side to damp scheduler noise
+// before gating.
+func BenchmarkObsDisarmedOverhead(b *testing.B) {
+	const clients = 64
+	window := 300 * time.Millisecond
+
+	baseline := newObsBenchStack(b, clients, false) // recording off
+	armed := newObsBenchStack(b, clients, true)     // metrics + activity on, tracing off
+	if !armed.e.Activity().Enabled() || baseline.e.Activity().Enabled() {
+		b.Fatal("stacks misconfigured")
+	}
+
+	best := func(st *obsBenchStack) float64 {
+		var m float64
+		for i := 0; i < 3; i++ {
+			if tps := st.run(clients, window); tps > m {
+				m = tps
+			}
+		}
+		return m
+	}
+
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		base := best(baseline)
+		on := best(armed)
+		ratio := 0.0
+		if base > 0 {
+			ratio = on / base
+		}
+		b.ReportMetric(base, "tps-disabled")
+		b.ReportMetric(on, "tps-armed")
+		b.ReportMetric(ratio, "armed/disabled")
+		if ratio < 0.95 {
+			b.Errorf("armed observability costs too much: %.0f vs %.0f TPS (%.3fx, gate 0.95x)",
+				on, base, ratio)
+		}
+	}
+}

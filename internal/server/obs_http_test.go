@@ -1,0 +1,171 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/workload"
+)
+
+// TestMetricsHTTPUnderTPCB is the acceptance scenario for the HTTP surface:
+// with 256 client sockets running TPC-B against the wire server, a scrape of
+// /metrics mid-run returns Prometheus text carrying the block-cache, spill,
+// WAL, dispatch-retry and plan-cache series, and /metrics.json parses.
+func TestMetricsHTTPUnderTPCB(t *testing.T) {
+	const clients = 256
+	w := &workload.TPCB{Branches: 4, AccountsPerBranch: 100}
+	cfg := cluster.GPDB6(2)
+	cfg.GDDPeriod = 10 * time.Millisecond
+	e := core.NewEngine(cfg)
+	t.Cleanup(e.Close)
+
+	ctx := context.Background()
+	loader, err := e.NewSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loader.ExecScript(ctx, w.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Load(ctx, coreConn{loader}); err != nil {
+		t.Fatal(err)
+	}
+	loader.Close()
+
+	srv := server.New(e, server.Config{Workers: clients, MetricsAddr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Shutdown(context.Background()) })
+	if srv.MetricsAddr() == "" {
+		t.Fatal("metrics endpoint did not bind")
+	}
+	base := "http://" + srv.MetricsAddr()
+
+	conns := make([]*client.Client, clients)
+	for i := range conns {
+		c, err := client.DialTimeout(srv.Addr(), "", 10*time.Second)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		conns[i] = c
+		t.Cleanup(func() { _ = c.Close() })
+	}
+
+	// Scrape mid-run: the workload window is long enough that a GET issued
+	// right after the window starts lands while sockets are in flight.
+	scraped := make(chan string, 1)
+	scrapeErr := make(chan error, 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		body, ct, err := httpGet(base + "/metrics")
+		if err != nil {
+			scrapeErr <- err
+			return
+		}
+		if !strings.HasPrefix(ct, "text/plain") {
+			scrapeErr <- fmt.Errorf("content type %q, want text/plain", ct)
+			return
+		}
+		scraped <- body
+	}()
+
+	rs := make([]*workload.Rand, clients)
+	for i := range rs {
+		rs[i] = workload.NewRand(uint64(i)*104729 + 29)
+	}
+	res := bench.RunConcurrent(clients, 400*time.Millisecond, func(ctx context.Context, id int) error {
+		return w.Transaction(ctx, client.WorkloadConn{C: conns[id]}, rs[id])
+	})
+	if res.Ops == 0 {
+		t.Fatal("TPC-B window did nothing")
+	}
+
+	var body string
+	select {
+	case body = <-scraped:
+	case err := <-scrapeErr:
+		t.Fatalf("mid-run scrape: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("mid-run scrape never returned")
+	}
+	for _, series := range []string{
+		"storage_blockcache_hits",
+		"exec_spill_bytes",
+		"wal_flushes",
+		"dispatch_retries",
+		"plancache_hits",
+		"query_statements",
+		"query_seconds_bucket",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics misses series %s", series)
+		}
+	}
+	// The live counters moved: the scrape saw real traffic.
+	if strings.Contains(body, "\nquery_statements 0\n") {
+		t.Error("query_statements still 0 mid-run")
+	}
+
+	// The JSON twin parses and carries the same registry.
+	body, _, err = httpGet(base + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Metrics map[string]int64 `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics.json does not parse: %v", err)
+	}
+	if snap.Metrics["query.statements"] == 0 {
+		t.Error("metrics.json query.statements = 0 after workload")
+	}
+
+	// pprof is mounted.
+	if _, _, err := httpGet(base + "/debug/pprof/cmdline"); err != nil {
+		t.Fatalf("pprof endpoint: %v", err)
+	}
+}
+
+// TestMetricsHTTPOptIn checks the endpoint stays off unless configured.
+func TestMetricsHTTPOptIn(t *testing.T) {
+	e := core.NewEngine(cluster.GPDB6(2))
+	t.Cleanup(e.Close)
+	srv := server.New(e, server.Config{})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Shutdown(context.Background()) })
+	if addr := srv.MetricsAddr(); addr != "" {
+		t.Fatalf("metrics endpoint bound to %q without opt-in", addr)
+	}
+}
+
+func httpGet(url string) (body, contentType string, err error) {
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return string(b), resp.Header.Get("Content-Type"), nil
+}

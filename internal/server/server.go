@@ -47,6 +47,10 @@ type Config struct {
 	// DrainTimeout bounds Shutdown's wait for in-flight statements before
 	// cancelling them (default 5s).
 	DrainTimeout time.Duration
+	// MetricsAddr, when set, serves the observability HTTP endpoint
+	// (Prometheus /metrics plus /debug/pprof) on the given address. Empty
+	// keeps the endpoint off.
+	MetricsAddr string
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +89,10 @@ type Server struct {
 	engine *core.Engine
 	ln     net.Listener
 
+	// Opt-in observability endpoint (Config.MetricsAddr).
+	httpLn  net.Listener
+	httpSrv *httpServer
+
 	// workers is the bounded statement-execution pool (semaphore).
 	workers chan struct{}
 
@@ -114,10 +122,15 @@ func New(e *core.Engine, cfg Config) *Server {
 	}
 }
 
-// Start binds the listen address and begins accepting sessions.
+// Start binds the listen address (and, when configured, the observability
+// endpoint) and begins accepting sessions.
 func (s *Server) Start() error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
+		return err
+	}
+	if err := s.startMetricsHTTP(); err != nil {
+		_ = ln.Close()
 		return err
 	}
 	s.ln = ln
@@ -197,6 +210,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	if s.ln != nil {
 		_ = s.ln.Close()
+	}
+	if s.httpSrv != nil {
+		_ = s.httpSrv.Close() // drops scrapes in flight; metrics are stateless
 	}
 	// Idle sessions can go immediately; busy ones get the drain window to
 	// finish their in-flight statement (the conn loop closes after it).

@@ -263,6 +263,13 @@ func (p *Parser) parseStatement() (Statement, error) {
 		if err := p.next(); err != nil {
 			return nil, err
 		}
+		// Negative values (SET log_min_duration -1) lex as two tokens.
+		if val == "-" {
+			val += p.tok.Val
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
 		return &SetStmt{Name: name, Value: val}, nil
 	default:
 		return nil, p.errf("unexpected token %s at statement start", p.tok)

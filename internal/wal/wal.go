@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -309,6 +310,12 @@ type Log struct {
 	faults *fault.Registry
 	seg    int
 
+	// flushLat, when set, observes the group-commit sync latency: the time
+	// the flushing caller spends making its records durable. Riders whose
+	// records an in-flight sync already covered observe nothing — they paid
+	// nothing.
+	flushLat *obs.Histogram
+
 	// failErr is the log's wedged state: a simulated write or fsync failure
 	// (or torn write) poisons the log the way a failed pwrite poisons a real
 	// WAL file — nothing after the failure is trustworthy, so appends stop
@@ -444,6 +451,7 @@ func (l *Log) Flush(delay time.Duration) LSN {
 	if l.flushed.Load() >= target {
 		return LSN(l.flushed.Load())
 	}
+	start := time.Now()
 	l.flushMu.Lock()
 	defer l.flushMu.Unlock()
 	if l.flushed.Load() >= target {
@@ -465,8 +473,14 @@ func (l *Log) Flush(delay time.Duration) LSN {
 	}
 	l.flushed.Store(cur)
 	l.flushes.Add(1)
+	// Queueing behind an in-flight sync counts toward the latency this
+	// caller saw — that is exactly what group commit trades for throughput.
+	l.flushLat.Observe(time.Since(start))
 	return LSN(cur)
 }
+
+// SetFlushLatency wires the histogram observing group-commit sync latency.
+func (l *Log) SetFlushLatency(h *obs.Histogram) { l.flushLat = h }
 
 // Stats returns cumulative counters: records appended, encoded bytes, and
 // actual fsyncs performed (group-commit free rides are not counted).
